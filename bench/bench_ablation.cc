@@ -1,0 +1,142 @@
+// Ablations for the design choices DESIGN.md calls out:
+//
+//  * error-freeness: the direct reachability search vs. the Lemma A.5
+//    transformation + LTL route (same verdicts; the transformation pays
+//    the Büchi product),
+//  * Kripke construction: label-merged (Lemma A.12, sound for the
+//    propositional class) vs. unmerged per-edge states,
+//  * Prev_I tracking: rules-only tracking vs. tracking every input
+//    relation (the configuration-graph blow-up the optimization avoids).
+
+#include <benchmark/benchmark.h>
+
+#include "ctl/ctl_check.h"
+#include "gallery/gallery.h"
+#include "ltl/ltl_parser.h"
+#include "verify/abstraction.h"
+#include "verify/error_free.h"
+#include "verify/ltl_verifier.h"
+#include "verify/transform.h"
+
+namespace wsv {
+namespace {
+
+Value V(const char* s) { return Value::Intern(s); }
+
+void BM_ErrorFreeDirect(benchmark::State& state) {
+  WebService service = std::move(BuildLoginService()).value();
+  Instance db = LoginDatabase();
+  ErrorFreeOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw"), V("u0")};
+  for (auto _ : state) {
+    auto r = CheckErrorFreeOnDatabase(service, db, options);
+    if (!r.ok() || !r->error_free) {
+      state.SkipWithError("expected error-free");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ErrorFreeDirect)->Unit(benchmark::kMicrosecond);
+
+void BM_ErrorFreeViaTransform(benchmark::State& state) {
+  WebService service = std::move(BuildLoginService()).value();
+  ErrorFreeTransform tr = std::move(TransformErrorFree(service)).value();
+  Instance db = LoginDatabase();
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw"), V("u0")};
+  options.require_input_bounded = false;
+  LtlVerifier verifier(&tr.service, options);
+  for (auto _ : state) {
+    auto r = verifier.VerifyOnDatabase(tr.property, db);
+    if (!r.ok() || !r->holds) {
+      state.SkipWithError("expected the trap to stay unreachable");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ErrorFreeViaTransform)->Unit(benchmark::kMicrosecond);
+
+void BM_KripkeMerged(benchmark::State& state) {
+  WebService abs =
+      std::move(AbstractToPropositional(*BuildLoginService())).value();
+  Instance db;
+  (void)db.EnsureRelation("user", 0);
+  db.MutableRelation("user")->SetBool(true);
+  KripkeBuildOptions options;
+  options.graph.constant_pool = {V("c0")};
+  auto prop = ParseTemporalProperty("A G(E F(BYE))", &abs.vocab());
+  for (auto _ : state) {
+    auto kripke = BuildPropositionalKripke(abs, db, options);
+    if (!kripke.ok()) {
+      state.SkipWithError(kripke.status().ToString().c_str());
+      return;
+    }
+    auto r = CtlHolds(*kripke, *prop->formula);
+    if (!r.ok() || !*r) {
+      state.SkipWithError("expected the property to hold");
+      return;
+    }
+    state.counters["kripke_states"] = static_cast<double>(kripke->size());
+  }
+}
+BENCHMARK(BM_KripkeMerged)->Unit(benchmark::kMicrosecond);
+
+void BM_KripkeUnmerged(benchmark::State& state) {
+  WebService abs =
+      std::move(AbstractToPropositional(*BuildLoginService())).value();
+  Instance db;
+  (void)db.EnsureRelation("user", 0);
+  db.MutableRelation("user")->SetBool(true);
+  KripkeBuildOptions options;
+  options.graph.constant_pool = {V("c0")};
+  auto prop = ParseTemporalProperty("A G(E F(BYE))", &abs.vocab());
+  for (auto _ : state) {
+    auto kripke = BuildUnmergedKripke(abs, db, options);
+    if (!kripke.ok()) {
+      state.SkipWithError(kripke.status().ToString().c_str());
+      return;
+    }
+    auto r = CtlHolds(*kripke, *prop->formula);
+    if (!r.ok() || !*r) {
+      state.SkipWithError("expected the property to hold");
+      return;
+    }
+    state.counters["kripke_states"] = static_cast<double>(kripke->size());
+  }
+}
+BENCHMARK(BM_KripkeUnmerged)->Unit(benchmark::kMicrosecond);
+
+void BuildEcommerceGraph(benchmark::State& state, bool track_all_prev) {
+  WebService service = std::move(BuildEcommerceService()).value();
+  Instance db = EcommerceSmallDatabase();
+  for (auto _ : state) {
+    Stepper stepper(&service, &db);
+    if (!track_all_prev) {
+      stepper.SetTrackedPrev(Stepper::PrevRelationsInRules(service));
+    }
+    ConfigGraphOptions options;
+    options.constant_pool = {V("alice"), V("pw")};
+    auto graph = BuildConfigGraph(stepper, options);
+    if (!graph.ok()) {
+      state.SkipWithError(graph.status().ToString().c_str());
+      return;
+    }
+    state.counters["graph_nodes"] = static_cast<double>(graph->nodes.size());
+    state.counters["graph_edges"] = static_cast<double>(graph->edges.size());
+  }
+}
+
+void BM_ConfigGraphTrackedPrev(benchmark::State& state) {
+  BuildEcommerceGraph(state, /*track_all_prev=*/false);
+}
+BENCHMARK(BM_ConfigGraphTrackedPrev)->Unit(benchmark::kMillisecond);
+
+void BM_ConfigGraphAllPrev(benchmark::State& state) {
+  BuildEcommerceGraph(state, /*track_all_prev=*/true);
+}
+BENCHMARK(BM_ConfigGraphAllPrev)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wsv
+
+BENCHMARK_MAIN();

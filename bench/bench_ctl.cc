@@ -1,0 +1,113 @@
+// E8 + E9 — branching-time model checking.
+//
+// E8: the CTL labeling algorithm is polynomial in the Kripke structure —
+// the sweep over structure size shows near-linear growth for fixed
+// formulas (contrast with the exponential constructions elsewhere).
+//
+// E9: CTL* checking on the same structures costs more than CTL (it
+// builds Büchi products per path quantifier) but decides the same
+// formulas; the fully-propositional case of Theorem 4.6 is exercised by
+// checking formulas over a service-shaped random structure.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "ctl/ctl_check.h"
+#include "ctl/ctl_star_check.h"
+#include "ltl/ltl_parser.h"
+
+namespace wsv {
+namespace {
+
+Kripke RandomKripke(int states, int degree, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Kripke k;
+  int p = k.InternProp("p");
+  int q = k.InternProp("q");
+  for (int s = 0; s < states; ++s) {
+    std::set<int> label;
+    if (rng() % 2) label.insert(p);
+    if (rng() % 2) label.insert(q);
+    k.AddState(std::move(label));
+  }
+  for (int s = 0; s < states; ++s) {
+    for (int d = 0; d < degree; ++d) {
+      k.AddEdge(s, static_cast<int>(rng() % states));
+    }
+  }
+  k.SetInitial(0);
+  return k;
+}
+
+const char kCtlFormula[] = "A G(p -> E F(q))";
+const char kCtlStarFormula[] = "A G(!p | E (F(q) & F(p)))";
+
+void BM_CtlLabeling(benchmark::State& state) {
+  Kripke k = RandomKripke(static_cast<int>(state.range(0)), 3, 42);
+  auto prop = ParseTemporalProperty(kCtlFormula, nullptr);
+  for (auto _ : state) {
+    auto r = CtlHolds(k, *prop->formula);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*r);
+  }
+  state.counters["states"] = static_cast<double>(k.size());
+}
+BENCHMARK(BM_CtlLabeling)->RangeMultiplier(4)->Range(64, 16384)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CtlStarOnCtlFormula(benchmark::State& state) {
+  Kripke k = RandomKripke(static_cast<int>(state.range(0)), 3, 42);
+  auto prop = ParseTemporalProperty(kCtlFormula, nullptr);
+  for (auto _ : state) {
+    auto r = CtlStarHolds(k, *prop->formula);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_CtlStarOnCtlFormula)->RangeMultiplier(4)->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CtlStarProper(benchmark::State& state) {
+  Kripke k = RandomKripke(static_cast<int>(state.range(0)), 3, 42);
+  auto prop = ParseTemporalProperty(kCtlStarFormula, nullptr);
+  for (auto _ : state) {
+    auto r = CtlStarHolds(k, *prop->formula);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_CtlStarProper)->RangeMultiplier(4)->Range(64, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+// Agreement spot-check under timing: CTL and CTL* must return the same
+// verdicts on CTL formulas (the correctness backbone of Theorem 4.4's
+// two bounds).
+void BM_CtlVsCtlStarAgreement(benchmark::State& state) {
+  auto prop = ParseTemporalProperty(kCtlFormula, nullptr);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Kripke k = RandomKripke(128, 2, seed++);
+    auto a = CtlHolds(k, *prop->formula);
+    auto b = CtlStarHolds(k, *prop->formula);
+    if (!a.ok() || !b.ok() || *a != *b) {
+      state.SkipWithError("CTL and CTL* disagree");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_CtlVsCtlStarAgreement)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace wsv
+
+BENCHMARK_MAIN();

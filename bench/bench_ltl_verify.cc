@@ -1,0 +1,157 @@
+// E2 + E3 — LTL-FO verification (Theorem 3.5).
+//
+// E2 regenerates the paper's two flagship properties on the e-commerce
+// service: the navigational eventuality (1) of Example 3.2 (violated)
+// and pay-before-ship (4) of Example 3.4 (holds).
+//
+// E3 exhibits the PSPACE shape: verification time grows exponentially in
+// the input-constant pool size and the database bound (the configuration
+// graph is the exponential object), while the per-edge work stays
+// polynomial. The node counters make the growth visible in the output.
+
+#include <benchmark/benchmark.h>
+
+#include "gallery/gallery.h"
+#include "ltl/ltl_parser.h"
+#include "verify/error_free.h"
+#include "verify/ltl_verifier.h"
+
+namespace wsv {
+namespace {
+
+Value V(const char* s) { return Value::Intern(s); }
+
+// --- E2: the paper's properties on the running example. ---------------
+
+void BM_Property1_Ecommerce(benchmark::State& state) {
+  WebService service = std::move(BuildEcommerceService()).value();
+  Instance db = EcommerceSmallDatabase();
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw")};
+  options.require_input_bounded = false;
+  LtlVerifier verifier(&service, options);
+  auto prop = ParseTemporalProperty("G(!PIP) | F(PIP & F(CC))",
+                                    &service.vocab());
+  for (auto _ : state) {
+    auto r = verifier.VerifyOnDatabase(*prop, db);
+    if (!r.ok() || r->holds) {
+      state.SkipWithError("expected a violation");
+      return;
+    }
+    state.counters["graph_nodes"] =
+        static_cast<double>(r->total_graph_nodes);
+  }
+  state.SetLabel("VIOLATED (paper: eventuality not enforced)");
+}
+BENCHMARK(BM_Property1_Ecommerce)->Unit(benchmark::kMillisecond);
+
+void BM_Property4_PayBeforeShip(benchmark::State& state) {
+  WebService service = std::move(BuildEcommerceService()).value();
+  Instance db = EcommerceSmallDatabase();
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw")};
+  options.require_input_bounded = false;
+  options.closure_candidates = {V("p1"), V("100"), V("alice")};
+  LtlVerifier verifier(&service, options);
+  auto prop = ParseTemporalProperty(
+      "forall pid, price . ((UPP & payamount(price) & button(\"submit\") "
+      "& pick(pid, price) & prod_prices(pid, price)) "
+      "B !(conf(name, price) & ship(name, pid)))",
+      &service.vocab());
+  for (auto _ : state) {
+    auto r = verifier.VerifyOnDatabase(*prop, db);
+    if (!r.ok() || !r->holds) {
+      state.SkipWithError("expected the property to hold");
+      return;
+    }
+    state.counters["graph_nodes"] =
+        static_cast<double>(r->total_graph_nodes);
+    state.counters["product_states"] =
+        static_cast<double>(r->total_product_states);
+  }
+  state.SetLabel("HOLDS (paper: shipped products are paid for)");
+}
+BENCHMARK(BM_Property4_PayBeforeShip)->Unit(benchmark::kMillisecond);
+
+// --- E3: scaling shape. -------------------------------------------------
+
+// Verification time vs. input-constant pool size on the login service:
+// the configuration graph grows with every new candidate credential.
+void BM_ScalePoolSize(benchmark::State& state) {
+  WebService service = std::move(BuildLoginService()).value();
+  Instance db = LoginDatabase();
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw")};
+  for (int i = 0; i < state.range(0); ++i) {
+    options.graph.constant_pool.push_back(
+        V(("extra" + std::to_string(i)).c_str()));
+  }
+  LtlVerifier verifier(&service, options);
+  auto prop = ParseTemporalProperty("G(!CP | logged_in)", &service.vocab());
+  for (auto _ : state) {
+    auto r = verifier.VerifyOnDatabase(*prop, db);
+    if (!r.ok() || !r->holds) {
+      state.SkipWithError("expected the property to hold");
+      return;
+    }
+    state.counters["graph_nodes"] =
+        static_cast<double>(r->total_graph_nodes);
+  }
+}
+BENCHMARK(BM_ScalePoolSize)->DenseRange(0, 8, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// Error-freeness over *all* databases within a growing bound (the
+// enumeration is the exponential factor of Theorem 3.5's search space).
+void BM_ScaleDatabaseBound(benchmark::State& state) {
+  WebService service = std::move(BuildLoginService()).value();
+  ErrorFreeOptions options;
+  options.db.fresh_values = 1;
+  options.db.max_tuples_per_relation = static_cast<int>(state.range(0));
+  options.graph.constant_pool = {V("d0")};
+  for (auto _ : state) {
+    auto r = CheckErrorFree(service, options);
+    if (!r.ok() || !r->error_free) {
+      state.SkipWithError("expected error-free");
+      return;
+    }
+    state.counters["databases"] =
+        static_cast<double>(r->databases_checked);
+  }
+}
+BENCHMARK(BM_ScaleDatabaseBound)->DenseRange(1, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// Universal closure arity: each additional closure variable multiplies
+// the valuation space by the candidate count.
+void BM_ScaleClosureArity(benchmark::State& state) {
+  WebService service = std::move(BuildLoginService()).value();
+  Instance db = LoginDatabase();
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw"), V("u0")};
+  LtlVerifier verifier(&service, options);
+  std::string vars = "m0";
+  std::string body = "!error(m0)";
+  for (int i = 1; i < state.range(0); ++i) {
+    vars += ", m" + std::to_string(i);
+    body += " | !error(m" + std::to_string(i) + ")";
+  }
+  auto prop = ParseTemporalProperty(
+      "forall " + vars + " . G(" + body + " | logged_in | true)",
+      &service.vocab());
+  for (auto _ : state) {
+    auto r = verifier.VerifyOnDatabase(*prop, db);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->holds);
+  }
+}
+BENCHMARK(BM_ScaleClosureArity)->DenseRange(1, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wsv
+
+BENCHMARK_MAIN();

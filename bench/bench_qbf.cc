@@ -1,0 +1,60 @@
+// E4 — the QBF reduction (Lemma A.6): error-freeness is PSPACE-hard.
+//
+// The verifier decides QBF instances through the reduction; time grows
+// exponentially with the number of quantified variables (each boolean
+// quantifier doubles the FO evaluation work), matching the hardness
+// direction of Theorem 3.5's PSPACE-completeness. The direct QBF
+// evaluator is benchmarked alongside as the baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "reductions/qbf.h"
+#include "verify/error_free.h"
+
+namespace wsv {
+namespace {
+
+void BM_QbfDirect(benchmark::State& state) {
+  QbfPtr f = RandomQbf(static_cast<int>(state.range(0)), 4, /*seed=*/7);
+  for (auto _ : state) {
+    auto r = EvaluateQbf(*f);
+    if (!r.ok()) {
+      state.SkipWithError("evaluation failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_QbfDirect)->DenseRange(2, 10, 2);
+
+void BM_QbfViaErrorFreeness(benchmark::State& state) {
+  QbfPtr f = RandomQbf(static_cast<int>(state.range(0)), 4, /*seed=*/7);
+  bool truth = *EvaluateQbf(*f);
+  WebService service = std::move(BuildQbfService(*f)).value();
+  ErrorFreeOptions options;
+  options.db.fresh_values = 0;
+  options.db.max_tuples_per_relation = 2;
+  for (auto _ : state) {
+    auto r = CheckErrorFree(service, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    // Lemma A.6: error-free iff the formula is false.
+    if (r->error_free != !truth) {
+      state.SkipWithError("reduction disagrees with direct evaluation");
+      return;
+    }
+    state.counters["databases"] =
+        static_cast<double>(r->databases_checked);
+  }
+  state.SetLabel(truth ? "QBF true => ambiguity error found"
+                       : "QBF false => error-free");
+}
+BENCHMARK(BM_QbfViaErrorFreeness)->DenseRange(2, 8, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wsv
+
+BENCHMARK_MAIN();

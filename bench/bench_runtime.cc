@@ -1,0 +1,111 @@
+// E1 — run-time interpreter throughput on the Figure 2 e-commerce
+// service: scripted purchase sessions and random sessions. Establishes
+// the substrate cost that every verification experiment builds on.
+
+#include <benchmark/benchmark.h>
+
+#include "gallery/gallery.h"
+#include "runtime/interpreter.h"
+
+namespace wsv {
+namespace {
+
+Value V(const char* s) { return Value::Intern(s); }
+
+UserChoice Button(const char* label) {
+  UserChoice c;
+  c.relation_choices["button"] = Tuple{V(label)};
+  return c;
+}
+
+std::vector<UserChoice> PurchaseScript() {
+  std::vector<UserChoice> script;
+  UserChoice login = Button("login");
+  login.constant_values["name"] = V("alice");
+  login.constant_values["password"] = V("pw");
+  script.push_back(login);
+  script.push_back(Button("laptop"));
+  UserChoice search = Button("search");
+  search.relation_choices["laptopsearch"] =
+      Tuple{V("4gb"), V("1tb"), V("13in")};
+  script.push_back(search);
+  UserChoice pick;
+  pick.relation_choices["pickproduct"] = Tuple{V("p1"), V("100")};
+  script.push_back(pick);
+  script.push_back(Button("buy"));
+  UserChoice pay = Button("submit");
+  pay.relation_choices["payamount"] = Tuple{V("100")};
+  script.push_back(pay);
+  script.push_back(Button("confirmorder"));
+  script.push_back(Button("logout"));
+  return script;
+}
+
+void BM_PurchaseSession(benchmark::State& state) {
+  WebService service = std::move(BuildEcommerceService()).value();
+  Instance db = EcommerceDatabase();
+  Interpreter interp(&service, &db);
+  int64_t steps = 0;
+  for (auto _ : state) {
+    ScriptedInputProvider provider(PurchaseScript());
+    auto run = interp.Run(provider, 9);
+    if (!run.ok() || run->reached_error) {
+      state.SkipWithError("session failed");
+      return;
+    }
+    steps += 9;
+    benchmark::DoNotOptimize(run->trace.size());
+  }
+  state.counters["steps_per_s"] =
+      benchmark::Counter(static_cast<double>(steps),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PurchaseSession);
+
+void BM_RandomSession(benchmark::State& state) {
+  WebService service = std::move(BuildEcommerceService()).value();
+  Instance db = EcommerceDatabase();
+  Interpreter interp(&service, &db);
+  std::vector<Value> pool{V("alice"), V("pw"), V("Admin"), V("root")};
+  const int kSteps = static_cast<int>(state.range(0));
+  uint64_t seed = 0;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    RandomInputProvider provider(seed++, pool);
+    auto run = interp.Run(provider, kSteps);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    steps += kSteps;
+    benchmark::DoNotOptimize(run->trace.size());
+  }
+  state.counters["steps_per_s"] =
+      benchmark::Counter(static_cast<double>(steps),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RandomSession)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_SingleStepHP(benchmark::State& state) {
+  WebService service = std::move(BuildEcommerceService()).value();
+  Instance db = EcommerceDatabase();
+  Stepper stepper(&service, &db);
+  Config initial = stepper.InitialConfig();
+  UserChoice login = Button("login");
+  login.constant_values["name"] = V("alice");
+  login.constant_values["password"] = V("pw");
+  for (auto _ : state) {
+    auto out = stepper.Step(initial, login);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(out->next.page);
+  }
+}
+BENCHMARK(BM_SingleStepHP);
+
+}  // namespace
+}  // namespace wsv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// E10 — Web services with input-driven search (Theorem 4.9, Example 4.8,
+// Figure 1).
+//
+// The catalog service is verified over hierarchies of growing depth; the
+// label-Kripke grows linearly with the reachable category graph, and CTL
+// checking stays fast. The CTL-satisfiability tableau — the oracle the
+// theorem's EXPTIME reduction targets — is swept separately over formula
+// size, exhibiting its exponential tableau growth.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "ctl/ctl_sat.h"
+#include "gallery/gallery.h"
+#include "ltl/ltl_parser.h"
+#include "verify/search_verifier.h"
+
+namespace wsv {
+namespace {
+
+void BM_SearchVerifyDepth(benchmark::State& state) {
+  WebService service =
+      std::move(BuildInputDrivenSearchService(CatalogSearchSpec())).value();
+  Instance db = CatalogSearchDatabase(static_cast<int>(state.range(0)));
+  auto prop = ParseTemporalProperty(
+      "I(\"products\") -> E F(I(\"d1\"))", &service.vocab());
+  KripkeBuildOptions options;
+  for (auto _ : state) {
+    auto r = VerifyInputDrivenSearchOnDatabase(service, *prop, db, options);
+    if (!r.ok() || !r->holds) {
+      state.SkipWithError("expected the property to hold");
+      return;
+    }
+    state.counters["kripke_states"] =
+        static_cast<double>(r->total_kripke_states);
+  }
+}
+BENCHMARK(BM_SearchVerifyDepth)->DenseRange(0, 24, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SearchVerifyCtlStar(benchmark::State& state) {
+  WebService service =
+      std::move(BuildInputDrivenSearchService(CatalogSearchSpec())).value();
+  Instance db = CatalogSearchDatabase(static_cast<int>(state.range(0)));
+  auto prop = ParseTemporalProperty(
+      "I(\"products\") -> E (F(I(\"d1\")) & F(G(new_sel)))",
+      &service.vocab());
+  KripkeBuildOptions options;
+  for (auto _ : state) {
+    auto r = VerifyInputDrivenSearchOnDatabase(service, *prop, db, options);
+    if (!r.ok() || !r->holds) {
+      state.SkipWithError("expected the property to hold");
+      return;
+    }
+    state.counters["kripke_states"] =
+        static_cast<double>(r->total_kripke_states);
+  }
+}
+BENCHMARK(BM_SearchVerifyCtlStar)->DenseRange(0, 12, 6)
+    ->Unit(benchmark::kMillisecond);
+
+// The CTL satisfiability tableau over formulas with a growing number of
+// eventualities: 2^(elementary subformulas) states.
+void BM_CtlSatTableau(benchmark::State& state) {
+  std::string text = "E F(p0)";
+  for (int i = 1; i < state.range(0); ++i) {
+    text += " & E F(p" + std::to_string(i) + ")";
+  }
+  text += " & A G(p0 -> !p1)";
+  auto prop = ParseTemporalProperty(text, nullptr);
+  for (auto _ : state) {
+    auto r = CtlSatisfiable(*prop->formula);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    state.counters["tableau_states"] =
+        static_cast<double>(r->tableau_states);
+    benchmark::DoNotOptimize(r->satisfiable);
+  }
+}
+BENCHMARK(BM_CtlSatTableau)->DenseRange(2, 6, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// An unsatisfiable family: the tableau must be pruned to emptiness.
+void BM_CtlSatUnsat(benchmark::State& state) {
+  std::string text = "A G(!q)";
+  for (int i = 0; i < state.range(0); ++i) {
+    text += " & A F(p" + std::to_string(i) + ")";
+  }
+  text += " & A G(p0 -> E F(q))  & A F(p0)";
+  auto prop = ParseTemporalProperty(text, nullptr);
+  for (auto _ : state) {
+    auto r = CtlSatisfiable(*prop->formula);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    if (r->satisfiable) {
+      state.SkipWithError("expected unsatisfiable");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_CtlSatUnsat)->DenseRange(1, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wsv
+
+BENCHMARK_MAIN();

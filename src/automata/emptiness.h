@@ -1,0 +1,35 @@
+// Accepting-lasso search on explicit graphs.
+//
+// Shared by the LTL-FO verifier (product of a configuration graph with a
+// Büchi automaton) and the CTL* checker. The algorithm is SCC-based
+// (iterative Tarjan): a Büchi-accepting run exists iff some SCC reachable
+// from an initial vertex contains an accepting vertex and a cycle. When
+// one exists, a concrete lasso (prefix + cycle) is returned for
+// counterexample reporting.
+
+#ifndef WSV_AUTOMATA_EMPTINESS_H_
+#define WSV_AUTOMATA_EMPTINESS_H_
+
+#include <optional>
+#include <vector>
+
+namespace wsv {
+
+/// A witness for non-emptiness: `prefix` leads from an initial vertex to
+/// `cycle.front()`; `cycle` returns to its own front (the edge from
+/// cycle.back() to cycle.front() exists). prefix.back() == cycle.front().
+struct Lasso {
+  std::vector<int> prefix;
+  std::vector<int> cycle;
+};
+
+/// Finds an accepting lasso in the graph, or nullopt if the Büchi
+/// language is empty. `succ[v]` lists v's successors; `initial` and
+/// `accepting` are per-vertex flags (vectors of size |V|).
+std::optional<Lasso> FindAcceptingLasso(
+    const std::vector<std::vector<int>>& succ,
+    const std::vector<char>& initial, const std::vector<char>& accepting);
+
+}  // namespace wsv
+
+#endif  // WSV_AUTOMATA_EMPTINESS_H_

@@ -1,0 +1,244 @@
+#include "automata/ltl_to_buchi.h"
+
+#include <map>
+#include <optional>
+
+namespace wsv {
+
+namespace {
+
+// A node of the flattened formula DAG. Structurally identical subformulas
+// are shared (keyed by printed form).
+struct Node {
+  TFormula::Kind kind;
+  int leaf_index = -1;             // kFo: index into leaves
+  bool const_true = false;         // kFo that is the constant true
+  bool const_false = false;        // kFo that is the constant false
+  std::vector<int> children;       // node indices
+};
+
+class Tableau {
+ public:
+  StatusOr<BuchiAutomaton> Build(const TFormula& formula) {
+    WSV_ASSIGN_OR_RETURN(root_, Flatten(formula));
+    return Construct();
+  }
+
+ private:
+  StatusOr<int> Flatten(const TFormula& f) {
+    std::string key = f.ToString();
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    Node node;
+    node.kind = f.kind();
+    switch (f.kind()) {
+      case TFormula::Kind::kFo: {
+        const Formula& fo = *f.fo();
+        if (fo.kind() == Formula::Kind::kTrue) {
+          node.const_true = true;
+        } else if (fo.kind() == Formula::Kind::kFalse) {
+          node.const_false = true;
+        } else {
+          std::string leaf_key = fo.ToString();
+          auto lit = leaf_index_.find(leaf_key);
+          if (lit == leaf_index_.end()) {
+            lit = leaf_index_.emplace(leaf_key,
+                                      static_cast<int>(leaves_.size()))
+                      .first;
+            leaves_.push_back(f.fo());
+          }
+          node.leaf_index = lit->second;
+        }
+        break;
+      }
+      case TFormula::Kind::kE:
+      case TFormula::Kind::kA:
+        return Status::InvalidArgument(
+            "path quantifier in LTL-to-Büchi input: " + f.ToString());
+      default:
+        for (const TFormulaPtr& c : f.children()) {
+          WSV_ASSIGN_OR_RETURN(int ci, Flatten(*c));
+          node.children.push_back(ci);
+        }
+    }
+    int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    index_[key] = id;
+    return id;
+  }
+
+  // Elementary nodes carry a free bit in a state; composite nodes derive.
+  bool IsElementary(const Node& n) const {
+    switch (n.kind) {
+      case TFormula::Kind::kFo:
+        return !n.const_true && !n.const_false;
+      case TFormula::Kind::kX:
+      case TFormula::Kind::kU:
+      case TFormula::Kind::kB:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // Derives composite values bottom-up for a fixed elementary assignment.
+  // Nodes are created children-first by Flatten, so index order works.
+  std::vector<char> DeriveValues(uint64_t elem_bits,
+                                 const std::vector<int>& elem_pos) const {
+    std::vector<char> val(nodes_.size(), 0);
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& n = nodes_[i];
+      if (IsElementary(n)) {
+        int pos = elem_pos[i];
+        val[i] = (elem_bits >> pos) & 1;
+        continue;
+      }
+      switch (n.kind) {
+        case TFormula::Kind::kFo:
+          val[i] = n.const_true ? 1 : 0;
+          break;
+        case TFormula::Kind::kNot:
+          val[i] = val[n.children[0]] ? 0 : 1;
+          break;
+        case TFormula::Kind::kAnd: {
+          char v = 1;
+          for (int c : n.children) v = v && val[c];
+          val[i] = v;
+          break;
+        }
+        case TFormula::Kind::kOr: {
+          char v = 0;
+          for (int c : n.children) v = v || val[c];
+          val[i] = v;
+          break;
+        }
+        default:
+          break;  // unreachable
+      }
+    }
+    return val;
+  }
+
+  StatusOr<BuchiAutomaton> Construct() {
+    // Positions of elementary nodes in the enumeration bitmask.
+    std::vector<int> elem_pos(nodes_.size(), -1);
+    std::vector<int> elem_nodes;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (IsElementary(nodes_[i])) {
+        elem_pos[i] = static_cast<int>(elem_nodes.size());
+        elem_nodes.push_back(static_cast<int>(i));
+      }
+    }
+    if (elem_nodes.size() > 24) {
+      return Status::ResourceExhausted(
+          "LTL formula has " + std::to_string(elem_nodes.size()) +
+          " elementary subformulas; tableau would be too large");
+    }
+
+    // Enumerate locally consistent assignments.
+    std::vector<std::vector<char>> state_vals;
+    const uint64_t limit = uint64_t{1} << elem_nodes.size();
+    for (uint64_t bits = 0; bits < limit; ++bits) {
+      std::vector<char> val = DeriveValues(bits, elem_pos);
+      bool consistent = true;
+      for (size_t i = 0; i < nodes_.size() && consistent; ++i) {
+        const Node& n = nodes_[i];
+        if (n.kind == TFormula::Kind::kU) {
+          char u = val[i], l = val[n.children[0]], r = val[n.children[1]];
+          if (r && !u) consistent = false;          // psi -> U
+          if (u && !r && !l) consistent = false;    // U & !psi -> phi
+        } else if (n.kind == TFormula::Kind::kB) {
+          char b = val[i], l = val[n.children[0]], r = val[n.children[1]];
+          if (b && !r) consistent = false;          // B -> psi
+          if (l && r && !b) consistent = false;     // phi & psi -> B
+        }
+      }
+      if (consistent) state_vals.push_back(std::move(val));
+    }
+
+    BuchiAutomaton out;
+    out.leaves = leaves_;
+    out.states.reserve(state_vals.size());
+    for (const std::vector<char>& val : state_vals) {
+      std::vector<char> label(leaves_.size(), 0);
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].leaf_index >= 0) {
+          label[static_cast<size_t>(nodes_[i].leaf_index)] = val[i];
+        }
+      }
+      out.states.push_back(std::move(label));
+    }
+    out.succ.resize(state_vals.size());
+    out.initial.resize(state_vals.size());
+
+    // Transitions: A -> B allowed iff the expansion laws hold across the
+    // pair for every X, U, and B node.
+    for (size_t a = 0; a < state_vals.size(); ++a) {
+      out.initial[a] = state_vals[a][static_cast<size_t>(root_)];
+      for (size_t b = 0; b < state_vals.size(); ++b) {
+        bool ok = true;
+        for (size_t i = 0; i < nodes_.size() && ok; ++i) {
+          const Node& n = nodes_[i];
+          const std::vector<char>& va = state_vals[a];
+          const std::vector<char>& vb = state_vals[b];
+          switch (n.kind) {
+            case TFormula::Kind::kX:
+              ok = va[i] == vb[n.children[0]];
+              break;
+            case TFormula::Kind::kU:
+              ok = va[i] == (va[n.children[1]] ||
+                             (va[n.children[0]] && vb[i]));
+              break;
+            case TFormula::Kind::kB:
+              ok = va[i] == (va[n.children[1]] &&
+                             (va[n.children[0]] || vb[i]));
+              break;
+            default:
+              break;
+          }
+        }
+        if (ok) out.succ[a].push_back(static_cast<int>(b));
+      }
+    }
+
+    // One accepting set per U node: states where the Until is fulfilled
+    // or not asserted. Dually, a *false* B node asserts the until
+    // !(a B b) == !a U !b, so each B node contributes the set of states
+    // where it holds or its right argument is already false.
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].kind == TFormula::Kind::kU) {
+        std::set<int> fset;
+        for (size_t s = 0; s < state_vals.size(); ++s) {
+          if (!state_vals[s][i] || state_vals[s][nodes_[i].children[1]]) {
+            fset.insert(static_cast<int>(s));
+          }
+        }
+        out.accepting_sets.push_back(std::move(fset));
+      } else if (nodes_[i].kind == TFormula::Kind::kB) {
+        std::set<int> fset;
+        for (size_t s = 0; s < state_vals.size(); ++s) {
+          if (state_vals[s][i] || !state_vals[s][nodes_[i].children[1]]) {
+            fset.insert(static_cast<int>(s));
+          }
+        }
+        out.accepting_sets.push_back(std::move(fset));
+      }
+    }
+    return out;
+  }
+
+  std::vector<Node> nodes_;
+  std::map<std::string, int> index_;
+  std::map<std::string, int> leaf_index_;
+  std::vector<FormulaPtr> leaves_;
+  int root_ = -1;
+};
+
+}  // namespace
+
+StatusOr<BuchiAutomaton> LtlToBuchi(const TFormula& formula) {
+  Tableau tableau;
+  return tableau.Build(formula);
+}
+
+}  // namespace wsv

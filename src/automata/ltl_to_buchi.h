@@ -1,0 +1,32 @@
+// LTL -> generalized Büchi automaton via the classic tableau
+// construction.
+//
+// States are consistent truth assignments to the *elementary* formulas of
+// the input (FO leaves, X-, U-, and B-subformulas); composite boolean
+// nodes derive their value. Transitions enforce the expansion laws
+//   phi U psi  ==  psi | (phi & X(phi U psi))
+//   phi B psi  ==  psi & (phi | X(phi B psi))
+// and one accepting set per U-subformula rules out runs that defer an
+// Until forever. The automaton accepts exactly the leaf-assignment words
+// satisfying the formula.
+//
+// Exponential in the number of elementary subformulas (as any LTL->Büchi
+// translation must be in the worst case); fine for the property sizes the
+// verifier handles.
+
+#ifndef WSV_AUTOMATA_LTL_TO_BUCHI_H_
+#define WSV_AUTOMATA_LTL_TO_BUCHI_H_
+
+#include "automata/buchi.h"
+#include "common/status.h"
+#include "ltl/ltl.h"
+
+namespace wsv {
+
+/// Translates an LTL formula (no path quantifiers) into a generalized
+/// Büchi automaton over its FO leaves.
+StatusOr<BuchiAutomaton> LtlToBuchi(const TFormula& formula);
+
+}  // namespace wsv
+
+#endif  // WSV_AUTOMATA_LTL_TO_BUCHI_H_

@@ -1,0 +1,138 @@
+// Status and StatusOr: error handling primitives for the wsv library.
+//
+// Following the Arrow/RocksDB idiom, functions that can fail for expected
+// reasons (parse errors, ill-formed specifications, resource limits) return
+// Status or StatusOr<T> instead of throwing. Exceptions are not used across
+// public API boundaries.
+
+#ifndef WSV_COMMON_STATUS_H_
+#define WSV_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace wsv {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // textual input did not parse
+  kNotInputBounded,   // spec or formula violates an input-boundedness rule
+  kUnsupported,       // outside the decidable class handled by a procedure
+  kResourceExhausted, // search exceeded a configured node/time budget
+  kNotFound,          // named entity missing from a schema or service
+  kInternal,          // invariant violation inside the library
+};
+
+/// Human-readable name of a StatusCode, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail without a payload.
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// code plus message otherwise.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotInputBounded(std::string msg) {
+    return Status(StatusCode::kNotInputBounded, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// The result of an operation returning a T on success.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit conversions from both T and Status keep call sites terse:
+  //   return Status::ParseError(...);   or   return value;
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace wsv
+
+/// Propagate a non-OK Status to the caller.
+#define WSV_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::wsv::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluate a StatusOr expression, propagating errors, else bind the value.
+#define WSV_ASSIGN_OR_RETURN(lhs, expr)      \
+  WSV_ASSIGN_OR_RETURN_IMPL(                 \
+      WSV_STATUS_CONCAT(_status_or_, __LINE__), lhs, expr)
+
+#define WSV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define WSV_STATUS_CONCAT(a, b) WSV_STATUS_CONCAT_IMPL(a, b)
+#define WSV_STATUS_CONCAT_IMPL(a, b) a##b
+
+#endif  // WSV_COMMON_STATUS_H_

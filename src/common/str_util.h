@@ -1,0 +1,34 @@
+// Small string utilities shared across the wsv library.
+
+#ifndef WSV_COMMON_STR_UTIL_H_
+#define WSV_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsv {
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, trimming surrounding whitespace from each piece.
+/// Empty pieces are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff the string is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view s);
+
+/// Quotes a string for display: wraps in double quotes and escapes
+/// backslash, quote, and newline characters.
+std::string QuoteString(std::string_view s);
+
+}  // namespace wsv
+
+#endif  // WSV_COMMON_STR_UTIL_H_

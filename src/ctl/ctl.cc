@@ -1,0 +1,72 @@
+#include "ctl/ctl.h"
+
+namespace wsv {
+
+StatusOr<bool> EvalPropositionalFo(const Formula& f, const Kripke& kripke,
+                                   int state) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+      return true;
+    case Formula::Kind::kFalse:
+      return false;
+    case Formula::Kind::kAtom: {
+      // Arity-0 atoms are propositions named by the relation; ground
+      // atoms over literals (e.g. button("login"), Example 4.3) are
+      // propositions named by their printed form.
+      std::string name;
+      if (f.atom().terms.empty()) {
+        name = f.atom().relation;
+      } else {
+        for (const Term& t : f.atom().terms) {
+          if (!t.is_literal()) {
+            return Status::InvalidArgument(
+                "non-ground atom in propositional formula: " +
+                f.atom().ToString());
+          }
+        }
+        name = f.atom().ToString();
+      }
+      int p = kripke.FindProp(name);
+      return p >= 0 && kripke.label(state).count(p) > 0;
+    }
+    case Formula::Kind::kNot: {
+      WSV_ASSIGN_OR_RETURN(bool sub,
+                           EvalPropositionalFo(*f.children()[0], kripke,
+                                               state));
+      return !sub;
+    }
+    case Formula::Kind::kAnd: {
+      for (const FormulaPtr& c : f.children()) {
+        WSV_ASSIGN_OR_RETURN(bool sub,
+                             EvalPropositionalFo(*c, kripke, state));
+        if (!sub) return false;
+      }
+      return true;
+    }
+    case Formula::Kind::kOr: {
+      for (const FormulaPtr& c : f.children()) {
+        WSV_ASSIGN_OR_RETURN(bool sub,
+                             EvalPropositionalFo(*c, kripke, state));
+        if (sub) return true;
+      }
+      return false;
+    }
+    case Formula::Kind::kEquals:
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      return Status::InvalidArgument(
+          "non-propositional construct in propositional formula: " +
+          f.ToString());
+  }
+  return Status::Internal("bad formula kind");
+}
+
+Status CheckPropositionalLeaves(const TFormula& f) {
+  if (!f.IsPropositional()) {
+    return Status::InvalidArgument(
+        "temporal formula has non-propositional FO leaves: " + f.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace wsv

@@ -1,0 +1,26 @@
+// Shared helpers for the branching-time checkers: evaluation of
+// propositional FO leaves on Kripke-structure labels.
+
+#ifndef WSV_CTL_CTL_H_
+#define WSV_CTL_CTL_H_
+
+#include "common/status.h"
+#include "ctl/kripke.h"
+#include "fo/formula.h"
+#include "ltl/ltl.h"
+
+namespace wsv {
+
+/// Evaluates a propositional FO formula (boolean combination of arity-0
+/// atoms) at a Kripke state: an atom is true iff its proposition is in
+/// the state's label; propositions the structure does not know are false.
+/// Quantifiers, equalities, and positive-arity atoms are rejected.
+StatusOr<bool> EvalPropositionalFo(const Formula& f, const Kripke& kripke,
+                                   int state);
+
+/// Checks that every FO leaf of a temporal formula is propositional.
+Status CheckPropositionalLeaves(const TFormula& f);
+
+}  // namespace wsv
+
+#endif  // WSV_CTL_CTL_H_

@@ -1,0 +1,172 @@
+#include "ctl/ctl_check.h"
+
+namespace wsv {
+
+namespace {
+
+std::vector<char> Negate(std::vector<char> v) {
+  for (char& b : v) b = b ? 0 : 1;
+  return v;
+}
+
+class CtlChecker {
+ public:
+  explicit CtlChecker(const Kripke& kripke) : k_(kripke) {}
+
+  StatusOr<std::vector<char>> Label(const TFormula& f) {
+    const size_t n = k_.size();
+    switch (f.kind()) {
+      case TFormula::Kind::kFo: {
+        std::vector<char> v(n);
+        for (size_t s = 0; s < n; ++s) {
+          WSV_ASSIGN_OR_RETURN(
+              bool b, EvalPropositionalFo(*f.fo(), k_, static_cast<int>(s)));
+          v[s] = b ? 1 : 0;
+        }
+        return v;
+      }
+      case TFormula::Kind::kNot: {
+        WSV_ASSIGN_OR_RETURN(std::vector<char> sub, Label(*f.children()[0]));
+        return Negate(std::move(sub));
+      }
+      case TFormula::Kind::kAnd:
+      case TFormula::Kind::kOr: {
+        bool is_and = f.kind() == TFormula::Kind::kAnd;
+        std::vector<char> acc(n, is_and ? 1 : 0);
+        for (const TFormulaPtr& c : f.children()) {
+          WSV_ASSIGN_OR_RETURN(std::vector<char> sub, Label(*c));
+          for (size_t s = 0; s < n; ++s) {
+            acc[s] = is_and ? (acc[s] && sub[s]) : (acc[s] || sub[s]);
+          }
+        }
+        return acc;
+      }
+      case TFormula::Kind::kE:
+        return LabelPath(*f.children()[0], /*negate_operands=*/false,
+                         /*negate_result=*/false);
+      case TFormula::Kind::kA:
+        // A path == !E !path, with the path negation pushed through the
+        // single temporal operator (duality).
+        return LabelPath(*f.children()[0], /*negate_operands=*/true,
+                         /*negate_result=*/true);
+      case TFormula::Kind::kX:
+      case TFormula::Kind::kU:
+      case TFormula::Kind::kB:
+        return Status::InvalidArgument(
+            "bare temporal operator outside a path quantifier (not CTL): " +
+            f.ToString());
+    }
+    return Status::Internal("bad temporal kind");
+  }
+
+ private:
+  // Labels E applied to one temporal operator. With negate_operands, the
+  // operands are negated and U/B swap (computing E !path); with
+  // negate_result, the final vector is complemented.
+  StatusOr<std::vector<char>> LabelPath(const TFormula& path,
+                                        bool negate_operands,
+                                        bool negate_result) {
+    const size_t n = k_.size();
+    std::vector<char> out;
+    switch (path.kind()) {
+      case TFormula::Kind::kX: {
+        WSV_ASSIGN_OR_RETURN(std::vector<char> sub,
+                             Label(*path.children()[0]));
+        if (negate_operands) sub = Negate(std::move(sub));
+        out.assign(n, 0);
+        for (size_t s = 0; s < n; ++s) {
+          for (int t : k_.successors(static_cast<int>(s))) {
+            if (sub[static_cast<size_t>(t)]) {
+              out[s] = 1;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case TFormula::Kind::kU:
+      case TFormula::Kind::kB: {
+        WSV_ASSIGN_OR_RETURN(std::vector<char> l, Label(*path.lhs()));
+        WSV_ASSIGN_OR_RETURN(std::vector<char> r, Label(*path.rhs()));
+        if (negate_operands) {
+          l = Negate(std::move(l));
+          r = Negate(std::move(r));
+        }
+        bool is_until = (path.kind() == TFormula::Kind::kU) !=
+                        negate_operands;  // negation swaps U and B
+        if (is_until) {
+          // E(l U r): least fixpoint Z = r | (l & EX Z).
+          out = r;
+          bool changed = true;
+          while (changed) {
+            changed = false;
+            for (size_t s = 0; s < n; ++s) {
+              if (out[s] || !l[s]) continue;
+              for (int t : k_.successors(static_cast<int>(s))) {
+                if (out[static_cast<size_t>(t)]) {
+                  out[s] = 1;
+                  changed = true;
+                  break;
+                }
+              }
+            }
+          }
+        } else {
+          // E(l B r) (release): greatest fixpoint Z = r & (l | EX Z).
+          out = r;
+          bool changed = true;
+          while (changed) {
+            changed = false;
+            for (size_t s = 0; s < n; ++s) {
+              if (!out[s]) continue;
+              if (l[s]) continue;  // r & l: satisfied regardless of future
+              bool has = false;
+              for (int t : k_.successors(static_cast<int>(s))) {
+                if (out[static_cast<size_t>(t)]) {
+                  has = true;
+                  break;
+                }
+              }
+              if (!has) {
+                out[s] = 0;
+                changed = true;
+              }
+            }
+          }
+        }
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            "path quantifier must be followed by X, U, or B (not CTL): " +
+            path.ToString());
+    }
+    if (negate_result) out = Negate(std::move(out));
+    return out;
+  }
+
+  const Kripke& k_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<char>> CtlLabel(const Kripke& kripke,
+                                     const TFormula& formula) {
+  if (!formula.IsCtl()) {
+    return Status::InvalidArgument("formula is not in CTL: " +
+                                   formula.ToString());
+  }
+  WSV_RETURN_IF_ERROR(CheckPropositionalLeaves(formula));
+  CtlChecker checker(kripke);
+  return checker.Label(formula);
+}
+
+StatusOr<bool> CtlHolds(const Kripke& kripke, const TFormula& formula) {
+  WSV_ASSIGN_OR_RETURN(std::vector<char> v, CtlLabel(kripke, formula));
+  for (int s : kripke.InitialStates()) {
+    if (!v[static_cast<size_t>(s)]) return false;
+  }
+  return true;
+}
+
+}  // namespace wsv

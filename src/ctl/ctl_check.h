@@ -1,0 +1,30 @@
+// CTL model checking by state labeling (the standard PTIME algorithm).
+//
+// Input formulas must be in CTL form (TFormula::IsCtl) with propositional
+// FO leaves. E-quantified operators are computed directly — EX by
+// one-step lookup, EU as a least fixpoint, EB (release) as a greatest
+// fixpoint — and A-quantified ones by duality:
+//   AX p       = !EX !p
+//   A(p U q)   = !E(!p B !q)
+//   A(p B q)   = !E(!p U !q)
+
+#ifndef WSV_CTL_CTL_CHECK_H_
+#define WSV_CTL_CTL_CHECK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ctl/ctl.h"
+
+namespace wsv {
+
+/// Per-state truth of a CTL state formula.
+StatusOr<std::vector<char>> CtlLabel(const Kripke& kripke,
+                                     const TFormula& formula);
+
+/// True iff the formula holds at every initial state.
+StatusOr<bool> CtlHolds(const Kripke& kripke, const TFormula& formula);
+
+}  // namespace wsv
+
+#endif  // WSV_CTL_CTL_CHECK_H_

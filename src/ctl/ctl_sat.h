@@ -1,0 +1,42 @@
+// CTL satisfiability (EXPTIME tableau), the oracle behind Theorem 4.9's
+// reduction for Web services with input-driven search.
+//
+// The decision procedure is the classical one (Emerson's handbook
+// chapter, the paper's reference [12]):
+//  1. normalize to E-only form (AX p = !EX !p, A(pUq) = !E(!p B !q),
+//     A(pBq) = !E(!p U !q));
+//  2. states are all truth assignments to the elementary formulas
+//     (propositions and EX-subformulas), with boolean and fixpoint
+//     formulas derived via the expansion laws
+//        E(pUq) = q | (p & EX E(pUq))
+//        E(pBq) = q & (p | EX E(pBq));
+//  3. an edge s->t is allowed iff every !EX phi at s propagates !phi to
+//     t;
+//  4. repeatedly delete states with unwitnessable EX obligations, no
+//     successor, unfulfillable E-eventualities (least fixpoint per
+//     E(pUq)), or unfulfillable A-eventualities (least fixpoint per
+//     false E(pBq), whose negation A(!p U !q) demands every path reach
+//     !q);
+//  5. satisfiable iff a surviving state asserts the formula.
+
+#ifndef WSV_CTL_CTL_SAT_H_
+#define WSV_CTL_CTL_SAT_H_
+
+#include "common/status.h"
+#include "ltl/ltl.h"
+
+namespace wsv {
+
+struct CtlSatResult {
+  bool satisfiable = false;
+  /// Tableau statistics (states before/after pruning).
+  size_t tableau_states = 0;
+  size_t surviving_states = 0;
+};
+
+/// Decides satisfiability of a propositional CTL formula.
+StatusOr<CtlSatResult> CtlSatisfiable(const TFormula& formula);
+
+}  // namespace wsv
+
+#endif  // WSV_CTL_CTL_SAT_H_

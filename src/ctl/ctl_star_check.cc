@@ -1,0 +1,323 @@
+#include "ctl/ctl_star_check.h"
+
+#include <map>
+#include <queue>
+
+#include "automata/ltl_to_buchi.h"
+
+namespace wsv {
+
+namespace {
+
+// Is the node a CTL* state formula? (FO leaves, path-quantified formulas,
+// and boolean combinations thereof.)
+bool IsStateFormula(const TFormula& f) {
+  switch (f.kind()) {
+    case TFormula::Kind::kFo:
+    case TFormula::Kind::kE:
+    case TFormula::Kind::kA:
+      return true;
+    case TFormula::Kind::kNot:
+    case TFormula::Kind::kAnd:
+    case TFormula::Kind::kOr:
+      for (const TFormulaPtr& c : f.children()) {
+        if (!IsStateFormula(*c)) return false;
+      }
+      return true;
+    case TFormula::Kind::kX:
+    case TFormula::Kind::kU:
+    case TFormula::Kind::kB:
+      return false;
+  }
+  return false;
+}
+
+class CtlStarChecker {
+ public:
+  explicit CtlStarChecker(const Kripke& kripke) : k_(kripke) {}
+
+  StatusOr<std::vector<char>> LabelState(const TFormula& f) {
+    const size_t n = k_.size();
+    switch (f.kind()) {
+      case TFormula::Kind::kFo: {
+        std::vector<char> v(n);
+        for (size_t s = 0; s < n; ++s) {
+          WSV_ASSIGN_OR_RETURN(
+              bool b, EvalPropositionalFo(*f.fo(), k_, static_cast<int>(s)));
+          v[s] = b ? 1 : 0;
+        }
+        return v;
+      }
+      case TFormula::Kind::kNot: {
+        WSV_ASSIGN_OR_RETURN(std::vector<char> sub,
+                             LabelState(*f.children()[0]));
+        for (char& b : sub) b = b ? 0 : 1;
+        return sub;
+      }
+      case TFormula::Kind::kAnd:
+      case TFormula::Kind::kOr: {
+        bool is_and = f.kind() == TFormula::Kind::kAnd;
+        std::vector<char> acc(n, is_and ? 1 : 0);
+        for (const TFormulaPtr& c : f.children()) {
+          WSV_ASSIGN_OR_RETURN(std::vector<char> sub, LabelState(*c));
+          for (size_t s = 0; s < n; ++s) {
+            acc[s] = is_and ? (acc[s] && sub[s]) : (acc[s] || sub[s]);
+          }
+        }
+        return acc;
+      }
+      case TFormula::Kind::kE:
+        return LabelExists(*f.children()[0]);
+      case TFormula::Kind::kA: {
+        // A pi == !E !pi.
+        WSV_ASSIGN_OR_RETURN(
+            std::vector<char> e,
+            LabelExists(*TFormula::Not(f.children()[0])));
+        for (char& b : e) b = b ? 0 : 1;
+        return e;
+      }
+      case TFormula::Kind::kX:
+      case TFormula::Kind::kU:
+      case TFormula::Kind::kB:
+        return Status::InvalidArgument(
+            "bare path formula where a state formula is expected: " +
+            f.ToString());
+    }
+    return Status::Internal("bad temporal kind");
+  }
+
+ private:
+  // Replaces maximal state subformulas of a path formula with fresh
+  // marker propositions whose labels are precomputed.
+  StatusOr<TFormulaPtr> Markify(const TFormula& f,
+                                std::map<std::string, std::vector<char>>*
+                                    markers) {
+    if (IsStateFormula(f)) {
+      WSV_ASSIGN_OR_RETURN(std::vector<char> label, LabelState(f));
+      std::string name = "__m" + std::to_string(markers->size());
+      markers->emplace(name, std::move(label));
+      return TFormula::Fo(Formula::MakeAtom(name, {}));
+    }
+    switch (f.kind()) {
+      case TFormula::Kind::kNot:
+        // Child is a path formula (else IsStateFormula had caught us).
+        {
+          WSV_ASSIGN_OR_RETURN(TFormulaPtr c,
+                               Markify(*f.children()[0], markers));
+          return TFormula::Not(std::move(c));
+        }
+      case TFormula::Kind::kAnd:
+      case TFormula::Kind::kOr: {
+        std::vector<TFormulaPtr> parts;
+        for (const TFormulaPtr& c : f.children()) {
+          WSV_ASSIGN_OR_RETURN(TFormulaPtr mc, Markify(*c, markers));
+          parts.push_back(std::move(mc));
+        }
+        return f.kind() == TFormula::Kind::kAnd
+                   ? TFormula::And(std::move(parts))
+                   : TFormula::Or(std::move(parts));
+      }
+      case TFormula::Kind::kX: {
+        WSV_ASSIGN_OR_RETURN(TFormulaPtr c,
+                             Markify(*f.children()[0], markers));
+        return TFormula::X(std::move(c));
+      }
+      case TFormula::Kind::kU:
+      case TFormula::Kind::kB: {
+        WSV_ASSIGN_OR_RETURN(TFormulaPtr l, Markify(*f.lhs(), markers));
+        WSV_ASSIGN_OR_RETURN(TFormulaPtr r, Markify(*f.rhs(), markers));
+        return f.kind() == TFormula::Kind::kU
+                   ? TFormula::U(std::move(l), std::move(r))
+                   : TFormula::B(std::move(l), std::move(r));
+      }
+      default:
+        return Status::Internal("unexpected node in Markify");
+    }
+  }
+
+  // Truth of a marker-proposition FO formula at a state.
+  StatusOr<bool> EvalMarkerFo(
+      const Formula& fo, int state,
+      const std::map<std::string, std::vector<char>>& markers) {
+    switch (fo.kind()) {
+      case Formula::Kind::kTrue:
+        return true;
+      case Formula::Kind::kFalse:
+        return false;
+      case Formula::Kind::kAtom: {
+        auto it = markers.find(fo.atom().relation);
+        if (it == markers.end()) {
+          return Status::Internal("unknown marker " + fo.atom().relation);
+        }
+        return it->second[static_cast<size_t>(state)] != 0;
+      }
+      case Formula::Kind::kNot: {
+        WSV_ASSIGN_OR_RETURN(bool sub,
+                             EvalMarkerFo(*fo.children()[0], state, markers));
+        return !sub;
+      }
+      case Formula::Kind::kAnd:
+      case Formula::Kind::kOr: {
+        bool is_and = fo.kind() == Formula::Kind::kAnd;
+        for (const FormulaPtr& c : fo.children()) {
+          WSV_ASSIGN_OR_RETURN(bool sub, EvalMarkerFo(*c, state, markers));
+          if (is_and && !sub) return false;
+          if (!is_and && sub) return true;
+        }
+        return is_and;
+      }
+      default:
+        return Status::Internal("non-propositional marker formula");
+    }
+  }
+
+  // Labels E(path): per-state existence of an accepted path.
+  StatusOr<std::vector<char>> LabelExists(const TFormula& path) {
+    std::map<std::string, std::vector<char>> markers;
+    WSV_ASSIGN_OR_RETURN(TFormulaPtr ltl, Markify(path, &markers));
+    WSV_ASSIGN_OR_RETURN(BuchiAutomaton gba, LtlToBuchi(*ltl));
+    BuchiAutomaton aut = gba.Degeneralize();
+
+    const size_t n = k_.size();
+    const size_t m = aut.size();
+
+    // match[s][q]: state s's marker truth agrees with q's label.
+    std::vector<std::vector<char>> leaf_truth(n);
+    for (size_t s = 0; s < n; ++s) {
+      leaf_truth[s].resize(aut.leaves.size());
+      for (size_t kk = 0; kk < aut.leaves.size(); ++kk) {
+        WSV_ASSIGN_OR_RETURN(
+            bool b,
+            EvalMarkerFo(*aut.leaves[kk], static_cast<int>(s), markers));
+        leaf_truth[s][kk] = b ? 1 : 0;
+      }
+    }
+    auto match = [&](size_t s, size_t q) {
+      return aut.states[q] == leaf_truth[s];
+    };
+
+    // Product graph over (s, q) with s-successors crossed with
+    // q-successors, restricted to matching pairs.
+    auto pid = [&](size_t s, size_t q) { return s * m + q; };
+    std::vector<std::vector<int>> succ(n * m);
+    std::vector<char> exists_vert(n * m, 0);
+    for (size_t s = 0; s < n; ++s) {
+      for (size_t q = 0; q < m; ++q) {
+        if (!match(s, q)) continue;
+        exists_vert[pid(s, q)] = 1;
+        for (int t : k_.successors(static_cast<int>(s))) {
+          for (int q2 : aut.succ[q]) {
+            if (match(static_cast<size_t>(t), static_cast<size_t>(q2))) {
+              succ[pid(s, q)].push_back(
+                  static_cast<int>(pid(static_cast<size_t>(t),
+                                       static_cast<size_t>(q2))));
+            }
+          }
+        }
+      }
+    }
+
+    // Vertices lying on an accepting cycle: an accepting vertex whose SCC
+    // has a cycle through it. We compute SCCs cheaply via repeated
+    // forward/backward reachability from accepting vertices: a vertex a
+    // is on an accepting cycle iff a is accepting and reachable from one
+    // of its own successors.
+    const std::set<int>& acc = aut.accepting_sets.front();
+    std::vector<char> on_acc_cycle(n * m, 0);
+    {
+      // Backward adjacency for reverse reachability later.
+      std::vector<std::vector<int>> pred(n * m);
+      for (size_t v = 0; v < succ.size(); ++v) {
+        for (int w : succ[v]) pred[w].push_back(static_cast<int>(v));
+      }
+      for (size_t s = 0; s < n; ++s) {
+        for (size_t q = 0; q < m; ++q) {
+          if (!exists_vert[pid(s, q)] || acc.count(static_cast<int>(q)) == 0) {
+            continue;
+          }
+          size_t a = pid(s, q);
+          // BFS from successors of a back to a.
+          std::vector<char> seen(n * m, 0);
+          std::queue<int> bfs;
+          for (int w : succ[a]) {
+            if (!seen[w]) {
+              seen[w] = 1;
+              bfs.push(w);
+            }
+          }
+          bool cycles = seen[a] != 0;
+          while (!bfs.empty() && !cycles) {
+            int v = bfs.front();
+            bfs.pop();
+            for (int w : succ[v]) {
+              if (w == static_cast<int>(a)) {
+                cycles = true;
+                break;
+              }
+              if (!seen[w]) {
+                seen[w] = 1;
+                bfs.push(w);
+              }
+            }
+          }
+          if (cycles) on_acc_cycle[a] = 1;
+        }
+      }
+      // Vertices that can reach an accepting cycle: reverse BFS.
+      std::queue<int> bfs;
+      std::vector<char> can_reach = on_acc_cycle;
+      for (size_t v = 0; v < succ.size(); ++v) {
+        if (can_reach[v]) bfs.push(static_cast<int>(v));
+      }
+      while (!bfs.empty()) {
+        int v = bfs.front();
+        bfs.pop();
+        for (int u : pred[v]) {
+          if (!can_reach[u]) {
+            can_reach[u] = 1;
+            bfs.push(u);
+          }
+        }
+      }
+      on_acc_cycle = std::move(can_reach);
+    }
+
+    std::vector<char> out(n, 0);
+    for (size_t s = 0; s < n; ++s) {
+      for (size_t q = 0; q < m; ++q) {
+        if (aut.initial[q] && exists_vert[pid(s, q)] &&
+            on_acc_cycle[pid(s, q)]) {
+          out[s] = 1;
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  const Kripke& k_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<char>> CtlStarLabel(const Kripke& kripke,
+                                         const TFormula& formula) {
+  if (!IsStateFormula(formula)) {
+    return Status::InvalidArgument(
+        "CTL* model checking expects a state formula; wrap bare path "
+        "formulas in A or E: " + formula.ToString());
+  }
+  WSV_RETURN_IF_ERROR(CheckPropositionalLeaves(formula));
+  CtlStarChecker checker(kripke);
+  return checker.LabelState(formula);
+}
+
+StatusOr<bool> CtlStarHolds(const Kripke& kripke, const TFormula& formula) {
+  WSV_ASSIGN_OR_RETURN(std::vector<char> v, CtlStarLabel(kripke, formula));
+  for (int s : kripke.InitialStates()) {
+    if (!v[static_cast<size_t>(s)]) return false;
+  }
+  return true;
+}
+
+}  // namespace wsv

@@ -1,0 +1,38 @@
+// CTL* model checking (used for Theorem 4.4's CTL* cases and Theorem
+// 4.6).
+//
+// The checker recursively eliminates path quantifiers: for each innermost
+// E(path-formula), the maximal state subformulas inside are replaced by
+// fresh marker propositions whose per-state truth has already been
+// computed, the remaining pure-LTL formula is translated to a Büchi
+// automaton, and a state satisfies the E-formula iff some product vertex
+// compatible with it reaches an accepting cycle. A-formulas dualize
+// (A pi = !E !pi).
+//
+// The paper's proof of Theorem 4.6 uses hesitant alternating automata
+// (Kupferman-Vardi-Wolper) to get PSPACE in formula size and
+// polylogarithmic space in the structure; this explicit product gives the
+// same answers with the usual product-automaton costs, which is the right
+// trade-off for an explicit-state tool (see DESIGN.md's substitution
+// table).
+
+#ifndef WSV_CTL_CTL_STAR_CHECK_H_
+#define WSV_CTL_CTL_STAR_CHECK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ctl/ctl.h"
+
+namespace wsv {
+
+/// Per-state truth of a CTL* state formula over the Kripke structure.
+StatusOr<std::vector<char>> CtlStarLabel(const Kripke& kripke,
+                                         const TFormula& formula);
+
+/// True iff the formula holds at every initial state.
+StatusOr<bool> CtlStarHolds(const Kripke& kripke, const TFormula& formula);
+
+}  // namespace wsv
+
+#endif  // WSV_CTL_CTL_STAR_CHECK_H_

@@ -1,0 +1,56 @@
+// Kripke structures (Definition A.4).
+//
+// Finite total transition systems labeled with atomic propositions; the
+// target of the propositional abstraction of Web services (Lemma A.12)
+// and the domain of the CTL / CTL* model checkers.
+
+#ifndef WSV_CTL_KRIPKE_H_
+#define WSV_CTL_KRIPKE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wsv {
+
+class Kripke {
+ public:
+  Kripke() = default;
+
+  /// Registers (or finds) a proposition, returning its index.
+  int InternProp(const std::string& name);
+  /// The index of a proposition, or -1 if unknown.
+  int FindProp(const std::string& name) const;
+  const std::vector<std::string>& props() const { return props_; }
+
+  /// Adds a state with the given true propositions; returns its index.
+  int AddState(std::set<int> label);
+  void AddEdge(int from, int to);
+  void SetInitial(int state, bool initial = true);
+
+  size_t size() const { return labels_.size(); }
+  const std::set<int>& label(int state) const { return labels_[state]; }
+  const std::vector<int>& successors(int state) const { return succ_[state]; }
+  bool is_initial(int state) const { return initial_[state] != 0; }
+  std::vector<int> InitialStates() const;
+
+  /// Checks totality (every state has a successor), as Definition A.4
+  /// requires; the abstraction guarantees it for well-formed services.
+  Status CheckTotal() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> props_;
+  std::map<std::string, int> prop_index_;
+  std::vector<std::set<int>> labels_;
+  std::vector<std::vector<int>> succ_;
+  std::vector<char> initial_;
+};
+
+}  // namespace wsv
+
+#endif  // WSV_CTL_KRIPKE_H_

@@ -1,0 +1,80 @@
+// Active-domain evaluation of FO formulas (Section 2).
+//
+// Rule formulas are evaluated over a layered structure combining the fixed
+// database D, the current state S, the current inputs I, the previous
+// inputs Prev_I, and the interpretation of the input constants provided so
+// far. Quantifiers range over the active domain of the combined structure,
+// as is standard in database theory.
+
+#ifndef WSV_FO_EVALUATOR_H_
+#define WSV_FO_EVALUATOR_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fo/formula.h"
+#include "relational/instance.h"
+
+namespace wsv {
+
+/// The structure a formula is evaluated against: an ordered stack of
+/// instance layers (earlier layers shadow later ones for relation lookup),
+/// a dedicated layer for Prev_I atoms, and constant overrides (used for
+/// the run's accumulating input-constant interpretation).
+class EvalContext {
+ public:
+  EvalContext() = default;
+
+  /// Adds an instance layer. Lookup order is addition order.
+  void AddLayer(const Instance* instance);
+
+  /// Sets the instance used to resolve prev.I atoms (relation names in it
+  /// are the plain input relation names).
+  void SetPrevLayer(const Instance* instance) { prev_layer_ = instance; }
+
+  /// Binds a constant symbol, overriding any layer's binding.
+  void SetConstant(const std::string& name, Value v);
+
+  /// Adds extra elements to the active domain beyond the layers' domains.
+  void AddDomainValue(Value v) { extra_domain_.insert(v); }
+
+  /// Resolves a relation; nullptr means the relation is empty/absent.
+  const Relation* ResolveRelation(const std::string& name, bool prev) const;
+
+  /// Resolves a constant symbol; nullopt if no layer or override binds it.
+  std::optional<Value> ResolveConstant(const std::string& name) const;
+
+  /// The active domain: union of all layer domains, constant overrides,
+  /// and extra values, in Value order.
+  std::vector<Value> ActiveDomain() const;
+
+ private:
+  std::vector<const Instance*> layers_;
+  const Instance* prev_layer_ = nullptr;
+  std::map<std::string, Value> constant_overrides_;
+  std::set<Value> extra_domain_;
+};
+
+/// A variable assignment.
+using Valuation = std::map<std::string, Value>;
+
+/// Evaluates a formula (all free variables must be bound by `valuation`).
+/// Fails with Internal if a variable or constant symbol is unbound — the
+/// runtime checks the paper's error conditions before evaluating.
+StatusOr<bool> Evaluate(const Formula& formula, const EvalContext& ctx,
+                        const Valuation& valuation = {});
+
+/// Evaluates a formula with free variables `vars` as a query: returns the
+/// set of tuples (in `vars` order, over the active domain) satisfying it.
+StatusOr<std::set<Tuple>> EvaluateQuery(const Formula& formula,
+                                        const std::vector<std::string>& vars,
+                                        const EvalContext& ctx,
+                                        const Valuation& valuation = {});
+
+}  // namespace wsv
+
+#endif  // WSV_FO_EVALUATOR_H_

@@ -1,0 +1,172 @@
+#include "fo/input_bounded.h"
+
+#include <algorithm>
+
+namespace wsv {
+
+namespace {
+
+// True iff the atom's relation is an input relation (current or prev).
+bool IsInputAtom(const Atom& atom, const Vocabulary& vocab) {
+  const RelationSymbol* sym = vocab.FindRelation(atom.relation);
+  return sym != nullptr && sym->kind == SymbolKind::kInput;
+}
+
+bool IsStateOrActionAtom(const Atom& atom, const Vocabulary& vocab) {
+  const RelationSymbol* sym = vocab.FindRelation(atom.relation);
+  return sym != nullptr && (sym->kind == SymbolKind::kState ||
+                            sym->kind == SymbolKind::kAction);
+}
+
+std::set<std::string> AtomVariables(const Atom& atom) {
+  std::set<std::string> vars;
+  for (const Term& t : atom.terms) {
+    if (t.is_variable()) vars.insert(t.name());
+  }
+  return vars;
+}
+
+// Checks the guard conditions for a quantifier over `vars` with guard
+// `alpha` and remainder `phi`.
+Status CheckGuard(const std::vector<std::string>& vars, const Formula& alpha,
+                  const Formula& phi, const Vocabulary& vocab,
+                  const Formula& site) {
+  if (alpha.kind() != Formula::Kind::kAtom ||
+      !IsInputAtom(alpha.atom(), vocab)) {
+    return Status::NotInputBounded(
+        "quantifier guard is not an input atom in: " + site.ToString());
+  }
+  std::set<std::string> guard_vars = AtomVariables(alpha.atom());
+  for (const std::string& v : vars) {
+    if (guard_vars.count(v) == 0) {
+      return Status::NotInputBounded(
+          "quantified variable '" + v +
+          "' does not occur in the input guard of: " + site.ToString());
+    }
+  }
+  for (const Atom& gamma : phi.Atoms()) {
+    if (!IsStateOrActionAtom(gamma, vocab)) continue;
+    std::set<std::string> gamma_vars = AtomVariables(gamma);
+    for (const std::string& v : vars) {
+      if (gamma_vars.count(v) > 0) {
+        return Status::NotInputBounded(
+            "quantified variable '" + v +
+            "' occurs in state/action atom " + gamma.ToString() +
+            " of: " + site.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckNode(const Formula& f, const Vocabulary& vocab) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals:
+      return Status::OK();
+    case Formula::Kind::kNot:
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      for (const FormulaPtr& c : f.children()) {
+        WSV_RETURN_IF_ERROR(CheckNode(*c, vocab));
+      }
+      return Status::OK();
+    case Formula::Kind::kExists: {
+      // Body must be alpha & phi, with alpha an input atom guard.
+      const Formula& body = *f.body();
+      const Formula* alpha = nullptr;
+      FormulaPtr phi;
+      if (body.kind() == Formula::Kind::kAtom) {
+        alpha = &body;
+        phi = Formula::True();
+      } else if (body.kind() == Formula::Kind::kAnd &&
+                 !body.children().empty()) {
+        alpha = body.children()[0].get();
+        std::vector<FormulaPtr> rest(body.children().begin() + 1,
+                                     body.children().end());
+        phi = Formula::And(std::move(rest));
+      } else {
+        return Status::NotInputBounded(
+            "existential quantifier body is not of the form "
+            "(input-atom & phi): " + f.ToString());
+      }
+      WSV_RETURN_IF_ERROR(CheckGuard(f.variables(), *alpha, *phi, vocab, f));
+      return CheckNode(*phi, vocab);
+    }
+    case Formula::Kind::kForall: {
+      // Body must be alpha -> phi, i.e. Or(Not(alpha), phi).
+      const Formula& body = *f.body();
+      if (body.kind() != Formula::Kind::kOr || body.children().size() < 2 ||
+          body.children()[0]->kind() != Formula::Kind::kNot) {
+        return Status::NotInputBounded(
+            "universal quantifier body is not of the form "
+            "(input-atom -> phi): " + f.ToString());
+      }
+      const Formula& alpha = *body.children()[0]->children()[0];
+      std::vector<FormulaPtr> rest(body.children().begin() + 1,
+                                   body.children().end());
+      FormulaPtr phi = Formula::Or(std::move(rest));
+      WSV_RETURN_IF_ERROR(CheckGuard(f.variables(), alpha, *phi, vocab, f));
+      return CheckNode(*phi, vocab);
+    }
+  }
+  return Status::Internal("bad formula kind");
+}
+
+Status CheckExistential(const Formula& f, const Vocabulary& vocab,
+                        bool positive) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+    case Formula::Kind::kEquals:
+      return Status::OK();
+    case Formula::Kind::kAtom: {
+      const RelationSymbol* sym = vocab.FindRelation(f.atom().relation);
+      if (sym != nullptr && sym->kind == SymbolKind::kState) {
+        if (!AtomVariables(f.atom()).empty()) {
+          return Status::NotInputBounded(
+              "state atom in input rule is not ground: " +
+              f.atom().ToString());
+        }
+      }
+      return Status::OK();
+    }
+    case Formula::Kind::kNot:
+      return CheckExistential(*f.children()[0], vocab, !positive);
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      for (const FormulaPtr& c : f.children()) {
+        WSV_RETURN_IF_ERROR(CheckExistential(*c, vocab, positive));
+      }
+      return Status::OK();
+    case Formula::Kind::kExists:
+      if (!positive) {
+        return Status::NotInputBounded(
+            "existential quantifier under negation in input rule: " +
+            f.ToString());
+      }
+      return CheckExistential(*f.body(), vocab, positive);
+    case Formula::Kind::kForall:
+      if (positive) {
+        return Status::NotInputBounded(
+            "universal quantifier in input rule: " + f.ToString());
+      }
+      return CheckExistential(*f.body(), vocab, positive);
+  }
+  return Status::Internal("bad formula kind");
+}
+
+}  // namespace
+
+Status CheckInputBounded(const Formula& formula, const Vocabulary& vocab) {
+  return CheckNode(formula, vocab);
+}
+
+Status CheckExistentialInputRule(const Formula& formula,
+                                 const Vocabulary& vocab) {
+  return CheckExistential(formula, vocab, /*positive=*/true);
+}
+
+}  // namespace wsv

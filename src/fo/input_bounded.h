@@ -1,0 +1,38 @@
+// Input-boundedness checks (Section 3).
+//
+// The decidability results of the paper hinge on restricting
+// quantification in rules and properties to be *input-bounded*:
+//
+//   - state, action, and target rule formulas may quantify only in the
+//     guarded forms  exists x . (alpha & phi)  and
+//     forall x . (alpha -> phi), where alpha is a current or previous
+//     input atom, x is a subset of alpha's free variables, and no
+//     variable of x occurs free in a state or action atom of phi;
+//
+//   - input (options) rule formulas must be existential FO in which all
+//     state atoms are ground.
+//
+// These checkers validate the syntactic restriction and produce precise
+// diagnostics pointing at the offending subformula.
+
+#ifndef WSV_FO_INPUT_BOUNDED_H_
+#define WSV_FO_INPUT_BOUNDED_H_
+
+#include "common/status.h"
+#include "fo/formula.h"
+#include "relational/schema.h"
+
+namespace wsv {
+
+/// Checks the input-bounded restriction for state/action/target rule
+/// formulas and for FO subformulas of temporal properties.
+Status CheckInputBounded(const Formula& formula, const Vocabulary& vocab);
+
+/// Checks the input-rule restriction: existential FO (no universal
+/// quantifier, no existential under negation) with all state atoms ground.
+Status CheckExistentialInputRule(const Formula& formula,
+                                 const Vocabulary& vocab);
+
+}  // namespace wsv
+
+#endif  // WSV_FO_INPUT_BOUNDED_H_

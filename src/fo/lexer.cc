@@ -1,0 +1,246 @@
+#include "fo/lexer.h"
+
+#include <cctype>
+
+namespace wsv {
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier '" + text + "'";
+    case TokenKind::kString:
+      return "string \"" + text + "\"";
+    case TokenKind::kNumber:
+      return "number " + text;
+    case TokenKind::kEof:
+      return "end of input";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  int line = 1, column = 1;
+  size_t i = 0;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < input.size() && input[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](TokenKind kind, std::string text) {
+    out.push_back(Token{kind, std::move(text), line, column});
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments: '#' or '//' to end of line.
+    if (c == '#' ||
+        (c == '/' && i + 1 < input.size() && input[i + 1] == '/')) {
+      while (i < input.size() && input[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        // Track position manually to keep token position at its start.
+        ++i;
+        ++column;
+      }
+      out.push_back(Token{TokenKind::kIdent,
+                          std::string(input.substr(start, i - start)), line,
+                          column - static_cast<int>(i - start)});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        ++i;
+        ++column;
+      }
+      out.push_back(Token{TokenKind::kNumber,
+                          std::string(input.substr(start, i - start)), line,
+                          column - static_cast<int>(i - start)});
+      continue;
+    }
+    if (c == '"') {
+      int tok_line = line, tok_col = column;
+      advance(1);
+      std::string text;
+      bool closed = false;
+      while (i < input.size()) {
+        char d = input[i];
+        if (d == '"') {
+          advance(1);
+          closed = true;
+          break;
+        }
+        if (d == '\\' && i + 1 < input.size()) {
+          char e = input[i + 1];
+          advance(2);
+          switch (e) {
+            case 'n':
+              text.push_back('\n');
+              break;
+            case '\\':
+              text.push_back('\\');
+              break;
+            case '"':
+              text.push_back('"');
+              break;
+            default:
+              text.push_back(e);
+          }
+          continue;
+        }
+        text.push_back(d);
+        advance(1);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(tok_line));
+      }
+      out.push_back(Token{TokenKind::kString, std::move(text), tok_line,
+                          tok_col});
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < input.size() && input[i + 1] == b;
+    };
+    if (two(':', '-')) {
+      push(TokenKind::kColonDash, ":-");
+      advance(2);
+      continue;
+    }
+    if (two('!', '=')) {
+      push(TokenKind::kNotEquals, "!=");
+      advance(2);
+      continue;
+    }
+    if (two('-', '>')) {
+      push(TokenKind::kArrow, "->");
+      advance(2);
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case '{':
+        kind = TokenKind::kLBrace;
+        break;
+      case '}':
+        kind = TokenKind::kRBrace;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case '.':
+        kind = TokenKind::kDot;
+        break;
+      case ';':
+        kind = TokenKind::kSemicolon;
+        break;
+      case '=':
+        kind = TokenKind::kEquals;
+        break;
+      case '&':
+        kind = TokenKind::kAnd;
+        break;
+      case '|':
+        kind = TokenKind::kOr;
+        break;
+      case '!':
+        kind = TokenKind::kNot;
+        break;
+      case '+':
+        kind = TokenKind::kPlus;
+        break;
+      case '-':
+        kind = TokenKind::kMinus;
+        break;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at line " +
+                                  std::to_string(line) + ", column " +
+                                  std::to_string(column));
+    }
+    push(kind, std::string(1, c));
+    advance(1);
+  }
+  out.push_back(Token{TokenKind::kEof, "", line, column});
+  return out;
+}
+
+const Token& TokenStream::Peek(size_t lookahead) const {
+  size_t idx = pos_ + lookahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;  // Eof
+  return tokens_[idx];
+}
+
+const Token& TokenStream::Next() {
+  const Token& t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenStream::TryConsume(TokenKind kind) {
+  if (Peek().kind != kind) return false;
+  Next();
+  return true;
+}
+
+bool TokenStream::TryConsumeIdent(std::string_view keyword) {
+  if (Peek().kind != TokenKind::kIdent || Peek().text != keyword) return false;
+  Next();
+  return true;
+}
+
+Status TokenStream::Expect(TokenKind kind, std::string_view what) {
+  if (Peek().kind != kind) {
+    return ErrorHere("expected " + std::string(what));
+  }
+  Next();
+  return Status::OK();
+}
+
+Status TokenStream::ExpectIdent(std::string_view keyword) {
+  if (Peek().kind != TokenKind::kIdent || Peek().text != keyword) {
+    return ErrorHere("expected '" + std::string(keyword) + "'");
+  }
+  Next();
+  return Status::OK();
+}
+
+StatusOr<std::string> TokenStream::ExpectIdentText(std::string_view what) {
+  if (Peek().kind != TokenKind::kIdent) {
+    return ErrorHere("expected " + std::string(what));
+  }
+  return Next().text;
+}
+
+Status TokenStream::ErrorHere(std::string_view message) const {
+  const Token& t = Peek();
+  return Status::ParseError(std::string(message) + ", got " + t.Describe() +
+                            " at line " + std::to_string(t.line) +
+                            ", column " + std::to_string(t.column));
+}
+
+}  // namespace wsv

@@ -1,0 +1,82 @@
+// Shared lexer for the FO, LTL-FO, CTL(*)-FO, and .wsv specification
+// grammars. Produces a token stream with positions for error reporting.
+
+#ifndef WSV_FO_LEXER_H_
+#define WSV_FO_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wsv {
+
+enum class TokenKind {
+  kIdent,     // identifiers and keywords (callers match on text)
+  kString,    // "quoted literal" (text holds the unescaped contents)
+  kNumber,    // digit sequence (kept as text; used as a literal value)
+  kLParen,    // (
+  kRParen,    // )
+  kLBrace,    // {
+  kRBrace,    // }
+  kComma,     // ,
+  kDot,       // .
+  kSemicolon, // ;
+  kColonDash, // :-
+  kEquals,    // =
+  kNotEquals, // !=
+  kAnd,       // &
+  kOr,        // |
+  kNot,       // !
+  kArrow,     // ->
+  kPlus,      // +
+  kMinus,     // -
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  // identifier / string contents / number text
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+/// Tokenizes `input`. Comments run from '#' or '//' to end of line.
+/// On success the final token is kEof.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+/// A cursor over a token stream used by the recursive-descent parsers.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t lookahead = 0) const;
+  const Token& Next();
+  bool AtEnd() const { return Peek().kind == TokenKind::kEof; }
+
+  /// Consumes the next token if it matches; returns whether it did.
+  bool TryConsume(TokenKind kind);
+  bool TryConsumeIdent(std::string_view keyword);
+
+  /// Consumes a token of the given kind or returns a ParseError.
+  Status Expect(TokenKind kind, std::string_view what);
+  /// Consumes a specific keyword identifier or returns a ParseError.
+  Status ExpectIdent(std::string_view keyword);
+  /// Consumes and returns an identifier token's text.
+  StatusOr<std::string> ExpectIdentText(std::string_view what);
+
+  /// Builds a ParseError mentioning the current token and position.
+  Status ErrorHere(std::string_view message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wsv
+
+#endif  // WSV_FO_LEXER_H_

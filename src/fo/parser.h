@@ -1,0 +1,54 @@
+// Recursive-descent parser for first-order formulas.
+//
+// Grammar (loosest to tightest precedence; quantifiers scope maximally to
+// the right):
+//
+//   formula  := implies
+//   implies  := or ('->' implies)?
+//   or       := and ('|' and)*
+//   and      := unary ('&' unary)*
+//   unary    := '!' unary | ('exists'|'forall') vars '.' implies | primary
+//   primary  := '(' formula ')' | 'true' | 'false'
+//             | atom | term ('='|'!=') term
+//   atom     := ['prev' '.'] IDENT ['(' term (',' term)* ')']
+//   term     := IDENT | STRING | NUMBER
+//
+// A bare IDENT term resolves to a constant symbol if the vocabulary
+// registers one of that name, else to a variable. STRING and NUMBER
+// tokens are literals denoting themselves. When a vocabulary is supplied,
+// atoms are checked against it (existence, arity, prev only on input
+// relations).
+
+#ifndef WSV_FO_PARSER_H_
+#define WSV_FO_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "fo/formula.h"
+#include "fo/lexer.h"
+#include "relational/schema.h"
+
+namespace wsv {
+
+/// Parses a complete FO formula from `text`. The whole input must be
+/// consumed. `vocab` may be nullptr (no atom checking; all bare names
+/// become variables).
+StatusOr<FormulaPtr> ParseFormula(std::string_view text,
+                                  const Vocabulary* vocab = nullptr);
+
+/// Parses an FO formula from an existing token stream (used by the .wsv
+/// specification parser and the temporal-logic parsers). Stops at the
+/// first token that cannot extend the formula.
+StatusOr<FormulaPtr> ParseFormulaFrom(TokenStream& ts,
+                                      const Vocabulary* vocab);
+
+/// Parses a single term (used by rule-head parsing).
+StatusOr<Term> ParseTermFrom(TokenStream& ts, const Vocabulary* vocab);
+
+/// Parses a single atom `[prev.]R(t, ...)` (used by the temporal parsers).
+StatusOr<FormulaPtr> ParseAtomFrom(TokenStream& ts, const Vocabulary* vocab);
+
+}  // namespace wsv
+
+#endif  // WSV_FO_PARSER_H_

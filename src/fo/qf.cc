@@ -1,0 +1,165 @@
+#include "fo/qf.h"
+
+#include <map>
+
+#include "fo/rewrite.h"
+
+namespace wsv {
+
+std::string QfTupleVariable(const std::string& input, int position,
+                            bool prev) {
+  return (prev ? "__prev_" : "__cur_") + input + "__" +
+         std::to_string(position);
+}
+
+std::string QfPresenceProp(const std::string& input, bool prev) {
+  return (prev ? "__present_prev_" : "__present_") + input;
+}
+
+namespace {
+
+class QfRewriter {
+ public:
+  explicit QfRewriter(const Vocabulary& vocab) : vocab_(vocab) {}
+
+  bool IsInputAtom(const Atom& atom) const {
+    const RelationSymbol* sym = vocab_.FindRelation(atom.relation);
+    return sym != nullptr && sym->kind == SymbolKind::kInput;
+  }
+
+  // Rewrites an input atom: presence proposition plus equalities pinning
+  // each term to the designated tuple variable. Terms listed in `skip`
+  // (quantified variables being eliminated) produce no equality.
+  FormulaPtr RewriteInputAtom(const Atom& atom,
+                              const std::set<std::string>& skip) {
+    std::vector<FormulaPtr> parts;
+    parts.push_back(
+        Formula::MakeAtom(QfPresenceProp(atom.relation, atom.prev), {}));
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term& t = atom.terms[i];
+      if (t.is_variable() && skip.count(t.name()) > 0) continue;
+      parts.push_back(Formula::Equals(
+          t, Term::Variable(QfTupleVariable(atom.relation,
+                                            static_cast<int>(i) + 1,
+                                            atom.prev))));
+    }
+    return Formula::And(std::move(parts));
+  }
+
+  // Substitution mapping each eliminated quantified variable to the
+  // designated variable of the first guard position holding it.
+  std::map<std::string, Term> GuardSubstitution(
+      const Atom& atom, const std::vector<std::string>& vars) {
+    std::set<std::string> want(vars.begin(), vars.end());
+    std::map<std::string, Term> subst;
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term& t = atom.terms[i];
+      if (t.is_variable() && want.count(t.name()) > 0 &&
+          subst.count(t.name()) == 0) {
+        subst.emplace(t.name(),
+                      Term::Variable(QfTupleVariable(
+                          atom.relation, static_cast<int>(i) + 1,
+                          atom.prev)));
+      }
+    }
+    return subst;
+  }
+
+  StatusOr<FormulaPtr> Rewrite(const Formula& f) {
+    switch (f.kind()) {
+      case Formula::Kind::kTrue:
+        return Formula::True();
+      case Formula::Kind::kFalse:
+        return Formula::False();
+      case Formula::Kind::kEquals:
+        return Formula::Equals(f.lhs(), f.rhs());
+      case Formula::Kind::kAtom:
+        if (IsInputAtom(f.atom())) {
+          return RewriteInputAtom(f.atom(), {});
+        }
+        return Formula::MakeAtom(f.atom());
+      case Formula::Kind::kNot: {
+        WSV_ASSIGN_OR_RETURN(FormulaPtr c, Rewrite(*f.children()[0]));
+        return Formula::Not(std::move(c));
+      }
+      case Formula::Kind::kAnd:
+      case Formula::Kind::kOr: {
+        std::vector<FormulaPtr> parts;
+        for (const FormulaPtr& c : f.children()) {
+          WSV_ASSIGN_OR_RETURN(FormulaPtr rc, Rewrite(*c));
+          parts.push_back(std::move(rc));
+        }
+        return f.kind() == Formula::Kind::kAnd
+                   ? Formula::And(std::move(parts))
+                   : Formula::Or(std::move(parts));
+      }
+      case Formula::Kind::kExists: {
+        // Input-bounded shape: exists x (alpha & phi).
+        const Formula& body = *f.body();
+        const Formula* alpha = nullptr;
+        std::vector<FormulaPtr> rest;
+        if (body.kind() == Formula::Kind::kAtom) {
+          alpha = &body;
+        } else if (body.kind() == Formula::Kind::kAnd &&
+                   !body.children().empty() &&
+                   body.children()[0]->kind() == Formula::Kind::kAtom) {
+          alpha = body.children()[0].get();
+          rest.assign(body.children().begin() + 1, body.children().end());
+        }
+        if (alpha == nullptr || !IsInputAtom(alpha->atom())) {
+          return Status::NotInputBounded(
+              "existential quantifier without an input guard: " +
+              f.ToString());
+        }
+        // Substitute each quantified variable by the designated variable
+        // of its first guard position, then rewrite the substituted
+        // guard: repeated-variable positions become equalities between
+        // designated variables, trivial ones simplify away.
+        std::map<std::string, Term> subst =
+            GuardSubstitution(alpha->atom(), f.variables());
+        FormulaPtr full_guard =
+            Substitute(*Formula::MakeAtom(alpha->atom()), subst);
+        WSV_ASSIGN_OR_RETURN(FormulaPtr guard_qf, Rewrite(*full_guard));
+        WSV_ASSIGN_OR_RETURN(FormulaPtr rest_qf,
+                             Rewrite(*Formula::And(std::move(rest))));
+        FormulaPtr rest_sub = Substitute(*rest_qf, subst);
+        return Formula::And(std::move(guard_qf), std::move(rest_sub));
+      }
+      case Formula::Kind::kForall: {
+        // forall x (alpha -> phi)  ==  !(exists x (alpha & !phi)).
+        const Formula& body = *f.body();
+        if (body.kind() != Formula::Kind::kOr ||
+            body.children().size() < 2 ||
+            body.children()[0]->kind() != Formula::Kind::kNot) {
+          return Status::NotInputBounded(
+              "universal quantifier without an input guard: " +
+              f.ToString());
+        }
+        FormulaPtr alpha = body.children()[0]->children()[0];
+        std::vector<FormulaPtr> phi(body.children().begin() + 1,
+                                    body.children().end());
+        FormulaPtr as_exists = Formula::Exists(
+            f.variables(),
+            Formula::And(alpha,
+                         Formula::Not(Formula::Or(std::move(phi)))));
+        WSV_ASSIGN_OR_RETURN(FormulaPtr inner, Rewrite(*as_exists));
+        return Formula::Not(std::move(inner));
+      }
+    }
+    return Status::Internal("bad formula kind");
+  }
+
+ private:
+  const Vocabulary& vocab_;
+};
+
+}  // namespace
+
+StatusOr<FormulaPtr> InputBoundedToQuantifierFree(const Formula& formula,
+                                                  const Vocabulary& vocab) {
+  QfRewriter rewriter(vocab);
+  WSV_ASSIGN_OR_RETURN(FormulaPtr out, rewriter.Rewrite(formula));
+  return Simplify(*out);
+}
+
+}  // namespace wsv

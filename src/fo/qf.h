@@ -1,0 +1,49 @@
+// The quantifier-free rewriting of input-bounded formulas (appendix
+// A.3, used by the small-model argument of Lemma A.11 / Theorem 4.4).
+//
+// Because the user picks at most one tuple per input relation, an
+// input-bounded formula can be rewritten without quantifiers: denote the
+// (possible) tuple in input relation I of arity m by the designated
+// variables  I__1 ... I__m  and its presence by the proposition
+// __present_I (and likewise __prev_I__k / __present_prev_I for Prev_I).
+// Then
+//
+//   I(t1,...,tm)        ~>  __present_I & t1 = I__1 & ... & tm = I__m
+//   exists x (I(t) & p) ~>  __present_I & <equalities for non-x terms>
+//                           & p[x := designated positions]
+//   forall x (I(t) -> p) ~> the dual implication
+//
+// yielding a quantifier-free formula over the database, state, and
+// action atoms, equalities, and the designated variables — exactly the
+// appendix's `qf` construction. The rewriting is semantics-preserving:
+// evaluating the result with the designated variables bound to the
+// actual input tuple (and the presence propositions set accordingly)
+// agrees with evaluating the original against the input relations
+// (fo/qf_test.cc checks this on randomized instances).
+
+#ifndef WSV_FO_QF_H_
+#define WSV_FO_QF_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "fo/formula.h"
+#include "relational/schema.h"
+
+namespace wsv {
+
+/// The designated variable for position `i` (1-based) of input `I`.
+std::string QfTupleVariable(const std::string& input, int position,
+                            bool prev);
+
+/// The presence proposition for input `I`.
+std::string QfPresenceProp(const std::string& input, bool prev);
+
+/// Rewrites an input-bounded formula to its quantifier-free version.
+/// Fails with NotInputBounded on formulas outside the class.
+StatusOr<FormulaPtr> InputBoundedToQuantifierFree(const Formula& formula,
+                                                  const Vocabulary& vocab);
+
+}  // namespace wsv
+
+#endif  // WSV_FO_QF_H_

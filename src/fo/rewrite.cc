@@ -1,0 +1,252 @@
+#include "fo/rewrite.h"
+
+namespace wsv {
+
+namespace {
+
+FormulaPtr NNF(const Formula& f, bool negate);
+
+FormulaPtr NNFChildren(const Formula& f, bool negate, Formula::Kind kind) {
+  std::vector<FormulaPtr> parts;
+  parts.reserve(f.children().size());
+  for (const FormulaPtr& c : f.children()) parts.push_back(NNF(*c, negate));
+  return kind == Formula::Kind::kAnd ? Formula::And(std::move(parts))
+                                     : Formula::Or(std::move(parts));
+}
+
+FormulaPtr NNF(const Formula& f, bool negate) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+      return negate ? Formula::False() : Formula::True();
+    case Formula::Kind::kFalse:
+      return negate ? Formula::True() : Formula::False();
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals: {
+      FormulaPtr self =
+          f.kind() == Formula::Kind::kAtom
+              ? Formula::MakeAtom(f.atom())
+              : Formula::Equals(f.lhs(), f.rhs());
+      return negate ? Formula::Not(std::move(self)) : self;
+    }
+    case Formula::Kind::kNot:
+      return NNF(*f.children()[0], !negate);
+    case Formula::Kind::kAnd:
+      return NNFChildren(f, negate,
+                         negate ? Formula::Kind::kOr : Formula::Kind::kAnd);
+    case Formula::Kind::kOr:
+      return NNFChildren(f, negate,
+                         negate ? Formula::Kind::kAnd : Formula::Kind::kOr);
+    case Formula::Kind::kExists: {
+      FormulaPtr body = NNF(*f.body(), negate);
+      return negate ? Formula::Forall(f.variables(), std::move(body))
+                    : Formula::Exists(f.variables(), std::move(body));
+    }
+    case Formula::Kind::kForall: {
+      FormulaPtr body = NNF(*f.body(), negate);
+      return negate ? Formula::Exists(f.variables(), std::move(body))
+                    : Formula::Forall(f.variables(), std::move(body));
+    }
+  }
+  return Formula::True();
+}
+
+// DNF represented as list of conjunctions (each a list of literals).
+using Clause = std::vector<FormulaPtr>;
+
+StatusOr<std::vector<Clause>> DnfClauses(const Formula& f) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+      return std::vector<Clause>{Clause{}};
+    case Formula::Kind::kFalse:
+      return std::vector<Clause>{};
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals:
+    case Formula::Kind::kNot: {
+      if (f.kind() == Formula::Kind::kNot) {
+        const Formula& c = *f.children()[0];
+        if (c.kind() != Formula::Kind::kAtom &&
+            c.kind() != Formula::Kind::kEquals) {
+          return Status::InvalidArgument(
+              "ToDNF requires NNF input (negation above non-atom)");
+        }
+      }
+      FormulaPtr lit =
+          f.kind() == Formula::Kind::kAtom
+              ? Formula::MakeAtom(f.atom())
+              : (f.kind() == Formula::Kind::kEquals
+                     ? Formula::Equals(f.lhs(), f.rhs())
+                     : Formula::Not(
+                           f.children()[0]->kind() == Formula::Kind::kAtom
+                               ? Formula::MakeAtom(f.children()[0]->atom())
+                               : Formula::Equals(f.children()[0]->lhs(),
+                                                 f.children()[0]->rhs())));
+      return std::vector<Clause>{Clause{lit}};
+    }
+    case Formula::Kind::kOr: {
+      std::vector<Clause> out;
+      for (const FormulaPtr& c : f.children()) {
+        WSV_ASSIGN_OR_RETURN(std::vector<Clause> sub, DnfClauses(*c));
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    }
+    case Formula::Kind::kAnd: {
+      std::vector<Clause> acc{Clause{}};
+      for (const FormulaPtr& c : f.children()) {
+        WSV_ASSIGN_OR_RETURN(std::vector<Clause> sub, DnfClauses(*c));
+        std::vector<Clause> next;
+        next.reserve(acc.size() * sub.size());
+        for (const Clause& a : acc) {
+          for (const Clause& b : sub) {
+            Clause merged = a;
+            merged.insert(merged.end(), b.begin(), b.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      return Status::InvalidArgument("ToDNF requires quantifier-free input");
+  }
+  return Status::Internal("bad formula kind");
+}
+
+Term SubstituteTerm(const Term& t,
+                    const std::map<std::string, Term>& substitution) {
+  if (!t.is_variable()) return t;
+  auto it = substitution.find(t.name());
+  return it == substitution.end() ? t : it->second;
+}
+
+}  // namespace
+
+FormulaPtr ToNNF(const Formula& f) { return NNF(f, /*negate=*/false); }
+
+StatusOr<FormulaPtr> ToDNF(const Formula& f) {
+  FormulaPtr nnf = ToNNF(f);
+  WSV_ASSIGN_OR_RETURN(std::vector<Clause> clauses, DnfClauses(*nnf));
+  std::vector<FormulaPtr> disjuncts;
+  disjuncts.reserve(clauses.size());
+  for (Clause& clause : clauses) {
+    disjuncts.push_back(Formula::And(std::move(clause)));
+  }
+  return Formula::Or(std::move(disjuncts));
+}
+
+FormulaPtr Substitute(const Formula& f,
+                      const std::map<std::string, Term>& substitution) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return f.kind() == Formula::Kind::kTrue ? Formula::True()
+                                              : Formula::False();
+    case Formula::Kind::kAtom: {
+      Atom atom = f.atom();
+      for (Term& t : atom.terms) t = SubstituteTerm(t, substitution);
+      return Formula::MakeAtom(std::move(atom));
+    }
+    case Formula::Kind::kEquals:
+      return Formula::Equals(SubstituteTerm(f.lhs(), substitution),
+                             SubstituteTerm(f.rhs(), substitution));
+    case Formula::Kind::kNot:
+      return Formula::Not(Substitute(*f.children()[0], substitution));
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::vector<FormulaPtr> parts;
+      parts.reserve(f.children().size());
+      for (const FormulaPtr& c : f.children()) {
+        parts.push_back(Substitute(*c, substitution));
+      }
+      return f.kind() == Formula::Kind::kAnd
+                 ? Formula::And(std::move(parts))
+                 : Formula::Or(std::move(parts));
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      // Bound variables shadow the substitution.
+      std::map<std::string, Term> inner = substitution;
+      for (const std::string& v : f.variables()) inner.erase(v);
+      FormulaPtr body = Substitute(*f.body(), inner);
+      return f.kind() == Formula::Kind::kExists
+                 ? Formula::Exists(f.variables(), std::move(body))
+                 : Formula::Forall(f.variables(), std::move(body));
+    }
+  }
+  return Formula::True();
+}
+
+FormulaPtr Simplify(const Formula& f) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+      return Formula::True();
+    case Formula::Kind::kFalse:
+      return Formula::False();
+    case Formula::Kind::kAtom:
+      return Formula::MakeAtom(f.atom());
+    case Formula::Kind::kEquals:
+      if (f.lhs() == f.rhs()) return Formula::True();
+      // Distinct literals denote distinct elements.
+      if (f.lhs().is_literal() && f.rhs().is_literal()) {
+        return Formula::False();
+      }
+      return Formula::Equals(f.lhs(), f.rhs());
+    case Formula::Kind::kNot: {
+      FormulaPtr sub = Simplify(*f.children()[0]);
+      if (sub->kind() == Formula::Kind::kTrue) return Formula::False();
+      if (sub->kind() == Formula::Kind::kFalse) return Formula::True();
+      if (sub->kind() == Formula::Kind::kNot) return sub->children()[0];
+      return Formula::Not(std::move(sub));
+    }
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      bool is_and = f.kind() == Formula::Kind::kAnd;
+      std::vector<FormulaPtr> parts;
+      for (const FormulaPtr& c : f.children()) {
+        FormulaPtr sub = Simplify(*c);
+        if (sub->kind() == Formula::Kind::kTrue) {
+          if (!is_and) return Formula::True();
+          continue;  // drop neutral element
+        }
+        if (sub->kind() == Formula::Kind::kFalse) {
+          if (is_and) return Formula::False();
+          continue;
+        }
+        // Flatten nested connectives of the same kind.
+        if (sub->kind() == f.kind()) {
+          for (const FormulaPtr& g : sub->children()) parts.push_back(g);
+        } else {
+          parts.push_back(std::move(sub));
+        }
+      }
+      return is_and ? Formula::And(std::move(parts))
+                    : Formula::Or(std::move(parts));
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      FormulaPtr body = Simplify(*f.body());
+      if (body->kind() == Formula::Kind::kTrue ||
+          body->kind() == Formula::Kind::kFalse) {
+        // Quantification over the (nonempty in our semantics checks'
+        // typical use) active domain of a constant formula is constant.
+        // Note: with an empty active domain exists is false; callers that
+        // care about empty domains must not rely on Simplify.
+        return body;
+      }
+      // Drop quantified variables that do not occur free in the body.
+      std::set<std::string> free = body->FreeVariables();
+      std::vector<std::string> used;
+      for (const std::string& v : f.variables()) {
+        if (free.count(v) > 0) used.push_back(v);
+      }
+      return f.kind() == Formula::Kind::kExists
+                 ? Formula::Exists(std::move(used), std::move(body))
+                 : Formula::Forall(std::move(used), std::move(body));
+    }
+  }
+  return Formula::True();
+}
+
+}  // namespace wsv

@@ -1,0 +1,37 @@
+// Formula rewriting utilities: negation normal form, disjunctive normal
+// form for quantifier-free formulas, substitution, and simplification.
+// These are used by the propositional abstraction (Lemma A.12) and the
+// service-to-service transformations (Lemmas A.5 and A.10).
+
+#ifndef WSV_FO_REWRITE_H_
+#define WSV_FO_REWRITE_H_
+
+#include <map>
+
+#include "common/status.h"
+#include "fo/formula.h"
+
+namespace wsv {
+
+/// Pushes negations to the atoms (de Morgan; quantifier duality). The
+/// result contains kNot only directly above atoms/equalities.
+FormulaPtr ToNNF(const Formula& f);
+
+/// Converts a quantifier-free formula to disjunctive normal form: a
+/// disjunction of conjunctions of literals. Exponential in the worst
+/// case. Fails on quantified input.
+StatusOr<FormulaPtr> ToDNF(const Formula& f);
+
+/// Replaces free occurrences of variables per `substitution`. Bound
+/// variables are untouched; capturing substitutions are the caller's
+/// responsibility (all our call sites substitute fresh or ground terms).
+FormulaPtr Substitute(const Formula& f,
+                      const std::map<std::string, Term>& substitution);
+
+/// Constant-folds true/false through connectives and prunes trivial
+/// quantifiers; idempotent.
+FormulaPtr Simplify(const Formula& f);
+
+}  // namespace wsv
+
+#endif  // WSV_FO_REWRITE_H_

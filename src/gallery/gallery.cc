@@ -1,0 +1,452 @@
+#include "gallery/gallery.h"
+
+#include "ws/spec_parser.h"
+
+namespace wsv {
+
+const std::string& EcommerceSpecText() {
+  static const std::string& text = *new std::string(R"wsv(
+# The running example of Deutsch-Sui-Vianu (PODS 2004): an e-commerce
+# site selling computers, reconstructed from Example 2.2 and the Figure 2
+# page map. Sessions run from login to the terminal goodbye page GBP
+# (Remark 3.6): input constants may be requested only once per run.
+service Ecommerce;
+
+database user(uname, upass);
+database prod_prices(pid, price), prod_names(pid, pname);
+database criteria(cat, attr, val);
+database prodmatch(pid, cat, ram, hdd, disp);
+
+state error(msg);
+state logged_in, is_admin;
+state newuser(n, p);
+state userchoice(cat, ram, hdd, disp);
+state cart(pid, price);
+state pick(pid, price), pickid(pid);
+state paid(pid, price);
+state shipped(pid), cancelled(pid), deleted(pid);
+
+input name const;
+input password const;
+input button(label);
+input laptopsearch(ram, hdd, disp), desktopsearch(ram, hdd, disp);
+input pickproduct(pid, price);
+input cartitem(pid, price);
+input payamount(amount);
+input orderpick(pid, price);
+
+action conf(uname, price);
+action ship(uname, pid);
+action cancel(uname, pid);
+
+# --- Home page (Example 2.2 verbatim, with clear -> GBP per Remark 3.6).
+page HP {
+  input name, password;
+  options button(x) :- x = "login" | x = "register" | x = "clear";
+  state +error("failed login") :- !user(name, password) & button("login");
+  state +logged_in :- user(name, password) & button("login");
+  state +is_admin :- user(name, password) & button("login")
+                     & name = "Admin";
+  # Idling on HP would re-request name/password (condition ii): an empty
+  # submission ends the session like pressing clear.
+  target GBP :- button("clear") | !(exists x . button(x) & true);
+  target NP  :- button("register");
+  target CP  :- user(name, password) & button("login") & name != "Admin";
+  target AP  :- user(name, password) & button("login") & name = "Admin";
+  target MP  :- !user(name, password) & button("login");
+}
+
+# --- New user registration.
+page NP {
+  options button(x) :- x = "confirm" | x = "cancel";
+  state +newuser(name, password) :- button("confirm");
+  target RP  :- button("confirm");
+  target GBP :- button("cancel");
+}
+
+# --- Registration succeeded; user is logged in.
+page RP {
+  options button(x) :- x = "continue";
+  state +logged_in :- button("continue");
+  target CP :- button("continue");
+}
+
+# --- Failed-login message page (terminal: the session ends here).
+page MP {
+  options button(x) :- x = "ok";
+}
+
+# --- Customer page.
+page CP {
+  options button(x) :- x = "desktop" | x = "laptop" | x = "viewcart"
+                     | x = "myorders" | x = "logout";
+  target DSP :- button("desktop");
+  target LSP :- button("laptop");
+  target CC  :- button("viewcart");
+  target VOP :- button("myorders");
+  target GBP :- button("logout");
+}
+
+# --- Laptop search (Example 2.2's page LSP verbatim).
+page LSP {
+  options button(x) :- x = "search" | x = "viewcart" | x = "logout";
+  options laptopsearch(r, h, d) :- criteria("laptop", "ram", r)
+                                 & criteria("laptop", "hdd", h)
+                                 & criteria("laptop", "display", d);
+  state +userchoice("laptop", r, h, d) :- laptopsearch(r, h, d)
+                                        & button("search");
+  target GBP :- button("logout");
+  target PIP :- (exists r, h, d . laptopsearch(r, h, d) & true)
+              & button("search");
+  target CC  :- button("viewcart");
+}
+
+# --- Desktop search, symmetric.
+page DSP {
+  options button(x) :- x = "search" | x = "viewcart" | x = "logout";
+  options desktopsearch(r, h, d) :- criteria("desktop", "ram", r)
+                                  & criteria("desktop", "hdd", h)
+                                  & criteria("desktop", "display", d);
+  state +userchoice("desktop", r, h, d) :- desktopsearch(r, h, d)
+                                         & button("search");
+  target GBP :- button("logout");
+  target PIP :- (exists r, h, d . desktopsearch(r, h, d) & true)
+              & button("search");
+  target CC  :- button("viewcart");
+}
+
+# --- Product index: the products matching the previous step's search.
+# The options are input-bounded thanks to Prev_I.
+page PIP {
+  options pickproduct(p, pr) :-
+      ((exists r, h, d . prev.laptopsearch(r, h, d)
+                       & prodmatch(p, "laptop", r, h, d))
+     | (exists r, h, d . prev.desktopsearch(r, h, d)
+                       & prodmatch(p, "desktop", r, h, d)))
+     & prod_prices(p, pr);
+  options button(x) :- x = "viewcart" | x = "back" | x = "logout";
+  state +pick(p, pr) :- pickproduct(p, pr);
+  state -pick(p, pr) :- pick(p, pr)
+                      & (exists a, b . pickproduct(a, b) & true);
+  state +pickid(p) :- exists pr . pickproduct(p, pr) & true;
+  state -pickid(p) :- pickid(p)
+                    & (exists a, b . pickproduct(a, b) & true);
+  target PP  :- (exists p, pr . pickproduct(p, pr) & true)
+              & !(exists x . button(x) & true);
+  target CC  :- button("viewcart");
+  target CP  :- button("back");
+  target GBP :- button("logout");
+}
+
+# --- Product detail.
+page PP {
+  options button(x) :- x = "addtocart" | x = "viewcart" | x = "continue"
+                     | x = "buy" | x = "logout";
+  state +cart(p, pr) :- pick(p, pr) & button("addtocart");
+  target CC  :- button("addtocart") | button("viewcart");
+  target UPP :- button("buy");
+  target CP  :- button("continue");
+  target GBP :- button("logout");
+}
+
+# --- Cart contents. (The cartitem options read a state relation with
+# variables, so this page is outside the input-bounded class, as is the
+# authors' own demo.)
+page CC {
+  options cartitem(p, pr) :- cart(p, pr);
+  options button(x) :- x = "empty" | x = "buy" | x = "continue"
+                     | x = "logout";
+  state -cart(p, pr) :- cart(p, pr) & button("empty");
+  target UPP :- button("buy");
+  target CP  :- button("continue");
+  target GBP :- button("logout");
+}
+
+# --- Payment (Example 3.3's payment page).
+page UPP {
+  options payamount(a) :- exists p . pick(p, a) & true;
+  options button(x) :- x = "submit" | x = "back";
+  state +paid(p, a) :- pick(p, a) & payamount(a) & button("submit");
+  target COP :- button("submit");
+  target CC  :- button("back");
+}
+
+# --- Order confirmation (Example 3.3's OCP): confirming fires both the
+# conf and ship actions.
+page COP {
+  options button(x) :- x = "confirmorder" | x = "continue" | x = "logout";
+  action conf(u, a) :- u = name & prev.payamount(a)
+                     & button("confirmorder");
+  action ship(u, p) :- u = name & pickid(p) & button("confirmorder");
+  target VOP :- button("confirmorder");
+  target CP  :- button("continue");
+  target GBP :- button("logout");
+}
+
+# --- View orders.
+page VOP {
+  options orderpick(p, a) :- paid(p, a);
+  options button(x) :- x = "view" | x = "delete" | x = "back" | x = "logout";
+  state +deleted(p) :- (exists a . orderpick(p, a) & true)
+                     & button("delete");
+  target OSP :- (exists p, a . orderpick(p, a) & true) & button("view");
+  target DCP :- (exists p, a . orderpick(p, a) & true) & button("delete");
+  target CP  :- button("back");
+  target GBP :- button("logout");
+}
+
+# --- Order status; cancellation is offered for the order just selected.
+page OSP {
+  options button(x) :- x = "cancel" | x = "back" | x = "logout";
+  state +cancelled(p) :- (exists a . prev.orderpick(p, a) & true)
+                       & button("cancel");
+  action cancel(u, p) :- u = name
+                       & (exists a . prev.orderpick(p, a) & true)
+                       & button("cancel");
+  target CCP :- button("cancel");
+  target VOP :- button("back");
+  target GBP :- button("logout");
+}
+
+page CCP {
+  options button(x) :- x = "continue" | x = "viewcart" | x = "logout";
+  target CP  :- button("continue");
+  target CC  :- button("viewcart");
+  target GBP :- button("logout");
+}
+
+page DCP {
+  options button(x) :- x = "continue" | x = "logout";
+  target VOP :- button("continue");
+  target GBP :- button("logout");
+}
+
+# --- Administrator pages.
+page AP {
+  options button(x) :- x = "pending" | x = "logout";
+  target POP :- button("pending");
+  target GBP :- button("logout");
+}
+
+page POP {
+  options orderpick(p, a) :- paid(p, a) & !shipped(p);
+  options button(x) :- x = "ship" | x = "back" | x = "logout";
+  state +shipped(p) :- (exists a . orderpick(p, a) & true)
+                     & button("ship");
+  action ship(u, p) :- u = name & (exists a . orderpick(p, a) & true)
+                     & button("ship");
+  target SCP :- (exists p, a . orderpick(p, a) & true) & button("ship");
+  target AP  :- button("back");
+  target GBP :- button("logout");
+}
+
+page SCP {
+  options button(x) :- x = "continue" | x = "back" | x = "logout";
+  target POP :- button("continue");
+  target AP  :- button("back");
+  target GBP :- button("logout");
+}
+
+# --- Terminal goodbye page: the session is over.
+page GBP {
+}
+
+home HP;
+error ERR;
+)wsv");
+  return text;
+}
+
+StatusOr<WebService> BuildEcommerceService() {
+  return ParseServiceSpec(EcommerceSpecText());
+}
+
+Instance EcommerceDatabase() {
+  Instance db;
+  auto v = [](const char* s) { return Value::Intern(s); };
+  auto add = [&db](const char* rel, std::vector<Value> t) {
+    Status st = db.AddFact(rel, t);
+    (void)st;
+  };
+  add("user", {v("alice"), v("pw")});
+  add("user", {v("Admin"), v("root")});
+  add("prod_prices", {v("p1"), v("100")});
+  add("prod_prices", {v("p2"), v("200")});
+  add("prod_names", {v("p1"), v("zenbook")});
+  add("prod_names", {v("p2"), v("tower")});
+  add("criteria", {v("laptop"), v("ram"), v("4gb")});
+  add("criteria", {v("laptop"), v("hdd"), v("1tb")});
+  add("criteria", {v("laptop"), v("display"), v("13in")});
+  add("criteria", {v("desktop"), v("ram"), v("8gb")});
+  add("criteria", {v("desktop"), v("hdd"), v("2tb")});
+  add("criteria", {v("desktop"), v("display"), v("24in")});
+  add("prodmatch", {v("p1"), v("laptop"), v("4gb"), v("1tb"), v("13in")});
+  add("prodmatch", {v("p2"), v("desktop"), v("8gb"), v("2tb"), v("24in")});
+  return db;
+}
+
+Instance EcommerceSmallDatabase() {
+  Instance db;
+  auto v = [](const char* s) { return Value::Intern(s); };
+  auto add = [&db](const char* rel, std::vector<Value> t) {
+    Status st = db.AddFact(rel, t);
+    (void)st;
+  };
+  add("user", {v("alice"), v("pw")});
+  add("prod_prices", {v("p1"), v("100")});
+  add("prod_names", {v("p1"), v("zenbook")});
+  add("criteria", {v("laptop"), v("ram"), v("4gb")});
+  add("criteria", {v("laptop"), v("hdd"), v("1tb")});
+  add("criteria", {v("laptop"), v("display"), v("13in")});
+  add("prodmatch", {v("p1"), v("laptop"), v("4gb"), v("1tb"), v("13in")});
+  return db;
+}
+
+const std::string& LoginSpecText() {
+  static const std::string& text = *new std::string(R"wsv(
+# A 3-page input-bounded login service: the quickstart fixture.
+service Login;
+
+database user(uname, upass);
+state error(msg);
+state logged_in;
+input name const;
+input password const;
+input button(label);
+
+page HP {
+  input name, password;
+  options button(x) :- x = "login" | x = "quit";
+  state +error("failed login") :- !user(name, password) & button("login");
+  state +logged_in :- user(name, password) & button("login");
+  target CP :- user(name, password) & button("login");
+  target MP :- !user(name, password) & button("login");
+  # Idling on HP would re-request the input constants (condition ii);
+  # an empty submission ends the session like pressing quit.
+  target BYE :- button("quit") | !(exists x . button(x) & true);
+}
+
+page CP {
+  options button(x) :- x = "logout";
+  target BYE :- button("logout");
+}
+
+page MP {
+}
+
+page BYE {
+}
+
+home HP;
+error ERR;
+)wsv");
+  return text;
+}
+
+StatusOr<WebService> BuildLoginService() {
+  return ParseServiceSpec(LoginSpecText());
+}
+
+Instance LoginDatabase() {
+  Instance db;
+  Status st = db.AddFact(
+      "user", {Value::Intern("alice"), Value::Intern("pw")});
+  (void)st;
+  return db;
+}
+
+StatusOr<WebService> BuildPaperClearLoopService() {
+  // As LoginSpecText, but "quit" is the paper's "clear" looping back to
+  // HP — which re-requests the input constants and triggers condition
+  // (ii) of Definition 2.3.
+  static const char kSpec[] = R"wsv(
+service PaperClearLoop;
+
+database user(uname, upass);
+state error(msg);
+state logged_in;
+input name const;
+input password const;
+input button(label);
+
+page HP {
+  input name, password;
+  options button(x) :- x = "login" | x = "clear";
+  state +error("failed login") :- !user(name, password) & button("login");
+  state +logged_in :- user(name, password) & button("login");
+  target CP :- user(name, password) & button("login");
+  target MP :- !user(name, password) & button("login");
+  target HP :- button("clear");
+}
+
+page CP {
+}
+
+page MP {
+}
+
+home HP;
+error ERR;
+)wsv";
+  return ParseServiceSpec(kSpec);
+}
+
+InputDrivenSearchSpec CatalogSearchSpec() {
+  InputDrivenSearchSpec spec;
+  spec.name = "Catalog";
+  spec.unary_db = {"newDesktop", "usedDesktop", "newLaptop", "usedLaptop"};
+  spec.prop_states = {"new_sel"};
+  SearchPageSpec top;
+  // One page suffices to walk the Figure 1 hierarchy; the `new_sel`
+  // proposition records whether the user descended through "new", and
+  // the leaf condition consults it as in Example 4.8.
+  top.name = "Browse";
+  top.phi =
+      "(y = \"products\") | (y = \"new\") | (y = \"used\")"
+      " | (new_sel & newDesktop(y)) | (!new_sel & usedDesktop(y))"
+      " | (new_sel & newLaptop(y)) | (!new_sel & usedLaptop(y))"
+      " | (y = \"desktops\") | (y = \"laptops\")";
+  top.states.push_back({"new_sel", true, "I(\"new\")"});
+  top.states.push_back({"new_sel", false, "I(\"used\")"});
+  spec.pages.push_back(top);
+  spec.home = "Browse";
+  return spec;
+}
+
+Instance CatalogSearchDatabase(int extra_depth) {
+  Instance db;
+  auto v = [](const char* s) { return Value::Intern(s); };
+  auto edge = [&db](Value a, Value b) {
+    Status st = db.AddFact("RI", {a, b});
+    (void)st;
+  };
+  // Figure 1: products -> {new, used} -> {desktops, laptops}.
+  db.SetConstant("i0", v("products"));
+  edge(v("products"), v("new"));
+  edge(v("products"), v("used"));
+  edge(v("new"), v("desktops"));
+  edge(v("new"), v("laptops"));
+  edge(v("used"), v("desktops"));
+  edge(v("used"), v("laptops"));
+  // In-stock products under the category leaves.
+  edge(v("desktops"), v("d1"));
+  edge(v("laptops"), v("l1"));
+  Status st;
+  st = db.AddFact("newDesktop", {v("d1")});
+  st = db.AddFact("usedDesktop", {v("d1")});
+  st = db.AddFact("newLaptop", {v("l1")});
+  st = db.AddFact("usedLaptop", {v("l1")});
+  (void)st;
+  // Optional deeper chain below d1 for scaling benches.
+  Value prev = v("d1");
+  for (int i = 0; i < extra_depth; ++i) {
+    Value next = Value::Intern("d1_" + std::to_string(i));
+    edge(prev, next);
+    Status s2 = db.AddFact("newDesktop", {next});
+    (void)s2;
+    prev = next;
+  }
+  return db;
+}
+
+}  // namespace wsv

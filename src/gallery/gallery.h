@@ -1,0 +1,61 @@
+// Ready-made example services and databases.
+//
+// The centerpiece is the paper's running example (Example 2.2 /
+// Figure 2): the complete e-commerce site, reconstructed page-by-page
+// from the WebML map in the appendix, written in the .wsv surface syntax
+// and parsed by ws/spec_parser.h. Sessions are modeled per Remark 3.6:
+// one user from login to logout (logout leads to a terminal goodbye page
+// instead of re-requesting the name/password input constants, which
+// Definition 2.3's condition (ii) would flag as an error).
+//
+// EcommercePaperHomePage() keeps the paper's literal HP with the
+// clear -> HP self-loop; under the formal semantics that re-requests the
+// input constants and is *not* error-free — a nice verifier demo.
+
+#ifndef WSV_GALLERY_GALLERY_H_
+#define WSV_GALLERY_GALLERY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/instance.h"
+#include "verify/search_verifier.h"
+#include "ws/service.h"
+
+namespace wsv {
+
+/// The .wsv source of the full e-commerce service (20 pages).
+const std::string& EcommerceSpecText();
+
+/// Parses and validates the e-commerce service.
+StatusOr<WebService> BuildEcommerceService();
+
+/// A small product/user database for the service: two users (one the
+/// Admin), one laptop and one desktop with search criteria.
+Instance EcommerceDatabase();
+
+/// A minimal database for verification: one user (alice), one laptop.
+/// The configuration graph over it is an order of magnitude smaller than
+/// over EcommerceDatabase(), which matters for the PSPACE-ish search.
+Instance EcommerceSmallDatabase();
+
+/// A 3-page, input-bounded login service used by the quickstart example
+/// and as a small test fixture.
+const std::string& LoginSpecText();
+StatusOr<WebService> BuildLoginService();
+Instance LoginDatabase();
+
+/// A variant of the login service whose home page keeps the paper's
+/// literal clear -> HP self-loop (re-requesting the input constants):
+/// not error-free under Definition 2.3.
+StatusOr<WebService> BuildPaperClearLoopService();
+
+/// Example 4.8 / Figure 1: the input-driven-search catalog service over
+/// the product-category hierarchy, plus a database containing the
+/// Figure 1 graph.
+InputDrivenSearchSpec CatalogSearchSpec();
+Instance CatalogSearchDatabase(int extra_depth = 0);
+
+}  // namespace wsv
+
+#endif  // WSV_GALLERY_GALLERY_H_

@@ -1,0 +1,120 @@
+// Temporal formulas: LTL-FO (Definition 3.1) and CTL(*)-FO (Definition
+// A.3) share one AST.
+//
+// A temporal formula is built from FO *leaves* (full first-order formulas
+// over the service vocabulary, including page propositions) using boolean
+// connectives, the temporal operators X (next), U (until), and B
+// ("before", the dual of U: phi B psi == !( !phi U !psi ), the release
+// operator), and — for branching time — the path quantifiers E and A.
+// G and F are sugar: G phi == false B phi, F phi == true U phi; the
+// parser desugars them and the printer re-sugars.
+//
+// Quantifiers cannot span temporal operators (per the paper); a property
+// is closed by a leading universal closure over its free variables,
+// carried in TemporalProperty::universal_vars.
+
+#ifndef WSV_LTL_LTL_H_
+#define WSV_LTL_LTL_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fo/formula.h"
+#include "relational/schema.h"
+
+namespace wsv {
+
+class TFormula;
+using TFormulaPtr = std::shared_ptr<const TFormula>;
+
+class TFormula {
+ public:
+  enum class Kind {
+    kFo,   // FO leaf
+    kNot,
+    kAnd,
+    kOr,
+    kX,    // next
+    kU,    // until (binary)
+    kB,    // before/release (binary)
+    kE,    // exists a continuation (path quantifier)
+    kA,    // all continuations
+  };
+
+  static TFormulaPtr Fo(FormulaPtr f);
+  static TFormulaPtr Not(TFormulaPtr f);
+  static TFormulaPtr And(std::vector<TFormulaPtr> fs);
+  static TFormulaPtr And(TFormulaPtr a, TFormulaPtr b);
+  static TFormulaPtr Or(std::vector<TFormulaPtr> fs);
+  static TFormulaPtr Or(TFormulaPtr a, TFormulaPtr b);
+  static TFormulaPtr Implies(TFormulaPtr a, TFormulaPtr b);
+  static TFormulaPtr X(TFormulaPtr f);
+  static TFormulaPtr U(TFormulaPtr lhs, TFormulaPtr rhs);
+  static TFormulaPtr B(TFormulaPtr lhs, TFormulaPtr rhs);
+  /// F phi == true U phi.
+  static TFormulaPtr F(TFormulaPtr f);
+  /// G phi == false B phi.
+  static TFormulaPtr G(TFormulaPtr f);
+  static TFormulaPtr E(TFormulaPtr f);
+  static TFormulaPtr A(TFormulaPtr f);
+
+  Kind kind() const { return kind_; }
+  /// Valid only for kFo.
+  const FormulaPtr& fo() const { return fo_; }
+  const std::vector<TFormulaPtr>& children() const { return children_; }
+  /// Binary operators: lhs/rhs aliases.
+  const TFormulaPtr& lhs() const { return children_[0]; }
+  const TFormulaPtr& rhs() const { return children_[1]; }
+
+  /// Free variables across all FO leaves.
+  std::set<std::string> FreeVariables() const;
+  /// All distinct FO leaves, in syntactic order (shared structure
+  /// deduplicated by pointer).
+  std::vector<FormulaPtr> FoLeaves() const;
+  /// All literal values in FO leaves.
+  std::set<Value> Literals() const;
+
+  /// True iff no path quantifier occurs (the LTL-FO fragment).
+  bool IsLtl() const;
+  /// True iff the formula is in CTL-FO: path quantifiers and temporal
+  /// operators come in E/A + X/U/B pairs (Definition A.3's restricted
+  /// formation rule).
+  bool IsCtl() const;
+  /// True iff every FO leaf is a proposition (arity-0 atom, true/false).
+  bool IsPropositional() const;
+
+  std::string ToString() const;
+
+ protected:
+  explicit TFormula(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+  FormulaPtr fo_;
+  std::vector<TFormulaPtr> children_;
+};
+
+/// A temporal property: the universal closure forall x . phi(x) of a
+/// temporal formula. For sentences, universal_vars is empty.
+struct TemporalProperty {
+  std::vector<std::string> universal_vars;
+  TFormulaPtr formula;
+
+  std::string ToString() const;
+};
+
+/// Pushes negations to the FO leaves: !X = X!, !(aUb) = !a B !b,
+/// !(aBb) = !a U !b, !E = A!, !A = E!, de Morgan on and/or. The result
+/// contains kNot only directly above kFo leaves (folded into the leaf).
+TFormulaPtr ToNegationNormalForm(const TFormula& f);
+
+/// Checks the input-bounded restriction on every FO leaf (Section 3).
+Status CheckInputBoundedProperty(const TemporalProperty& prop,
+                                 const Vocabulary& vocab);
+
+}  // namespace wsv
+
+#endif  // WSV_LTL_LTL_H_

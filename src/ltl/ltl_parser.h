@@ -1,0 +1,40 @@
+// Parser for temporal properties (LTL-FO and CTL(*)-FO).
+//
+// Grammar (loosest to tightest):
+//
+//   property  := ['forall' vars '.'] implies
+//   implies   := or ['->' implies]
+//   or        := and ('|' and)*
+//   and       := until ('&' until)*
+//   until     := unary [('U'|'B') until]          (right associative)
+//   unary     := ('!'|'X'|'F'|'G'|'E'|'A') unary
+//              | ('exists'|'forall') vars '.' unary    (pure FO only)
+//              | '(' implies ')'
+//              | FO atom / equality / true / false
+//
+// The single-letter identifiers X, F, G, U, B, E, A are reserved
+// operators in property syntax and cannot name relations or variables
+// inside properties. Maximal pure-FO subtrees are coalesced into single
+// FO leaves, and a leading 'forall' becomes the property's universal
+// closure. FO quantifiers whose body contains a temporal operator are
+// rejected (quantification cannot span temporal operators).
+
+#ifndef WSV_LTL_LTL_PARSER_H_
+#define WSV_LTL_LTL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "ltl/ltl.h"
+#include "relational/schema.h"
+
+namespace wsv {
+
+/// Parses a complete temporal property. `vocab` may be nullptr (no atom
+/// checking).
+StatusOr<TemporalProperty> ParseTemporalProperty(std::string_view text,
+                                                 const Vocabulary* vocab);
+
+}  // namespace wsv
+
+#endif  // WSV_LTL_LTL_PARSER_H_

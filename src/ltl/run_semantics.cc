@@ -1,0 +1,215 @@
+#include "ltl/run_semantics.h"
+
+#include <set>
+
+namespace wsv {
+
+std::string LassoRun::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i == loop_start) out += "--- loop ---\n";
+    out += "step " + std::to_string(i) + ": " + steps[i].ToString() + "\n";
+  }
+  return out;
+}
+
+StatusOr<bool> EvalFoAtStep(const Formula& leaf, const TraceView& step,
+                            const Instance& database,
+                            const WebService& service,
+                            const Valuation& valuation) {
+  // Condition (a): input constants of the sentence must be in kappa_i.
+  for (const std::string& c : leaf.ConstantSymbols()) {
+    if (service.vocab().IsInputConstant(c) && step.kappa->count(c) == 0) {
+      return false;
+    }
+  }
+  // Page propositions: the current page is true, all others false.
+  Instance pages;
+  for (const RelationSymbol& sym :
+       service.vocab().RelationsOfKind(SymbolKind::kPage)) {
+    (void)pages.EnsureRelation(sym.name, 0);
+    pages.MutableRelation(sym.name)->SetBool(sym.name == *step.page);
+  }
+  EvalContext ctx;
+  ctx.AddLayer(step.inputs);
+  ctx.AddLayer(step.state);
+  ctx.AddLayer(step.actions);
+  ctx.AddLayer(&pages);
+  ctx.AddLayer(&database);
+  ctx.SetPrevLayer(step.prev_inputs);
+  for (const auto& [name, v] : *step.kappa) ctx.SetConstant(name, v);
+  for (Value v : leaf.Literals()) ctx.AddDomainValue(v);
+  for (const auto& [var, v] : valuation) ctx.AddDomainValue(v);
+  return Evaluate(leaf, ctx, valuation);
+}
+
+StatusOr<bool> EvalFoAtStep(const Formula& leaf, const TraceStep& step,
+                            const Instance& database,
+                            const WebService& service,
+                            const Valuation& valuation) {
+  TraceView view;
+  view.page = &step.page;
+  view.state = &step.state;
+  view.inputs = &step.inputs;
+  view.prev_inputs = &step.prev_inputs;
+  view.actions = &step.actions;
+  view.kappa = &step.kappa;
+  return EvalFoAtStep(leaf, view, database, service, valuation);
+}
+
+namespace {
+
+size_t NextPos(const LassoRun& run, size_t i) {
+  return i + 1 < run.steps.size() ? i + 1 : run.loop_start;
+}
+
+class LassoEvaluator {
+ public:
+  LassoEvaluator(const LassoRun& run, const Instance& database,
+                 const WebService& service, const Valuation& valuation)
+      : run_(run),
+        database_(database),
+        service_(service),
+        valuation_(valuation) {}
+
+  StatusOr<std::vector<char>> Truth(const TFormula& f) {
+    const size_t n = run_.steps.size();
+    switch (f.kind()) {
+      case TFormula::Kind::kFo: {
+        std::vector<char> v(n);
+        for (size_t i = 0; i < n; ++i) {
+          WSV_ASSIGN_OR_RETURN(bool b,
+                               EvalFoAtStep(*f.fo(), run_.steps[i],
+                                            database_, service_, valuation_));
+          v[i] = b ? 1 : 0;
+        }
+        return v;
+      }
+      case TFormula::Kind::kNot: {
+        WSV_ASSIGN_OR_RETURN(std::vector<char> sub, Truth(*f.children()[0]));
+        for (char& b : sub) b = b ? 0 : 1;
+        return sub;
+      }
+      case TFormula::Kind::kAnd:
+      case TFormula::Kind::kOr: {
+        bool is_and = f.kind() == TFormula::Kind::kAnd;
+        std::vector<char> acc(n, is_and ? 1 : 0);
+        for (const TFormulaPtr& c : f.children()) {
+          WSV_ASSIGN_OR_RETURN(std::vector<char> sub, Truth(*c));
+          for (size_t i = 0; i < n; ++i) {
+            acc[i] = is_and ? (acc[i] && sub[i]) : (acc[i] || sub[i]);
+          }
+        }
+        return acc;
+      }
+      case TFormula::Kind::kX: {
+        WSV_ASSIGN_OR_RETURN(std::vector<char> sub, Truth(*f.children()[0]));
+        std::vector<char> v(n);
+        for (size_t i = 0; i < n; ++i) v[i] = sub[NextPos(run_, i)];
+        return v;
+      }
+      case TFormula::Kind::kU:
+      case TFormula::Kind::kB: {
+        WSV_ASSIGN_OR_RETURN(std::vector<char> l, Truth(*f.lhs()));
+        WSV_ASSIGN_OR_RETURN(std::vector<char> r, Truth(*f.rhs()));
+        // U is the least fixpoint of  Z = r | (l & X Z); B ("before",
+        // i.e. release) the greatest fixpoint of  Z = r & (l | X Z).
+        bool is_until = f.kind() == TFormula::Kind::kU;
+        std::vector<char> v(n, is_until ? 0 : 1);
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (size_t k = n; k-- > 0;) {
+            char next = v[NextPos(run_, k)];
+            char nv = is_until ? (r[k] || (l[k] && next))
+                               : (r[k] && (l[k] || next));
+            if (nv != v[k]) {
+              v[k] = nv;
+              changed = true;
+            }
+          }
+        }
+        return v;
+      }
+      case TFormula::Kind::kE:
+      case TFormula::Kind::kA:
+        return Status::InvalidArgument(
+            "path quantifier in LTL evaluation: " + f.ToString());
+    }
+    return Status::Internal("bad temporal kind");
+  }
+
+ private:
+  const LassoRun& run_;
+  const Instance& database_;
+  const WebService& service_;
+  const Valuation& valuation_;
+};
+
+// The run's active domain for closure-variable valuations.
+std::vector<Value> RunDomain(const LassoRun& run, const Instance& database,
+                             const TFormula& formula) {
+  std::set<Value> dom(database.domain().begin(), database.domain().end());
+  for (const TraceStep& step : run.steps) {
+    for (const Instance* inst :
+         {&step.state, &step.inputs, &step.prev_inputs, &step.actions}) {
+      dom.insert(inst->domain().begin(), inst->domain().end());
+    }
+    for (const auto& [name, v] : step.kappa) dom.insert(v);
+  }
+  std::set<Value> lits = formula.Literals();
+  dom.insert(lits.begin(), lits.end());
+  return std::vector<Value>(dom.begin(), dom.end());
+}
+
+}  // namespace
+
+StatusOr<bool> EvaluateLtlOnLassoWithValuation(const TFormula& formula,
+                                               const LassoRun& run,
+                                               const Instance& database,
+                                               const WebService& service,
+                                               const Valuation& valuation) {
+  if (run.steps.empty() || run.loop_start >= run.steps.size()) {
+    return Status::InvalidArgument("malformed lasso run");
+  }
+  LassoEvaluator eval(run, database, service, valuation);
+  WSV_ASSIGN_OR_RETURN(std::vector<char> v, eval.Truth(formula));
+  return v[0] != 0;
+}
+
+StatusOr<bool> EvaluateLtlOnLasso(const TemporalProperty& prop,
+                                  const LassoRun& run,
+                                  const Instance& database,
+                                  const WebService& service) {
+  if (!prop.formula->IsLtl()) {
+    return Status::InvalidArgument(
+        "property contains path quantifiers; use the branching-time "
+        "checkers");
+  }
+  std::vector<Value> domain = RunDomain(run, database, *prop.formula);
+  const std::vector<std::string>& vars = prop.universal_vars;
+  if (vars.empty()) {
+    return EvaluateLtlOnLassoWithValuation(*prop.formula, run, database,
+                                           service, {});
+  }
+  if (domain.empty()) return true;  // no valuations to check
+  std::vector<size_t> idx(vars.size(), 0);
+  while (true) {
+    Valuation val;
+    for (size_t i = 0; i < vars.size(); ++i) val[vars[i]] = domain[idx[i]];
+    WSV_ASSIGN_OR_RETURN(
+        bool holds, EvaluateLtlOnLassoWithValuation(*prop.formula, run,
+                                                    database, service, val));
+    if (!holds) return false;
+    size_t k = 0;
+    while (k < idx.size()) {
+      if (++idx[k] < domain.size()) break;
+      idx[k] = 0;
+      ++k;
+    }
+    if (k == idx.size()) break;
+  }
+  return true;
+}
+
+}  // namespace wsv

@@ -1,0 +1,63 @@
+// The functional/inclusion dependency reduction of Theorem 3.8.
+//
+// Allowing state *projection* rules (+S(x) :- exists y . S'(x, y)) makes
+// LTL-FO verification undecidable, by reduction from the implication
+// problem for functional and inclusion dependencies (Chandra-Vardi). The
+// generated service lets the user pump tuples into a state relation S
+// through an input relation, then signal `done`; projection rules
+// materialize the projections each dependency talks about, and violation
+// flags light up two steps later. The property
+//
+//   forall x, a1, a2 .
+//     G(!done) | (F(done) & (F(viol) | G(!SbarF(x, a1, a2))))
+//
+// holds iff Sigma implies f on the (bounded) instances explored.
+//
+// FdImplies is a ground-truth oracle for the FD-only case (attribute-set
+// closure); tests use it plus hand-picked ID cases.
+
+#ifndef WSV_REDUCTIONS_FDID_H_
+#define WSV_REDUCTIONS_FDID_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ltl/ltl.h"
+#include "ws/service.h"
+
+namespace wsv {
+
+/// A functional dependency X -> A over column indices of S.
+struct Fd {
+  std::vector<int> lhs;
+  int rhs = 0;
+};
+
+/// An inclusion dependency S[X] \subseteq S[Y] over column indices.
+struct Ind {
+  std::vector<int> lhs;
+  std::vector<int> rhs;
+};
+
+struct FdidInstance {
+  int arity = 2;            // arity of S
+  std::vector<Fd> fds;      // Sigma's FDs
+  std::vector<Ind> inds;    // Sigma's INDs
+  Fd goal;                  // f, the dependency to test
+};
+
+/// FD-only implication via attribute closure (ignores inds).
+bool FdImplies(const FdidInstance& instance);
+
+struct FdidReduction {
+  WebService service;
+  TemporalProperty property;
+};
+
+/// Builds the Theorem 3.8 service and property for the instance.
+StatusOr<FdidReduction> BuildFdidReduction(const FdidInstance& instance);
+
+}  // namespace wsv
+
+#endif  // WSV_REDUCTIONS_FDID_H_

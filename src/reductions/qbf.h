@@ -1,0 +1,77 @@
+// The QBF reduction behind PSPACE-hardness of error-freeness
+// (Lemma A.6).
+//
+// For a quantified boolean formula phi, BuildQbfService constructs the
+// input-bounded Web service W_phi whose home page offers two unary
+// inputs I0, I1 with options drawn from a unary database relation R, and
+// two target rules that *both* fire — an ambiguity error — exactly when
+// I0 = {"0"}, I1 = {"1"}, and the FO translation of phi holds. Hence
+// W_phi is error-free iff phi is false, which makes error-freeness
+// PSPACE-hard. The FO translation maps boolean quantification to
+// input-guarded quantification over the two chosen values:
+//     x            ~>  x = "1"
+//     exists x phi ~>  (exists x . I0(x) & phi') |
+//                      (exists x . I1(x) & phi')
+// (the guard is split across the two input atoms to stay within the
+// strict input-bounded quantifier shape).
+//
+// EvaluateQbf is a direct exponential-time evaluator used by the tests
+// and benches as ground truth.
+
+#ifndef WSV_REDUCTIONS_QBF_H_
+#define WSV_REDUCTIONS_QBF_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ws/service.h"
+
+namespace wsv {
+
+class Qbf;
+using QbfPtr = std::shared_ptr<const Qbf>;
+
+/// Quantified boolean formulas over named variables (connectives are
+/// closed under Not/And/Or; quantifiers bind one variable).
+class Qbf {
+ public:
+  enum class Kind { kVar, kNot, kAnd, kOr, kExists, kForall };
+
+  static QbfPtr Var(std::string name);
+  static QbfPtr Not(QbfPtr f);
+  static QbfPtr And(QbfPtr a, QbfPtr b);
+  static QbfPtr Or(QbfPtr a, QbfPtr b);
+  static QbfPtr Exists(std::string var, QbfPtr body);
+  static QbfPtr Forall(std::string var, QbfPtr body);
+
+  Kind kind() const { return kind_; }
+  const std::string& var() const { return var_; }
+  const std::vector<QbfPtr>& children() const { return children_; }
+
+  std::string ToString() const;
+
+ protected:
+  explicit Qbf(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+  std::string var_;
+  std::vector<QbfPtr> children_;
+};
+
+/// Direct evaluation (closed formulas only).
+StatusOr<bool> EvaluateQbf(const Qbf& f);
+
+/// The Lemma A.6 service; error-free iff the formula is false.
+StatusOr<WebService> BuildQbfService(const Qbf& f);
+
+/// A pseudo-random closed prenex QBF with `vars` alternating quantifiers
+/// over a random 3-ish-CNF-shaped matrix; used by the benches.
+QbfPtr RandomQbf(int vars, int clauses, uint64_t seed);
+
+}  // namespace wsv
+
+#endif  // WSV_REDUCTIONS_QBF_H_

@@ -1,0 +1,177 @@
+#include "reductions/turing.h"
+
+#include <map>
+
+#include "common/str_util.h"
+#include "ltl/ltl_parser.h"
+#include "ws/builder.h"
+
+namespace wsv {
+
+bool SimulateTm(const TuringMachine& tm, int max_steps) {
+  std::map<std::pair<std::string, std::string>, const TuringMachine::Move*>
+      delta;
+  for (const TuringMachine::Move& m : tm.moves) {
+    delta[{m.state, m.read}] = &m;
+  }
+  std::vector<std::string> tape{tm.blank};
+  size_t head = 0;
+  std::string state = tm.start;
+  for (int step = 0; step < max_steps; ++step) {
+    if (state == tm.halt) return true;
+    auto it = delta.find({state, tape[head]});
+    if (it == delta.end()) return false;  // stuck, never halts
+    const TuringMachine::Move& m = *it->second;
+    tape[head] = m.write;
+    state = m.next_state;
+    switch (m.dir) {
+      case TuringMachine::Dir::kLeft:
+        if (head > 0) --head;
+        break;
+      case TuringMachine::Dir::kRight:
+        ++head;
+        if (head == tape.size()) tape.push_back(tm.blank);
+        break;
+      case TuringMachine::Dir::kStay:
+        break;
+    }
+  }
+  return state == tm.halt;
+}
+
+namespace {
+
+std::string Lit(const std::string& s) { return "\"" + s + "\""; }
+
+}  // namespace
+
+StatusOr<WebService> BuildTuringService(const TuringMachine& tm) {
+  bool has_left = false;
+  bool has_right_or_stay = false;
+  for (const TuringMachine::Move& m : tm.moves) {
+    if (m.dir == TuringMachine::Dir::kLeft) {
+      has_left = true;
+    } else {
+      has_right_or_stay = true;
+    }
+  }
+
+  ServiceBuilder b("Turing");
+  b.Database("D", 1);
+  b.Constant("min");
+  b.State("T", 4);
+  b.State("Cell", 1);
+  b.State("Max", 1);
+  b.State("Head", 1);
+  b.State("initialized", 0);
+  b.Input("I", 1);
+  if (has_right_or_stay) b.Input("H", 4);
+  if (has_left) b.Input("HL", 7);
+
+  const std::string kMarker = Lit("#");
+
+  // ---- Initialization page: the user allocates tape cells. ----------
+  {
+    PageBuilder init = b.Page("Init");
+    init.Options("I(y)", "D(y) & y != min & !Cell(y)");
+    init.Insert("T(x1, x2, x3, x4)",
+                "(x1 = min & I(x2) & !initialized & x3 = " + Lit(tm.blank) +
+                    " & x4 = " + Lit(tm.start) + ") | (I(x2) & Max(x1) & "
+                    "initialized & x3 = " + Lit(tm.blank) + " & x4 = " +
+                    kMarker + ")");
+    init.Insert("Cell(x1)", "I(x1) | (x1 = min & !initialized)");
+    init.Insert("Head(x1)", "x1 = min & !initialized");
+    init.Insert("initialized", "!initialized");
+    init.Insert("Max(x1)", "I(x1)");
+    init.Delete("Max(x1)", "Max(x1) & (exists y . I(y) & true)");
+    init.Target("Sim", "!(exists y . I(y) & true)");
+  }
+
+  // ---- Simulation page: inputs copy the head configuration. ---------
+  {
+    PageBuilder sim = b.Page("Sim");
+
+    std::vector<std::string> h_conds, hl_conds;
+    std::vector<std::string> t_ins, t_del, head_ins, head_del;
+    for (const TuringMachine::Move& m : tm.moves) {
+      std::string a = Lit(m.read), q = Lit(m.state), w = Lit(m.write),
+                  r = Lit(m.next_state);
+      switch (m.dir) {
+        case TuringMachine::Dir::kStay:
+          h_conds.push_back("(u = " + a + " & p = " + q + ")");
+          t_del.push_back("(H(x1, x2, x3, x4) & x3 = " + a +
+                          " & x4 = " + q + ")");
+          t_ins.push_back("(H(x1, x2, " + a + ", " + q + ") & x3 = " + w +
+                          " & x4 = " + r + ")");
+          break;
+        case TuringMachine::Dir::kRight:
+          h_conds.push_back("(u = " + a + " & p = " + q + ")");
+          // The head tuple is rewritten to (w, #); the next cell's
+          // marker tuple takes the new control state r; the head moves
+          // to the next cell.
+          t_del.push_back("(H(x1, x2, x3, x4) & x3 = " + a +
+                          " & x4 = " + q + ")");
+          t_del.push_back("((exists x . H(x, x1, " + a + ", " + q +
+                          ") & true) & x4 = " + kMarker + ")");
+          t_ins.push_back("(H(x1, x2, " + a + ", " + q + ") & x3 = " + w +
+                          " & x4 = " + kMarker + ")");
+          t_ins.push_back("((exists x . H(x, x1, " + a + ", " + q +
+                          ") & true) & T(x1, x2, x3, " + kMarker +
+                          ") & x4 = " + r + ")");
+          head_del.push_back("(exists y . H(x1, y, " + a + ", " + q +
+                             ") & true)");
+          head_ins.push_back("(exists x . H(x, x1, " + a + ", " + q +
+                             ") & true)");
+          break;
+        case TuringMachine::Dir::kLeft:
+          hl_conds.push_back("(u = " + a + " & p = " + q + ")");
+          // HL(xp, up, pp, x, y, u, p): head at x with successor y, the
+          // predecessor tuple is T(xp, x, up, pp).
+          t_del.push_back("((exists xp, up, pp . HL(xp, up, pp, x1, x2, " +
+                          a + ", " + q + ") & true) & x3 = " + a +
+                          " & x4 = " + q + ")");
+          t_del.push_back("((exists y . HL(x1, x3, x4, x2, y, " + a + ", " +
+                          q + ") & true) & x4 = " + kMarker + ")");
+          t_ins.push_back("((exists xp, up, pp . HL(xp, up, pp, x1, x2, " +
+                          a + ", " + q + ") & true) & x3 = " + w +
+                          " & x4 = " + kMarker + ")");
+          t_ins.push_back("((exists y, pp . HL(x1, x3, pp, x2, y, " + a +
+                          ", " + q + ") & true) & x4 = " + r + ")");
+          head_del.push_back("(exists xp, up, pp, y . HL(xp, up, pp, x1, y, " +
+                             a + ", " + q + ") & true)");
+          head_ins.push_back("(exists up, pp, x, y . HL(x1, up, pp, x, y, " +
+                             a + ", " + q + ") & true)");
+          break;
+      }
+    }
+    if (has_right_or_stay) {
+      sim.Options("H(x, y, u, p)", "Head(x) & T(x, y, u, p) & (" +
+                                       Join(h_conds, " | ") + ")");
+    }
+    if (has_left) {
+      sim.Options("HL(xp, up, pp, x, y, u, p)",
+                  "Head(x) & T(x, y, u, p) & T(xp, x, up, pp) & (" +
+                      Join(hl_conds, " | ") + ")");
+    }
+    if (!t_ins.empty()) {
+      sim.Insert("T(x1, x2, x3, x4)", Join(t_ins, " | "));
+    }
+    if (!t_del.empty()) {
+      sim.Delete("T(x1, x2, x3, x4)", Join(t_del, " | "));
+    }
+    if (!head_ins.empty()) sim.Insert("Head(x1)", Join(head_ins, " | "));
+    if (!head_del.empty()) sim.Delete("Head(x1)", Join(head_del, " | "));
+  }
+
+  b.Home("Init").Error("ERR");
+  return b.Build();
+}
+
+StatusOr<TemporalProperty> TuringNonHaltingProperty(
+    const TuringMachine& tm, const WebService& service) {
+  return ParseTemporalProperty(
+      "forall x, y, u . G(!T(x, y, u, " + Lit(tm.halt) + "))",
+      &service.vocab());
+}
+
+}  // namespace wsv

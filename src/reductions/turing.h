@@ -1,0 +1,62 @@
+// The Turing machine reduction of Theorem 3.7.
+//
+// Relaxing input-boundedness by allowing state atoms with variables in
+// input-option rules makes LTL-FO verification undecidable. The proof
+// encodes a deterministic TM with a left-bounded tape: a run first lets
+// the user allocate tape cells (fresh domain elements chained after the
+// database constant `min`), then simulates moves through a 4-ary state
+// relation T(cell, next_cell, symbol, head_state) driven by inputs that
+// copy the head tuple (the paper's H input, plus a 7-ary HL variant
+// carrying the predecessor cell so left moves stay input-bounded in the
+// state rules — only the *options* rules leave the decidable class, as
+// the theorem requires).
+//
+// The machine halts on the empty input iff some run over some database
+// reaches a configuration with the halting state, i.e. iff
+//     forall x, y, u . G(!T(x, y, u, "<halt>"))
+// is violated. BuildTuringService produces the service; SimulateTm is
+// the ground-truth simulator used by tests.
+
+#ifndef WSV_REDUCTIONS_TURING_H_
+#define WSV_REDUCTIONS_TURING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ltl/ltl.h"
+#include "ws/service.h"
+
+namespace wsv {
+
+struct TuringMachine {
+  enum class Dir { kLeft, kRight, kStay };
+  struct Move {
+    std::string state;
+    std::string read;
+    std::string write;
+    std::string next_state;
+    Dir dir = Dir::kStay;
+  };
+
+  std::string start = "q0";
+  std::string halt = "qH";
+  std::string blank = "b";
+  std::vector<Move> moves;  // deterministic: one move per (state, read)
+};
+
+/// Simulates the machine on the empty (all-blank) tape; returns true iff
+/// it reaches the halting state within `max_steps`.
+bool SimulateTm(const TuringMachine& tm, int max_steps);
+
+/// The Theorem 3.7 service encoding the machine.
+StatusOr<WebService> BuildTuringService(const TuringMachine& tm);
+
+/// The property  forall x, y, u . G(!T(x, y, u, "<halt>")); the machine
+/// halts (on some sufficiently large database) iff it is violated.
+StatusOr<TemporalProperty> TuringNonHaltingProperty(
+    const TuringMachine& tm, const WebService& service);
+
+}  // namespace wsv
+
+#endif  // WSV_REDUCTIONS_TURING_H_

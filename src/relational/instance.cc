@@ -1,0 +1,87 @@
+#include "relational/instance.h"
+
+#include <algorithm>
+
+namespace wsv {
+
+bool Relation::Insert(const Tuple& t) {
+  if (static_cast<int>(t.size()) != arity_) return false;
+  tuples_.insert(t);
+  return true;
+}
+
+void Relation::Erase(const Tuple& t) { tuples_.erase(t); }
+
+void Relation::SetBool(bool b) {
+  tuples_.clear();
+  if (b) tuples_.insert(Tuple{});
+}
+
+std::string Relation::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Tuple& t : tuples_) {
+    if (!first) out += ", ";
+    first = false;
+    out += TupleToString(t);
+  }
+  out += "}";
+  return out;
+}
+
+Status Instance::EnsureRelation(const std::string& name, int arity) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    if (it->second.arity() != arity) {
+      return Status::InvalidArgument(
+          "relation " + name + " already exists with arity " +
+          std::to_string(it->second.arity()));
+    }
+    return Status::OK();
+  }
+  relations_.emplace(name, Relation(arity));
+  return Status::OK();
+}
+
+const Relation* Instance::FindRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return nullptr;
+  return &it->second;
+}
+
+Relation* Instance::MutableRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return nullptr;
+  return &it->second;
+}
+
+Status Instance::AddFact(const std::string& name, const Tuple& t) {
+  WSV_RETURN_IF_ERROR(EnsureRelation(name, static_cast<int>(t.size())));
+  relations_.at(name).Insert(t);
+  for (Value v : t) domain_.insert(v);
+  return Status::OK();
+}
+
+void Instance::SetConstant(const std::string& name, Value v) {
+  constants_[name] = v;
+  domain_.insert(v);
+}
+
+std::optional<Value> Instance::FindConstant(const std::string& name) const {
+  auto it = constants_.find(name);
+  if (it == constants_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Instance::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : relations_) {
+    out += name + " = " + rel.ToString() + "\n";
+  }
+  for (const auto& [name, v] : constants_) {
+    out += name + " := " + v.name() + "\n";
+  }
+  return out;
+}
+
+}  // namespace wsv

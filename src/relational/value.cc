@@ -1,0 +1,76 @@
+#include "relational/value.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace wsv {
+
+namespace {
+
+// Process-wide interner. Entries are never removed, so returned ids and
+// name references stay valid for the program lifetime. The table is a
+// function-local static pointer (never destroyed) per the style rules on
+// static storage duration.
+struct Interner {
+  std::mutex mu;
+  std::unordered_map<std::string, int32_t> ids;
+  std::vector<const std::string*> names;  // id -> name (stable pointers)
+  int64_t fresh_counter = 0;
+};
+
+Interner& GetInterner() {
+  static Interner& interner = *new Interner();
+  return interner;
+}
+
+}  // namespace
+
+Value Value::Intern(std::string_view name) {
+  Interner& in = GetInterner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  auto it = in.ids.find(std::string(name));
+  if (it != in.ids.end()) return Value(it->second);
+  int32_t id = static_cast<int32_t>(in.names.size());
+  auto inserted = in.ids.emplace(std::string(name), id).first;
+  in.names.push_back(&inserted->first);
+  return Value(id);
+}
+
+Value Value::Fresh(std::string_view prefix) {
+  Interner& in = GetInterner();
+  while (true) {
+    int64_t n;
+    {
+      std::lock_guard<std::mutex> lock(in.mu);
+      n = in.fresh_counter++;
+    }
+    std::string candidate = std::string(prefix) + std::to_string(n);
+    {
+      std::lock_guard<std::mutex> lock(in.mu);
+      if (in.ids.find(candidate) == in.ids.end()) {
+        int32_t id = static_cast<int32_t>(in.names.size());
+        auto inserted = in.ids.emplace(std::move(candidate), id).first;
+        in.names.push_back(&inserted->first);
+        return Value(id);
+      }
+    }
+  }
+}
+
+const std::string& Value::name() const {
+  Interner& in = GetInterner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  return *in.names[static_cast<size_t>(id_)];
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].valid() ? t[i].name() : std::string("<invalid>");
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace wsv

@@ -1,0 +1,136 @@
+#include "runtime/interpreter.h"
+
+namespace wsv {
+
+const UserChoice* ScriptedInputProvider::Current() const {
+  if (step_ >= script_.size()) return nullptr;
+  return &script_[step_];
+}
+
+StatusOr<std::map<std::string, Value>> ScriptedInputProvider::ProvideConstants(
+    const Config& config, const std::vector<std::string>& requested) {
+  (void)config;
+  std::map<std::string, Value> out;
+  const UserChoice* cur = Current();
+  for (const std::string& c : requested) {
+    if (cur != nullptr) {
+      auto it = cur->constant_values.find(c);
+      if (it != cur->constant_values.end()) {
+        out[c] = it->second;
+        continue;
+      }
+    }
+    return Status::InvalidArgument(
+        "script provides no value for input constant " + c + " at step " +
+        std::to_string(step_));
+  }
+  advanced_constants_ = true;
+  return out;
+}
+
+StatusOr<UserChoice> ScriptedInputProvider::ChooseInputs(
+    const Config& config, const PageSchema& page,
+    const std::map<std::string, std::set<Tuple>>& options) {
+  (void)config;
+  (void)page;
+  (void)options;
+  UserChoice out;
+  const UserChoice* cur = Current();
+  if (cur != nullptr) {
+    out.relation_choices = cur->relation_choices;
+    out.proposition_choices = cur->proposition_choices;
+  }
+  ++step_;
+  advanced_constants_ = false;
+  return out;
+}
+
+StatusOr<std::map<std::string, Value>> RandomInputProvider::ProvideConstants(
+    const Config& config, const std::vector<std::string>& requested) {
+  (void)config;
+  std::map<std::string, Value> out;
+  if (requested.empty()) return out;
+  if (constant_pool_.empty()) {
+    return Status::InvalidArgument(
+        "RandomInputProvider has an empty constant pool but the page "
+        "requests input constants");
+  }
+  for (const std::string& c : requested) {
+    std::uniform_int_distribution<size_t> dist(0, constant_pool_.size() - 1);
+    out[c] = constant_pool_[dist(rng_)];
+  }
+  return out;
+}
+
+StatusOr<UserChoice> RandomInputProvider::ChooseInputs(
+    const Config& config, const PageSchema& page,
+    const std::map<std::string, std::set<Tuple>>& options) {
+  (void)config;
+  UserChoice out;
+  for (const auto& [rel, tuples] : options) {
+    // Uniform over "no pick" plus each option tuple.
+    std::uniform_int_distribution<size_t> dist(0, tuples.size());
+    size_t k = dist(rng_);
+    if (k == 0) {
+      out.relation_choices[rel] = std::nullopt;
+    } else {
+      auto it = tuples.begin();
+      std::advance(it, static_cast<long>(k - 1));
+      out.relation_choices[rel] = *it;
+    }
+  }
+  for (const std::string& in : page.inputs) {
+    if (options.count(in) > 0) continue;  // positive-arity, handled above
+    std::uniform_int_distribution<int> coin(0, 1);
+    out.proposition_choices[in] = coin(rng_) == 1;
+  }
+  return out;
+}
+
+StatusOr<RunResult> Interpreter::Run(InputProvider& provider, int steps) {
+  return RunFrom(stepper_.InitialConfig(), provider, steps);
+}
+
+StatusOr<RunResult> Interpreter::RunFrom(const Config& start,
+                                         InputProvider& provider, int steps) {
+  RunResult result;
+  Config current = start;
+  const WebService& service = stepper_.service();
+  for (int i = 0; i < steps; ++i) {
+    UserChoice choice;
+    bool is_error_page = current.page == service.error_page();
+    bool static_error =
+        !is_error_page && stepper_.StaticError(current).has_value();
+    if (!is_error_page && !static_error) {
+      const PageSchema* page = service.FindPage(current.page);
+      if (page == nullptr) {
+        return Status::NotFound("unknown page " + current.page);
+      }
+      std::map<std::string, Value> consts;
+      {
+        auto provided =
+            provider.ProvideConstants(current, page->input_constants);
+        if (!provided.ok()) return provided.status();
+        consts = std::move(provided).value();
+      }
+      WSV_ASSIGN_OR_RETURN(auto options,
+                           stepper_.ComputeOptions(current, consts));
+      WSV_ASSIGN_OR_RETURN(choice,
+                           provider.ChooseInputs(current, *page, options));
+      choice.constant_values = std::move(consts);
+    }
+    WSV_ASSIGN_OR_RETURN(StepOutcome outcome,
+                         stepper_.Step(current, choice));
+    result.page_sequence.push_back(outcome.trace.page);
+    result.trace.push_back(std::move(outcome.trace));
+    if (outcome.to_error && !result.reached_error) {
+      result.reached_error = true;
+      result.error_reason = outcome.error_reason;
+    }
+    current = std::move(outcome.next);
+  }
+  result.final_config = std::move(current);
+  return result;
+}
+
+}  // namespace wsv

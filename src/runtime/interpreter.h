@@ -1,0 +1,111 @@
+// Concrete run execution.
+//
+// The Interpreter drives a Web service over a fixed database for a given
+// number of steps, pulling user decisions from an InputProvider. Three
+// providers cover the common cases: scripted choices (tests, examples),
+// pseudo-random exploration (simulation, fuzzing the spec), and a
+// user-supplied callback.
+
+#ifndef WSV_RUNTIME_INTERPRETER_H_
+#define WSV_RUNTIME_INTERPRETER_H_
+
+#include <functional>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/successor.h"
+
+namespace wsv {
+
+/// Supplies the user side of the interaction. Constants are requested
+/// before options are computed (options formulas may mention them).
+class InputProvider {
+ public:
+  virtual ~InputProvider() = default;
+
+  /// Values for the input constants `requested` by the current page.
+  virtual StatusOr<std::map<std::string, Value>> ProvideConstants(
+      const Config& config, const std::vector<std::string>& requested) = 0;
+
+  /// Relation picks (at most one tuple from each options set) and
+  /// propositional input truth values. Constants are merged by the
+  /// interpreter; leave choice.constant_values empty.
+  virtual StatusOr<UserChoice> ChooseInputs(
+      const Config& config, const PageSchema& page,
+      const std::map<std::string, std::set<Tuple>>& options) = 0;
+};
+
+/// Replays a fixed list of choices, one per step; runs out -> empty
+/// choices from then on.
+class ScriptedInputProvider : public InputProvider {
+ public:
+  explicit ScriptedInputProvider(std::vector<UserChoice> script)
+      : script_(std::move(script)) {}
+
+  StatusOr<std::map<std::string, Value>> ProvideConstants(
+      const Config& config, const std::vector<std::string>& requested) override;
+  StatusOr<UserChoice> ChooseInputs(
+      const Config& config, const PageSchema& page,
+      const std::map<std::string, std::set<Tuple>>& options) override;
+
+ private:
+  const UserChoice* Current() const;
+
+  std::vector<UserChoice> script_;
+  size_t step_ = 0;
+  bool advanced_constants_ = false;
+};
+
+/// Uniformly random choices; constants drawn from a caller-provided pool.
+class RandomInputProvider : public InputProvider {
+ public:
+  RandomInputProvider(uint64_t seed, std::vector<Value> constant_pool)
+      : rng_(seed), constant_pool_(std::move(constant_pool)) {}
+
+  StatusOr<std::map<std::string, Value>> ProvideConstants(
+      const Config& config, const std::vector<std::string>& requested) override;
+  StatusOr<UserChoice> ChooseInputs(
+      const Config& config, const PageSchema& page,
+      const std::map<std::string, std::set<Tuple>>& options) override;
+
+ private:
+  std::mt19937_64 rng_;
+  std::vector<Value> constant_pool_;
+};
+
+/// The outcome of executing a bounded prefix of a run.
+struct RunResult {
+  std::vector<TraceStep> trace;
+  /// The node after the last executed step.
+  Config final_config;
+  bool reached_error = false;
+  std::string error_reason;
+  /// Pages visited, in order (one per step).
+  std::vector<std::string> page_sequence;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const WebService* service, const Instance* database)
+      : stepper_(service, database) {}
+
+  /// Executes `steps` steps from the initial configuration.
+  StatusOr<RunResult> Run(InputProvider& provider, int steps);
+
+  /// Executes from an arbitrary configuration (session replay).
+  StatusOr<RunResult> RunFrom(const Config& start, InputProvider& provider,
+                              int steps);
+
+  const Stepper& stepper() const { return stepper_; }
+
+ private:
+  Stepper stepper_;
+};
+
+}  // namespace wsv
+
+#endif  // WSV_RUNTIME_INTERPRETER_H_

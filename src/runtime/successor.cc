@@ -1,0 +1,344 @@
+#include "runtime/successor.h"
+
+#include <algorithm>
+
+namespace wsv {
+
+Stepper::Stepper(const WebService* service, const Instance* database)
+    : service_(service), database_(database) {
+  for (const PageSchema& page : service_->pages()) {
+    auto collect = [&](const FormulaPtr& body) {
+      std::set<Value> lits = body->Literals();
+      rule_literals_.insert(lits.begin(), lits.end());
+    };
+    for (const InputRule& r : page.input_rules) collect(r.body);
+    for (const StateRule& r : page.state_rules) collect(r.body);
+    for (const ActionRule& r : page.action_rules) collect(r.body);
+    for (const TargetRule& r : page.target_rules) collect(r.body);
+  }
+}
+
+void Stepper::SetTrackedPrev(std::set<std::string> tracked_prev) {
+  tracked_prev_ = std::move(tracked_prev);
+}
+
+std::set<std::string> Stepper::PrevRelationsInRules(
+    const WebService& service) {
+  std::set<std::string> out;
+  auto collect = [&](const FormulaPtr& body) {
+    for (const Atom& atom : body->Atoms()) {
+      if (atom.prev) out.insert(atom.relation);
+    }
+  };
+  for (const PageSchema& page : service.pages()) {
+    for (const InputRule& r : page.input_rules) collect(r.body);
+    for (const StateRule& r : page.state_rules) collect(r.body);
+    for (const ActionRule& r : page.action_rules) collect(r.body);
+    for (const TargetRule& r : page.target_rules) collect(r.body);
+  }
+  return out;
+}
+
+Instance Stepper::EmptyInstanceOfKind(SymbolKind kind) const {
+  Instance out;
+  for (const RelationSymbol& sym : service_->vocab().RelationsOfKind(kind)) {
+    // EnsureRelation only fails on arity conflicts, impossible here.
+    (void)out.EnsureRelation(sym.name, sym.arity);
+  }
+  return out;
+}
+
+Instance Stepper::EmptyPrevInstance() const {
+  Instance out;
+  for (const RelationSymbol& sym :
+       service_->vocab().RelationsOfKind(SymbolKind::kInput)) {
+    if (tracked_prev_.has_value() && tracked_prev_->count(sym.name) == 0) {
+      continue;
+    }
+    (void)out.EnsureRelation(sym.name, sym.arity);
+  }
+  return out;
+}
+
+Config Stepper::InitialConfig() const {
+  Config c;
+  c.page = service_->home_page();
+  c.state = EmptyInstanceOfKind(SymbolKind::kState);
+  c.prev_inputs = EmptyPrevInstance();
+  c.actions = EmptyInstanceOfKind(SymbolKind::kAction);
+  return c;
+}
+
+EvalContext Stepper::MakeContext(const Config& config,
+                                 const std::map<std::string, Value>& kappa,
+                                 const Instance* current_inputs) const {
+  EvalContext ctx;
+  if (current_inputs != nullptr) ctx.AddLayer(current_inputs);
+  ctx.AddLayer(&config.state);
+  ctx.AddLayer(database_);
+  ctx.SetPrevLayer(&config.prev_inputs);
+  for (const auto& [name, v] : kappa) ctx.SetConstant(name, v);
+  for (Value v : rule_literals_) ctx.AddDomainValue(v);
+  return ctx;
+}
+
+std::optional<std::string> Stepper::StaticError(const Config& config) const {
+  if (config.page == service_->error_page()) return std::nullopt;
+  const PageSchema* page = service_->FindPage(config.page);
+  if (page == nullptr) return "unknown page " + config.page;
+
+  // Condition (ii): the page requests a constant already provided.
+  for (const std::string& c : page->input_constants) {
+    if (config.provided_constants.count(c) > 0) {
+      return "input constant '" + c + "' requested again (condition ii)";
+    }
+  }
+
+  // Condition (i): some rule formula uses an input constant outside
+  // kappa_i = provided ∪ requested-now.
+  std::set<std::string> kappa_names;
+  for (const auto& [name, v] : config.provided_constants) {
+    kappa_names.insert(name);
+  }
+  kappa_names.insert(page->input_constants.begin(),
+                     page->input_constants.end());
+  auto check_body = [&](const FormulaPtr& body,
+                        const std::string& rule) -> std::optional<std::string> {
+    for (const std::string& c : body->ConstantSymbols()) {
+      if (!service_->vocab().IsInputConstant(c)) continue;
+      if (kappa_names.count(c) == 0) {
+        return "rule [" + rule + "] uses input constant '" + c +
+               "' before it was provided (condition i)";
+      }
+    }
+    return std::nullopt;
+  };
+  for (const InputRule& r : page->input_rules) {
+    if (auto e = check_body(r.body, r.ToString())) return e;
+  }
+  for (const StateRule& r : page->state_rules) {
+    if (auto e = check_body(r.body, r.ToString())) return e;
+  }
+  for (const ActionRule& r : page->action_rules) {
+    if (auto e = check_body(r.body, r.ToString())) return e;
+  }
+  for (const TargetRule& r : page->target_rules) {
+    if (auto e = check_body(r.body, r.ToString())) return e;
+  }
+  return std::nullopt;
+}
+
+StatusOr<std::map<std::string, std::set<Tuple>>> Stepper::ComputeOptions(
+    const Config& config,
+    const std::map<std::string, Value>& new_constants) const {
+  const PageSchema* page = service_->FindPage(config.page);
+  if (page == nullptr) {
+    return Status::NotFound("unknown page " + config.page);
+  }
+  std::map<std::string, Value> kappa = config.provided_constants;
+  for (const auto& [name, v] : new_constants) kappa[name] = v;
+  EvalContext ctx = MakeContext(config, kappa, /*current_inputs=*/nullptr);
+  std::map<std::string, std::set<Tuple>> options;
+  for (const InputRule& rule : page->input_rules) {
+    WSV_ASSIGN_OR_RETURN(std::set<Tuple> tuples,
+                         EvaluateQuery(*rule.body, rule.head_vars, ctx));
+    options[rule.input] = std::move(tuples);
+  }
+  return options;
+}
+
+StepOutcome Stepper::ErrorOutcome(const Config& config,
+                                  const std::map<std::string, Value>& kappa,
+                                  const std::string& reason) const {
+  StepOutcome out;
+  out.to_error = true;
+  out.error_reason = reason;
+  out.next.page = service_->error_page();
+  out.next.state = config.state;  // carried unchanged
+  out.next.prev_inputs = EmptyPrevInstance();
+  out.next.actions = EmptyInstanceOfKind(SymbolKind::kAction);
+  out.next.provided_constants = kappa;
+  out.trace.page = config.page;
+  out.trace.state = config.state;
+  out.trace.inputs = EmptyInstanceOfKind(SymbolKind::kInput);
+  out.trace.prev_inputs = config.prev_inputs;
+  out.trace.actions = config.actions;
+  out.trace.kappa = kappa;
+  return out;
+}
+
+StatusOr<StepOutcome> Stepper::Step(const Config& config,
+                                    const UserChoice& choice) const {
+  // The error page loops forever with no inputs and no rules.
+  if (config.page == service_->error_page()) {
+    StepOutcome out;
+    out.next = config;
+    out.next.prev_inputs = EmptyPrevInstance();
+    out.next.actions = EmptyInstanceOfKind(SymbolKind::kAction);
+    out.trace.page = config.page;
+    out.trace.state = config.state;
+    out.trace.inputs = EmptyInstanceOfKind(SymbolKind::kInput);
+    out.trace.prev_inputs = config.prev_inputs;
+    out.trace.actions = config.actions;
+    out.trace.kappa = config.provided_constants;
+    return out;
+  }
+
+  const PageSchema* page = service_->FindPage(config.page);
+  if (page == nullptr) {
+    return Status::NotFound("unknown page " + config.page);
+  }
+
+  // Node-level error conditions (i) and (ii): the step consumes no input.
+  if (std::optional<std::string> err = StaticError(config)) {
+    return ErrorOutcome(config, config.provided_constants, *err);
+  }
+
+  // Validate and apply the constant choices.
+  for (const auto& [name, v] : choice.constant_values) {
+    if (!page->HasInputConstant(name)) {
+      return Status::InvalidArgument("page " + page->name +
+                                     " does not request input constant " +
+                                     name);
+    }
+    (void)v;
+  }
+  std::map<std::string, Value> kappa = config.provided_constants;
+  for (const std::string& c : page->input_constants) {
+    auto it = choice.constant_values.find(c);
+    if (it == choice.constant_values.end()) {
+      return Status::InvalidArgument("no value provided for input constant " +
+                                     c);
+    }
+    kappa[c] = it->second;
+  }
+
+  // Compute options and assemble the input instance I_i.
+  WSV_ASSIGN_OR_RETURN(auto options,
+                       ComputeOptions(config, choice.constant_values));
+  Instance inputs = EmptyInstanceOfKind(SymbolKind::kInput);
+  for (const auto& [rel, pick] : choice.relation_choices) {
+    if (!page->HasInputRelation(rel)) {
+      return Status::InvalidArgument("page " + page->name +
+                                     " does not offer input relation " + rel);
+    }
+    if (!pick.has_value()) continue;
+    auto it = options.find(rel);
+    if (it == options.end() || it->second.count(*pick) == 0) {
+      return Status::InvalidArgument("chosen tuple " + TupleToString(*pick) +
+                                     " is not among the options for " + rel);
+    }
+    inputs.MutableRelation(rel)->Insert(*pick);
+    for (Value v : *pick) inputs.AddDomainValue(v);
+  }
+  for (const auto& [prop, truth] : choice.proposition_choices) {
+    const RelationSymbol* sym = service_->vocab().FindRelation(prop);
+    if (sym == nullptr || sym->kind != SymbolKind::kInput ||
+        sym->arity != 0 || !page->HasInputRelation(prop)) {
+      return Status::InvalidArgument(
+          "page " + page->name + " does not offer propositional input " +
+          prop);
+    }
+    inputs.MutableRelation(prop)->SetBool(truth);
+  }
+  // Record the constants provided at this step in I_i for the trace.
+  for (const std::string& c : page->input_constants) {
+    inputs.SetConstant(c, kappa.at(c));
+  }
+
+  EvalContext ctx = MakeContext(config, kappa, &inputs);
+
+  // Target rules; condition (iii) fires on ambiguity.
+  std::vector<std::string> true_targets;
+  for (const TargetRule& rule : page->target_rules) {
+    WSV_ASSIGN_OR_RETURN(bool fired, Evaluate(*rule.body, ctx));
+    if (fired) true_targets.push_back(rule.target);
+  }
+  if (true_targets.size() > 1) {
+    return ErrorOutcome(config, kappa,
+                        "ambiguous targets: " + true_targets[0] + " and " +
+                            true_targets[1] + " (condition iii)");
+  }
+
+  StepOutcome out;
+  out.next.page =
+      true_targets.empty() ? config.page : true_targets.front();
+  out.next.provided_constants = kappa;
+
+  // State update: S' = (ins \ del) ∪ (S ∩ ins ∩ del) ∪ (S \ (ins ∪ del)),
+  // per state relation with rules on this page; others carry unchanged.
+  out.next.state = config.state;
+  std::map<std::string, std::pair<std::set<Tuple>, std::set<Tuple>>> updates;
+  for (const StateRule& rule : page->state_rules) {
+    WSV_ASSIGN_OR_RETURN(std::set<Tuple> tuples,
+                         EvaluateQuery(*rule.body, rule.head_vars, ctx));
+    auto& [ins, del] = updates[rule.state];
+    (rule.insert ? ins : del) = std::move(tuples);
+  }
+  for (const auto& [state_name, insdel] : updates) {
+    const auto& [ins, del] = insdel;
+    Relation* rel = out.next.state.MutableRelation(state_name);
+    const Relation* old = config.state.FindRelation(state_name);
+    Relation updated(rel->arity());
+    for (const Tuple& t : ins) {
+      bool deleted = del.count(t) > 0;
+      bool was_in = old != nullptr && old->Contains(t);
+      // Insert wins unless also deleted; insert+delete conflicts no-op.
+      if (!deleted || was_in) updated.Insert(t);
+    }
+    if (old != nullptr) {
+      for (const Tuple& t : old->tuples()) {
+        bool inserted = ins.count(t) > 0;
+        bool deleted = del.count(t) > 0;
+        if (!inserted && !deleted) updated.Insert(t);
+      }
+    }
+    *rel = std::move(updated);
+    // Track new values in the state's domain.
+    for (const Tuple& t : rel->tuples()) {
+      for (Value v : t) out.next.state.AddDomainValue(v);
+    }
+  }
+
+  // Actions triggered at step i land in A_{i+1}.
+  out.next.actions = EmptyInstanceOfKind(SymbolKind::kAction);
+  for (const ActionRule& rule : page->action_rules) {
+    WSV_ASSIGN_OR_RETURN(std::set<Tuple> tuples,
+                         EvaluateQuery(*rule.body, rule.head_vars, ctx));
+    Relation* rel = out.next.actions.MutableRelation(rule.action);
+    for (const Tuple& t : tuples) {
+      rel->Insert(t);
+      for (Value v : t) out.next.actions.AddDomainValue(v);
+    }
+  }
+
+  // P_{i+1}(prev_I) = I_i(I) for I offered by this page, empty otherwise.
+  // Under lossless-input semantics (Theorem 3.9's extension (iii)),
+  // prev_I instead accumulates every input ever given to I.
+  out.next.prev_inputs =
+      lossless_input_ ? config.prev_inputs : EmptyPrevInstance();
+  for (const std::string& in : page->inputs) {
+    const Relation* cur = inputs.FindRelation(in);
+    if (cur == nullptr) continue;
+    Relation* prev = out.next.prev_inputs.MutableRelation(in);
+    if (prev == nullptr) continue;  // untracked Prev_I relation
+    if (lossless_input_) {
+      for (const Tuple& t : cur->tuples()) prev->Insert(t);
+    } else {
+      *prev = *cur;
+    }
+    for (const Tuple& t : cur->tuples()) {
+      for (Value v : t) out.next.prev_inputs.AddDomainValue(v);
+    }
+  }
+
+  out.trace.page = config.page;
+  out.trace.state = config.state;
+  out.trace.inputs = std::move(inputs);
+  out.trace.prev_inputs = config.prev_inputs;
+  out.trace.actions = config.actions;
+  out.trace.kappa = kappa;
+  return out;
+}
+
+}  // namespace wsv

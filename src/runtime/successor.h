@@ -1,0 +1,124 @@
+// The successor computation of Definition 2.3.
+//
+// A Stepper binds a Web service to a fixed database instance and computes
+// one run step at a time: the options presented to the user, the error
+// conditions (i)-(iii), the state update with conflict no-op semantics,
+// actions, Prev_I bookkeeping, and the target transition. Both the
+// interactive interpreter and the verification config-graph builder are
+// built on this class, so the semantics live in exactly one place.
+//
+// Semantic choices the paper leaves open (documented in DESIGN.md):
+//  * On a transition to the error page the state is carried unchanged,
+//    the next actions and Prev_I are empty, and the step consumes no
+//    input. The error page behaves like a page with no inputs and no
+//    rules, so the run loops there with V = W_err forever.
+//  * Error conditions (i) and (ii) are node-level (independent of the
+//    user's choice): (ii) the page requests an input constant already
+//    provided; (i) a rule of the page mentions an input constant outside
+//    kappa_i (kappa after this page's requests are filled).
+
+#ifndef WSV_RUNTIME_SUCCESSOR_H_
+#define WSV_RUNTIME_SUCCESSOR_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "fo/evaluator.h"
+#include "runtime/config.h"
+#include "ws/service.h"
+
+namespace wsv {
+
+/// The result of one step: the successor node, the trace element for LTL
+/// semantics, and whether the step transitioned to the error page.
+struct StepOutcome {
+  Config next;
+  TraceStep trace;
+  bool to_error = false;
+  std::string error_reason;
+};
+
+class Stepper {
+ public:
+  /// `service` and `database` must outlive the Stepper. By default every
+  /// input relation's previous value is tracked in configurations;
+  /// restrict with `tracked_prev` (see SetTrackedPrev).
+  Stepper(const WebService* service, const Instance* database);
+
+  /// Restricts Prev_I bookkeeping to the given input relations. The
+  /// verifiers call this with the relations actually mentioned in prev
+  /// atoms of the rules and the property: untracked relations cannot be
+  /// observed, and dropping them collapses otherwise-distinct
+  /// configurations, shrinking the graph. Must include every relation
+  /// the service's rules mention with prev.
+  void SetTrackedPrev(std::set<std::string> tracked_prev);
+
+  /// The input relations mentioned in prev atoms of the service's rules.
+  static std::set<std::string> PrevRelationsInRules(
+      const WebService& service);
+
+  /// Switches Prev_I to *lossless* semantics: prev_I accumulates every
+  /// input ever given to I instead of only the previous step's (the
+  /// paper's extension (iii), Theorem 3.9 — verification over this
+  /// semantics is undecidable; the bounded machinery still runs).
+  void SetLosslessInput(bool lossless) { lossless_input_ = lossless; }
+
+  /// The initial node: home page, empty state/prev/actions, empty kappa.
+  Config InitialConfig() const;
+
+  /// Returns the reason if the node transitions to the error page
+  /// regardless of the user's choice (conditions (i) and (ii)); nullopt
+  /// otherwise. Always nullopt on the error page itself.
+  std::optional<std::string> StaticError(const Config& config) const;
+
+  /// Options for each positive-arity input relation offered by the
+  /// current page, computed over D, S_i, P_i, and kappa_i (which includes
+  /// `new_constants`, the values for the constants the page requests).
+  StatusOr<std::map<std::string, std::set<Tuple>>> ComputeOptions(
+      const Config& config,
+      const std::map<std::string, Value>& new_constants) const;
+
+  /// Applies one step. The choice must supply a value for exactly the
+  /// input constants the page requests, and relation picks must be among
+  /// the computed options (checked; violations are InvalidArgument).
+  /// On the error page the choice is ignored.
+  StatusOr<StepOutcome> Step(const Config& config,
+                             const UserChoice& choice) const;
+
+  const WebService& service() const { return *service_; }
+  const Instance& database() const { return *database_; }
+
+ private:
+  /// EvalContext over D, S_i, P_i, kappa; optionally the current inputs.
+  EvalContext MakeContext(const Config& config,
+                          const std::map<std::string, Value>& kappa,
+                          const Instance* current_inputs) const;
+
+  /// An instance with every relation of `kind` materialized empty.
+  Instance EmptyInstanceOfKind(SymbolKind kind) const;
+
+  /// An instance with the tracked prev relations materialized empty.
+  Instance EmptyPrevInstance() const;
+
+  /// Successor used for every transition into the error page.
+  StepOutcome ErrorOutcome(const Config& config,
+                           const std::map<std::string, Value>& kappa,
+                           const std::string& reason) const;
+
+  const WebService* service_;
+  const Instance* database_;
+  /// Literal values occurring in any rule of the service; they denote
+  /// schema constants and are part of every evaluation's active domain.
+  std::set<Value> rule_literals_;
+  /// Input relations whose previous value is kept in configurations;
+  /// nullopt means all.
+  std::optional<std::set<std::string>> tracked_prev_;
+  bool lossless_input_ = false;
+};
+
+}  // namespace wsv
+
+#endif  // WSV_RUNTIME_SUCCESSOR_H_

@@ -1,0 +1,211 @@
+#include "verify/config_graph.h"
+
+#include <deque>
+#include <set>
+
+#include "verify/db_enum.h"
+
+namespace wsv {
+
+TraceView ConfigGraph::View(int e) const {
+  const Edge& edge = edges[static_cast<size_t>(e)];
+  const Config& from = nodes[static_cast<size_t>(edge.from)];
+  const Config& to = nodes[static_cast<size_t>(edge.to)];
+  TraceView view;
+  view.page = &from.page;
+  view.state = &from.state;
+  view.inputs = &edge.inputs;
+  view.prev_inputs = &from.prev_inputs;
+  view.actions = &from.actions;
+  // kappa_i includes the constants provided at this step, i.e. the
+  // successor node's accumulated interpretation.
+  view.kappa = &to.provided_constants;
+  return view;
+}
+
+TraceStep ConfigGraph::Materialize(int e) const {
+  TraceView view = View(e);
+  TraceStep step;
+  step.page = *view.page;
+  step.state = *view.state;
+  step.inputs = *view.inputs;
+  step.prev_inputs = *view.prev_inputs;
+  step.actions = *view.actions;
+  step.kappa = *view.kappa;
+  return step;
+}
+
+std::string ConfigGraph::Stats() const {
+  return std::to_string(nodes.size()) + " nodes, " +
+         std::to_string(edges.size()) + " edges" +
+         (truncated ? " (truncated)" : "");
+}
+
+namespace {
+
+// Enumerates every UserChoice available at `config` and hands it to `fn`.
+class ChoiceEnumerator {
+ public:
+  ChoiceEnumerator(const Stepper& stepper,
+                   const std::vector<Value>& constant_pool)
+      : stepper_(stepper), constant_pool_(constant_pool) {}
+
+  Status ForEachChoice(const Config& config,
+                       const std::function<Status(const UserChoice&)>& fn) {
+    const WebService& service = stepper_.service();
+    if (config.page == service.error_page() ||
+        stepper_.StaticError(config).has_value()) {
+      // Exactly one successor; the choice is ignored.
+      return fn(UserChoice{});
+    }
+    const PageSchema* page = service.FindPage(config.page);
+    if (page == nullptr) {
+      return Status::NotFound("unknown page " + config.page);
+    }
+    return EnumerateConstants(config, *page, 0, {}, fn);
+  }
+
+ private:
+  Status EnumerateConstants(
+      const Config& config, const PageSchema& page, size_t idx,
+      std::map<std::string, Value> chosen,
+      const std::function<Status(const UserChoice&)>& fn) {
+    if (idx < page.input_constants.size()) {
+      if (constant_pool_.empty()) {
+        return Status::InvalidArgument(
+            "page " + page.name + " requests input constants but the "
+            "candidate constant pool is empty");
+      }
+      for (Value v : constant_pool_) {
+        chosen[page.input_constants[idx]] = v;
+        WSV_RETURN_IF_ERROR(
+            EnumerateConstants(config, page, idx + 1, chosen, fn));
+      }
+      return Status::OK();
+    }
+    // Constants fixed; compute options, then enumerate relation picks and
+    // proposition values.
+    auto options_or = stepper_.ComputeOptions(config, chosen);
+    if (!options_or.ok()) return options_or.status();
+    const std::map<std::string, std::set<Tuple>>& options = *options_or;
+
+    std::vector<std::string> props;
+    for (const std::string& in : page.inputs) {
+      const RelationSymbol* sym =
+          stepper_.service().vocab().FindRelation(in);
+      if (sym != nullptr && sym->arity == 0) props.push_back(in);
+    }
+
+    UserChoice choice;
+    choice.constant_values = chosen;
+    std::vector<std::pair<std::string, std::vector<std::optional<Tuple>>>>
+        rel_alternatives;
+    for (const auto& [rel, tuples] : options) {
+      std::vector<std::optional<Tuple>> alts;
+      alts.push_back(std::nullopt);
+      for (const Tuple& t : tuples) alts.push_back(t);
+      rel_alternatives.emplace_back(rel, std::move(alts));
+    }
+    return EnumeratePicks(rel_alternatives, 0, props, 0, choice, fn);
+  }
+
+  Status EnumeratePicks(
+      const std::vector<
+          std::pair<std::string, std::vector<std::optional<Tuple>>>>& rels,
+      size_t rel_idx, const std::vector<std::string>& props, size_t prop_idx,
+      UserChoice& choice,
+      const std::function<Status(const UserChoice&)>& fn) {
+    if (rel_idx < rels.size()) {
+      for (const std::optional<Tuple>& alt : rels[rel_idx].second) {
+        choice.relation_choices[rels[rel_idx].first] = alt;
+        WSV_RETURN_IF_ERROR(
+            EnumeratePicks(rels, rel_idx + 1, props, prop_idx, choice, fn));
+      }
+      choice.relation_choices.erase(rels[rel_idx].first);
+      return Status::OK();
+    }
+    if (prop_idx < props.size()) {
+      for (bool b : {false, true}) {
+        choice.proposition_choices[props[prop_idx]] = b;
+        WSV_RETURN_IF_ERROR(
+            EnumeratePicks(rels, rel_idx, props, prop_idx + 1, choice, fn));
+      }
+      choice.proposition_choices.erase(props[prop_idx]);
+      return Status::OK();
+    }
+    return fn(choice);
+  }
+
+  const Stepper& stepper_;
+  const std::vector<Value>& constant_pool_;
+};
+
+}  // namespace
+
+StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
+                                       const ConfigGraphOptions& options) {
+  ConfigGraph graph;
+  std::vector<Value> pool = options.constant_pool;
+  if (pool.empty()) {
+    std::set<Value> p(stepper.database().domain().begin(),
+                      stepper.database().domain().end());
+    for (Value v : ServiceRuleLiterals(stepper.service())) p.insert(v);
+    pool.assign(p.begin(), p.end());
+  }
+
+  std::map<Config, int> node_index;
+  std::deque<int> worklist;
+  auto intern_node = [&](const Config& c) -> int {
+    auto it = node_index.find(c);
+    if (it != node_index.end()) return it->second;
+    int id = static_cast<int>(graph.nodes.size());
+    node_index.emplace(c, id);
+    graph.nodes.push_back(c);
+    graph.out_edges.emplace_back();
+    worklist.push_back(id);
+    return id;
+  };
+
+  graph.initial = intern_node(stepper.InitialConfig());
+  ChoiceEnumerator choices(stepper, pool);
+
+  while (!worklist.empty()) {
+    if (graph.nodes.size() > options.max_nodes ||
+        graph.edges.size() > options.max_edges) {
+      graph.truncated = true;
+      break;
+    }
+    int v = worklist.front();
+    worklist.pop_front();
+    // Copy: intern_node may reallocate graph.nodes during enumeration.
+    Config current = graph.nodes[v];
+    // Deduplicate parallel edges that lead to the same successor with the
+    // same trace (different choices can be observationally identical).
+    std::set<std::pair<int, std::string>> seen;
+    Status st = choices.ForEachChoice(
+        current, [&](const UserChoice& choice) -> Status {
+          WSV_ASSIGN_OR_RETURN(StepOutcome outcome,
+                               stepper.Step(current, choice));
+          if (graph.edges.size() >= options.max_edges) {
+            graph.truncated = true;
+            return Status::OK();
+          }
+          int to = intern_node(outcome.next);
+          std::string sig = outcome.trace.inputs.ToString();
+          if (!seen.insert({to, sig}).second) return Status::OK();
+          ConfigGraph::Edge edge;
+          edge.from = v;
+          edge.to = to;
+          edge.inputs = std::move(outcome.trace.inputs);
+          edge.to_error = outcome.to_error;
+          edge.error_reason = std::move(outcome.error_reason);
+          graph.out_edges[v].push_back(static_cast<int>(graph.edges.size()));
+          graph.edges.push_back(std::move(edge));
+          return Status::OK();
+        });
+    WSV_RETURN_IF_ERROR(st);
+  }
+  return graph;
+}
+
+}  // namespace wsv

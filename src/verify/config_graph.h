@@ -1,0 +1,71 @@
+// The configuration graph of a Web service over a fixed database.
+//
+// Nodes are run configurations (runtime/config.h); an edge corresponds to
+// one user decision and carries the trace element <V, S, I, P, A> that
+// LTL-FO formulas are evaluated on at that position. Every infinite path
+// from the initial node through the graph is a run of the service on the
+// database, and vice versa (with input-constant values drawn from the
+// configured candidate pool).
+//
+// The graph is finite because the database is fixed, state relations
+// range over the (finite) active domain, and input constants come from
+// the finite pool. It can still be large; budgets cap the exploration and
+// report truncation so callers can distinguish "verified within bounds"
+// from "gave up".
+
+#ifndef WSV_VERIFY_CONFIG_GRAPH_H_
+#define WSV_VERIFY_CONFIG_GRAPH_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "ltl/run_semantics.h"
+#include "runtime/successor.h"
+
+namespace wsv {
+
+struct ConfigGraphOptions {
+  /// Candidate values for input constants. If empty, the database's
+  /// active domain plus the service's rule literals are used.
+  std::vector<Value> constant_pool;
+  size_t max_nodes = 200000;
+  size_t max_edges = 2000000;
+};
+
+struct ConfigGraph {
+  /// An edge stores only what the source node does not already carry:
+  /// the inputs chosen at this step. The trace element
+  /// <V, S, I, P, A, kappa> is reconstructed as a view on demand.
+  struct Edge {
+    int from = 0;
+    int to = 0;
+    Instance inputs;
+    bool to_error = false;
+    std::string error_reason;
+  };
+
+  std::vector<Config> nodes;
+  std::vector<Edge> edges;
+  /// out_edges[v] indexes into `edges`.
+  std::vector<std::vector<int>> out_edges;
+  int initial = 0;
+  /// True if a budget was hit; the graph is then a prefix of the real one.
+  bool truncated = false;
+
+  /// A non-owning view of the trace element of edge `e`; valid while the
+  /// graph is alive and unmodified.
+  TraceView View(int e) const;
+  /// An owning copy of the trace element of edge `e`.
+  TraceStep Materialize(int e) const;
+
+  std::string Stats() const;
+};
+
+/// Builds the reachable configuration graph from the initial node.
+StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
+                                       const ConfigGraphOptions& options);
+
+}  // namespace wsv
+
+#endif  // WSV_VERIFY_CONFIG_GRAPH_H_

@@ -1,0 +1,56 @@
+// Database instance enumeration for verification.
+//
+// The paper's decision procedures quantify over *all* databases; our
+// explicit-state verifier enumerates instances over the database schema
+// up to configurable bounds (domain size, tuples per relation) and checks
+// each. For input-bounded services the paper guarantees a small-model
+// property (exponential bounds; Lemma A.11 for the propositional case),
+// so bounded enumeration is a genuinely complete procedure once the bound
+// is large enough; the default bounds catch the violations in all the
+// paper's examples at tiny sizes.
+//
+// The enumeration domain always contains the literal values of the
+// service's rules (they are schema constants — e.g. the catalog
+// categories "laptop"/"ram" of Example 2.2 — and databases that omit
+// them generate degenerate runs only), plus `fresh_values` anonymous
+// elements. Non-input constant symbols of the vocabulary (like i0 of
+// Definition 4.7) are enumerated over the domain as well.
+
+#ifndef WSV_VERIFY_DB_ENUM_H_
+#define WSV_VERIFY_DB_ENUM_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/instance.h"
+#include "ws/service.h"
+
+namespace wsv {
+
+struct DbEnumOptions {
+  /// Values always present in the domain (rule literals are added
+  /// automatically; put property literals here).
+  std::vector<Value> base_values;
+  /// Number of anonymous fresh elements added to the domain.
+  int fresh_values = 1;
+  /// Maximum number of tuples per database relation (-1: all subsets of
+  /// the full cross product — beware, explodes quickly).
+  int max_tuples_per_relation = 2;
+  /// Safety cap on the number of instances visited.
+  uint64_t max_instances = 1u << 22;
+};
+
+/// Calls `visit` on each database instance within the bounds; stops early
+/// when `visit` returns true (and returns true). Returns false if the
+/// enumeration completed without `visit` asking to stop.
+StatusOr<bool> EnumerateDatabases(
+    const WebService& service, const DbEnumOptions& options,
+    const std::function<StatusOr<bool>(const Instance&)>& visit);
+
+/// The literal values appearing in any rule of the service.
+std::vector<Value> ServiceRuleLiterals(const WebService& service);
+
+}  // namespace wsv
+
+#endif  // WSV_VERIFY_DB_ENUM_H_

@@ -1,0 +1,296 @@
+#include "verify/ltl_verifier.h"
+
+#include <set>
+
+#include "automata/emptiness.h"
+#include "automata/ltl_to_buchi.h"
+#include "fo/input_bounded.h"
+#include "ws/classify.h"
+
+namespace wsv {
+
+std::string CounterExample::ToString() const {
+  std::string out = "database:\n" + database.ToString();
+  if (!valuation.empty()) {
+    out += "valuation:";
+    for (const auto& [var, v] : valuation) {
+      out += " " + var + "=" + v.name();
+    }
+    out += "\n";
+  }
+  out += "violating run (lasso):\n" + run.ToString();
+  return out;
+}
+
+LtlVerifier::LtlVerifier(const WebService* service, LtlVerifyOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+namespace {
+
+// All values occurring anywhere in a lasso run or the database — Dom(rho)
+// for the closure-variable range check.
+std::set<Value> LassoDomain(const LassoRun& run, const Instance& database) {
+  std::set<Value> dom(database.domain().begin(), database.domain().end());
+  for (const TraceStep& step : run.steps) {
+    for (const Instance* inst :
+         {&step.state, &step.inputs, &step.prev_inputs, &step.actions}) {
+      dom.insert(inst->domain().begin(), inst->domain().end());
+    }
+    for (const auto& [name, v] : step.kappa) dom.insert(v);
+  }
+  return dom;
+}
+
+}  // namespace
+
+StatusOr<bool> LtlVerifier::CheckDatabase(const TemporalProperty& property,
+                                          const BuchiAutomaton& automaton,
+                                          const Instance& database,
+                                          LtlVerifyResult* result) {
+  Stepper stepper(service_, &database);
+  // Track only the Prev_I relations the rules or the property observe.
+  {
+    std::set<std::string> tracked = Stepper::PrevRelationsInRules(*service_);
+    for (const FormulaPtr& leaf : property.formula->FoLeaves()) {
+      for (const Atom& atom : leaf->Atoms()) {
+        if (atom.prev) tracked.insert(atom.relation);
+      }
+    }
+    stepper.SetTrackedPrev(std::move(tracked));
+  }
+
+  // Candidate values for input constants: the database's active domain,
+  // the rule/property literals, plus fresh "typed by the user" values.
+  ConfigGraphOptions graph_options = options_.graph;
+  if (graph_options.constant_pool.empty()) {
+    std::set<Value> pool(database.domain().begin(), database.domain().end());
+    for (Value v : ServiceRuleLiterals(*service_)) pool.insert(v);
+    for (Value v : property.formula->Literals()) pool.insert(v);
+    for (int i = 0; i < options_.extra_constant_values; ++i) {
+      pool.insert(Value::Intern("u" + std::to_string(i)));
+    }
+    graph_options.constant_pool.assign(pool.begin(), pool.end());
+  }
+
+  WSV_ASSIGN_OR_RETURN(ConfigGraph graph,
+                       BuildConfigGraph(stepper, graph_options));
+  if (graph.truncated) result->complete_within_bounds = false;
+  result->total_graph_nodes += graph.nodes.size();
+
+  // Valuation candidates for the universal closure variables: everything
+  // that can occur in a run's active domain — the database, rule and
+  // property literals, and the input-constant pool — unless the caller
+  // restricted them.
+  std::vector<Value> cand;
+  if (!options_.closure_candidates.empty()) {
+    cand = options_.closure_candidates;
+  } else {
+    std::set<Value> candidates(graph_options.constant_pool.begin(),
+                               graph_options.constant_pool.end());
+    candidates.insert(database.domain().begin(), database.domain().end());
+    for (Value v : ServiceRuleLiterals(*service_)) candidates.insert(v);
+    for (Value v : property.formula->Literals()) candidates.insert(v);
+    cand.assign(candidates.begin(), candidates.end());
+  }
+
+  // Leaves without closure variables are valuation-independent; label
+  // them once across all valuations.
+  const size_t num_leaves = automaton.leaves.size();
+  std::vector<bool> leaf_static(num_leaves);
+  for (size_t k = 0; k < num_leaves; ++k) {
+    std::set<std::string> free = automaton.leaves[k]->FreeVariables();
+    leaf_static[k] = free.empty();
+  }
+  std::vector<std::vector<char>> static_truth(graph.edges.size());
+  for (size_t e = 0; e < graph.edges.size(); ++e) {
+    static_truth[e].assign(num_leaves, 0);
+    TraceView view = graph.View(static_cast<int>(e));
+    for (size_t k = 0; k < num_leaves; ++k) {
+      if (!leaf_static[k]) continue;
+      WSV_ASSIGN_OR_RETURN(bool b,
+                           EvalFoAtStep(*automaton.leaves[k], view,
+                                        database, *service_, {}));
+      static_truth[e][k] = b ? 1 : 0;
+    }
+  }
+
+  const std::vector<std::string>& vars = property.universal_vars;
+  std::vector<size_t> idx(vars.size(), 0);
+  if (!vars.empty() && cand.empty()) return false;
+
+  while (true) {
+    Valuation valuation;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      valuation[vars[i]] = cand[idx[i]];
+    }
+
+    // Label each edge with the truth of every FO leaf under `valuation`.
+    std::vector<std::vector<char>> edge_truth(graph.edges.size());
+    for (size_t e = 0; e < graph.edges.size(); ++e) {
+      edge_truth[e] = static_truth[e];
+      TraceView view = graph.View(static_cast<int>(e));
+      for (size_t k = 0; k < num_leaves; ++k) {
+        if (leaf_static[k]) continue;
+        WSV_ASSIGN_OR_RETURN(bool b,
+                             EvalFoAtStep(*automaton.leaves[k], view,
+                                          database, *service_, valuation));
+        edge_truth[e][k] = b ? 1 : 0;
+      }
+    }
+
+    // Product: vertices are (edge, automaton state) pairs where the state
+    // label matches the edge's leaf truth.
+    std::vector<std::vector<int>> matching(graph.edges.size());
+    for (size_t e = 0; e < graph.edges.size(); ++e) {
+      for (size_t q = 0; q < automaton.size(); ++q) {
+        if (automaton.states[q] == edge_truth[e]) {
+          matching[e].push_back(static_cast<int>(q));
+        }
+      }
+    }
+    std::vector<std::pair<int, int>> verts;  // (edge, q)
+    std::map<std::pair<int, int>, int> vert_index;
+    auto vid = [&](int e, int q) {
+      auto key = std::make_pair(e, q);
+      auto it = vert_index.find(key);
+      if (it != vert_index.end()) return it->second;
+      int id = static_cast<int>(verts.size());
+      vert_index.emplace(key, id);
+      verts.push_back(key);
+      return id;
+    };
+    for (size_t e = 0; e < graph.edges.size(); ++e) {
+      for (int q : matching[e]) vid(static_cast<int>(e), q);
+    }
+    std::vector<std::vector<int>> succ(verts.size());
+    std::vector<char> initial(verts.size(), 0);
+    std::vector<char> accepting(verts.size(), 0);
+    const std::set<int>& acc_set = automaton.accepting_sets.front();
+    for (size_t v = 0; v < verts.size(); ++v) {
+      auto [e, q] = verts[v];
+      if (graph.edges[e].from == graph.initial && automaton.initial[q]) {
+        initial[v] = 1;
+      }
+      if (acc_set.count(q) > 0) accepting[v] = 1;
+      for (int e2 : graph.out_edges[graph.edges[e].to]) {
+        for (int q2 : matching[e2]) {
+          bool q2_succ = false;
+          for (int s : automaton.succ[q]) {
+            if (s == q2) {
+              q2_succ = true;
+              break;
+            }
+          }
+          if (q2_succ) succ[v].push_back(vid(e2, q2));
+        }
+      }
+    }
+    result->total_product_states += verts.size();
+
+    std::optional<Lasso> lasso =
+        FindAcceptingLasso(succ, initial, accepting);
+    if (lasso.has_value()) {
+      // Reconstruct the run: prefix vertices then cycle[1..], looping back
+      // to the prefix's last vertex.
+      LassoRun run;
+      for (int v : lasso->prefix) {
+        run.steps.push_back(graph.Materialize(verts[v].first));
+      }
+      run.loop_start = lasso->prefix.size() - 1;
+      for (size_t i = 1; i < lasso->cycle.size(); ++i) {
+        run.steps.push_back(graph.Materialize(verts[lasso->cycle[i]].first));
+      }
+      // Faithfulness check: the closure valuation must range over
+      // Dom(rho); discard spurious witnesses using pool values that never
+      // occur in the run or database.
+      std::set<Value> dom = LassoDomain(run, database);
+      std::set<Value> lits = property.formula->Literals();
+      dom.insert(lits.begin(), lits.end());
+      bool in_dom = true;
+      for (const auto& [var, v] : valuation) {
+        if (dom.count(v) == 0) in_dom = false;
+      }
+      if (in_dom) {
+        result->holds = false;
+        CounterExample cex;
+        cex.database = database;
+        cex.run = std::move(run);
+        cex.valuation = valuation;
+        result->counterexample = std::move(cex);
+        return true;
+      }
+    }
+
+    // Advance the valuation odometer.
+    if (vars.empty()) break;
+    size_t k = 0;
+    while (k < vars.size()) {
+      if (++idx[k] < cand.size()) break;
+      idx[k] = 0;
+      ++k;
+    }
+    if (k == vars.size()) break;
+  }
+  return false;
+}
+
+StatusOr<LtlVerifyResult> LtlVerifier::VerifyOnDatabase(
+    const TemporalProperty& property, const Instance& database) {
+  if (!property.formula->IsLtl()) {
+    return Status::InvalidArgument(
+        "property contains path quantifiers; use the branching-time "
+        "checkers");
+  }
+  if (options_.require_input_bounded) {
+    WSV_RETURN_IF_ERROR(CheckInputBoundedService(*service_));
+    WSV_RETURN_IF_ERROR(
+        CheckInputBoundedProperty(property, service_->vocab()));
+  }
+  TFormulaPtr negated =
+      ToNegationNormalForm(*TFormula::Not(property.formula));
+  WSV_ASSIGN_OR_RETURN(BuchiAutomaton gba, LtlToBuchi(*negated));
+  BuchiAutomaton automaton = gba.Degeneralize();
+
+  LtlVerifyResult result;
+  result.databases_checked = 1;
+  WSV_RETURN_IF_ERROR(
+      CheckDatabase(property, automaton, database, &result).status());
+  return result;
+}
+
+StatusOr<LtlVerifyResult> LtlVerifier::Verify(
+    const TemporalProperty& property) {
+  if (!property.formula->IsLtl()) {
+    return Status::InvalidArgument(
+        "property contains path quantifiers; use the branching-time "
+        "checkers");
+  }
+  if (options_.require_input_bounded) {
+    WSV_RETURN_IF_ERROR(CheckInputBoundedService(*service_));
+    WSV_RETURN_IF_ERROR(
+        CheckInputBoundedProperty(property, service_->vocab()));
+  }
+  TFormulaPtr negated =
+      ToNegationNormalForm(*TFormula::Not(property.formula));
+  WSV_ASSIGN_OR_RETURN(BuchiAutomaton gba, LtlToBuchi(*negated));
+  BuchiAutomaton automaton = gba.Degeneralize();
+
+  DbEnumOptions db_options = options_.db;
+  for (Value v : property.formula->Literals()) {
+    db_options.base_values.push_back(v);
+  }
+
+  LtlVerifyResult result;
+  WSV_ASSIGN_OR_RETURN(
+      bool stopped,
+      EnumerateDatabases(
+          *service_, db_options,
+          [&](const Instance& db) -> StatusOr<bool> {
+            ++result.databases_checked;
+            return CheckDatabase(property, automaton, db, &result);
+          }));
+  (void)stopped;
+  return result;
+}
+
+}  // namespace wsv

@@ -1,0 +1,97 @@
+// The linear-time verifier (Theorem 3.5).
+//
+// Checks whether every run of a Web service satisfies an LTL-FO property.
+// The procedure is the automata-theoretic one: negate the property,
+// translate to a Büchi automaton over its FO leaves, and search the
+// product of the configuration graph with the automaton for an accepting
+// lasso — per candidate database and per valuation of the property's
+// universal closure variables.
+//
+// Relation to the paper's proof: Theorem 3.5's upper bound reduces the
+// existence of a violating run to finite satisfiability of an E+TC
+// sentence (Spielmann's technique), giving PSPACE for fixed arity. Our
+// procedure decides the same question on the bounded database space the
+// enumerator covers: it searches the *same* periodic runs the Periodic
+// Run Lemma talks about, explicitly rather than through a logic encoding.
+// A found lasso is a genuine counterexample run; "holds" means no
+// violation exists within the configured bounds (database size, input
+// constant pool), which is complete once the bounds reach the paper's
+// small-model sizes.
+
+#ifndef WSV_VERIFY_LTL_VERIFIER_H_
+#define WSV_VERIFY_LTL_VERIFIER_H_
+
+#include <optional>
+
+#include "automata/buchi.h"
+#include "common/status.h"
+#include "ltl/run_semantics.h"
+#include "verify/config_graph.h"
+#include "verify/db_enum.h"
+
+namespace wsv {
+
+struct LtlVerifyOptions {
+  DbEnumOptions db;
+  ConfigGraphOptions graph;
+  /// Extra fresh values usable as input-constant values beyond the
+  /// database's active domain (models users typing new data).
+  int extra_constant_values = 1;
+  /// Require the property and service to be input-bounded (the paper's
+  /// decidable class); set false to run the bounded search anyway.
+  bool require_input_bounded = true;
+  /// Candidate values for the universal closure variables. Empty: use
+  /// everything that can occur in a run (database active domain, rule
+  /// and property literals, the input-constant pool) — complete but
+  /// potentially slow. Non-empty: check only these valuations (sound for
+  /// counterexamples; complete only if every violating valuation is
+  /// covered).
+  std::vector<Value> closure_candidates;
+};
+
+/// A violation witness: the database and the ultimately periodic run.
+struct CounterExample {
+  Instance database;
+  LassoRun run;
+  /// The closure-variable valuation under which the run violates the
+  /// formula.
+  Valuation valuation;
+
+  std::string ToString() const;
+};
+
+struct LtlVerifyResult {
+  /// True iff no violating run was found within the bounds.
+  bool holds = true;
+  std::optional<CounterExample> counterexample;
+  uint64_t databases_checked = 0;
+  uint64_t total_graph_nodes = 0;
+  uint64_t total_product_states = 0;
+  /// False if any configuration graph was truncated by a budget.
+  bool complete_within_bounds = true;
+};
+
+class LtlVerifier {
+ public:
+  LtlVerifier(const WebService* service, LtlVerifyOptions options);
+
+  /// Verifies over all databases within the enumeration bounds.
+  StatusOr<LtlVerifyResult> Verify(const TemporalProperty& property);
+
+  /// Verifies over one fixed database.
+  StatusOr<LtlVerifyResult> VerifyOnDatabase(const TemporalProperty& property,
+                                             const Instance& database);
+
+ private:
+  StatusOr<bool> CheckDatabase(const TemporalProperty& property,
+                               const BuchiAutomaton& automaton,
+                               const Instance& database,
+                               LtlVerifyResult* result);
+
+  const WebService* service_;
+  LtlVerifyOptions options_;
+};
+
+}  // namespace wsv
+
+#endif  // WSV_VERIFY_LTL_VERIFIER_H_

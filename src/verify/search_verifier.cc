@@ -1,0 +1,220 @@
+#include "verify/search_verifier.h"
+
+#include "ctl/ctl_check.h"
+#include "ctl/ctl_star_check.h"
+#include "ws/builder.h"
+
+namespace wsv {
+
+namespace {
+
+constexpr char kInput[] = "I";
+constexpr char kRi[] = "RI";
+constexpr char kI0[] = "i0";
+constexpr char kNotStart[] = "not_start";
+
+// The canonical options body for a page with condition `phi`.
+std::string OptionsBody(const std::string& phi) {
+  return "(!" + std::string(kNotStart) + " & y = " + kI0 + ") | (" +
+         kNotStart + " & (exists x . prev.I(x) & RI(x, y)) & (" + phi + "))";
+}
+
+}  // namespace
+
+StatusOr<WebService> BuildInputDrivenSearchService(
+    const InputDrivenSearchSpec& spec) {
+  ServiceBuilder b(spec.name);
+  b.Database(kRi, 2);
+  for (const std::string& rel : spec.unary_db) b.Database(rel, 1);
+  b.Constant(kI0);
+  b.State(kNotStart, 0);
+  for (const std::string& s : spec.prop_states) b.State(s, 0);
+  for (const std::string& a : spec.prop_actions) b.Action(a, 0);
+  b.Input(kInput, 1);
+  for (const SearchPageSpec& page : spec.pages) {
+    PageBuilder pb = b.Page(page.name);
+    pb.Options(std::string(kInput) + "(y)", OptionsBody(page.phi));
+    pb.Insert(kNotStart, std::string("!") + kNotStart);
+    for (const SearchPageSpec::StateUpdate& u : page.states) {
+      if (u.insert) {
+        pb.Insert(u.state, u.condition);
+      } else {
+        pb.Delete(u.state, u.condition);
+      }
+    }
+    for (const auto& [target, cond] : page.targets) {
+      pb.Target(target, cond);
+    }
+  }
+  b.Home(spec.home.empty() ? spec.pages.front().name : spec.home);
+  b.Error(spec.error_page);
+  return b.Build();
+}
+
+Status CheckInputDrivenSearch(const WebService& service) {
+  const Vocabulary& vocab = service.vocab();
+  // Exactly one input relation, unary, no input constants.
+  std::vector<RelationSymbol> inputs =
+      vocab.RelationsOfKind(SymbolKind::kInput);
+  if (inputs.size() != 1 || inputs[0].arity != 1) {
+    return Status::Unsupported(
+        "input-driven search requires exactly one unary input relation");
+  }
+  if (!vocab.InputConstants().empty()) {
+    return Status::Unsupported(
+        "input-driven search services take no input constants");
+  }
+  const std::string input = inputs[0].name;
+  // States and actions propositional; not_start present.
+  for (const RelationSymbol& sym : vocab.relations()) {
+    if ((sym.kind == SymbolKind::kState ||
+         sym.kind == SymbolKind::kAction) &&
+        sym.arity != 0) {
+      return Status::Unsupported("relation " + sym.name +
+                                 " must be propositional");
+    }
+  }
+  const RelationSymbol* not_start = vocab.FindRelation(kNotStart);
+  if (not_start == nullptr || not_start->kind != SymbolKind::kState) {
+    return Status::Unsupported("missing the not_start state proposition");
+  }
+  const RelationSymbol* ri = vocab.FindRelation(kRi);
+  if (ri == nullptr || ri->kind != SymbolKind::kDatabase || ri->arity != 2) {
+    return Status::Unsupported("missing the binary database relation RI");
+  }
+  if (!vocab.IsConstant(kI0) || vocab.IsInputConstant(kI0)) {
+    return Status::Unsupported("missing the database constant i0");
+  }
+
+  // Per page: the canonical option rule and the not_start flip rule.
+  for (const PageSchema& page : service.pages()) {
+    bool has_flip = false;
+    for (const StateRule& r : page.state_rules) {
+      if (r.state == kNotStart && r.insert &&
+          r.body->ToString() == "!(" + std::string(kNotStart) + ")") {
+        has_flip = true;
+      }
+    }
+    if (!has_flip) {
+      return Status::Unsupported("page " + page.name +
+                                 " lacks the not_start :- !not_start rule");
+    }
+    if (page.input_rules.size() != 1 ||
+        page.input_rules[0].input != input) {
+      return Status::Unsupported("page " + page.name +
+                                 " must have exactly one options rule for " +
+                                 input);
+    }
+    // Canonical shape: Or( And(!not_start, y = i0),
+    //                      And(not_start, exists..., phi...) ).
+    const Formula& body = *page.input_rules[0].body;
+    if (body.kind() != Formula::Kind::kOr || body.children().size() != 2) {
+      return Status::Unsupported(
+          "page " + page.name +
+          ": options rule is not in the canonical two-branch form");
+    }
+    const Formula& start = *body.children()[0];
+    const Formula& cont = *body.children()[1];
+    auto bad = [&](const std::string& why) {
+      return Status::Unsupported("page " + page.name + ": " + why);
+    };
+    if (start.kind() != Formula::Kind::kAnd ||
+        start.children().size() != 2 ||
+        start.children()[0]->kind() != Formula::Kind::kNot ||
+        start.children()[1]->kind() != Formula::Kind::kEquals) {
+      return bad("start branch is not (!not_start & y = i0)");
+    }
+    if (cont.kind() != Formula::Kind::kAnd || cont.children().size() < 2 ||
+        cont.children()[0]->kind() != Formula::Kind::kAtom ||
+        cont.children()[0]->atom().relation != kNotStart ||
+        cont.children()[1]->kind() != Formula::Kind::kExists) {
+      return bad("continuation branch is not "
+                 "(not_start & exists x . prev.I(x) & RI(x,y) & phi)");
+    }
+    // phi: the remaining conjuncts, quantifier-free over D and S.
+    for (size_t i = 2; i < cont.children().size(); ++i) {
+      if (!cont.children()[i]->IsQuantifierFree()) {
+        return bad("phi is not quantifier-free");
+      }
+      for (const Atom& atom : cont.children()[i]->Atoms()) {
+        const RelationSymbol* sym = vocab.FindRelation(atom.relation);
+        if (sym == nullptr || (sym->kind != SymbolKind::kDatabase &&
+                               sym->kind != SymbolKind::kState)) {
+          return bad("phi mentions " + atom.ToString() +
+                     ", outside D and S");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<SearchVerifyResult> VerifyInputDrivenSearchOnDatabase(
+    const WebService& service, const TemporalProperty& property,
+    const Instance& database, const KripkeBuildOptions& options) {
+  WSV_RETURN_IF_ERROR(CheckInputDrivenSearch(service));
+  if (!property.universal_vars.empty()) {
+    return Status::InvalidArgument(
+        "branching-time properties here are propositional; no closure "
+        "variables");
+  }
+  SearchVerifyResult result;
+  result.databases_checked = 1;
+  KripkeBuildOptions kripke_options = options;
+  kripke_options.check_propositional = false;
+  WSV_ASSIGN_OR_RETURN(
+      Kripke kripke,
+      BuildPropositionalKripke(service, database, kripke_options));
+  result.total_kripke_states = kripke.size();
+  WSV_ASSIGN_OR_RETURN(bool holds,
+                       property.formula->IsCtl()
+                           ? CtlHolds(kripke, *property.formula)
+                           : CtlStarHolds(kripke, *property.formula));
+  if (!holds) {
+    result.holds = false;
+    result.failing_database = database;
+  }
+  return result;
+}
+
+StatusOr<SearchVerifyResult> VerifyInputDrivenSearch(
+    const WebService& service, const TemporalProperty& property,
+    const SearchVerifyOptions& options) {
+  WSV_RETURN_IF_ERROR(CheckInputDrivenSearch(service));
+  if (!property.universal_vars.empty()) {
+    return Status::InvalidArgument(
+        "branching-time properties here are propositional; no closure "
+        "variables");
+  }
+  bool is_ctl = property.formula->IsCtl();
+
+  SearchVerifyResult result;
+  KripkeBuildOptions kripke_options = options.kripke;
+  kripke_options.check_propositional = false;
+
+  WSV_ASSIGN_OR_RETURN(
+      bool stopped,
+      EnumerateDatabases(
+          service, options.db,
+          [&](const Instance& db) -> StatusOr<bool> {
+            ++result.databases_checked;
+            WSV_ASSIGN_OR_RETURN(
+                Kripke kripke,
+                BuildPropositionalKripke(service, db, kripke_options));
+            result.total_kripke_states += kripke.size();
+            WSV_ASSIGN_OR_RETURN(
+                bool holds,
+                is_ctl ? CtlHolds(kripke, *property.formula)
+                       : CtlStarHolds(kripke, *property.formula));
+            if (!holds) {
+              result.holds = false;
+              result.failing_database = db;
+              return true;
+            }
+            return false;
+          }));
+  (void)stopped;
+  return result;
+}
+
+}  // namespace wsv

@@ -1,0 +1,425 @@
+#include "verify/transform.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fo/rewrite.h"
+#include "ws/validate.h"
+
+namespace wsv {
+
+namespace {
+
+// Input constants used by any rule body of the page.
+std::set<std::string> PageInputConstantsUsed(const PageSchema& page,
+                                             const Vocabulary& vocab) {
+  std::set<std::string> used;
+  auto collect = [&](const FormulaPtr& body) {
+    for (const std::string& c : body->ConstantSymbols()) {
+      if (vocab.IsInputConstant(c)) used.insert(c);
+    }
+  };
+  for (const InputRule& r : page.input_rules) collect(r.body);
+  for (const StateRule& r : page.state_rules) collect(r.body);
+  for (const ActionRule& r : page.action_rules) collect(r.body);
+  for (const TargetRule& r : page.target_rules) collect(r.body);
+  return used;
+}
+
+std::string ProvidedProp(const std::string& constant) {
+  return "__prov_" + constant;
+}
+
+}  // namespace
+
+StatusOr<ErrorFreeTransform> TransformErrorFree(const WebService& service) {
+  const Vocabulary& vocab = service.vocab();
+  const std::string trap = "__ErrTrap";
+
+  ErrorFreeTransform out;
+  out.trap_page = trap;
+  WebService& ws = out.service;
+  ws.set_name(service.name() + "_errorfree");
+  ws.set_home_page(service.home_page());
+  ws.set_error_page(service.error_page());
+
+  // Vocabulary: original symbols plus one "provided" proposition per
+  // input constant.
+  Vocabulary& nv = ws.mutable_vocab();
+  for (const RelationSymbol& sym : vocab.relations()) {
+    if (sym.kind == SymbolKind::kPage) continue;  // re-registered below
+    WSV_RETURN_IF_ERROR(nv.AddRelation(sym.name, sym.arity, sym.kind));
+  }
+  for (const std::string& c : vocab.constants()) {
+    WSV_RETURN_IF_ERROR(nv.AddConstant(c, vocab.IsInputConstant(c)));
+  }
+  for (const std::string& c : vocab.InputConstants()) {
+    WSV_RETURN_IF_ERROR(
+        nv.AddRelation(ProvidedProp(c), 0, SymbolKind::kState));
+  }
+
+  // kappa_i membership of constant c while on page W: provided earlier
+  // (the __prov proposition) or requested by W itself.
+  auto provided_now = [&](const std::string& c,
+                          const PageSchema& page) -> FormulaPtr {
+    if (page.HasInputConstant(c)) return Formula::True();
+    return Formula::MakeAtom(ProvidedProp(c), {});
+  };
+
+  // The home page is statically erroneous iff its own rules use an input
+  // constant it does not request (condition (i) at step 0).
+  const PageSchema* home = service.FindPage(service.home_page());
+  if (home == nullptr) {
+    return Status::NotFound("home page not found");
+  }
+  bool home_static_error = false;
+  for (const std::string& c : PageInputConstantsUsed(*home, vocab)) {
+    if (!home->HasInputConstant(c)) home_static_error = true;
+  }
+
+  for (const PageSchema& page : service.pages()) {
+    PageSchema np;
+    np.name = page.name;
+    if (home_static_error && page.name == service.home_page()) {
+      // Every run of the original errs at step 0; trap immediately.
+      np.targets.push_back(trap);
+      np.target_rules.push_back(TargetRule{trap, Formula::True()});
+      WSV_RETURN_IF_ERROR(ws.AddPage(std::move(np)));
+      continue;
+    }
+    np.inputs = page.inputs;
+    np.input_constants = page.input_constants;
+    np.actions = page.actions;
+    np.input_rules = page.input_rules;
+    np.state_rules = page.state_rules;
+    np.action_rules = page.action_rules;
+    // Record constants provided on this page.
+    for (const std::string& c : page.input_constants) {
+      np.state_rules.push_back(
+          StateRule{ProvidedProp(c), true, {}, Formula::True()});
+    }
+
+    // Error condition Delta evaluated while on this page.
+    std::vector<FormulaPtr> delta_parts;
+    // (iii) ambiguity: two distinct target rules both fire.
+    for (size_t i = 0; i < page.target_rules.size(); ++i) {
+      for (size_t j = i + 1; j < page.target_rules.size(); ++j) {
+        delta_parts.push_back(Formula::And(page.target_rules[i].body,
+                                           page.target_rules[j].body));
+      }
+    }
+    // (i)/(ii) one step early, per target page V.
+    for (const TargetRule& rule : page.target_rules) {
+      const PageSchema* target = service.FindPage(rule.target);
+      if (target == nullptr) continue;  // validation rejects anyway
+      std::vector<FormulaPtr> bad;
+      for (const std::string& c : PageInputConstantsUsed(*target, vocab)) {
+        if (target->HasInputConstant(c)) continue;
+        // (i): V uses c, V does not request it, and it is not in kappa.
+        bad.push_back(Formula::Not(provided_now(c, page)));
+      }
+      for (const std::string& c : target->input_constants) {
+        // (ii): V re-requests a constant already in kappa.
+        bad.push_back(provided_now(c, page));
+      }
+      if (!bad.empty()) {
+        delta_parts.push_back(
+            Formula::And(rule.body, Formula::Or(std::move(bad))));
+      }
+    }
+    // (ii) on re-stay: no target fires and this page requests constants,
+    // so the implicit self-transition re-requests them.
+    if (!page.input_constants.empty()) {
+      std::vector<FormulaPtr> none;
+      for (const TargetRule& rule : page.target_rules) {
+        none.push_back(Formula::Not(rule.body));
+      }
+      delta_parts.push_back(Formula::And(std::move(none)));
+    }
+
+    FormulaPtr delta = Simplify(*Formula::Or(std::move(delta_parts)));
+    if (delta->kind() != Formula::Kind::kFalse) {
+      np.targets.push_back(trap);
+      np.target_rules.push_back(TargetRule{trap, delta});
+      for (const TargetRule& rule : page.target_rules) {
+        np.targets.push_back(rule.target);
+        np.target_rules.push_back(TargetRule{
+            rule.target,
+            Simplify(*Formula::And(rule.body, Formula::Not(delta)))});
+      }
+    } else {
+      np.targets = page.targets;
+      np.target_rules = page.target_rules;
+    }
+    // Deduplicate targets list.
+    std::sort(np.targets.begin(), np.targets.end());
+    np.targets.erase(std::unique(np.targets.begin(), np.targets.end()),
+                     np.targets.end());
+    WSV_RETURN_IF_ERROR(ws.AddPage(std::move(np)));
+  }
+
+  // The trap page: loops forever.
+  PageSchema trap_page;
+  trap_page.name = trap;
+  trap_page.targets.push_back(trap);
+  trap_page.target_rules.push_back(TargetRule{trap, Formula::True()});
+  WSV_RETURN_IF_ERROR(ws.AddPage(std::move(trap_page)));
+
+  for (const PageSchema& page : ws.pages()) {
+    WSV_RETURN_IF_ERROR(nv.AddRelation(page.name, 0, SymbolKind::kPage));
+  }
+  WSV_RETURN_IF_ERROR(nv.AddRelation(ws.error_page(), 0, SymbolKind::kPage));
+  WSV_RETURN_IF_ERROR(ValidateService(ws));
+
+  out.property.formula =
+      TFormula::G(TFormula::Fo(Formula::Not(Formula::MakeAtom(trap, {}))));
+  return out;
+}
+
+namespace {
+
+std::string AtProp(const std::string& page) { return "__at_" + page; }
+
+// Renames a rule's head variables to the canonical __x0..__x{k-1} so rule
+// bodies from different pages can be merged into one disjunction.
+FormulaPtr Canonicalize(const FormulaPtr& body,
+                        const std::vector<std::string>& head_vars) {
+  std::map<std::string, Term> subst;
+  for (size_t i = 0; i < head_vars.size(); ++i) {
+    subst.insert_or_assign(head_vars[i],
+                           Term::Variable("__x" + std::to_string(i)));
+  }
+  return Substitute(*body, subst);
+}
+
+std::vector<std::string> CanonicalVars(int arity) {
+  std::vector<std::string> out;
+  for (int i = 0; i < arity; ++i) out.push_back("__x" + std::to_string(i));
+  return out;
+}
+
+}  // namespace
+
+StatusOr<SimpleTransform> TransformToSimple(const WebService& service) {
+  const Vocabulary& vocab = service.vocab();
+  SimpleTransform out;
+  out.page = "Main";
+  WebService& ws = out.service;
+  ws.set_name(service.name() + "_simple");
+  ws.set_home_page("Main");
+  ws.set_error_page("__SimpleErr");
+
+  // Propositional inputs observed through prev would change meaning
+  // (the single page offers every input every step); reject them.
+  for (const PageSchema& page : service.pages()) {
+    auto scan = [&](const FormulaPtr& body) -> Status {
+      for (const Atom& atom : body->Atoms()) {
+        if (!atom.prev) continue;
+        const RelationSymbol* sym = vocab.FindRelation(atom.relation);
+        if (sym != nullptr && sym->arity == 0) {
+          return Status::Unsupported(
+              "TransformToSimple: prev. on propositional input " +
+              atom.relation + " is not supported");
+        }
+      }
+      return Status::OK();
+    };
+    for (const InputRule& r : page.input_rules) WSV_RETURN_IF_ERROR(scan(r.body));
+    for (const StateRule& r : page.state_rules) WSV_RETURN_IF_ERROR(scan(r.body));
+    for (const ActionRule& r : page.action_rules) WSV_RETURN_IF_ERROR(scan(r.body));
+    for (const TargetRule& r : page.target_rules) WSV_RETURN_IF_ERROR(scan(r.body));
+  }
+
+  Vocabulary& nv = ws.mutable_vocab();
+  for (const RelationSymbol& sym : vocab.relations()) {
+    if (sym.kind == SymbolKind::kPage) continue;
+    WSV_RETURN_IF_ERROR(nv.AddRelation(sym.name, sym.arity, sym.kind));
+  }
+  // Input constants become database constants (Lemma A.10 relies on
+  // error-freeness: each is provided at most once, so fixing its value up
+  // front is equivalent).
+  for (const std::string& c : vocab.constants()) {
+    WSV_RETURN_IF_ERROR(nv.AddConstant(c, /*is_input_constant=*/false));
+  }
+  for (const PageSchema& page : service.pages()) {
+    out.page_prop[page.name] = AtProp(page.name);
+    WSV_RETURN_IF_ERROR(
+        nv.AddRelation(AtProp(page.name), 0, SymbolKind::kState));
+  }
+
+  // active_W: the run is currently at page W. At step 0 no page
+  // proposition is set, so the home page is also active when none are.
+  auto active = [&](const std::string& page_name) -> FormulaPtr {
+    FormulaPtr at = Formula::MakeAtom(AtProp(page_name), {});
+    if (page_name != service.home_page()) return at;
+    std::vector<FormulaPtr> none;
+    for (const PageSchema& p : service.pages()) {
+      none.push_back(Formula::MakeAtom(AtProp(p.name), {}));
+    }
+    return Formula::Or(std::move(at), Formula::Not(Formula::Or(std::move(none))));
+  };
+
+  PageSchema main;
+  main.name = "Main";
+  main.targets.push_back("Main");
+  main.target_rules.push_back(TargetRule{"Main", Formula::True()});
+  for (const RelationSymbol& sym : vocab.RelationsOfKind(SymbolKind::kInput)) {
+    main.inputs.push_back(sym.name);
+  }
+  for (const RelationSymbol& sym :
+       vocab.RelationsOfKind(SymbolKind::kAction)) {
+    main.actions.push_back(sym.name);
+  }
+
+  // Merge rules across pages, guarded by the active propositions.
+  std::map<std::string, std::vector<FormulaPtr>> options_parts;
+  std::map<std::pair<std::string, bool>, std::vector<FormulaPtr>> state_parts;
+  std::map<std::string, std::vector<FormulaPtr>> action_parts;
+  for (const PageSchema& page : service.pages()) {
+    FormulaPtr act = active(page.name);
+    for (const InputRule& r : page.input_rules) {
+      options_parts[r.input].push_back(
+          Formula::And(Canonicalize(r.body, r.head_vars), act));
+    }
+    for (const StateRule& r : page.state_rules) {
+      state_parts[{r.state, r.insert}].push_back(
+          Formula::And(Canonicalize(r.body, r.head_vars), act));
+    }
+    for (const ActionRule& r : page.action_rules) {
+      action_parts[r.action].push_back(
+          Formula::And(Canonicalize(r.body, r.head_vars), act));
+    }
+    // Page transition bookkeeping.
+    for (const TargetRule& r : page.target_rules) {
+      state_parts[{AtProp(r.target), true}].push_back(
+          Formula::And(r.body, act));
+      state_parts[{AtProp(page.name), false}].push_back(
+          Formula::And(r.body, act));
+    }
+  }
+  for (auto& [input, parts] : options_parts) {
+    const RelationSymbol* sym = vocab.FindRelation(input);
+    main.input_rules.push_back(InputRule{input, CanonicalVars(sym->arity),
+                                         Formula::Or(std::move(parts))});
+  }
+  for (auto& [key, parts] : state_parts) {
+    const auto& [state, insert] = key;
+    const RelationSymbol* sym = nv.FindRelation(state);
+    main.state_rules.push_back(StateRule{state, insert,
+                                         CanonicalVars(sym->arity),
+                                         Formula::Or(std::move(parts))});
+  }
+  for (auto& [action, parts] : action_parts) {
+    const RelationSymbol* sym = vocab.FindRelation(action);
+    main.action_rules.push_back(ActionRule{action, CanonicalVars(sym->arity),
+                                           Formula::Or(std::move(parts))});
+  }
+  WSV_RETURN_IF_ERROR(ws.AddPage(std::move(main)));
+  WSV_RETURN_IF_ERROR(nv.AddRelation("Main", 0, SymbolKind::kPage));
+  WSV_RETURN_IF_ERROR(nv.AddRelation("__SimpleErr", 0, SymbolKind::kPage));
+  WSV_RETURN_IF_ERROR(ValidateService(ws));
+  return out;
+}
+
+namespace {
+
+// Rewrites page propositions inside an FO formula.
+FormulaPtr RewriteFoForSimple(const Formula& f, const WebService& original,
+                              const SimpleTransform& transform) {
+  switch (f.kind()) {
+    case Formula::Kind::kAtom: {
+      const RelationSymbol* sym =
+          original.vocab().FindRelation(f.atom().relation);
+      if (sym != nullptr && sym->kind == SymbolKind::kPage) {
+        if (f.atom().relation == original.error_page()) {
+          return Formula::False();  // the original is error-free
+        }
+        FormulaPtr at =
+            Formula::MakeAtom(transform.page_prop.at(f.atom().relation), {});
+        if (f.atom().relation == original.home_page()) {
+          std::vector<FormulaPtr> none;
+          for (const auto& [page, prop] : transform.page_prop) {
+            none.push_back(Formula::MakeAtom(prop, {}));
+          }
+          return Formula::Or(std::move(at),
+                             Formula::Not(Formula::Or(std::move(none))));
+        }
+        return at;
+      }
+      return Formula::MakeAtom(f.atom());
+    }
+    case Formula::Kind::kNot:
+      return Formula::Not(
+          RewriteFoForSimple(*f.children()[0], original, transform));
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::vector<FormulaPtr> parts;
+      for (const FormulaPtr& c : f.children()) {
+        parts.push_back(RewriteFoForSimple(*c, original, transform));
+      }
+      return f.kind() == Formula::Kind::kAnd ? Formula::And(std::move(parts))
+                                             : Formula::Or(std::move(parts));
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      FormulaPtr body =
+          RewriteFoForSimple(*f.body(), original, transform);
+      return f.kind() == Formula::Kind::kExists
+                 ? Formula::Exists(f.variables(), std::move(body))
+                 : Formula::Forall(f.variables(), std::move(body));
+    }
+    default:
+      return f.kind() == Formula::Kind::kTrue
+                 ? Formula::True()
+                 : (f.kind() == Formula::Kind::kFalse
+                        ? Formula::False()
+                        : Formula::Equals(f.lhs(), f.rhs()));
+  }
+}
+
+TFormulaPtr RewriteTemporalForSimple(const TFormula& f,
+                                     const WebService& original,
+                                     const SimpleTransform& transform) {
+  if (f.kind() == TFormula::Kind::kFo) {
+    return TFormula::Fo(RewriteFoForSimple(*f.fo(), original, transform));
+  }
+  std::vector<TFormulaPtr> children;
+  for (const TFormulaPtr& c : f.children()) {
+    children.push_back(RewriteTemporalForSimple(*c, original, transform));
+  }
+  switch (f.kind()) {
+    case TFormula::Kind::kNot:
+      return TFormula::Not(children[0]);
+    case TFormula::Kind::kAnd:
+      return TFormula::And(std::move(children));
+    case TFormula::Kind::kOr:
+      return TFormula::Or(std::move(children));
+    case TFormula::Kind::kX:
+      return TFormula::X(children[0]);
+    case TFormula::Kind::kU:
+      return TFormula::U(children[0], children[1]);
+    case TFormula::Kind::kB:
+      return TFormula::B(children[0], children[1]);
+    case TFormula::Kind::kE:
+      return TFormula::E(children[0]);
+    case TFormula::Kind::kA:
+      return TFormula::A(children[0]);
+    case TFormula::Kind::kFo:
+      break;
+  }
+  return TFormula::Fo(Formula::True());
+}
+
+}  // namespace
+
+StatusOr<TemporalProperty> RewritePropertyForSimple(
+    const TemporalProperty& property, const WebService& original,
+    const SimpleTransform& transform) {
+  TemporalProperty out;
+  out.universal_vars = property.universal_vars;
+  out.formula =
+      RewriteTemporalForSimple(*property.formula, original, transform);
+  return out;
+}
+
+}  // namespace wsv

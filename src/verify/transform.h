@@ -1,0 +1,65 @@
+// The paper's constructive service-to-service transformations.
+//
+// TransformErrorFree (Lemma A.5): given a Web service W, builds an
+// *error-free* service W' with a fresh trap page that is reached exactly
+// when W would reach its error page. Checking error-freeness of W thus
+// reduces to verifying the input-bounded LTL-FO sentence  G !<trap>  on
+// W'. The construction adds one propositional state per input constant
+// (marking "provided"), guards every target rule with the negation of
+// the error condition, and routes the error condition to the trap page:
+//   - ambiguity of W's target rules (condition iii),
+//   - transitioning to a page whose rules use an input constant that is
+//     neither provided nor requested there (condition i, one step early),
+//   - transitioning to (or re-staying on) a page that re-requests a
+//     provided constant (condition ii, one step early).
+//
+// TransformToSimple (Lemma A.10): given an *error-free* input-bounded
+// service, builds a *simple* service (single page, no input constants —
+// the Web-service counterpart of Spielmann's ASM transducers) plus a
+// property rewriting: page propositions become state propositions set by
+// the transition rules, and input constants become database constants.
+
+#ifndef WSV_VERIFY_TRANSFORM_H_
+#define WSV_VERIFY_TRANSFORM_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "ltl/ltl.h"
+#include "ws/service.h"
+
+namespace wsv {
+
+struct ErrorFreeTransform {
+  WebService service;
+  /// Name of the trap page; W is error-free iff service |= G !trap_page.
+  std::string trap_page;
+  /// The ready-made property G !trap_page.
+  TemporalProperty property;
+};
+
+StatusOr<ErrorFreeTransform> TransformErrorFree(const WebService& service);
+
+struct SimpleTransform {
+  WebService service;
+  /// Page name -> the state proposition tracking "run is at this page".
+  std::map<std::string, std::string> page_prop;
+  /// The single page's name.
+  std::string page;
+};
+
+StatusOr<SimpleTransform> TransformToSimple(const WebService& service);
+
+/// Rewrites a property over the original service (page propositions,
+/// input constants) into one over the simple service (state propositions,
+/// database constants). Page atom V becomes the state proposition
+/// page_prop[V]; for the home page it becomes
+/// (page_prop[home] | !(any page prop)) to cover the initial step.
+StatusOr<TemporalProperty> RewritePropertyForSimple(
+    const TemporalProperty& property, const WebService& original,
+    const SimpleTransform& transform);
+
+}  // namespace wsv
+
+#endif  // WSV_VERIFY_TRANSFORM_H_

@@ -1,0 +1,282 @@
+#include "ws/builder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fo/lexer.h"
+#include "fo/parser.h"
+#include "ws/validate.h"
+
+namespace wsv {
+
+PageSchema& PageBuilder::page() { return parent_->staged_pages_[page_index_]; }
+
+PageBuilder& PageBuilder::UseInput(const std::string& name) {
+  const Vocabulary& vocab = parent_->service_.vocab();
+  if (vocab.IsInputConstant(name)) {
+    if (!page().HasInputConstant(name)) {
+      page().input_constants.push_back(name);
+    }
+    return *this;
+  }
+  const RelationSymbol* sym = vocab.FindRelation(name);
+  if (sym == nullptr || sym->kind != SymbolKind::kInput) {
+    parent_->Record(Status::NotFound("page " + page().name +
+                                     ": unknown input: " + name));
+    return *this;
+  }
+  if (!page().HasInputRelation(name)) page().inputs.push_back(name);
+  return *this;
+}
+
+PageBuilder& PageBuilder::UseAction(const std::string& name) {
+  const RelationSymbol* sym = parent_->service_.vocab().FindRelation(name);
+  if (sym == nullptr || sym->kind != SymbolKind::kAction) {
+    parent_->Record(Status::NotFound("page " + page().name +
+                                     ": unknown action: " + name));
+    return *this;
+  }
+  if (std::find(page().actions.begin(), page().actions.end(), name) ==
+      page().actions.end()) {
+    page().actions.push_back(name);
+  }
+  return *this;
+}
+
+PageBuilder& PageBuilder::Options(const std::string& head,
+                                  const std::string& body) {
+  InputRule rule;
+  Status st = parent_->ParseRuleHead(head, &rule.input, &rule.head_vars,
+                                     body, &rule.body);
+  if (!st.ok()) {
+    parent_->Record(st);
+    return *this;
+  }
+  UseInput(rule.input);
+  page().input_rules.push_back(std::move(rule));
+  return *this;
+}
+
+PageBuilder& PageBuilder::Insert(const std::string& head,
+                                 const std::string& body) {
+  StateRule rule;
+  rule.insert = true;
+  Status st = parent_->ParseRuleHead(head, &rule.state, &rule.head_vars,
+                                     body, &rule.body);
+  if (!st.ok()) {
+    parent_->Record(st);
+    return *this;
+  }
+  page().state_rules.push_back(std::move(rule));
+  return *this;
+}
+
+PageBuilder& PageBuilder::Delete(const std::string& head,
+                                 const std::string& body) {
+  StateRule rule;
+  rule.insert = false;
+  Status st = parent_->ParseRuleHead(head, &rule.state, &rule.head_vars,
+                                     body, &rule.body);
+  if (!st.ok()) {
+    parent_->Record(st);
+    return *this;
+  }
+  page().state_rules.push_back(std::move(rule));
+  return *this;
+}
+
+PageBuilder& PageBuilder::Act(const std::string& head,
+                              const std::string& body) {
+  ActionRule rule;
+  Status st = parent_->ParseRuleHead(head, &rule.action, &rule.head_vars,
+                                     body, &rule.body);
+  if (!st.ok()) {
+    parent_->Record(st);
+    return *this;
+  }
+  UseAction(rule.action);
+  page().action_rules.push_back(std::move(rule));
+  return *this;
+}
+
+PageBuilder& PageBuilder::AddInputRule(InputRule rule) {
+  UseInput(rule.input);
+  page().input_rules.push_back(std::move(rule));
+  return *this;
+}
+
+PageBuilder& PageBuilder::AddStateRule(StateRule rule) {
+  page().state_rules.push_back(std::move(rule));
+  return *this;
+}
+
+PageBuilder& PageBuilder::AddActionRule(ActionRule rule) {
+  UseAction(rule.action);
+  page().action_rules.push_back(std::move(rule));
+  return *this;
+}
+
+PageBuilder& PageBuilder::AddTargetRule(TargetRule rule) {
+  if (std::find(page().targets.begin(), page().targets.end(), rule.target) ==
+      page().targets.end()) {
+    page().targets.push_back(rule.target);
+  }
+  page().target_rules.push_back(std::move(rule));
+  return *this;
+}
+
+PageBuilder& PageBuilder::Target(const std::string& target_page,
+                                 const std::string& body) {
+  StatusOr<FormulaPtr> parsed =
+      ParseFormula(body, &parent_->service_.vocab());
+  if (!parsed.ok()) {
+    parent_->Record(Status::ParseError("page " + page().name + ", target " +
+                                       target_page + ": " +
+                                       parsed.status().message()));
+    return *this;
+  }
+  if (std::find(page().targets.begin(), page().targets.end(), target_page) ==
+      page().targets.end()) {
+    page().targets.push_back(target_page);
+  }
+  page().target_rules.push_back(TargetRule{target_page, *parsed});
+  return *this;
+}
+
+ServiceBuilder::ServiceBuilder(std::string service_name) {
+  service_.set_name(std::move(service_name));
+}
+
+void ServiceBuilder::Record(const Status& status) {
+  if (first_error_.ok() && !status.ok()) first_error_ = status;
+}
+
+ServiceBuilder& ServiceBuilder::Database(const std::string& name, int arity) {
+  Record(service_.mutable_vocab().AddRelation(name, arity,
+                                              SymbolKind::kDatabase));
+  return *this;
+}
+
+ServiceBuilder& ServiceBuilder::State(const std::string& name, int arity) {
+  Record(service_.mutable_vocab().AddRelation(name, arity,
+                                              SymbolKind::kState));
+  return *this;
+}
+
+ServiceBuilder& ServiceBuilder::Input(const std::string& name, int arity) {
+  Record(service_.mutable_vocab().AddRelation(name, arity,
+                                              SymbolKind::kInput));
+  return *this;
+}
+
+ServiceBuilder& ServiceBuilder::Action(const std::string& name, int arity) {
+  Record(service_.mutable_vocab().AddRelation(name, arity,
+                                              SymbolKind::kAction));
+  return *this;
+}
+
+ServiceBuilder& ServiceBuilder::InputConstant(const std::string& name) {
+  Record(service_.mutable_vocab().AddConstant(name,
+                                              /*is_input_constant=*/true));
+  return *this;
+}
+
+ServiceBuilder& ServiceBuilder::Constant(const std::string& name) {
+  Record(service_.mutable_vocab().AddConstant(name,
+                                              /*is_input_constant=*/false));
+  return *this;
+}
+
+PageBuilder ServiceBuilder::Page(const std::string& name) {
+  PageSchema page;
+  page.name = name;
+  staged_pages_.push_back(std::move(page));
+  return PageBuilder(this, staged_pages_.size() - 1);
+}
+
+ServiceBuilder& ServiceBuilder::Home(const std::string& name) {
+  service_.set_home_page(name);
+  return *this;
+}
+
+ServiceBuilder& ServiceBuilder::Error(const std::string& name) {
+  service_.set_error_page(name);
+  return *this;
+}
+
+Status ServiceBuilder::ParseRuleHead(const std::string& head,
+                                     std::string* relation,
+                                     std::vector<std::string>* head_vars,
+                                     const std::string& body_text,
+                                     FormulaPtr* body) {
+  WSV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(head));
+  TokenStream ts(std::move(tokens));
+  WSV_ASSIGN_OR_RETURN(*relation, ts.ExpectIdentText("a relation name"));
+  std::vector<Term> head_terms;
+  if (ts.TryConsume(TokenKind::kLParen)) {
+    if (!ts.TryConsume(TokenKind::kRParen)) {
+      do {
+        WSV_ASSIGN_OR_RETURN(Term t,
+                             ParseTermFrom(ts, &service_.vocab()));
+        head_terms.push_back(std::move(t));
+      } while (ts.TryConsume(TokenKind::kComma));
+      WSV_RETURN_IF_ERROR(ts.Expect(TokenKind::kRParen, "')'"));
+    }
+  }
+  if (!ts.AtEnd()) return ts.ErrorHere("trailing input after rule head");
+
+  WSV_ASSIGN_OR_RETURN(FormulaPtr parsed_body,
+                       ParseFormula(body_text, &service_.vocab()));
+  WSV_RETURN_IF_ERROR(DesugarHeadTerms(head_terms, &parsed_body, head_vars));
+  *body = std::move(parsed_body);
+  return Status::OK();
+}
+
+Status DesugarHeadTerms(const std::vector<Term>& head_terms,
+                        FormulaPtr* body,
+                        std::vector<std::string>* head_vars) {
+  std::vector<FormulaPtr> extra;
+  std::set<std::string> seen;
+  head_vars->clear();
+  int fresh = 0;
+  for (const Term& t : head_terms) {
+    if (t.is_variable() && seen.insert(t.name()).second) {
+      head_vars->push_back(t.name());
+      continue;
+    }
+    std::string v;
+    do {
+      v = "_h" + std::to_string(fresh++);
+    } while (seen.count(v) > 0);
+    seen.insert(v);
+    head_vars->push_back(v);
+    extra.push_back(Formula::Equals(Term::Variable(v), t));
+  }
+  if (!extra.empty()) {
+    extra.insert(extra.begin(), *body);
+    *body = Formula::And(std::move(extra));
+  }
+  return Status::OK();
+}
+
+StatusOr<WebService> ServiceBuilder::Build() {
+  if (!first_error_.ok()) return first_error_;
+  for (PageSchema& page : staged_pages_) {
+    WSV_RETURN_IF_ERROR(service_.AddPage(std::move(page)));
+  }
+  staged_pages_.clear();
+  // Register page names (and the error page) as propositional symbols so
+  // temporal formulas can reference them.
+  for (const PageSchema& page : service_.pages()) {
+    WSV_RETURN_IF_ERROR(service_.mutable_vocab().AddRelation(
+        page.name, 0, SymbolKind::kPage));
+  }
+  if (!service_.error_page().empty()) {
+    WSV_RETURN_IF_ERROR(service_.mutable_vocab().AddRelation(
+        service_.error_page(), 0, SymbolKind::kPage));
+  }
+  WSV_RETURN_IF_ERROR(ValidateService(service_));
+  return std::move(service_);
+}
+
+}  // namespace wsv

@@ -1,0 +1,129 @@
+// Fluent programmatic construction of Web services.
+//
+// ServiceBuilder is the C++ counterpart of the .wsv surface syntax: the
+// reduction generators (src/reductions/) and tests assemble services with
+// it. Declare the four schemas first, then pages; rule bodies are given
+// as FO formula text and parsed against the vocabulary immediately.
+//
+//   ServiceBuilder b("Demo");
+//   b.Database("user", 2).State("err", 1).Input("button", 1)
+//    .InputConstant("name").InputConstant("password");
+//   b.Page("HP")
+//       .UseInput("button").UseInput("name").UseInput("password")
+//       .Options("button(x)", "x = \"login\" | x = \"register\"")
+//       .Insert("err(\"failed\")", "!user(name, password) & button(\"login\")")
+//       .Target("CP", "user(name, password) & button(\"login\")");
+//   b.Page("CP");
+//   b.Home("HP").Error("MP");
+//   StatusOr<WebService> ws = b.Build();
+//
+// Errors are accumulated: the first failure is reported by Build().
+
+#ifndef WSV_WS_BUILDER_H_
+#define WSV_WS_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ws/service.h"
+
+namespace wsv {
+
+class ServiceBuilder;
+
+/// Builds one page schema; returned by ServiceBuilder::Page. All methods
+/// return *this for chaining and record the first error in the parent.
+class PageBuilder {
+ public:
+  /// Declares that the page offers an input relation or requests an input
+  /// constant (auto-detected from the vocabulary).
+  PageBuilder& UseInput(const std::string& name);
+  /// Declares that the page may produce an action relation.
+  PageBuilder& UseAction(const std::string& name);
+
+  /// Adds an input (options) rule; `head` is atom syntax, e.g. "button(x)".
+  /// Also implies UseInput(relation).
+  PageBuilder& Options(const std::string& head, const std::string& body);
+  /// Adds a state insertion rule +head :- body. Constants in the head are
+  /// desugared into equality conjuncts.
+  PageBuilder& Insert(const std::string& head, const std::string& body);
+  /// Adds a state deletion rule -head :- body.
+  PageBuilder& Delete(const std::string& head, const std::string& body);
+  /// Adds an action rule head :- body; also implies UseAction(relation).
+  PageBuilder& Act(const std::string& head, const std::string& body);
+  /// Adds a target rule `page :- body` (and adds `page` to T_W).
+  PageBuilder& Target(const std::string& page, const std::string& body);
+
+  /// Lower-level variants taking already-constructed rules (used by the
+  /// .wsv parser). Usage lists (I_W, A_W, T_W) are updated accordingly.
+  PageBuilder& AddInputRule(InputRule rule);
+  PageBuilder& AddStateRule(StateRule rule);
+  PageBuilder& AddActionRule(ActionRule rule);
+  PageBuilder& AddTargetRule(TargetRule rule);
+
+ private:
+  friend class ServiceBuilder;
+  PageBuilder(ServiceBuilder* parent, size_t page_index)
+      : parent_(parent), page_index_(page_index) {}
+
+  PageSchema& page();
+
+  ServiceBuilder* parent_;
+  size_t page_index_;
+};
+
+/// Desugars a rule head's term list: non-variable terms and repeated
+/// variables become fresh head variables constrained by equality
+/// conjuncts appended to `*body`. On return `*head_vars` lists distinct
+/// variables matching the head arity.
+Status DesugarHeadTerms(const std::vector<Term>& head_terms,
+                        FormulaPtr* body,
+                        std::vector<std::string>* head_vars);
+
+class ServiceBuilder {
+ public:
+  explicit ServiceBuilder(std::string service_name);
+
+  ServiceBuilder& Database(const std::string& name, int arity);
+  ServiceBuilder& State(const std::string& name, int arity);
+  ServiceBuilder& Input(const std::string& name, int arity);
+  ServiceBuilder& Action(const std::string& name, int arity);
+  /// Declares a member of const(I): its value is supplied by the user.
+  ServiceBuilder& InputConstant(const std::string& name);
+  /// Declares a non-input constant (interpreted by the database instance).
+  ServiceBuilder& Constant(const std::string& name);
+
+  /// Starts a new page. Pages must come after schema declarations because
+  /// rule bodies parse against the vocabulary.
+  PageBuilder Page(const std::string& name);
+
+  ServiceBuilder& Home(const std::string& name);
+  ServiceBuilder& Error(const std::string& name);
+
+  /// The vocabulary accumulated so far (used by the .wsv parser to parse
+  /// rule formulas against the declarations).
+  const Vocabulary& vocab() const { return service_.vocab(); }
+
+  /// Finalizes: registers page propositions, validates well-formedness
+  /// (ws/validate.h), and returns the service or the first recorded error.
+  StatusOr<WebService> Build();
+
+ private:
+  friend class PageBuilder;
+
+  void Record(const Status& status);
+  /// Parses "R(t1, ..., tk)" or bare "R"; desugars non-variable head terms
+  /// into equality conjuncts appended to `body`.
+  Status ParseRuleHead(const std::string& head, std::string* relation,
+                       std::vector<std::string>* head_vars,
+                       const std::string& body_text, FormulaPtr* body);
+
+  WebService service_;
+  std::vector<PageSchema> staged_pages_;
+  Status first_error_;
+};
+
+}  // namespace wsv
+
+#endif  // WSV_WS_BUILDER_H_

@@ -1,0 +1,136 @@
+#include "ws/classify.h"
+
+#include "fo/input_bounded.h"
+
+namespace wsv {
+
+namespace {
+
+// Applies `check` to every rule body in the service, attributing failures.
+template <typename Check>
+Status ForEachRuleBody(const WebService& service, const Check& check) {
+  for (const PageSchema& page : service.pages()) {
+    for (const InputRule& r : page.input_rules) {
+      WSV_RETURN_IF_ERROR(check(page, r.body, /*is_input_rule=*/true,
+                                r.ToString()));
+    }
+    for (const StateRule& r : page.state_rules) {
+      WSV_RETURN_IF_ERROR(check(page, r.body, false, r.ToString()));
+    }
+    for (const ActionRule& r : page.action_rules) {
+      WSV_RETURN_IF_ERROR(check(page, r.body, false, r.ToString()));
+    }
+    for (const TargetRule& r : page.target_rules) {
+      WSV_RETURN_IF_ERROR(check(page, r.body, false, r.ToString()));
+    }
+  }
+  return Status::OK();
+}
+
+Status Attribute(const PageSchema& page, const std::string& rule,
+                 const Status& inner) {
+  if (inner.ok()) return inner;
+  return Status::NotInputBounded("page " + page.name + ", " + rule + ": " +
+                                 inner.message());
+}
+
+}  // namespace
+
+Status CheckInputBoundedService(const WebService& service) {
+  return ForEachRuleBody(
+      service,
+      [&](const PageSchema& page, const FormulaPtr& body, bool is_input_rule,
+          const std::string& rule) -> Status {
+        Status st = is_input_rule
+                        ? CheckExistentialInputRule(*body, service.vocab())
+                        : CheckInputBounded(*body, service.vocab());
+        return Attribute(page, rule, st);
+      });
+}
+
+Status CheckPropositionalService(const WebService& service) {
+  WSV_RETURN_IF_ERROR(CheckInputBoundedService(service));
+  for (const RelationSymbol& sym : service.vocab().relations()) {
+    if ((sym.kind == SymbolKind::kState || sym.kind == SymbolKind::kAction) &&
+        sym.arity > 0) {
+      return Status::Unsupported(
+          std::string(SymbolKindToString(sym.kind)) + " relation " +
+          sym.name + " has arity " + std::to_string(sym.arity) +
+          "; propositional services require arity 0");
+    }
+  }
+  return ForEachRuleBody(
+      service,
+      [&](const PageSchema& page, const FormulaPtr& body, bool,
+          const std::string& rule) -> Status {
+        for (const Atom& atom : body->Atoms()) {
+          if (atom.prev) {
+            return Status::Unsupported(
+                "page " + page.name + ", " + rule + ": Prev_I atom " +
+                atom.ToString() + " not permitted in propositional services");
+          }
+        }
+        return Status::OK();
+      });
+}
+
+Status CheckFullyPropositionalService(const WebService& service) {
+  WSV_RETURN_IF_ERROR(CheckPropositionalService(service));
+  for (const RelationSymbol& sym : service.vocab().relations()) {
+    if (sym.kind == SymbolKind::kInput && sym.arity > 0) {
+      return Status::Unsupported("input relation " + sym.name +
+                                 " has arity " + std::to_string(sym.arity) +
+                                 "; fully propositional services require "
+                                 "propositional inputs");
+    }
+  }
+  if (!service.vocab().InputConstants().empty()) {
+    return Status::Unsupported(
+        "fully propositional services take no input constants");
+  }
+  return ForEachRuleBody(
+      service,
+      [&](const PageSchema& page, const FormulaPtr& body, bool,
+          const std::string& rule) -> Status {
+        for (const Atom& atom : body->Atoms()) {
+          const RelationSymbol* sym =
+              service.vocab().FindRelation(atom.relation);
+          if (sym != nullptr && sym->kind == SymbolKind::kDatabase) {
+            return Status::Unsupported(
+                "page " + page.name + ", " + rule + ": database atom " +
+                atom.ToString() +
+                " not permitted in fully propositional services");
+          }
+        }
+        return Status::OK();
+      });
+}
+
+std::string ServiceClassification::ToString() const {
+  std::string out;
+  auto row = [&](const char* label, bool member, const std::string& diag) {
+    out += std::string(label) + ": " + (member ? "yes" : "no");
+    if (!member && !diag.empty()) out += " (" + diag + ")";
+    out += "\n";
+  };
+  row("input-bounded", input_bounded, input_bounded_diag);
+  row("propositional", propositional, propositional_diag);
+  row("fully propositional", fully_propositional, fully_propositional_diag);
+  return out;
+}
+
+ServiceClassification ClassifyService(const WebService& service) {
+  ServiceClassification out;
+  Status st = CheckInputBoundedService(service);
+  out.input_bounded = st.ok();
+  out.input_bounded_diag = st.message();
+  st = CheckPropositionalService(service);
+  out.propositional = st.ok();
+  out.propositional_diag = st.message();
+  st = CheckFullyPropositionalService(service);
+  out.fully_propositional = st.ok();
+  out.fully_propositional_diag = st.message();
+  return out;
+}
+
+}  // namespace wsv

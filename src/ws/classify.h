@@ -1,0 +1,47 @@
+// Classifiers for the decidable service classes of Sections 3 and 4.
+//
+//   input-bounded        (Theorem 3.5): state/action/target rules use only
+//                        input-bounded quantification; input rules are
+//                        existential with ground state atoms.
+//   propositional        (Theorem 4.4): input-bounded, all state and
+//                        action relations are propositions, and no rule
+//                        uses Prev_I atoms. Inputs may be parameterized.
+//   fully propositional  (Theorem 4.6): propositional, and additionally
+//                        inputs are propositional and no rule mentions the
+//                        database; the database plays no role.
+//
+// Each checker returns OK or a diagnostic pinpointing the first violation,
+// so a caller can report *why* a service falls outside a class.
+
+#ifndef WSV_WS_CLASSIFY_H_
+#define WSV_WS_CLASSIFY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ws/service.h"
+
+namespace wsv {
+
+Status CheckInputBoundedService(const WebService& service);
+Status CheckPropositionalService(const WebService& service);
+Status CheckFullyPropositionalService(const WebService& service);
+
+/// Summary of class membership with diagnostics for the classes a
+/// service misses.
+struct ServiceClassification {
+  bool input_bounded = false;
+  std::string input_bounded_diag;
+  bool propositional = false;
+  std::string propositional_diag;
+  bool fully_propositional = false;
+  std::string fully_propositional_diag;
+
+  std::string ToString() const;
+};
+
+ServiceClassification ClassifyService(const WebService& service);
+
+}  // namespace wsv
+
+#endif  // WSV_WS_CLASSIFY_H_

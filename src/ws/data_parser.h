@@ -1,0 +1,36 @@
+// Parser for database instance files (.wsd).
+//
+// The format is a list of facts and constant bindings:
+//
+//   # the product catalog
+//   user(alice, pw).
+//   prod_prices(p1, 100).
+//   criteria(laptop, ram, "4 gb").
+//   const i0 = products.
+//
+// Bare identifiers, numbers, and quoted strings all denote domain
+// elements. When a vocabulary is supplied, relation names and arities
+// are checked and constants must be declared non-input constants.
+
+#ifndef WSV_WS_DATA_PARSER_H_
+#define WSV_WS_DATA_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+namespace wsv {
+
+/// Parses a database instance. `vocab` may be nullptr (no checking).
+StatusOr<Instance> ParseDataFile(std::string_view text,
+                                 const Vocabulary* vocab = nullptr);
+
+/// Renders an instance in the .wsd format (round-trips through
+/// ParseDataFile).
+std::string DataFileToString(const Instance& instance);
+
+}  // namespace wsv
+
+#endif  // WSV_WS_DATA_PARSER_H_

@@ -1,0 +1,34 @@
+#include "ws/rules.h"
+
+#include "common/str_util.h"
+
+namespace wsv {
+
+namespace {
+
+std::string Head(const std::string& name,
+                 const std::vector<std::string>& vars) {
+  if (vars.empty()) return name;
+  return name + "(" + Join(vars, ", ") + ")";
+}
+
+}  // namespace
+
+std::string InputRule::ToString() const {
+  return "options " + Head(input, head_vars) + " :- " + body->ToString();
+}
+
+std::string StateRule::ToString() const {
+  return std::string("state ") + (insert ? "+" : "-") +
+         Head(state, head_vars) + " :- " + body->ToString();
+}
+
+std::string ActionRule::ToString() const {
+  return "action " + Head(action, head_vars) + " :- " + body->ToString();
+}
+
+std::string TargetRule::ToString() const {
+  return "target " + target + " :- " + body->ToString();
+}
+
+}  // namespace wsv

@@ -1,0 +1,64 @@
+// Rules of a Web page schema (Definition 2.1).
+//
+// Each Web page schema carries four kinds of rules:
+//   input rules    Options_I(x)  :- phi(x)    (options offered to the user)
+//   state rules    +S(x) :- phi(x)  and  -S(x) :- phi(x)
+//                  (insertions / deletions, conflicts get no-op semantics)
+//   action rules   A(x)  :- phi(x)
+//   target rules   V     :- phi                (next Web page)
+//
+// Heads list distinct variables; the body's free variables must be among
+// them. The .wsv surface syntax also allows constants in heads (e.g.
+// error("failed login") :- ...), which the parser desugars into equality
+// conjuncts.
+
+#ifndef WSV_WS_RULES_H_
+#define WSV_WS_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "fo/formula.h"
+
+namespace wsv {
+
+/// Options_I(head_vars) :- body. `input` names a relation in I of
+/// positive arity.
+struct InputRule {
+  std::string input;
+  std::vector<std::string> head_vars;
+  FormulaPtr body;
+
+  std::string ToString() const;
+};
+
+/// +S(head_vars) :- body (insert=true) or -S(head_vars) :- body.
+struct StateRule {
+  std::string state;
+  bool insert = true;
+  std::vector<std::string> head_vars;
+  FormulaPtr body;
+
+  std::string ToString() const;
+};
+
+/// A(head_vars) :- body.
+struct ActionRule {
+  std::string action;
+  std::vector<std::string> head_vars;
+  FormulaPtr body;
+
+  std::string ToString() const;
+};
+
+/// target :- body; fires a transition to Web page `target`.
+struct TargetRule {
+  std::string target;
+  FormulaPtr body;
+
+  std::string ToString() const;
+};
+
+}  // namespace wsv
+
+#endif  // WSV_WS_RULES_H_

@@ -1,0 +1,85 @@
+// Web services and Web page schemas (Definition 2.1).
+//
+// A Web service W = <D, S, I, A, W, W0, W_err> bundles the four relational
+// schemas, a set of Web page schemas, a home page W0, and a distinguished
+// error page W_err (not a member of W; runs reaching it loop there
+// forever). Page names double as propositional symbols in temporal
+// properties.
+
+#ifndef WSV_WS_SERVICE_H_
+#define WSV_WS_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "ws/rules.h"
+
+namespace wsv {
+
+/// A Web page schema W = <I_W, A_W, T_W, R_W>.
+struct PageSchema {
+  std::string name;
+  /// Input relations of this page (subset of I's relations).
+  std::vector<std::string> inputs;
+  /// Input constants requested on this page (subset of const(I)).
+  std::vector<std::string> input_constants;
+  /// Action relations this page may produce (subset of A).
+  std::vector<std::string> actions;
+  /// Target Web pages T_W.
+  std::vector<std::string> targets;
+
+  std::vector<InputRule> input_rules;
+  std::vector<StateRule> state_rules;
+  std::vector<ActionRule> action_rules;
+  std::vector<TargetRule> target_rules;
+
+  bool HasInputRelation(const std::string& name) const;
+  bool HasInputConstant(const std::string& name) const;
+
+  std::string ToString() const;
+};
+
+/// A complete Web service specification.
+class WebService {
+ public:
+  WebService() = default;
+
+  const Vocabulary& vocab() const { return vocab_; }
+  Vocabulary& mutable_vocab() { return vocab_; }
+
+  /// Adds a page schema; fails on duplicate names.
+  Status AddPage(PageSchema page);
+
+  const PageSchema* FindPage(const std::string& name) const;
+  /// All pages (home and ordinary pages; the error page is implicit), in
+  /// declaration order.
+  const std::vector<PageSchema>& pages() const { return pages_; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::string& home_page() const { return home_page_; }
+  void set_home_page(std::string name) { home_page_ = std::move(name); }
+
+  /// The error page W_err. It is not a member of pages(); per the paper
+  /// its only rule is W_err :- true (a self-loop with no inputs).
+  const std::string& error_page() const { return error_page_; }
+  void set_error_page(std::string name) { error_page_ = std::move(name); }
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  Vocabulary vocab_;
+  std::vector<PageSchema> pages_;
+  std::map<std::string, size_t> page_index_;
+  std::string home_page_;
+  std::string error_page_;
+};
+
+}  // namespace wsv
+
+#endif  // WSV_WS_SERVICE_H_

@@ -1,0 +1,256 @@
+#include "ws/spec_parser.h"
+
+#include <optional>
+#include <vector>
+
+#include "fo/lexer.h"
+#include "fo/parser.h"
+#include "ws/builder.h"
+
+namespace wsv {
+
+namespace {
+
+class SpecParser {
+ public:
+  explicit SpecParser(TokenStream ts) : ts_(std::move(ts)) {}
+
+  StatusOr<WebService> Parse() {
+    WSV_RETURN_IF_ERROR(ts_.ExpectIdent("service"));
+    WSV_ASSIGN_OR_RETURN(std::string name,
+                         ts_.ExpectIdentText("a service name"));
+    WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kSemicolon, "';'"));
+    builder_.emplace(name);
+
+    while (!ts_.AtEnd()) {
+      const Token& t = ts_.Peek();
+      if (t.kind != TokenKind::kIdent) {
+        return ts_.ErrorHere("expected a declaration");
+      }
+      if (t.text == "database") {
+        WSV_RETURN_IF_ERROR(ParseRelationDecls(SymbolKind::kDatabase));
+      } else if (t.text == "state") {
+        WSV_RETURN_IF_ERROR(ParseRelationDecls(SymbolKind::kState));
+      } else if (t.text == "action") {
+        WSV_RETURN_IF_ERROR(ParseRelationDecls(SymbolKind::kAction));
+      } else if (t.text == "input") {
+        WSV_RETURN_IF_ERROR(ParseInputDecls());
+      } else if (t.text == "constant") {
+        WSV_RETURN_IF_ERROR(ParseConstantDecls());
+      } else if (t.text == "page") {
+        WSV_RETURN_IF_ERROR(ParsePage());
+      } else if (t.text == "home") {
+        ts_.Next();
+        WSV_ASSIGN_OR_RETURN(std::string page,
+                             ts_.ExpectIdentText("a page name"));
+        builder_->Home(page);
+        WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kSemicolon, "';'"));
+      } else if (t.text == "error") {
+        ts_.Next();
+        WSV_ASSIGN_OR_RETURN(std::string page,
+                             ts_.ExpectIdentText("a page name"));
+        builder_->Error(page);
+        WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kSemicolon, "';'"));
+      } else {
+        return ts_.ErrorHere("unknown declaration keyword '" + t.text + "'");
+      }
+    }
+    return builder_->Build();
+  }
+
+ private:
+  // IDENT ['(' attr (',' attr)* ')'] — arity is the attribute count.
+  StatusOr<std::pair<std::string, int>> ParseRelDecl() {
+    WSV_ASSIGN_OR_RETURN(std::string name,
+                         ts_.ExpectIdentText("a relation name"));
+    int arity = 0;
+    if (ts_.TryConsume(TokenKind::kLParen)) {
+      if (!ts_.TryConsume(TokenKind::kRParen)) {
+        do {
+          WSV_RETURN_IF_ERROR(
+              ts_.ExpectIdentText("an attribute name").status());
+          ++arity;
+        } while (ts_.TryConsume(TokenKind::kComma));
+        WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kRParen, "')'"));
+      }
+    }
+    return std::make_pair(std::move(name), arity);
+  }
+
+  Status ParseRelationDecls(SymbolKind kind) {
+    ts_.Next();  // keyword
+    do {
+      WSV_ASSIGN_OR_RETURN(auto decl, ParseRelDecl());
+      switch (kind) {
+        case SymbolKind::kDatabase:
+          builder_->Database(decl.first, decl.second);
+          break;
+        case SymbolKind::kState:
+          builder_->State(decl.first, decl.second);
+          break;
+        case SymbolKind::kAction:
+          builder_->Action(decl.first, decl.second);
+          break;
+        default:
+          return Status::Internal("unexpected declaration kind");
+      }
+    } while (ts_.TryConsume(TokenKind::kComma));
+    return ts_.Expect(TokenKind::kSemicolon, "';'");
+  }
+
+  // input name const; password const; button(label);
+  Status ParseInputDecls() {
+    ts_.Next();  // 'input'
+    do {
+      WSV_ASSIGN_OR_RETURN(std::string name,
+                           ts_.ExpectIdentText("an input name"));
+      if (ts_.TryConsumeIdent("const")) {
+        builder_->InputConstant(name);
+        continue;
+      }
+      int arity = 0;
+      if (ts_.TryConsume(TokenKind::kLParen)) {
+        if (!ts_.TryConsume(TokenKind::kRParen)) {
+          do {
+            WSV_RETURN_IF_ERROR(
+                ts_.ExpectIdentText("an attribute name").status());
+            ++arity;
+          } while (ts_.TryConsume(TokenKind::kComma));
+          WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kRParen, "')'"));
+        }
+      }
+      builder_->Input(name, arity);
+    } while (ts_.TryConsume(TokenKind::kComma));
+    return ts_.Expect(TokenKind::kSemicolon, "';'");
+  }
+
+  Status ParseConstantDecls() {
+    ts_.Next();  // 'constant'
+    do {
+      WSV_ASSIGN_OR_RETURN(std::string name,
+                           ts_.ExpectIdentText("a constant name"));
+      builder_->Constant(name);
+    } while (ts_.TryConsume(TokenKind::kComma));
+    return ts_.Expect(TokenKind::kSemicolon, "';'");
+  }
+
+  // Parses "IDENT ['(' term,... ')']" as a rule head.
+  Status ParseHead(std::string* relation, std::vector<Term>* terms) {
+    WSV_ASSIGN_OR_RETURN(*relation, ts_.ExpectIdentText("a relation name"));
+    terms->clear();
+    if (ts_.TryConsume(TokenKind::kLParen)) {
+      if (!ts_.TryConsume(TokenKind::kRParen)) {
+        do {
+          WSV_ASSIGN_OR_RETURN(Term t, ParseTermFrom(ts_, vocab()));
+          terms->push_back(std::move(t));
+        } while (ts_.TryConsume(TokenKind::kComma));
+        WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kRParen, "')'"));
+      }
+    }
+    return Status::OK();
+  }
+
+  StatusOr<FormulaPtr> ParseRuleBody() {
+    WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kColonDash, "':-'"));
+    WSV_ASSIGN_OR_RETURN(FormulaPtr body, ParseFormulaFrom(ts_, vocab()));
+    WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kSemicolon, "';'"));
+    return body;
+  }
+
+  Status ParsePage() {
+    ts_.Next();  // 'page'
+    WSV_ASSIGN_OR_RETURN(std::string name, ts_.ExpectIdentText("a page name"));
+    PageBuilder page = builder_->Page(name);
+    WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kLBrace, "'{'"));
+    while (!ts_.TryConsume(TokenKind::kRBrace)) {
+      if (ts_.AtEnd()) return ts_.ErrorHere("unterminated page block");
+      WSV_ASSIGN_OR_RETURN(std::string keyword,
+                           ts_.ExpectIdentText("a page statement"));
+      if (keyword == "input") {
+        do {
+          WSV_ASSIGN_OR_RETURN(std::string in,
+                               ts_.ExpectIdentText("an input name"));
+          page.UseInput(in);
+        } while (ts_.TryConsume(TokenKind::kComma));
+        WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kSemicolon, "';'"));
+      } else if (keyword == "options") {
+        std::string relation;
+        std::vector<Term> terms;
+        WSV_RETURN_IF_ERROR(ParseHead(&relation, &terms));
+        WSV_ASSIGN_OR_RETURN(FormulaPtr body, ParseRuleBody());
+        InputRule rule;
+        rule.input = std::move(relation);
+        rule.body = std::move(body);
+        WSV_RETURN_IF_ERROR(
+            DesugarHeadTerms(terms, &rule.body, &rule.head_vars));
+        page.AddInputRule(std::move(rule));
+      } else if (keyword == "state") {
+        bool insert;
+        if (ts_.TryConsume(TokenKind::kPlus)) {
+          insert = true;
+        } else if (ts_.TryConsume(TokenKind::kMinus)) {
+          insert = false;
+        } else {
+          return ts_.ErrorHere("expected '+' or '-' after 'state'");
+        }
+        std::string relation;
+        std::vector<Term> terms;
+        WSV_RETURN_IF_ERROR(ParseHead(&relation, &terms));
+        WSV_ASSIGN_OR_RETURN(FormulaPtr body, ParseRuleBody());
+        StateRule rule;
+        rule.state = std::move(relation);
+        rule.insert = insert;
+        rule.body = std::move(body);
+        WSV_RETURN_IF_ERROR(
+            DesugarHeadTerms(terms, &rule.body, &rule.head_vars));
+        page.AddStateRule(std::move(rule));
+      } else if (keyword == "action") {
+        // Either a usage declaration `action a, b;` or a rule
+        // `action A(x) :- phi;`. Disambiguate on what follows the name.
+        if (ts_.Peek(1).kind == TokenKind::kLParen ||
+            ts_.Peek(1).kind == TokenKind::kColonDash) {
+          std::string relation;
+          std::vector<Term> terms;
+          WSV_RETURN_IF_ERROR(ParseHead(&relation, &terms));
+          WSV_ASSIGN_OR_RETURN(FormulaPtr body, ParseRuleBody());
+          ActionRule rule;
+          rule.action = std::move(relation);
+          rule.body = std::move(body);
+          WSV_RETURN_IF_ERROR(
+              DesugarHeadTerms(terms, &rule.body, &rule.head_vars));
+          page.AddActionRule(std::move(rule));
+        } else {
+          do {
+            WSV_ASSIGN_OR_RETURN(std::string a,
+                                 ts_.ExpectIdentText("an action name"));
+            page.UseAction(a);
+          } while (ts_.TryConsume(TokenKind::kComma));
+          WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kSemicolon, "';'"));
+        }
+      } else if (keyword == "target") {
+        WSV_ASSIGN_OR_RETURN(std::string target,
+                             ts_.ExpectIdentText("a page name"));
+        WSV_ASSIGN_OR_RETURN(FormulaPtr body, ParseRuleBody());
+        page.AddTargetRule(TargetRule{std::move(target), std::move(body)});
+      } else {
+        return ts_.ErrorHere("unknown page statement '" + keyword + "'");
+      }
+    }
+    return Status::OK();
+  }
+
+  const Vocabulary* vocab() { return &builder_->vocab(); }
+
+  TokenStream ts_;
+  std::optional<ServiceBuilder> builder_;
+};
+
+}  // namespace
+
+StatusOr<WebService> ParseServiceSpec(std::string_view text) {
+  WSV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  SpecParser parser{TokenStream(std::move(tokens))};
+  return parser.Parse();
+}
+
+}  // namespace wsv

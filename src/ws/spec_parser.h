@@ -1,0 +1,45 @@
+// Parser for the .wsv Web service specification language.
+//
+// The surface syntax mirrors Definition 2.1 and the paper's listings:
+//
+//   service Ecommerce;
+//   database user(name, password); catalog(pid, price);
+//   state    error(msg); logged_in;
+//   input    name const; password const; button(label);
+//   action   ship(user, pid);
+//   constant i0;                       # non-input constant
+//
+//   page HP {
+//     input name, password;            # request these input constants
+//     options button(x) :- x = "login" | x = "register" | x = "clear";
+//     state +error("failed login") :- !user(name, password)
+//                                     & button("login");
+//     target RP :- button("register");
+//     target CP :- user(name, password) & button("login")
+//                  & name != "Admin";
+//   }
+//   page RP { ... }
+//
+//   home HP;
+//   error MP;
+//
+// Attribute names in declarations are documentation; only arity matters.
+// Schema declarations must precede the first page (rule bodies parse
+// against the vocabulary). Comments run from '#' or '//' to end of line.
+
+#ifndef WSV_WS_SPEC_PARSER_H_
+#define WSV_WS_SPEC_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "ws/service.h"
+
+namespace wsv {
+
+/// Parses and validates a complete .wsv specification.
+StatusOr<WebService> ParseServiceSpec(std::string_view text);
+
+}  // namespace wsv
+
+#endif  // WSV_WS_SPEC_PARSER_H_

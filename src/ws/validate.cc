@@ -1,0 +1,228 @@
+#include "ws/validate.h"
+
+#include <map>
+#include <set>
+
+namespace wsv {
+
+namespace {
+
+// Context strings for diagnostics.
+std::string Where(const PageSchema& page, const std::string& rule) {
+  return "page " + page.name + ", " + rule;
+}
+
+// Checks that all atoms of `body` use relations permitted for this rule
+// kind: database, state, prev-input always; current-input atoms only when
+// `allow_current_input` and then only relations offered by the page.
+Status CheckBodyVocabulary(const FormulaPtr& body, const PageSchema& page,
+                           const Vocabulary& vocab, bool allow_current_input,
+                           const std::string& context) {
+  for (const Atom& atom : body->Atoms()) {
+    const RelationSymbol* sym = vocab.FindRelation(atom.relation);
+    if (sym == nullptr) {
+      return Status::NotFound(context + ": unknown relation " +
+                              atom.relation);
+    }
+    switch (sym->kind) {
+      case SymbolKind::kDatabase:
+      case SymbolKind::kState:
+        if (atom.prev) {
+          return Status::InvalidArgument(context +
+                                         ": prev. on non-input relation " +
+                                         atom.relation);
+        }
+        break;
+      case SymbolKind::kInput:
+        if (atom.prev) break;  // Prev_I atoms are always permitted.
+        if (!allow_current_input) {
+          return Status::InvalidArgument(
+              context + ": current input atom " + atom.ToString() +
+              " not permitted in an input (options) rule");
+        }
+        if (!page.HasInputRelation(atom.relation)) {
+          return Status::InvalidArgument(
+              context + ": input relation " + atom.relation +
+              " is not offered by page " + page.name);
+        }
+        break;
+      case SymbolKind::kAction:
+        return Status::InvalidArgument(context + ": action atom " +
+                                       atom.ToString() +
+                                       " not permitted in a rule body");
+      case SymbolKind::kPage:
+        return Status::InvalidArgument(context + ": page proposition " +
+                                       atom.relation +
+                                       " not permitted in a rule body");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckHead(const std::vector<std::string>& head_vars,
+                 const FormulaPtr& body, const std::string& context) {
+  std::set<std::string> heads(head_vars.begin(), head_vars.end());
+  if (heads.size() != head_vars.size()) {
+    return Status::InvalidArgument(context +
+                                   ": repeated head variable (builder "
+                                   "desugaring should have removed these)");
+  }
+  for (const std::string& v : body->FreeVariables()) {
+    if (heads.count(v) == 0) {
+      return Status::InvalidArgument(context + ": body variable '" + v +
+                                     "' does not appear in the rule head");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidatePage(const PageSchema& page, const WebService& service) {
+  const Vocabulary& vocab = service.vocab();
+
+  for (const std::string& in : page.inputs) {
+    const RelationSymbol* sym = vocab.FindRelation(in);
+    if (sym == nullptr || sym->kind != SymbolKind::kInput) {
+      return Status::NotFound("page " + page.name +
+                              ": undeclared input relation " + in);
+    }
+  }
+  for (const std::string& c : page.input_constants) {
+    if (!vocab.IsInputConstant(c)) {
+      return Status::NotFound("page " + page.name +
+                              ": undeclared input constant " + c);
+    }
+  }
+  for (const std::string& a : page.actions) {
+    const RelationSymbol* sym = vocab.FindRelation(a);
+    if (sym == nullptr || sym->kind != SymbolKind::kAction) {
+      return Status::NotFound("page " + page.name +
+                              ": undeclared action relation " + a);
+    }
+  }
+  for (const std::string& t : page.targets) {
+    if (service.FindPage(t) == nullptr) {
+      return Status::NotFound("page " + page.name + ": target page " + t +
+                              " is not declared (the error page may not be "
+                              "an explicit target)");
+    }
+  }
+
+  // Input rules: one per positive-arity input relation of the page.
+  std::map<std::string, int> options_count;
+  for (const InputRule& rule : page.input_rules) {
+    const std::string ctx = Where(page, rule.ToString());
+    const RelationSymbol* sym = vocab.FindRelation(rule.input);
+    if (sym == nullptr || sym->kind != SymbolKind::kInput) {
+      return Status::NotFound(ctx + ": not an input relation");
+    }
+    if (sym->arity == 0) {
+      return Status::InvalidArgument(
+          ctx + ": propositional inputs take no options rule");
+    }
+    if (static_cast<int>(rule.head_vars.size()) != sym->arity) {
+      return Status::InvalidArgument(ctx + ": head arity mismatch");
+    }
+    ++options_count[rule.input];
+    WSV_RETURN_IF_ERROR(CheckHead(rule.head_vars, rule.body, ctx));
+    WSV_RETURN_IF_ERROR(CheckBodyVocabulary(rule.body, page, vocab,
+                                            /*allow_current_input=*/false,
+                                            ctx));
+  }
+  for (const std::string& in : page.inputs) {
+    const RelationSymbol* sym = vocab.FindRelation(in);
+    if (sym->arity > 0 && options_count[in] != 1) {
+      return Status::InvalidArgument(
+          "page " + page.name + ": input relation " + in + " needs exactly "
+          "one options rule, found " + std::to_string(options_count[in]));
+    }
+  }
+
+  // State rules: at most one insertion and one deletion per relation.
+  std::map<std::pair<std::string, bool>, int> state_count;
+  for (const StateRule& rule : page.state_rules) {
+    const std::string ctx = Where(page, rule.ToString());
+    const RelationSymbol* sym = vocab.FindRelation(rule.state);
+    if (sym == nullptr || sym->kind != SymbolKind::kState) {
+      return Status::NotFound(ctx + ": not a state relation");
+    }
+    if (static_cast<int>(rule.head_vars.size()) != sym->arity) {
+      return Status::InvalidArgument(ctx + ": head arity mismatch");
+    }
+    if (++state_count[{rule.state, rule.insert}] > 1) {
+      return Status::InvalidArgument(ctx + ": duplicate state rule");
+    }
+    WSV_RETURN_IF_ERROR(CheckHead(rule.head_vars, rule.body, ctx));
+    WSV_RETURN_IF_ERROR(CheckBodyVocabulary(rule.body, page, vocab,
+                                            /*allow_current_input=*/true,
+                                            ctx));
+  }
+
+  // Action rules: one per action relation.
+  std::map<std::string, int> action_count;
+  for (const ActionRule& rule : page.action_rules) {
+    const std::string ctx = Where(page, rule.ToString());
+    const RelationSymbol* sym = vocab.FindRelation(rule.action);
+    if (sym == nullptr || sym->kind != SymbolKind::kAction) {
+      return Status::NotFound(ctx + ": not an action relation");
+    }
+    if (static_cast<int>(rule.head_vars.size()) != sym->arity) {
+      return Status::InvalidArgument(ctx + ": head arity mismatch");
+    }
+    if (++action_count[rule.action] > 1) {
+      return Status::InvalidArgument(ctx + ": duplicate action rule");
+    }
+    WSV_RETURN_IF_ERROR(CheckHead(rule.head_vars, rule.body, ctx));
+    WSV_RETURN_IF_ERROR(CheckBodyVocabulary(rule.body, page, vocab,
+                                            /*allow_current_input=*/true,
+                                            ctx));
+  }
+
+  // Target rules: sentences, one per target page.
+  std::map<std::string, int> target_count;
+  for (const TargetRule& rule : page.target_rules) {
+    const std::string ctx = Where(page, rule.ToString());
+    if (service.FindPage(rule.target) == nullptr) {
+      return Status::NotFound(ctx + ": unknown target page");
+    }
+    if (++target_count[rule.target] > 1) {
+      return Status::InvalidArgument(ctx + ": duplicate target rule");
+    }
+    if (!rule.body->FreeVariables().empty()) {
+      return Status::InvalidArgument(ctx +
+                                     ": target rule body must be a sentence");
+    }
+    WSV_RETURN_IF_ERROR(CheckBodyVocabulary(rule.body, page, vocab,
+                                            /*allow_current_input=*/true,
+                                            ctx));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateService(const WebService& service) {
+  if (service.home_page().empty()) {
+    return Status::InvalidArgument("no home page declared");
+  }
+  if (service.FindPage(service.home_page()) == nullptr) {
+    return Status::NotFound("home page " + service.home_page() +
+                            " is not declared");
+  }
+  if (service.error_page().empty()) {
+    return Status::InvalidArgument("no error page declared");
+  }
+  if (service.FindPage(service.error_page()) != nullptr) {
+    return Status::InvalidArgument(
+        "error page " + service.error_page() +
+        " must not be a member of the page set (Definition 2.1)");
+  }
+  if (service.pages().empty()) {
+    return Status::InvalidArgument("service declares no pages");
+  }
+  for (const PageSchema& page : service.pages()) {
+    WSV_RETURN_IF_ERROR(ValidatePage(page, service));
+  }
+  return Status::OK();
+}
+
+}  // namespace wsv

@@ -1,0 +1,24 @@
+// Static well-formedness validation of a Web service (Definition 2.1).
+//
+// Checks that the specification is structurally sound before any
+// verification or execution: pages and rules reference declared symbols,
+// rule bodies stay within their permitted vocabularies (input rules over
+// D ∪ S ∪ Prev_I ∪ const(I); state/action/target rules additionally over
+// the page's own inputs I_W), head variables are distinct and cover the
+// body's free variables, and every positive-arity input relation of a
+// page has exactly one options rule.
+
+#ifndef WSV_WS_VALIDATE_H_
+#define WSV_WS_VALIDATE_H_
+
+#include "common/status.h"
+#include "ws/service.h"
+
+namespace wsv {
+
+/// Validates the whole service; returns the first violation found.
+Status ValidateService(const WebService& service);
+
+}  // namespace wsv
+
+#endif  // WSV_WS_VALIDATE_H_

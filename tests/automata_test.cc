@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "automata/buchi.h"
+#include "automata/emptiness.h"
+#include "automata/ltl_to_buchi.h"
+#include "ltl/ltl_parser.h"
+
+namespace wsv {
+namespace {
+
+// Does the degeneralized automaton accept the lasso word
+// steps[0..n) with loop back to steps[loop]? Each step assigns a truth
+// value per leaf. Decided via product + accepting-lasso search.
+bool Accepts(const BuchiAutomaton& aut,
+             const std::vector<std::vector<char>>& word, size_t loop) {
+  const size_t n = word.size();
+  auto next = [&](size_t i) { return i + 1 < n ? i + 1 : loop; };
+  // Product vertices: (position, state) with matching label.
+  auto vid = [&](size_t i, size_t q) { return i * aut.size() + q; };
+  std::vector<std::vector<int>> succ(n * aut.size());
+  std::vector<char> initial(n * aut.size(), 0);
+  std::vector<char> accepting(n * aut.size(), 0);
+  const std::set<int>& acc = aut.accepting_sets.front();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t q = 0; q < aut.size(); ++q) {
+      if (aut.states[q] != word[i]) continue;
+      if (i == 0 && aut.initial[q]) initial[vid(i, q)] = 1;
+      if (acc.count(static_cast<int>(q)) > 0) accepting[vid(i, q)] = 1;
+      for (int q2 : aut.succ[q]) {
+        if (aut.states[static_cast<size_t>(q2)] == word[next(i)]) {
+          succ[vid(i, q)].push_back(
+              static_cast<int>(vid(next(i), static_cast<size_t>(q2))));
+        }
+      }
+    }
+  }
+  return FindAcceptingLasso(succ, initial, accepting).has_value();
+}
+
+// Direct LTL evaluation on the lasso word, with leaves resolved
+// positionally (leaf k true at i iff word[i][k]).
+StatusOr<std::vector<char>> Truth(const TFormula& f,
+                                  const std::vector<std::vector<char>>& word,
+                                  size_t loop,
+                                  const std::map<std::string, int>& leaf_idx) {
+  const size_t n = word.size();
+  auto next = [&](size_t i) { return i + 1 < n ? i + 1 : loop; };
+  switch (f.kind()) {
+    case TFormula::Kind::kFo: {
+      std::vector<char> v(n);
+      const Formula& fo = *f.fo();
+      if (fo.kind() == Formula::Kind::kTrue) {
+        v.assign(n, 1);
+      } else if (fo.kind() == Formula::Kind::kFalse) {
+        v.assign(n, 0);
+      } else {
+        int k = leaf_idx.at(fo.ToString());
+        for (size_t i = 0; i < n; ++i) v[i] = word[i][k];
+      }
+      return v;
+    }
+    case TFormula::Kind::kNot: {
+      WSV_ASSIGN_OR_RETURN(std::vector<char> s,
+                           Truth(*f.children()[0], word, loop, leaf_idx));
+      for (char& b : s) b = !b;
+      return s;
+    }
+    case TFormula::Kind::kAnd:
+    case TFormula::Kind::kOr: {
+      bool is_and = f.kind() == TFormula::Kind::kAnd;
+      std::vector<char> acc(n, is_and);
+      for (const TFormulaPtr& c : f.children()) {
+        WSV_ASSIGN_OR_RETURN(std::vector<char> s,
+                             Truth(*c, word, loop, leaf_idx));
+        for (size_t i = 0; i < n; ++i) {
+          acc[i] = is_and ? (acc[i] && s[i]) : (acc[i] || s[i]);
+        }
+      }
+      return acc;
+    }
+    case TFormula::Kind::kX: {
+      WSV_ASSIGN_OR_RETURN(std::vector<char> s,
+                           Truth(*f.children()[0], word, loop, leaf_idx));
+      std::vector<char> v(n);
+      for (size_t i = 0; i < n; ++i) v[i] = s[next(i)];
+      return v;
+    }
+    case TFormula::Kind::kU:
+    case TFormula::Kind::kB: {
+      WSV_ASSIGN_OR_RETURN(std::vector<char> l,
+                           Truth(*f.lhs(), word, loop, leaf_idx));
+      WSV_ASSIGN_OR_RETURN(std::vector<char> r,
+                           Truth(*f.rhs(), word, loop, leaf_idx));
+      bool until = f.kind() == TFormula::Kind::kU;
+      std::vector<char> v(n, until ? 0 : 1);
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (size_t i = n; i-- > 0;) {
+          char nv = until ? (r[i] || (l[i] && v[next(i)]))
+                          : (r[i] && (l[i] || v[next(i)]));
+          if (nv != v[i]) {
+            v[i] = nv;
+            changed = true;
+          }
+        }
+      }
+      return v;
+    }
+    default:
+      return Status::InvalidArgument("not LTL");
+  }
+}
+
+TEST(LtlToBuchiTest, GloballyP) {
+  auto p = ParseTemporalProperty("G(a)", nullptr);
+  ASSERT_TRUE(p.ok());
+  auto gba = LtlToBuchi(*p->formula);
+  ASSERT_TRUE(gba.ok()) << gba.status().ToString();
+  BuchiAutomaton aut = gba->Degeneralize();
+  ASSERT_EQ(aut.leaves.size(), 1u);
+  // Word "a forever" accepted; "a then !a forever" rejected.
+  EXPECT_TRUE(Accepts(aut, {{1}}, 0));
+  EXPECT_FALSE(Accepts(aut, {{1}, {0}}, 1));
+}
+
+TEST(LtlToBuchiTest, EventuallyP) {
+  auto p = ParseTemporalProperty("F(a)", nullptr);
+  ASSERT_TRUE(p.ok());
+  BuchiAutomaton aut = LtlToBuchi(*p->formula)->Degeneralize();
+  EXPECT_TRUE(Accepts(aut, {{0}, {1}, {0}}, 2));
+  EXPECT_FALSE(Accepts(aut, {{0}}, 0));
+}
+
+TEST(LtlToBuchiTest, UntilRequiresEventualFulfilment) {
+  auto p = ParseTemporalProperty("a U b", nullptr);
+  ASSERT_TRUE(p.ok());
+  BuchiAutomaton aut = LtlToBuchi(*p->formula)->Degeneralize();
+  // Leaves are collected in syntactic order: a then b.
+  ASSERT_EQ(aut.leaves.size(), 2u);
+  EXPECT_TRUE(Accepts(aut, {{1, 0}, {0, 1}, {0, 0}}, 2));  // a, b, ...
+  EXPECT_FALSE(Accepts(aut, {{1, 0}}, 0));                 // a forever
+  EXPECT_TRUE(Accepts(aut, {{0, 1}, {0, 0}}, 1));          // b now
+  EXPECT_FALSE(Accepts(aut, {{0, 0}, {0, 1}, {0, 0}}, 2)); // gap
+}
+
+TEST(LtlToBuchiTest, NextOperator) {
+  auto p = ParseTemporalProperty("X(a)", nullptr);
+  ASSERT_TRUE(p.ok());
+  BuchiAutomaton aut = LtlToBuchi(*p->formula)->Degeneralize();
+  EXPECT_TRUE(Accepts(aut, {{0}, {1}, {0}}, 2));
+  EXPECT_FALSE(Accepts(aut, {{1}, {0}}, 1));
+}
+
+TEST(LtlToBuchiTest, RejectsPathQuantifiers) {
+  auto p = ParseTemporalProperty("E F(a)", nullptr);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(LtlToBuchi(*p->formula).ok());
+}
+
+// Property-based sweep: random LTL formulas vs. random lasso words; the
+// automaton-product decision must coincide with direct evaluation.
+class RandomLtlTest : public ::testing::TestWithParam<int> {};
+
+TFormulaPtr RandomFormula(std::mt19937_64& rng, int depth) {
+  auto leaf = [&]() {
+    return TFormula::Fo(
+        Formula::MakeAtom(rng() % 2 == 0 ? "a" : "b", {}));
+  };
+  if (depth == 0) return leaf();
+  switch (rng() % 8) {
+    case 0:
+      return leaf();
+    case 1:
+      return TFormula::Not(RandomFormula(rng, depth - 1));
+    case 2:
+      return TFormula::And(RandomFormula(rng, depth - 1),
+                           RandomFormula(rng, depth - 1));
+    case 3:
+      return TFormula::Or(RandomFormula(rng, depth - 1),
+                          RandomFormula(rng, depth - 1));
+    case 4:
+      return TFormula::X(RandomFormula(rng, depth - 1));
+    case 5:
+      return TFormula::U(RandomFormula(rng, depth - 1),
+                         RandomFormula(rng, depth - 1));
+    case 6:
+      return TFormula::B(RandomFormula(rng, depth - 1),
+                         RandomFormula(rng, depth - 1));
+    default:
+      return TFormula::F(RandomFormula(rng, depth - 1));
+  }
+}
+
+TEST_P(RandomLtlTest, ProductAgreesWithDirectEvaluation) {
+  std::mt19937_64 rng(GetParam());
+  for (int iter = 0; iter < 30; ++iter) {
+    TFormulaPtr f = RandomFormula(rng, 3);
+    auto gba = LtlToBuchi(*f);
+    if (!gba.ok()) continue;  // too many elementary subformulas
+    BuchiAutomaton aut = gba->Degeneralize();
+    std::map<std::string, int> leaf_idx;
+    for (size_t k = 0; k < aut.leaves.size(); ++k) {
+      leaf_idx[aut.leaves[k]->ToString()] = static_cast<int>(k);
+    }
+    // Random lasso word over the leaves.
+    size_t n = 1 + rng() % 5;
+    size_t loop = rng() % n;
+    std::vector<std::vector<char>> word(n);
+    for (auto& w : word) {
+      w.resize(aut.leaves.size());
+      for (auto& bit : w) bit = rng() % 2;
+    }
+    bool by_product = Accepts(aut, word, loop);
+    auto direct = Truth(*f, word, loop, leaf_idx);
+    ASSERT_TRUE(direct.ok());
+    bool by_eval = (*direct)[0] != 0;
+    ASSERT_EQ(by_product, by_eval)
+        << "formula: " << f->ToString() << " word length " << n << " loop "
+        << loop;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLtlTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(DegeneralizeTest, NoAcceptingSetsMeansAllAccepting) {
+  BuchiAutomaton gba;
+  gba.states = {{1}};
+  gba.leaves.push_back(Formula::MakeAtom("a", {}));
+  gba.succ = {{0}};
+  gba.initial = {1};
+  BuchiAutomaton aut = gba.Degeneralize();
+  ASSERT_EQ(aut.accepting_sets.size(), 1u);
+  EXPECT_EQ(aut.accepting_sets[0].size(), 1u);
+}
+
+TEST(EmptinessTest, FindsSimpleLasso) {
+  // 0 -> 1 -> 2 -> 1, accepting {2}.
+  std::vector<std::vector<int>> succ{{1}, {2}, {1}};
+  std::optional<Lasso> lasso =
+      FindAcceptingLasso(succ, {1, 0, 0}, {0, 0, 1});
+  ASSERT_TRUE(lasso.has_value());
+  EXPECT_EQ(lasso->prefix.front(), 0);
+  EXPECT_EQ(lasso->prefix.back(), lasso->cycle.front());
+  // The cycle returns to its front.
+  int last = lasso->cycle.back();
+  bool closes = false;
+  for (int w : succ[last]) {
+    if (w == lasso->cycle.front()) closes = true;
+  }
+  EXPECT_TRUE(closes);
+}
+
+TEST(EmptinessTest, EmptyWhenAcceptingUnreachableOrAcyclic) {
+  std::vector<std::vector<int>> succ{{1}, {1}, {2}};
+  // Accepting state 2 unreachable from initial 0.
+  EXPECT_FALSE(FindAcceptingLasso(succ, {1, 0, 0}, {0, 0, 1}).has_value());
+  // Accepting state 0 not on a cycle.
+  std::vector<std::vector<int>> dag{{1}, {1}};
+  EXPECT_FALSE(FindAcceptingLasso(dag, {1, 0}, {1, 0}).has_value());
+}
+
+TEST(EmptinessTest, SelfLoopCounts) {
+  std::vector<std::vector<int>> succ{{0}};
+  std::optional<Lasso> lasso = FindAcceptingLasso(succ, {1}, {1});
+  ASSERT_TRUE(lasso.has_value());
+  EXPECT_EQ(lasso->cycle, std::vector<int>{0});
+}
+
+}  // namespace
+}  // namespace wsv

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ctl/ctl_check.h"
+#include "ctl/ctl_sat.h"
+#include "ctl/ctl_star_check.h"
+#include "ctl/kripke.h"
+#include "gallery/gallery.h"
+#include "ltl/ltl_parser.h"
+#include "verify/abstraction.h"
+#include "verify/search_verifier.h"
+#include "ws/builder.h"
+#include "ws/classify.h"
+
+namespace wsv {
+namespace {
+
+// A small fixed structure:
+//   0{p} -> 1{q} -> 2{} -> 1;  0 -> 0 self loop.
+Kripke SmallKripke() {
+  Kripke k;
+  int p = k.InternProp("p");
+  int q = k.InternProp("q");
+  int s0 = k.AddState({p});
+  int s1 = k.AddState({q});
+  int s2 = k.AddState({});
+  k.AddEdge(s0, s1);
+  k.AddEdge(s0, s0);
+  k.AddEdge(s1, s2);
+  k.AddEdge(s2, s1);
+  k.SetInitial(s0);
+  return k;
+}
+
+StatusOr<bool> Ctl(const Kripke& k, const std::string& text) {
+  auto p = ParseTemporalProperty(text, nullptr);
+  if (!p.ok()) return p.status();
+  return CtlHolds(k, *p->formula);
+}
+
+StatusOr<bool> Star(const Kripke& k, const std::string& text) {
+  auto p = ParseTemporalProperty(text, nullptr);
+  if (!p.ok()) return p.status();
+  return CtlStarHolds(k, *p->formula);
+}
+
+TEST(KripkeTest, BasicAccessors) {
+  Kripke k = SmallKripke();
+  EXPECT_EQ(k.size(), 3u);
+  EXPECT_EQ(k.props().size(), 2u);
+  EXPECT_EQ(k.InitialStates(), std::vector<int>{0});
+  EXPECT_TRUE(k.CheckTotal().ok());
+  Kripke partial;
+  partial.AddState({});
+  EXPECT_FALSE(partial.CheckTotal().ok());
+}
+
+TEST(CtlCheckTest, BasicOperators) {
+  Kripke k = SmallKripke();
+  EXPECT_TRUE(*Ctl(k, "p"));
+  EXPECT_FALSE(*Ctl(k, "q"));
+  EXPECT_TRUE(*Ctl(k, "E X(q)"));
+  EXPECT_TRUE(*Ctl(k, "E X(p)"));   // via the self loop
+  EXPECT_FALSE(*Ctl(k, "A X(q)"));  // self loop keeps p
+  EXPECT_TRUE(*Ctl(k, "E F(q)"));
+  EXPECT_FALSE(*Ctl(k, "A F(q)"));  // may stay on 0 forever
+  EXPECT_TRUE(*Ctl(k, "E G(p)"));   // loop on 0
+  EXPECT_FALSE(*Ctl(k, "A G(p)"));
+  EXPECT_TRUE(*Ctl(k, "A G(p | q | (!p & !q))"));  // tautology
+  EXPECT_TRUE(*Ctl(k, "E (p U q)"));
+  EXPECT_FALSE(*Ctl(k, "A (p U q)"));
+}
+
+TEST(CtlCheckTest, NestedFormulas) {
+  Kripke k = SmallKripke();
+  // From everywhere one can reach the q/empty cycle.
+  EXPECT_TRUE(*Ctl(k, "A G(E F(q))"));
+  // But not back to p once left.
+  EXPECT_FALSE(*Ctl(k, "A G(E F(p))"));
+}
+
+TEST(CtlCheckTest, RejectsNonCtl) {
+  Kripke k = SmallKripke();
+  EXPECT_FALSE(Ctl(k, "E (F(p) & G(q))").ok());
+  EXPECT_FALSE(Ctl(k, "F(p)").ok());
+}
+
+TEST(CtlStarTest, HandlesCtlStarOnlyFormulas) {
+  Kripke k = SmallKripke();
+  // E(G p): stay on the p self-loop.
+  EXPECT_TRUE(*Star(k, "E(G(p))"));
+  // E(F q & G(!q)) is contradictory.
+  EXPECT_FALSE(*Star(k, "E(F(q) & G(!q))"));
+  // E(F q & F p): both eventually — p now, q later.
+  EXPECT_TRUE(*Star(k, "E(F(q) & F(p))"));
+  // A(F q | G p): every path either reaches q or keeps p forever.
+  EXPECT_TRUE(*Star(k, "A(F(q) | G(p))"));
+  // E(X X X q): 0 -> 1 -> 2 -> 1{q}.
+  EXPECT_TRUE(*Star(k, "E(X(X(X(q))))"));
+}
+
+// Property sweep: on random Kripke structures, CTL* and CTL labelling
+// agree on CTL formulas.
+class CtlAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CtlAgreementTest, CtlStarAgreesWithCtlLabeling) {
+  std::mt19937_64 rng(GetParam());
+  const char* formulas[] = {
+      "E F(p)",        "A F(p)",          "E G(p)",
+      "A G(p)",        "E X(p & q)",      "A X(p | !q)",
+      "E (p U q)",     "A (p U q)",       "E (p B q)",
+      "A (p B q)",     "A G(E F(p))",     "E F(A G(!q))",
+      "!(E F(p & q))", "A G(p -> E X(q))",
+  };
+  for (int iter = 0; iter < 10; ++iter) {
+    // Random total Kripke structure with 2-6 states.
+    Kripke k;
+    int p = k.InternProp("p");
+    int q = k.InternProp("q");
+    int n = 2 + static_cast<int>(rng() % 5);
+    for (int s = 0; s < n; ++s) {
+      std::set<int> label;
+      if (rng() % 2) label.insert(p);
+      if (rng() % 2) label.insert(q);
+      k.AddState(label);
+    }
+    for (int s = 0; s < n; ++s) {
+      int degree = 1 + static_cast<int>(rng() % 2);
+      for (int d = 0; d < degree; ++d) {
+        k.AddEdge(s, static_cast<int>(rng() % n));
+      }
+    }
+    k.SetInitial(static_cast<int>(rng() % n));
+    for (const char* text : formulas) {
+      auto prop = ParseTemporalProperty(text, nullptr);
+      ASSERT_TRUE(prop.ok()) << text;
+      auto by_ctl = CtlHolds(k, *prop->formula);
+      auto by_star = CtlStarHolds(k, *prop->formula);
+      ASSERT_TRUE(by_ctl.ok()) << text << ": " << by_ctl.status().ToString();
+      ASSERT_TRUE(by_star.ok()) << text << ": "
+                                << by_star.status().ToString();
+      EXPECT_EQ(*by_ctl, *by_star) << text << "\n" << k.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtlAgreementTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --- CTL satisfiability -------------------------------------------------------
+
+StatusOr<bool> Sat(const std::string& text) {
+  auto p = ParseTemporalProperty(text, nullptr);
+  if (!p.ok()) return p.status();
+  auto r = CtlSatisfiable(*p->formula);
+  if (!r.ok()) return r.status();
+  return r->satisfiable;
+}
+
+TEST(CtlSatTest, PropositionalCases) {
+  EXPECT_TRUE(*Sat("p"));
+  EXPECT_FALSE(*Sat("p & !p"));
+  EXPECT_TRUE(*Sat("p | !p"));
+  EXPECT_TRUE(*Sat("p & !q"));
+}
+
+TEST(CtlSatTest, TemporalCases) {
+  EXPECT_TRUE(*Sat("E F(p)"));
+  EXPECT_TRUE(*Sat("A G(p)"));
+  EXPECT_FALSE(*Sat("A G(p) & E F(!p)"));
+  EXPECT_FALSE(*Sat("A F(p) & A G(!p)"));
+  EXPECT_TRUE(*Sat("A F(p) & !p"));
+  EXPECT_TRUE(*Sat("E X(p) & E X(!p)"));
+  EXPECT_FALSE(*Sat("E X(p) & A X(!p)"));
+  EXPECT_TRUE(*Sat("E (p U q) & !q"));
+  EXPECT_FALSE(*Sat("E (p U q) & A G(!q)"));
+  EXPECT_TRUE(*Sat("E G(p) & E F(A G(!p))"));
+  // An AU eventuality that can never be fulfilled.
+  EXPECT_FALSE(*Sat("A (p U q) & A G(!q)"));
+  EXPECT_TRUE(*Sat("A (p U q) & !q & p"));
+}
+
+TEST(CtlSatTest, ReportsTableauSizes) {
+  auto p = ParseTemporalProperty("E F(p) & A G(q)", nullptr);
+  ASSERT_TRUE(p.ok());
+  auto r = CtlSatisfiable(*p->formula);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->tableau_states, 0u);
+  EXPECT_LE(r->surviving_states, r->tableau_states);
+}
+
+// Soundness link: a CTL formula holding somewhere in a real structure is
+// satisfiable.
+TEST(CtlSatTest, ModelImpliesSatisfiable) {
+  Kripke k = SmallKripke();
+  for (const char* text :
+       {"E F(q)", "A G(p -> E X(q))", "E G(p)", "p & E X(q)"}) {
+    auto prop = ParseTemporalProperty(text, nullptr);
+    ASSERT_TRUE(prop.ok());
+    auto label = CtlLabel(k, *prop->formula);
+    ASSERT_TRUE(label.ok());
+    bool holds_somewhere = false;
+    for (char b : *label) holds_somewhere |= (b != 0);
+    if (!holds_somewhere) continue;
+    auto sat = CtlSatisfiable(*prop->formula);
+    ASSERT_TRUE(sat.ok());
+    EXPECT_TRUE(sat->satisfiable) << text;
+  }
+}
+
+// --- Propositional abstraction and Kripke construction ----------------------
+
+TEST(AbstractionTest, AbstractsEcommerceToPropositionalClass) {
+  auto ws = BuildEcommerceService();
+  ASSERT_TRUE(ws.ok());
+  auto abs = AbstractToPropositional(*ws);
+  // The e-commerce service uses Prev_I (PIP options), which cannot be
+  // abstracted into the propositional class.
+  EXPECT_FALSE(abs.ok());
+}
+
+TEST(AbstractionTest, AbstractsLoginService) {
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok());
+  auto abs = AbstractToPropositional(*ws);
+  ASSERT_TRUE(abs.ok()) << abs.status().ToString();
+  Status st = CheckPropositionalService(*abs);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(AbstractionTest, KripkeNavigationCheck) {
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok());
+  auto abs = AbstractToPropositional(*ws);
+  ASSERT_TRUE(abs.ok()) << abs.status().ToString();
+  // Database propositions: user is either empty or not.
+  Instance db;
+  ASSERT_TRUE(db.EnsureRelation("user", 0).ok());
+  db.MutableRelation("user")->SetBool(true);
+  KripkeBuildOptions options;
+  options.graph.constant_pool = {Value::Intern("c0")};
+  auto kripke = BuildPropositionalKripke(*abs, db, options);
+  ASSERT_TRUE(kripke.ok()) << kripke.status().ToString();
+  ASSERT_GT(kripke->size(), 0u);
+  // Logging in leads to CP: at every initial state where the login
+  // button was pressed, CP is reachable. (A bare E F(CP) fails at the
+  // empty-submission initial state, where the session ends immediately.)
+  auto ef_cp = ParseTemporalProperty("button(\"login\") -> E F(CP)",
+                                     &abs->vocab());
+  ASSERT_TRUE(ef_cp.ok());
+  auto holds = CtlHolds(*kripke, *ef_cp->formula);
+  ASSERT_TRUE(holds.ok()) << holds.status().ToString();
+  EXPECT_TRUE(*holds);
+  // Every state can end the session.
+  auto ag_bye = ParseTemporalProperty("A G(E F(BYE))", &abs->vocab());
+  ASSERT_TRUE(ag_bye.ok());
+  auto r_bye = CtlHolds(*kripke, *ag_bye->formula);
+  ASSERT_TRUE(r_bye.ok());
+  EXPECT_TRUE(*r_bye);
+  // Once on the terminal BYE page, HP is never reachable again:
+  auto back = ParseTemporalProperty("A G(!BYE | !(E F(HP)))",
+                                    &abs->vocab());
+  ASSERT_TRUE(back.ok());
+  auto r2 = CtlHolds(*kripke, *back->formula);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(*r2);
+}
+
+// --- Input-driven search (Theorem 4.9 / Example 4.8) ------------------------
+
+TEST(SearchVerifierTest, CatalogSpecIsInClass) {
+  auto ws = BuildInputDrivenSearchService(CatalogSearchSpec());
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  Status st = CheckInputDrivenSearch(*ws);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SearchVerifierTest, NonMembersRejected) {
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok());
+  EXPECT_FALSE(CheckInputDrivenSearch(*ws).ok());
+}
+
+TEST(SearchVerifierTest, Figure1Reachability) {
+  auto ws = BuildInputDrivenSearchService(CatalogSearchSpec());
+  ASSERT_TRUE(ws.ok());
+  Instance db = CatalogSearchDatabase();
+  KripkeBuildOptions options;
+  auto check = [&](const std::string& text) -> bool {
+    auto prop = ParseTemporalProperty(text, &ws->vocab());
+    EXPECT_TRUE(prop.ok()) << prop.status().ToString();
+    auto r = VerifyInputDrivenSearchOnDatabase(*ws, *prop, db, options);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->holds;
+  };
+  // If the user engages (picks the root), the in-stock desktop d1 is
+  // reachable by descending the hierarchy. (Unguarded E F fails on the
+  // initial state where the user idles and the search never starts.)
+  EXPECT_TRUE(check("I(\"products\") -> E F(I(\"d1\"))"));
+  EXPECT_FALSE(check("E F(I(\"d1\"))"));
+  // Once descended, the user can never pick "products" again (no RI
+  // edge loops back to the root).
+  EXPECT_TRUE(check("A G(!I(\"products\") | A X(A G(!I(\"products\"))))"));
+  // The used laptop l1 is also reachable after engaging.
+  EXPECT_TRUE(check("I(\"products\") -> E F(I(\"l1\"))"));
+  // No in-stock product named d2 exists.
+  EXPECT_TRUE(check("A G(!I(\"d2\"))"));
+}
+
+}  // namespace
+}  // namespace wsv

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "fo/evaluator.h"
+#include "fo/formula.h"
+#include "fo/input_bounded.h"
+#include "fo/parser.h"
+#include "fo/rewrite.h"
+
+namespace wsv {
+namespace {
+
+Vocabulary DemoVocab() {
+  Vocabulary v;
+  EXPECT_TRUE(v.AddRelation("user", 2, SymbolKind::kDatabase).ok());
+  EXPECT_TRUE(v.AddRelation("error", 1, SymbolKind::kState).ok());
+  EXPECT_TRUE(v.AddRelation("button", 1, SymbolKind::kInput).ok());
+  EXPECT_TRUE(v.AddRelation("pick", 2, SymbolKind::kState).ok());
+  EXPECT_TRUE(v.AddRelation("ship", 2, SymbolKind::kAction).ok());
+  EXPECT_TRUE(v.AddConstant("name", true).ok());
+  EXPECT_TRUE(v.AddConstant("password", true).ok());
+  return v;
+}
+
+TEST(FoParserTest, ParsesAtomsAndEqualities) {
+  Vocabulary v = DemoVocab();
+  auto f = ParseFormula("user(name, password) & button(\"login\")", &v);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->kind(), Formula::Kind::kAnd);
+  EXPECT_EQ((*f)->ToString(),
+            "(user(name, password) & button(\"login\"))");
+}
+
+TEST(FoParserTest, ResolvesConstantsVsVariables) {
+  Vocabulary v = DemoVocab();
+  auto f = ParseFormula("user(name, x)", &v);
+  ASSERT_TRUE(f.ok());
+  const Atom& atom = (*f)->atom();
+  EXPECT_TRUE(atom.terms[0].is_constant_symbol());
+  EXPECT_TRUE(atom.terms[1].is_variable());
+}
+
+TEST(FoParserTest, QuantifierScopesMaximally) {
+  auto f = ParseFormula("exists x . p(x) & q(x)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->kind(), Formula::Kind::kExists);
+  EXPECT_TRUE((*f)->FreeVariables().empty());
+}
+
+TEST(FoParserTest, PrecedenceImpliesWeakerThanOr) {
+  auto f = ParseFormula("a | b -> c");
+  ASSERT_TRUE(f.ok());
+  // (a | b) -> c  ==  !(a | b) | c
+  EXPECT_EQ((*f)->kind(), Formula::Kind::kOr);
+  EXPECT_EQ((*f)->children()[0]->kind(), Formula::Kind::kNot);
+}
+
+TEST(FoParserTest, PrevAtoms) {
+  Vocabulary v = DemoVocab();
+  auto f = ParseFormula("prev.button(\"login\")", &v);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE((*f)->atom().prev);
+  // prev on a non-input relation is rejected.
+  EXPECT_FALSE(ParseFormula("prev.user(x, y)", &v).ok());
+}
+
+TEST(FoParserTest, ChecksArity) {
+  Vocabulary v = DemoVocab();
+  EXPECT_FALSE(ParseFormula("user(x)", &v).ok());
+  EXPECT_FALSE(ParseFormula("unknown(x)", &v).ok());
+}
+
+TEST(FoParserTest, RejectsTrailingInput) {
+  EXPECT_FALSE(ParseFormula("a b").ok());
+  EXPECT_FALSE(ParseFormula("").ok());
+}
+
+TEST(FoParserTest, InequalityDesugarsToNotEquals) {
+  auto f = ParseFormula("x != y");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->kind(), Formula::Kind::kNot);
+  EXPECT_EQ((*f)->children()[0]->kind(), Formula::Kind::kEquals);
+  EXPECT_EQ((*f)->ToString(), "x != y");
+}
+
+TEST(FoAnalysisTest, FreeVariables) {
+  auto f = ParseFormula("p(x) & exists y . q(x, y)");
+  ASSERT_TRUE(f.ok());
+  std::set<std::string> free = (*f)->FreeVariables();
+  EXPECT_EQ(free, (std::set<std::string>{"x"}));
+}
+
+TEST(FoAnalysisTest, ConstantSymbolsAndLiterals) {
+  Vocabulary v = DemoVocab();
+  auto f = ParseFormula("user(name, password) & button(\"login\")", &v);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->ConstantSymbols(),
+            (std::set<std::string>{"name", "password"}));
+  EXPECT_EQ((*f)->Literals(), (std::set<Value>{Value::Intern("login")}));
+}
+
+// --- Evaluation ------------------------------------------------------------
+
+class FoEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.AddFact("user", {Value::Intern("ann"),
+                                     Value::Intern("pw1")}).ok());
+    ASSERT_TRUE(db_.AddFact("user", {Value::Intern("bob"),
+                                     Value::Intern("pw2")}).ok());
+    ctx_.AddLayer(&db_);
+  }
+
+  StatusOr<bool> Eval(const std::string& text, Valuation val = {}) {
+    Vocabulary v = DemoVocab();
+    auto f = ParseFormula(text, &v);
+    if (!f.ok()) return f.status();
+    return Evaluate(**f, ctx_, val);
+  }
+
+  Instance db_;
+  EvalContext ctx_;
+};
+
+TEST_F(FoEvalTest, GroundAtoms) {
+  ctx_.SetConstant("name", Value::Intern("ann"));
+  ctx_.SetConstant("password", Value::Intern("pw1"));
+  auto r = Eval("user(name, password)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(*r);
+  ctx_.SetConstant("password", Value::Intern("wrong"));
+  EXPECT_FALSE(*Eval("user(name, password)"));
+}
+
+TEST_F(FoEvalTest, ActiveDomainQuantification) {
+  auto r = Eval("exists x, y . user(x, y) & true");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  // Nobody is their own password.
+  EXPECT_TRUE(*Eval("forall x . user(x, x) -> false"));
+}
+
+TEST_F(FoEvalTest, NegationAndBoolean) {
+  EXPECT_TRUE(*Eval("!user(\"zed\", \"pw\")"));
+  EXPECT_TRUE(*Eval("true & !false"));
+  EXPECT_FALSE(*Eval("false | false"));
+}
+
+TEST_F(FoEvalTest, EqualityOfLiterals) {
+  EXPECT_TRUE(*Eval("\"a\" = \"a\""));
+  EXPECT_FALSE(*Eval("\"a\" = \"b\""));
+}
+
+TEST_F(FoEvalTest, ValuationBindsFreeVariables) {
+  Valuation val{{"x", Value::Intern("ann")}, {"y", Value::Intern("pw1")}};
+  EXPECT_TRUE(*Eval("user(x, y)", val));
+  val["y"] = Value::Intern("pw2");
+  EXPECT_FALSE(*Eval("user(x, y)", val));
+}
+
+TEST_F(FoEvalTest, QueryEnumeration) {
+  Vocabulary v = DemoVocab();
+  auto f = ParseFormula("user(x, y)", &v);
+  ASSERT_TRUE(f.ok());
+  auto tuples = EvaluateQuery(**f, {"x", "y"}, ctx_);
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_EQ(tuples->size(), 2u);
+  // With only x in the head, y stays unbound during evaluation: error.
+  auto proj = EvaluateQuery(**f, {"x"}, ctx_);
+  EXPECT_FALSE(proj.ok());
+}
+
+TEST_F(FoEvalTest, EmptyDomainSemantics) {
+  Instance empty;
+  EvalContext ctx;
+  ctx.AddLayer(&empty);
+  auto exists = ParseFormula("exists x . p(x) & true");
+  ASSERT_TRUE(exists.ok());
+  auto r = Evaluate(**exists, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+// --- Rewriting --------------------------------------------------------------
+
+TEST(RewriteTest, NnfPushesNegation) {
+  auto f = ParseFormula("!(p(x) & !q(x))");
+  ASSERT_TRUE(f.ok());
+  FormulaPtr nnf = ToNNF(**f);
+  EXPECT_EQ(nnf->ToString(), "(!(p(x)) | q(x))");
+}
+
+TEST(RewriteTest, NnfQuantifierDuality) {
+  auto f = ParseFormula("!(exists x . p(x) & true)");
+  ASSERT_TRUE(f.ok());
+  FormulaPtr nnf = ToNNF(**f);
+  EXPECT_EQ(nnf->kind(), Formula::Kind::kForall);
+}
+
+TEST(RewriteTest, DnfDistributes) {
+  auto f = ParseFormula("(a | b) & c");
+  ASSERT_TRUE(f.ok());
+  auto dnf = ToDNF(**f);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ((*dnf)->ToString(), "((a & c) | (b & c))");
+}
+
+TEST(RewriteTest, DnfRejectsQuantifiers) {
+  auto f = ParseFormula("exists x . p(x) & true");
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(ToDNF(**f).ok());
+}
+
+TEST(RewriteTest, SubstituteRespectsBinding) {
+  auto f = ParseFormula("p(x) & exists x . q(x) & true");
+  ASSERT_TRUE(f.ok());
+  std::map<std::string, Term> sub{{"x", Term::Variable("z")}};
+  FormulaPtr g = Substitute(**f, sub);
+  EXPECT_EQ(g->ToString(), "(p(z) & (exists x . ((q(x) & true))))");
+}
+
+TEST(RewriteTest, SimplifyFoldsConstants) {
+  auto f = ParseFormula("(true & p(x)) | false");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(Simplify(**f)->ToString(), "p(x)");
+  auto g = ParseFormula("\"a\" = \"b\"");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(Simplify(**g)->kind(), Formula::Kind::kFalse);
+  auto h = ParseFormula("x = x");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(Simplify(**h)->kind(), Formula::Kind::kTrue);
+}
+
+// --- Input-boundedness -------------------------------------------------------
+
+TEST(InputBoundedTest, GuardedQuantifiersAccepted) {
+  Vocabulary v = DemoVocab();
+  auto f = ParseFormula("exists x . button(x) & user(name, password)", &v);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(CheckInputBounded(**f, v).ok());
+  auto g = ParseFormula("forall x . button(x) -> error(x)", &v);
+  ASSERT_TRUE(g.ok());
+  // x occurs in the state atom error(x): rejected.
+  EXPECT_FALSE(CheckInputBounded(**g, v).ok());
+}
+
+TEST(InputBoundedTest, UnguardedQuantifierRejected) {
+  Vocabulary v = DemoVocab();
+  auto f = ParseFormula("exists x . user(x, password) & true", &v);
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(CheckInputBounded(**f, v).ok());
+}
+
+TEST(InputBoundedTest, PrevGuardAccepted) {
+  Vocabulary v = DemoVocab();
+  auto f = ParseFormula("exists x . prev.button(x) & user(x, x)", &v);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(CheckInputBounded(**f, v).ok());
+}
+
+TEST(InputBoundedTest, QuantifierFreeAlwaysOk) {
+  Vocabulary v = DemoVocab();
+  auto f = ParseFormula("error(\"x\") & !button(\"login\")", &v);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(CheckInputBounded(**f, v).ok());
+}
+
+TEST(InputBoundedTest, InputRuleGroundStateAtoms) {
+  Vocabulary v = DemoVocab();
+  auto ok = ParseFormula("user(x, y) & error(\"failed\")", &v);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(CheckExistentialInputRule(**ok, v).ok());
+  auto bad = ParseFormula("error(x)", &v);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(CheckExistentialInputRule(**bad, v).ok());
+  auto univ = ParseFormula("forall x . button(x) -> true", &v);
+  ASSERT_TRUE(univ.ok());
+  EXPECT_FALSE(CheckExistentialInputRule(**univ, v).ok());
+}
+
+}  // namespace
+}  // namespace wsv

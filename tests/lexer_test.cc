@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "fo/lexer.h"
+
+namespace wsv {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& text) {
+  auto tokens = Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> out;
+  for (const Token& t : *tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto kinds = Kinds("foo(x, \"s\") :- 42 != y;");
+  std::vector<TokenKind> expected{
+      TokenKind::kIdent,  TokenKind::kLParen,    TokenKind::kIdent,
+      TokenKind::kComma,  TokenKind::kString,    TokenKind::kRParen,
+      TokenKind::kColonDash, TokenKind::kNumber, TokenKind::kNotEquals,
+      TokenKind::kIdent,  TokenKind::kSemicolon, TokenKind::kEof};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto kinds = Kinds(":- != -> - ! =");
+  std::vector<TokenKind> expected{
+      TokenKind::kColonDash, TokenKind::kNotEquals, TokenKind::kArrow,
+      TokenKind::kMinus,     TokenKind::kNot,       TokenKind::kEquals,
+      TokenKind::kEof};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, CommentsRunToEndOfLine) {
+  auto kinds = Kinds("a # comment ( ) ;\nb // another\nc");
+  std::vector<TokenKind> expected{TokenKind::kIdent, TokenKind::kIdent,
+                                  TokenKind::kIdent, TokenKind::kEof};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Tokenize(R"("a\"b" "c\nd" "e\\f")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "a\"b");
+  EXPECT_EQ((*tokens)[1].text, "c\nd");
+  EXPECT_EQ((*tokens)[2].text, "e\\f");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"abc").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto st = Tokenize("a @ b");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(LexerTest, PositionsTrackLines) {
+  auto tokens = Tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto kinds = Kinds("");
+  EXPECT_EQ(kinds, std::vector<TokenKind>{TokenKind::kEof});
+  EXPECT_EQ(Kinds("   \n\t "), std::vector<TokenKind>{TokenKind::kEof});
+}
+
+TEST(TokenStreamTest, PeekNextAndTryConsume) {
+  auto tokens = Tokenize("a b");
+  ASSERT_TRUE(tokens.ok());
+  TokenStream ts(std::move(*tokens));
+  EXPECT_EQ(ts.Peek().text, "a");
+  EXPECT_EQ(ts.Peek(1).text, "b");
+  EXPECT_TRUE(ts.TryConsumeIdent("a"));
+  EXPECT_FALSE(ts.TryConsumeIdent("a"));
+  EXPECT_TRUE(ts.TryConsumeIdent("b"));
+  EXPECT_TRUE(ts.AtEnd());
+  // Peeking past the end stays on Eof.
+  EXPECT_EQ(ts.Peek(5).kind, TokenKind::kEof);
+}
+
+TEST(TokenStreamTest, ExpectErrorsMentionPosition) {
+  auto tokens = Tokenize("xyz");
+  ASSERT_TRUE(tokens.ok());
+  TokenStream ts(std::move(*tokens));
+  Status st = ts.Expect(TokenKind::kLParen, "'('");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("xyz"), std::string::npos);
+  EXPECT_NE(st.message().find("line 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsv

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "gallery/gallery.h"
+#include "ltl/ltl.h"
+#include "ltl/ltl_parser.h"
+#include "ltl/run_semantics.h"
+#include "runtime/interpreter.h"
+
+namespace wsv {
+namespace {
+
+Value V(const char* s) { return Value::Intern(s); }
+
+TEST(TemporalParserTest, ParsesNavigationProperty) {
+  // Example 3.2, property (1).
+  auto p = ParseTemporalProperty("G(!P) | F(P & F(Q))", nullptr);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->universal_vars.empty());
+  EXPECT_TRUE(p->formula->IsLtl());
+  EXPECT_TRUE(p->formula->IsPropositional());
+}
+
+TEST(TemporalParserTest, LeadingForallBecomesClosure) {
+  auto p = ParseTemporalProperty("forall x, y . G(!t(x, y))", nullptr);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->universal_vars, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(p->formula->FreeVariables(),
+            (std::set<std::string>{"x", "y"}));
+}
+
+TEST(TemporalParserTest, CoalescesPureFoSubtrees) {
+  auto p = ParseTemporalProperty("G(a & !b)", nullptr);
+  ASSERT_TRUE(p.ok());
+  // G(phi) == false B phi with a single FO leaf.
+  ASSERT_EQ(p->formula->kind(), TFormula::Kind::kB);
+  EXPECT_EQ(p->formula->rhs()->kind(), TFormula::Kind::kFo);
+}
+
+TEST(TemporalParserTest, QuantifierOverTemporalRejected) {
+  EXPECT_FALSE(
+      ParseTemporalProperty("exists x . F(p(x))", nullptr).ok());
+}
+
+TEST(TemporalParserTest, UntilAndBefore) {
+  auto p = ParseTemporalProperty("a U b", nullptr);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->formula->kind(), TFormula::Kind::kU);
+  auto q = ParseTemporalProperty("a B b", nullptr);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->formula->kind(), TFormula::Kind::kB);
+}
+
+TEST(TemporalParserTest, CtlClassification) {
+  auto ctl = ParseTemporalProperty("A G(E F(home))", nullptr);
+  ASSERT_TRUE(ctl.ok()) << ctl.status().ToString();
+  EXPECT_TRUE(ctl->formula->IsCtl());
+  EXPECT_FALSE(ctl->formula->IsLtl());
+  // CTL*: E applied to a boolean combination of path formulas.
+  auto star = ParseTemporalProperty("E(F(p) & G(q))", nullptr);
+  ASSERT_TRUE(star.ok());
+  EXPECT_FALSE(star->formula->IsCtl());
+}
+
+TEST(TemporalParserTest, Example41NestedPathQuantifiers) {
+  // Example 4.1's shape: AG(phi -> A((E F cancel) U ship)). Both U
+  // operands are state formulas, so this is CTL.
+  auto p = ParseTemporalProperty(
+      "A G(!paidfor | A ((E F(cancelled)) U shippd))", nullptr);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->formula->IsCtl());
+  EXPECT_FALSE(p->formula->IsLtl());
+}
+
+TEST(TemporalNnfTest, PushesNegationThroughOperators) {
+  auto p = ParseTemporalProperty("!(F(a))", nullptr);
+  ASSERT_TRUE(p.ok());
+  TFormulaPtr nnf = ToNegationNormalForm(*p->formula);
+  // !F a = ! (true U a) = false B !a = G !a.
+  EXPECT_EQ(nnf->kind(), TFormula::Kind::kB);
+  auto q = ParseTemporalProperty("!(X(a U b))", nullptr);
+  ASSERT_TRUE(q.ok());
+  TFormulaPtr qn = ToNegationNormalForm(*q->formula);
+  EXPECT_EQ(qn->kind(), TFormula::Kind::kX);
+  EXPECT_EQ(qn->children()[0]->kind(), TFormula::Kind::kB);
+  auto r = ParseTemporalProperty("!(E G(a))", nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToNegationNormalForm(*r->formula)->kind(),
+            TFormula::Kind::kA);
+}
+
+// --- Lasso semantics on real runs -------------------------------------------
+
+class LassoSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ws = BuildLoginService();
+    ASSERT_TRUE(ws.ok());
+    service_ = std::move(ws).value();
+    db_ = LoginDatabase();
+  }
+
+  // Executes the script and loops on the final (terminal) page.
+  LassoRun MakeLasso(std::vector<UserChoice> script, int steps) {
+    ScriptedInputProvider provider(std::move(script));
+    Interpreter interp(&service_, &db_);
+    auto run = interp.Run(provider, steps);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    LassoRun lasso;
+    lasso.steps = run->trace;
+    lasso.loop_start = lasso.steps.size() - 1;
+    return lasso;
+  }
+
+  StatusOr<bool> Check(const std::string& prop, const LassoRun& lasso) {
+    auto p = ParseTemporalProperty(prop, &service_.vocab());
+    if (!p.ok()) return p.status();
+    return EvaluateLtlOnLasso(*p, lasso, db_, service_);
+  }
+
+  UserChoice Login(const char* name, const char* pw) {
+    UserChoice c;
+    c.constant_values["name"] = V(name);
+    c.constant_values["password"] = V(pw);
+    c.relation_choices["button"] = Tuple{V("login")};
+    return c;
+  }
+
+  WebService service_;
+  Instance db_;
+};
+
+TEST_F(LassoSemanticsTest, PagePropositionsTrackTheRun) {
+  LassoRun lasso = MakeLasso({Login("alice", "pw")}, 3);
+  EXPECT_TRUE(*Check("HP", lasso));
+  EXPECT_FALSE(*Check("CP", lasso));
+  EXPECT_TRUE(*Check("X(CP)", lasso));
+  EXPECT_TRUE(*Check("F(CP)", lasso));
+  EXPECT_TRUE(*Check("G(HP | CP | BYE)", lasso));
+}
+
+TEST_F(LassoSemanticsTest, UntilAndBeforeSemantics) {
+  LassoRun lasso = MakeLasso({Login("alice", "pw")}, 3);
+  EXPECT_TRUE(*Check("HP U CP", lasso));
+  EXPECT_FALSE(*Check("HP U MP", lasso));
+  // Before: logged_in must hold before reaching BYE... it does (set on
+  // the CP step).
+  EXPECT_TRUE(*Check("logged_in B !BYE", lasso));
+}
+
+TEST_F(LassoSemanticsTest, StateAtomsAndConstants) {
+  LassoRun good = MakeLasso({Login("alice", "pw")}, 3);
+  EXPECT_TRUE(*Check("G(!error(\"failed login\"))", good));
+  EXPECT_TRUE(*Check("F(logged_in)", good));
+  LassoRun bad = MakeLasso({Login("alice", "nope")}, 3);
+  EXPECT_TRUE(*Check("F(error(\"failed login\"))", bad));
+  EXPECT_TRUE(*Check("G(!logged_in)", bad));
+}
+
+TEST_F(LassoSemanticsTest, InputConstantSemanticsConditionA) {
+  // A sentence using an input constant is false before the constant is
+  // provided: user(name, password) is false at step 0... no wait, it is
+  // provided AT step 0 (kappa_0 includes HP's requests). Check against a
+  // run that never provides them: quit immediately? HP always requests.
+  // Instead check the atom itself evaluates with the provided values.
+  LassoRun lasso = MakeLasso({Login("alice", "pw")}, 3);
+  EXPECT_TRUE(*Check("user(name, password)", lasso));
+  LassoRun bad = MakeLasso({Login("alice", "nope")}, 3);
+  EXPECT_FALSE(*Check("user(name, password)", bad));
+}
+
+TEST_F(LassoSemanticsTest, UniversalClosure) {
+  LassoRun bad = MakeLasso({Login("alice", "nope")}, 3);
+  EXPECT_FALSE(*Check("forall m . G(!error(m))", bad));
+  LassoRun good = MakeLasso({Login("alice", "pw")}, 3);
+  EXPECT_TRUE(*Check("forall m . G(!error(m))", good));
+}
+
+TEST_F(LassoSemanticsTest, PathQuantifiersRejected) {
+  LassoRun lasso = MakeLasso({Login("alice", "pw")}, 2);
+  EXPECT_FALSE(Check("A G(HP)", lasso).ok());
+}
+
+}  // namespace
+}  // namespace wsv

@@ -1,0 +1,121 @@
+// Printing / parsing round trips: the pretty-printed form of every
+// gallery service must re-parse to a structurally equivalent service,
+// and formula printing must re-parse to an identical formula.
+
+#include <gtest/gtest.h>
+
+#include "fo/parser.h"
+#include "gallery/gallery.h"
+#include "ltl/ltl_parser.h"
+#include "verify/search_verifier.h"
+#include "ws/spec_parser.h"
+
+namespace wsv {
+namespace {
+
+void ExpectServiceRoundTrips(const WebService& service) {
+  std::string printed = service.ToString();
+  auto reparsed = ParseServiceSpec(printed);
+  ASSERT_TRUE(reparsed.ok())
+      << reparsed.status().ToString() << "\nprinted spec:\n" << printed;
+  EXPECT_EQ(reparsed->name(), service.name());
+  EXPECT_EQ(reparsed->home_page(), service.home_page());
+  EXPECT_EQ(reparsed->error_page(), service.error_page());
+  ASSERT_EQ(reparsed->pages().size(), service.pages().size());
+  for (size_t i = 0; i < service.pages().size(); ++i) {
+    const PageSchema& a = service.pages()[i];
+    const PageSchema& b = reparsed->pages()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.inputs, b.inputs) << a.name;
+    EXPECT_EQ(a.input_constants, b.input_constants) << a.name;
+    EXPECT_EQ(a.targets, b.targets) << a.name;
+    ASSERT_EQ(a.input_rules.size(), b.input_rules.size()) << a.name;
+    ASSERT_EQ(a.state_rules.size(), b.state_rules.size()) << a.name;
+    ASSERT_EQ(a.action_rules.size(), b.action_rules.size()) << a.name;
+    ASSERT_EQ(a.target_rules.size(), b.target_rules.size()) << a.name;
+    for (size_t r = 0; r < a.state_rules.size(); ++r) {
+      EXPECT_EQ(a.state_rules[r].ToString(), b.state_rules[r].ToString())
+          << a.name;
+    }
+    for (size_t r = 0; r < a.target_rules.size(); ++r) {
+      EXPECT_EQ(a.target_rules[r].ToString(), b.target_rules[r].ToString())
+          << a.name;
+    }
+  }
+}
+
+TEST(RoundTripTest, LoginService) {
+  ExpectServiceRoundTrips(*BuildLoginService());
+}
+
+TEST(RoundTripTest, EcommerceService) {
+  ExpectServiceRoundTrips(*BuildEcommerceService());
+}
+
+TEST(RoundTripTest, PaperClearLoopService) {
+  ExpectServiceRoundTrips(*BuildPaperClearLoopService());
+}
+
+TEST(RoundTripTest, CatalogSearchService) {
+  ExpectServiceRoundTrips(
+      *BuildInputDrivenSearchService(CatalogSearchSpec()));
+}
+
+TEST(RoundTripTest, FoFormulaPrintParseFixpoint) {
+  const char* formulas[] = {
+      "user(name, password) & button(\"login\")",
+      "exists x, y . I(x, y) & (p(x) | !q(y))",
+      "forall x . button(x) -> (x = \"a\" | x != \"b\")",
+      "!(a & b) | (c & !d)",
+      "prev.I(x, \"lit\")",
+  };
+  Vocabulary v;
+  ASSERT_TRUE(v.AddRelation("user", 2, SymbolKind::kDatabase).ok());
+  ASSERT_TRUE(v.AddRelation("button", 1, SymbolKind::kInput).ok());
+  ASSERT_TRUE(v.AddRelation("I", 2, SymbolKind::kInput).ok());
+  ASSERT_TRUE(v.AddRelation("p", 1, SymbolKind::kDatabase).ok());
+  ASSERT_TRUE(v.AddRelation("q", 1, SymbolKind::kDatabase).ok());
+  ASSERT_TRUE(v.AddRelation("a", 0, SymbolKind::kState).ok());
+  ASSERT_TRUE(v.AddRelation("b", 0, SymbolKind::kState).ok());
+  ASSERT_TRUE(v.AddRelation("c", 0, SymbolKind::kState).ok());
+  ASSERT_TRUE(v.AddRelation("d", 0, SymbolKind::kState).ok());
+  ASSERT_TRUE(v.AddConstant("name", true).ok());
+  ASSERT_TRUE(v.AddConstant("password", true).ok());
+  for (const char* text : formulas) {
+    SCOPED_TRACE(text);
+    auto f1 = ParseFormula(text, &v);
+    ASSERT_TRUE(f1.ok()) << f1.status().ToString();
+    std::string printed = (*f1)->ToString();
+    auto f2 = ParseFormula(printed, &v);
+    ASSERT_TRUE(f2.ok()) << f2.status().ToString() << "\n" << printed;
+    // Printing is a fixpoint after one round.
+    EXPECT_EQ((*f2)->ToString(), printed);
+  }
+}
+
+TEST(RoundTripTest, TemporalPropertyPrintParseFixpoint) {
+  const char* properties[] = {
+      "G(!P) | F(P & F(Q))",
+      "forall pid, price . (beta B !(conf & ship))",
+      "A G(E F(home))",
+      "E (F(p) & G(!q))",
+      "X(a U (b B c))",
+  };
+  Vocabulary v;
+  for (const char* name : {"P", "Q", "beta", "conf", "ship", "home", "p",
+                           "q", "a", "b", "c"}) {
+    ASSERT_TRUE(v.AddRelation(name, 0, SymbolKind::kState).ok());
+  }
+  for (const char* text : properties) {
+    SCOPED_TRACE(text);
+    auto p1 = ParseTemporalProperty(text, &v);
+    ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+    std::string printed = p1->ToString();
+    auto p2 = ParseTemporalProperty(printed, &v);
+    ASSERT_TRUE(p2.ok()) << p2.status().ToString() << "\n" << printed;
+    EXPECT_EQ(p2->ToString(), printed);
+  }
+}
+
+}  // namespace
+}  // namespace wsv

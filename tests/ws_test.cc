@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "gallery/gallery.h"
+#include "ws/builder.h"
+#include "ws/classify.h"
+#include "ws/spec_parser.h"
+#include "ws/validate.h"
+
+namespace wsv {
+namespace {
+
+TEST(BuilderTest, BuildsSmallService) {
+  ServiceBuilder b("Demo");
+  b.Database("user", 2).State("err", 1).Input("button", 1);
+  b.InputConstant("name").InputConstant("password");
+  b.Page("HP")
+      .UseInput("name")
+      .UseInput("password")
+      .Options("button(x)", "x = \"login\" | x = \"register\"")
+      .Insert("err(\"failed\")",
+              "!user(name, password) & button(\"login\")")
+      .Target("CP", "user(name, password) & button(\"login\")");
+  b.Page("CP");
+  b.Home("HP").Error("MP");
+  auto ws = b.Build();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  EXPECT_EQ(ws->pages().size(), 2u);
+  const PageSchema* hp = ws->FindPage("HP");
+  ASSERT_NE(hp, nullptr);
+  EXPECT_EQ(hp->input_rules.size(), 1u);
+  EXPECT_EQ(hp->state_rules.size(), 1u);
+  EXPECT_EQ(hp->targets, std::vector<std::string>{"CP"});
+  // Head desugaring introduced an equality conjunct for "failed".
+  EXPECT_EQ(hp->state_rules[0].head_vars.size(), 1u);
+}
+
+TEST(BuilderTest, ReportsUnknownSymbols) {
+  ServiceBuilder b("Bad");
+  b.Page("HP").Options("nosuch(x)", "true");
+  b.Home("HP").Error("E");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuilderTest, PageNamesBecomePropositions) {
+  ServiceBuilder b("Demo");
+  b.Input("go", 0);
+  b.Page("HP").UseInput("go").Target("P2", "go");
+  b.Page("P2");
+  b.Home("HP").Error("E");
+  auto ws = b.Build();
+  ASSERT_TRUE(ws.ok());
+  const RelationSymbol* hp = ws->vocab().FindRelation("HP");
+  ASSERT_NE(hp, nullptr);
+  EXPECT_EQ(hp->kind, SymbolKind::kPage);
+  EXPECT_NE(ws->vocab().FindRelation("E"), nullptr);
+}
+
+TEST(ValidateTest, RejectsMissingHomeOrError) {
+  ServiceBuilder b("Bad");
+  b.Page("HP");
+  b.Error("E");
+  EXPECT_FALSE(b.Build().ok());
+
+  ServiceBuilder b2("Bad2");
+  b2.Page("HP");
+  b2.Home("HP");
+  EXPECT_FALSE(b2.Build().ok());
+}
+
+TEST(ValidateTest, ErrorPageMustNotBeDeclared) {
+  ServiceBuilder b("Bad");
+  b.Page("HP");
+  b.Page("E");
+  b.Home("HP").Error("E");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(ValidateTest, RejectsDuplicateStateRules) {
+  ServiceBuilder b("Bad");
+  b.State("s", 0);
+  b.Page("HP").Insert("s", "true").Insert("s", "false");
+  b.Home("HP").Error("E");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(ValidateTest, RejectsFreeBodyVariables) {
+  ServiceBuilder b("Bad");
+  b.State("s", 1);
+  b.Database("r", 2);
+  b.Page("HP").Insert("s(x)", "r(x, y)");
+  b.Home("HP").Error("E");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(ValidateTest, RejectsActionAtomsInBodies) {
+  ServiceBuilder b("Bad");
+  b.Action("a", 0);
+  b.State("s", 0);
+  b.Page("HP").Insert("s", "a");
+  b.Home("HP").Error("E");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(ValidateTest, RejectsInputAtomsInOptionsRules) {
+  ServiceBuilder b("Bad");
+  b.Input("i", 1).Input("j", 1);
+  b.Page("HP").Options("i(x)", "j(x)");
+  b.Home("HP").Error("E");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(ValidateTest, RejectsTargetRuleWithFreeVariables) {
+  ServiceBuilder b("Bad");
+  b.Database("r", 1);
+  b.Page("HP").Target("HP", "r(x)");
+  b.Home("HP").Error("E");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(ValidateTest, InputRelationNeedsExactlyOneOptionsRule) {
+  ServiceBuilder b("Bad");
+  b.Input("i", 1);
+  PageBuilder p = b.Page("HP");
+  p.UseInput("i");  // declared but no options rule
+  b.Home("HP").Error("E");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+// --- .wsv parser -------------------------------------------------------------
+
+TEST(SpecParserTest, ParsesLoginService) {
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  EXPECT_EQ(ws->name(), "Login");
+  EXPECT_EQ(ws->home_page(), "HP");
+  EXPECT_EQ(ws->error_page(), "ERR");
+  EXPECT_EQ(ws->pages().size(), 4u);
+  const PageSchema* hp = ws->FindPage("HP");
+  ASSERT_NE(hp, nullptr);
+  EXPECT_EQ(hp->input_constants,
+            (std::vector<std::string>{"name", "password"}));
+  EXPECT_EQ(hp->target_rules.size(), 3u);
+}
+
+TEST(SpecParserTest, ParsesFullEcommerce) {
+  auto ws = BuildEcommerceService();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  EXPECT_EQ(ws->pages().size(), 20u);
+  const PageSchema* lsp = ws->FindPage("LSP");
+  ASSERT_NE(lsp, nullptr);
+  EXPECT_EQ(lsp->input_rules.size(), 2u);
+  EXPECT_EQ(lsp->state_rules.size(), 1u);
+  // The paper's LSP targets: HP(->GBP here), PIP, CC.
+  EXPECT_EQ(lsp->target_rules.size(), 3u);
+  const PageSchema* pip = ws->FindPage("PIP");
+  ASSERT_NE(pip, nullptr);
+  // PIP's options use Prev_I atoms.
+  bool has_prev = false;
+  for (const Atom& atom : pip->input_rules[0].body->Atoms()) {
+    if (atom.prev) has_prev = true;
+  }
+  EXPECT_TRUE(has_prev);
+}
+
+TEST(SpecParserTest, RoundTripsThroughToString) {
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok());
+  std::string printed = ws->ToString();
+  EXPECT_NE(printed.find("service Login;"), std::string::npos);
+  EXPECT_NE(printed.find("home HP;"), std::string::npos);
+  EXPECT_NE(printed.find("options button(x)"), std::string::npos);
+}
+
+TEST(SpecParserTest, SyntaxErrorsAreReported) {
+  EXPECT_FALSE(ParseServiceSpec("service;").ok());
+  EXPECT_FALSE(ParseServiceSpec("service X; page P {").ok());
+  EXPECT_FALSE(
+      ParseServiceSpec("service X; bogus decl; home P; error E;").ok());
+}
+
+// --- classification ----------------------------------------------------------
+
+TEST(ClassifyTest, LoginServiceIsInputBounded) {
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok());
+  Status st = CheckInputBoundedService(*ws);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(ClassifyTest, EcommerceIsNotFullyInputBounded) {
+  auto ws = BuildEcommerceService();
+  ASSERT_TRUE(ws.ok());
+  // The CC cartitem options read a state relation with variables, like
+  // the authors' own demo site.
+  Status st = CheckInputBoundedService(*ws);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(ClassifyTest, PropositionalRequiresAridityZeroStates) {
+  ServiceBuilder b("P");
+  b.State("s", 1);
+  b.Database("r", 1);
+  b.Page("HP");
+  b.Home("HP").Error("E");
+  auto ws = b.Build();
+  ASSERT_TRUE(ws.ok());
+  EXPECT_FALSE(CheckPropositionalService(*ws).ok());
+}
+
+TEST(ClassifyTest, FullyPropositionalService) {
+  ServiceBuilder b("P");
+  b.State("s", 0);
+  b.Input("go", 0);
+  b.Page("HP").UseInput("go").Insert("s", "go").Target("P2", "go & s");
+  b.Page("P2");
+  b.Home("HP").Error("E");
+  auto ws = b.Build();
+  ASSERT_TRUE(ws.ok());
+  ServiceClassification c = ClassifyService(*ws);
+  EXPECT_TRUE(c.input_bounded) << c.input_bounded_diag;
+  EXPECT_TRUE(c.propositional) << c.propositional_diag;
+  EXPECT_TRUE(c.fully_propositional) << c.fully_propositional_diag;
+}
+
+TEST(ClassifyTest, DatabaseAtomBlocksFullyPropositional) {
+  ServiceBuilder b("P");
+  b.State("s", 0);
+  b.Database("d", 0);
+  b.Page("HP").Insert("s", "d");
+  b.Home("HP").Error("E");
+  auto ws = b.Build();
+  ASSERT_TRUE(ws.ok());
+  EXPECT_TRUE(CheckPropositionalService(*ws).ok());
+  EXPECT_FALSE(CheckFullyPropositionalService(*ws).ok());
+}
+
+}  // namespace
+}  // namespace wsv

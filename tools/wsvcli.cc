@@ -1,0 +1,287 @@
+// wsvcli — the command-line front end of the verifier.
+//
+//   wsvcli validate <spec.wsv>
+//       Parse and statically validate a specification.
+//   wsvcli print <spec.wsv>
+//       Pretty-print the parsed specification.
+//   wsvcli classify <spec.wsv>
+//       Report membership in the paper's decidable classes.
+//   wsvcli run <spec.wsv> <db.wsd> [--steps N] [--seed S] [--pool a,b,c]
+//       Simulate a pseudo-random user session and print the pages.
+//   wsvcli check-errors <spec.wsv> [db.wsd] [--pool a,b,c] [--fresh N]
+//       Search for runs that reach the error page (Definition 2.3's
+//       conditions i-iii); without a database, enumerate databases up to
+//       the bound.
+//   wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c]
+//                 [--fresh N] [--unchecked]
+//       Verify an LTL-FO property (Theorem 3.5); --unchecked skips the
+//       input-boundedness gate.
+//   wsvcli verify-ctl <spec.wsv> <property> <db.wsd> [--pool a,b,c]
+//       Verify a propositional CTL / CTL* property on the service's
+//       Kripke structure over the given database (Theorem 4.4).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "ctl/ctl_check.h"
+#include "ctl/ctl_star_check.h"
+#include "ltl/ltl_parser.h"
+#include "runtime/interpreter.h"
+#include "verify/abstraction.h"
+#include "verify/error_free.h"
+#include "verify/ltl_verifier.h"
+#include "ws/classify.h"
+#include "ws/data_parser.h"
+#include "ws/spec_parser.h"
+
+namespace wsv {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  wsvcli validate <spec.wsv>\n"
+      "  wsvcli print <spec.wsv>\n"
+      "  wsvcli classify <spec.wsv>\n"
+      "  wsvcli run <spec.wsv> <db.wsd> [--steps N] [--seed S] "
+      "[--pool a,b,c]\n"
+      "  wsvcli check-errors <spec.wsv> [db.wsd] [--pool a,b,c] "
+      "[--fresh N]\n"
+      "  wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c] "
+      "[--fresh N] [--unchecked]\n"
+      "  wsvcli verify-ctl <spec.wsv> <property> <db.wsd> "
+      "[--pool a,b,c]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct Flags {
+  std::vector<std::string> positional;
+  int steps = 20;
+  uint64_t seed = 0;
+  int fresh = 1;
+  bool unchecked = false;
+  std::vector<Value> pool;
+};
+
+StatusOr<Flags> ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> StatusOr<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for " + arg);
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--steps") {
+      WSV_ASSIGN_OR_RETURN(std::string v, next());
+      flags.steps = std::atoi(v.c_str());
+    } else if (arg == "--seed") {
+      WSV_ASSIGN_OR_RETURN(std::string v, next());
+      flags.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (arg == "--fresh") {
+      WSV_ASSIGN_OR_RETURN(std::string v, next());
+      flags.fresh = std::atoi(v.c_str());
+    } else if (arg == "--unchecked") {
+      flags.unchecked = true;
+    } else if (arg == "--pool") {
+      WSV_ASSIGN_OR_RETURN(std::string v, next());
+      for (const std::string& piece : Split(v, ',')) {
+        if (!piece.empty()) flags.pool.push_back(Value::Intern(piece));
+      }
+    } else if (StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+StatusOr<WebService> LoadService(const std::string& path) {
+  WSV_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseServiceSpec(text);
+}
+
+StatusOr<Instance> LoadDatabase(const std::string& path,
+                                const Vocabulary& vocab) {
+  WSV_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseDataFile(text, &vocab);
+}
+
+int CmdValidate(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  auto service = LoadService(flags.positional[0]);
+  if (!service.ok()) return Fail(service.status());
+  std::printf("OK: %s (%zu pages)\n", service->name().c_str(),
+              service->pages().size());
+  return 0;
+}
+
+int CmdPrint(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  auto service = LoadService(flags.positional[0]);
+  if (!service.ok()) return Fail(service.status());
+  std::printf("%s", service->ToString().c_str());
+  return 0;
+}
+
+int CmdClassify(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  auto service = LoadService(flags.positional[0]);
+  if (!service.ok()) return Fail(service.status());
+  std::printf("%s", ClassifyService(*service).ToString().c_str());
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  if (flags.positional.size() < 2) return Usage();
+  auto service = LoadService(flags.positional[0]);
+  if (!service.ok()) return Fail(service.status());
+  auto db = LoadDatabase(flags.positional[1], service->vocab());
+  if (!db.ok()) return Fail(db.status());
+  std::vector<Value> pool = flags.pool;
+  if (pool.empty()) {
+    pool.assign(db->domain().begin(), db->domain().end());
+    if (pool.empty()) pool.push_back(Value::Intern("u0"));
+  }
+  RandomInputProvider provider(flags.seed, pool);
+  Interpreter interp(&*service, &*db);
+  auto run = interp.Run(provider, flags.steps);
+  if (!run.ok()) return Fail(run.status());
+  for (size_t i = 0; i < run->trace.size(); ++i) {
+    std::printf("step %zu: %s\n", i, run->trace[i].ToString().c_str());
+  }
+  std::printf("pages:");
+  for (const std::string& p : run->page_sequence) {
+    std::printf(" %s", p.c_str());
+  }
+  std::printf("\nreached error page: %s\n",
+              run->reached_error ? run->error_reason.c_str() : "no");
+  return run->reached_error ? 3 : 0;
+}
+
+int CmdCheckErrors(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  auto service = LoadService(flags.positional[0]);
+  if (!service.ok()) return Fail(service.status());
+  ErrorFreeOptions options;
+  options.graph.constant_pool = flags.pool;
+  options.db.fresh_values = flags.fresh;
+  StatusOr<ErrorFreeResult> result = Status::OK();
+  if (flags.positional.size() >= 2) {
+    auto db = LoadDatabase(flags.positional[1], service->vocab());
+    if (!db.ok()) return Fail(db.status());
+    result = CheckErrorFreeOnDatabase(*service, *db, options);
+  } else {
+    result = CheckErrorFree(*service, options);
+  }
+  if (!result.ok()) return Fail(result.status());
+  if (result->error_free) {
+    std::printf("error-free within bounds (%llu database(s), "
+                "%llu configurations)%s\n",
+                static_cast<unsigned long long>(result->databases_checked),
+                static_cast<unsigned long long>(result->total_graph_nodes),
+                result->complete_within_bounds ? "" : " [truncated]");
+    return 0;
+  }
+  std::printf("NOT error-free; witness:\n%s",
+              result->witness->ToString().c_str());
+  return 3;
+}
+
+int CmdVerify(const Flags& flags) {
+  if (flags.positional.size() < 2) return Usage();
+  auto service = LoadService(flags.positional[0]);
+  if (!service.ok()) return Fail(service.status());
+  auto prop = ParseTemporalProperty(flags.positional[1], &service->vocab());
+  if (!prop.ok()) return Fail(prop.status());
+  LtlVerifyOptions options;
+  options.graph.constant_pool = flags.pool;
+  options.db.fresh_values = flags.fresh;
+  options.require_input_bounded = !flags.unchecked;
+  LtlVerifier verifier(&*service, options);
+  StatusOr<LtlVerifyResult> result = Status::OK();
+  if (flags.positional.size() >= 3) {
+    auto db = LoadDatabase(flags.positional[2], service->vocab());
+    if (!db.ok()) return Fail(db.status());
+    result = verifier.VerifyOnDatabase(*prop, *db);
+  } else {
+    result = verifier.Verify(*prop);
+  }
+  if (!result.ok()) return Fail(result.status());
+  if (result->holds) {
+    std::printf("HOLDS within bounds (%llu database(s), %llu graph nodes, "
+                "%llu product states)%s\n",
+                static_cast<unsigned long long>(result->databases_checked),
+                static_cast<unsigned long long>(result->total_graph_nodes),
+                static_cast<unsigned long long>(
+                    result->total_product_states),
+                result->complete_within_bounds ? "" : " [truncated]");
+    return 0;
+  }
+  std::printf("VIOLATED; counterexample:\n%s",
+              result->counterexample->ToString().c_str());
+  return 3;
+}
+
+int CmdVerifyCtl(const Flags& flags) {
+  if (flags.positional.size() < 3) return Usage();
+  auto service = LoadService(flags.positional[0]);
+  if (!service.ok()) return Fail(service.status());
+  auto prop = ParseTemporalProperty(flags.positional[1], &service->vocab());
+  if (!prop.ok()) return Fail(prop.status());
+  auto db = LoadDatabase(flags.positional[2], service->vocab());
+  if (!db.ok()) return Fail(db.status());
+  KripkeBuildOptions options;
+  options.graph.constant_pool = flags.pool;
+  options.check_propositional = !flags.unchecked;
+  auto kripke = BuildPropositionalKripke(*service, *db, options);
+  if (!kripke.ok()) return Fail(kripke.status());
+  auto holds = prop->formula->IsCtl()
+                   ? CtlHolds(*kripke, *prop->formula)
+                   : CtlStarHolds(*kripke, *prop->formula);
+  if (!holds.ok()) return Fail(holds.status());
+  std::printf("%s (Kripke structure: %zu states)\n",
+              *holds ? "HOLDS" : "VIOLATED", kripke->size());
+  return *holds ? 0 : 3;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto flags = ParseFlags(argc, argv);
+  if (!flags.ok()) return Fail(flags.status());
+  std::string cmd = argv[1];
+  if (cmd == "validate") return CmdValidate(*flags);
+  if (cmd == "print") return CmdPrint(*flags);
+  if (cmd == "classify") return CmdClassify(*flags);
+  if (cmd == "run") return CmdRun(*flags);
+  if (cmd == "check-errors") return CmdCheckErrors(*flags);
+  if (cmd == "verify") return CmdVerify(*flags);
+  if (cmd == "verify-ctl") return CmdVerifyCtl(*flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace wsv
+
+int main(int argc, char** argv) { return wsv::Main(argc, argv); }
