@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buchi.dir/bench_buchi.cc.o"
+  "CMakeFiles/bench_buchi.dir/bench_buchi.cc.o.d"
+  "bench_buchi"
+  "bench_buchi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buchi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ctl.dir/bench_ctl.cc.o"
+  "CMakeFiles/bench_ctl.dir/bench_ctl.cc.o.d"
+  "bench_ctl"
+  "bench_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

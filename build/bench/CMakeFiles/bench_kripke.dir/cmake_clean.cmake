@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kripke.dir/bench_kripke.cc.o"
+  "CMakeFiles/bench_kripke.dir/bench_kripke.cc.o.d"
+  "bench_kripke"
+  "bench_kripke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kripke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

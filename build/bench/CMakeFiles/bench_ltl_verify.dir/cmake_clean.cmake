@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ltl_verify.dir/bench_ltl_verify.cc.o"
+  "CMakeFiles/bench_ltl_verify.dir/bench_ltl_verify.cc.o.d"
+  "bench_ltl_verify"
+  "bench_ltl_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ltl_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

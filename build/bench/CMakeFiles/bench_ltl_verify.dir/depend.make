@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ltl_verify.
+# This may be replaced when dependencies are built.

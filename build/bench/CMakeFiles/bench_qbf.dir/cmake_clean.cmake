@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qbf.dir/bench_qbf.cc.o"
+  "CMakeFiles/bench_qbf.dir/bench_qbf.cc.o.d"
+  "bench_qbf"
+  "bench_qbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

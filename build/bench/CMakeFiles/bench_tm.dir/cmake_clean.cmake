@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tm.dir/bench_tm.cc.o"
+  "CMakeFiles/bench_tm.dir/bench_tm.cc.o.d"
+  "bench_tm"
+  "bench_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce.dir/ecommerce.cpp.o"
+  "CMakeFiles/ecommerce.dir/ecommerce.cpp.o.d"
+  "ecommerce"
+  "ecommerce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecommerce.
+# This may be replaced when dependencies are built.

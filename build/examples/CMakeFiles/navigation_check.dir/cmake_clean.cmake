@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigation_check.dir/navigation_check.cpp.o"
+  "CMakeFiles/navigation_check.dir/navigation_check.cpp.o.d"
+  "navigation_check"
+  "navigation_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigation_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/buchi.cc" "src/CMakeFiles/wsv.dir/automata/buchi.cc.o" "gcc" "src/CMakeFiles/wsv.dir/automata/buchi.cc.o.d"
+  "/root/repo/src/automata/emptiness.cc" "src/CMakeFiles/wsv.dir/automata/emptiness.cc.o" "gcc" "src/CMakeFiles/wsv.dir/automata/emptiness.cc.o.d"
+  "/root/repo/src/automata/ltl_to_buchi.cc" "src/CMakeFiles/wsv.dir/automata/ltl_to_buchi.cc.o" "gcc" "src/CMakeFiles/wsv.dir/automata/ltl_to_buchi.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/wsv.dir/common/status.cc.o" "gcc" "src/CMakeFiles/wsv.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/wsv.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/wsv.dir/common/str_util.cc.o.d"
+  "/root/repo/src/ctl/ctl.cc" "src/CMakeFiles/wsv.dir/ctl/ctl.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ctl/ctl.cc.o.d"
+  "/root/repo/src/ctl/ctl_check.cc" "src/CMakeFiles/wsv.dir/ctl/ctl_check.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ctl/ctl_check.cc.o.d"
+  "/root/repo/src/ctl/ctl_sat.cc" "src/CMakeFiles/wsv.dir/ctl/ctl_sat.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ctl/ctl_sat.cc.o.d"
+  "/root/repo/src/ctl/ctl_star_check.cc" "src/CMakeFiles/wsv.dir/ctl/ctl_star_check.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ctl/ctl_star_check.cc.o.d"
+  "/root/repo/src/ctl/kripke.cc" "src/CMakeFiles/wsv.dir/ctl/kripke.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ctl/kripke.cc.o.d"
+  "/root/repo/src/fo/etc.cc" "src/CMakeFiles/wsv.dir/fo/etc.cc.o" "gcc" "src/CMakeFiles/wsv.dir/fo/etc.cc.o.d"
+  "/root/repo/src/fo/evaluator.cc" "src/CMakeFiles/wsv.dir/fo/evaluator.cc.o" "gcc" "src/CMakeFiles/wsv.dir/fo/evaluator.cc.o.d"
+  "/root/repo/src/fo/formula.cc" "src/CMakeFiles/wsv.dir/fo/formula.cc.o" "gcc" "src/CMakeFiles/wsv.dir/fo/formula.cc.o.d"
+  "/root/repo/src/fo/input_bounded.cc" "src/CMakeFiles/wsv.dir/fo/input_bounded.cc.o" "gcc" "src/CMakeFiles/wsv.dir/fo/input_bounded.cc.o.d"
+  "/root/repo/src/fo/lexer.cc" "src/CMakeFiles/wsv.dir/fo/lexer.cc.o" "gcc" "src/CMakeFiles/wsv.dir/fo/lexer.cc.o.d"
+  "/root/repo/src/fo/parser.cc" "src/CMakeFiles/wsv.dir/fo/parser.cc.o" "gcc" "src/CMakeFiles/wsv.dir/fo/parser.cc.o.d"
+  "/root/repo/src/fo/qf.cc" "src/CMakeFiles/wsv.dir/fo/qf.cc.o" "gcc" "src/CMakeFiles/wsv.dir/fo/qf.cc.o.d"
+  "/root/repo/src/fo/rewrite.cc" "src/CMakeFiles/wsv.dir/fo/rewrite.cc.o" "gcc" "src/CMakeFiles/wsv.dir/fo/rewrite.cc.o.d"
+  "/root/repo/src/gallery/gallery.cc" "src/CMakeFiles/wsv.dir/gallery/gallery.cc.o" "gcc" "src/CMakeFiles/wsv.dir/gallery/gallery.cc.o.d"
+  "/root/repo/src/ltl/ltl.cc" "src/CMakeFiles/wsv.dir/ltl/ltl.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ltl/ltl.cc.o.d"
+  "/root/repo/src/ltl/ltl_parser.cc" "src/CMakeFiles/wsv.dir/ltl/ltl_parser.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ltl/ltl_parser.cc.o.d"
+  "/root/repo/src/ltl/run_semantics.cc" "src/CMakeFiles/wsv.dir/ltl/run_semantics.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ltl/run_semantics.cc.o.d"
+  "/root/repo/src/reductions/fdid.cc" "src/CMakeFiles/wsv.dir/reductions/fdid.cc.o" "gcc" "src/CMakeFiles/wsv.dir/reductions/fdid.cc.o.d"
+  "/root/repo/src/reductions/fovalidity.cc" "src/CMakeFiles/wsv.dir/reductions/fovalidity.cc.o" "gcc" "src/CMakeFiles/wsv.dir/reductions/fovalidity.cc.o.d"
+  "/root/repo/src/reductions/qbf.cc" "src/CMakeFiles/wsv.dir/reductions/qbf.cc.o" "gcc" "src/CMakeFiles/wsv.dir/reductions/qbf.cc.o.d"
+  "/root/repo/src/reductions/turing.cc" "src/CMakeFiles/wsv.dir/reductions/turing.cc.o" "gcc" "src/CMakeFiles/wsv.dir/reductions/turing.cc.o.d"
+  "/root/repo/src/relational/instance.cc" "src/CMakeFiles/wsv.dir/relational/instance.cc.o" "gcc" "src/CMakeFiles/wsv.dir/relational/instance.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/wsv.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/wsv.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/wsv.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/wsv.dir/relational/value.cc.o.d"
+  "/root/repo/src/runtime/config.cc" "src/CMakeFiles/wsv.dir/runtime/config.cc.o" "gcc" "src/CMakeFiles/wsv.dir/runtime/config.cc.o.d"
+  "/root/repo/src/runtime/interpreter.cc" "src/CMakeFiles/wsv.dir/runtime/interpreter.cc.o" "gcc" "src/CMakeFiles/wsv.dir/runtime/interpreter.cc.o.d"
+  "/root/repo/src/runtime/successor.cc" "src/CMakeFiles/wsv.dir/runtime/successor.cc.o" "gcc" "src/CMakeFiles/wsv.dir/runtime/successor.cc.o.d"
+  "/root/repo/src/verify/abstraction.cc" "src/CMakeFiles/wsv.dir/verify/abstraction.cc.o" "gcc" "src/CMakeFiles/wsv.dir/verify/abstraction.cc.o.d"
+  "/root/repo/src/verify/config_graph.cc" "src/CMakeFiles/wsv.dir/verify/config_graph.cc.o" "gcc" "src/CMakeFiles/wsv.dir/verify/config_graph.cc.o.d"
+  "/root/repo/src/verify/db_enum.cc" "src/CMakeFiles/wsv.dir/verify/db_enum.cc.o" "gcc" "src/CMakeFiles/wsv.dir/verify/db_enum.cc.o.d"
+  "/root/repo/src/verify/error_free.cc" "src/CMakeFiles/wsv.dir/verify/error_free.cc.o" "gcc" "src/CMakeFiles/wsv.dir/verify/error_free.cc.o.d"
+  "/root/repo/src/verify/ltl_verifier.cc" "src/CMakeFiles/wsv.dir/verify/ltl_verifier.cc.o" "gcc" "src/CMakeFiles/wsv.dir/verify/ltl_verifier.cc.o.d"
+  "/root/repo/src/verify/search_verifier.cc" "src/CMakeFiles/wsv.dir/verify/search_verifier.cc.o" "gcc" "src/CMakeFiles/wsv.dir/verify/search_verifier.cc.o.d"
+  "/root/repo/src/verify/transform.cc" "src/CMakeFiles/wsv.dir/verify/transform.cc.o" "gcc" "src/CMakeFiles/wsv.dir/verify/transform.cc.o.d"
+  "/root/repo/src/ws/builder.cc" "src/CMakeFiles/wsv.dir/ws/builder.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ws/builder.cc.o.d"
+  "/root/repo/src/ws/classify.cc" "src/CMakeFiles/wsv.dir/ws/classify.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ws/classify.cc.o.d"
+  "/root/repo/src/ws/data_parser.cc" "src/CMakeFiles/wsv.dir/ws/data_parser.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ws/data_parser.cc.o.d"
+  "/root/repo/src/ws/rules.cc" "src/CMakeFiles/wsv.dir/ws/rules.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ws/rules.cc.o.d"
+  "/root/repo/src/ws/service.cc" "src/CMakeFiles/wsv.dir/ws/service.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ws/service.cc.o.d"
+  "/root/repo/src/ws/spec_parser.cc" "src/CMakeFiles/wsv.dir/ws/spec_parser.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ws/spec_parser.cc.o.d"
+  "/root/repo/src/ws/validate.cc" "src/CMakeFiles/wsv.dir/ws/validate.cc.o" "gcc" "src/CMakeFiles/wsv.dir/ws/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_test.dir/automata_test.cc.o"
+  "CMakeFiles/automata_test.dir/automata_test.cc.o.d"
+  "automata_test"
+  "automata_test.pdb"
+  "automata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

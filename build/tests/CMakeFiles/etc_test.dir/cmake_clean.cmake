@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etc_test.dir/etc_test.cc.o"
+  "CMakeFiles/etc_test.dir/etc_test.cc.o.d"
+  "etc_test"
+  "etc_test.pdb"
+  "etc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

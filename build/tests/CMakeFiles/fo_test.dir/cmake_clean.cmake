@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo_test.dir/fo_test.cc.o"
+  "CMakeFiles/fo_test.dir/fo_test.cc.o.d"
+  "fo_test"
+  "fo_test.pdb"
+  "fo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltl_test.dir/ltl_test.cc.o"
+  "CMakeFiles/ltl_test.dir/ltl_test.cc.o.d"
+  "ltl_test"
+  "ltl_test.pdb"
+  "ltl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qf_test.dir/qf_test.cc.o"
+  "CMakeFiles/qf_test.dir/qf_test.cc.o.d"
+  "qf_test"
+  "qf_test.pdb"
+  "qf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_test.dir/reductions_test.cc.o"
+  "CMakeFiles/reductions_test.dir/reductions_test.cc.o.d"
+  "reductions_test"
+  "reductions_test.pdb"
+  "reductions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_test.dir/ws_test.cc.o"
+  "CMakeFiles/ws_test.dir/ws_test.cc.o.d"
+  "ws_test"
+  "ws_test.pdb"
+  "ws_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

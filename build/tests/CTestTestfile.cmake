@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/fo_test[1]_include.cmake")
+include("/root/repo/build/tests/ws_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/ltl_test[1]_include.cmake")
+include("/root/repo/build/tests/automata_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/ctl_test[1]_include.cmake")
+include("/root/repo/build/tests/reductions_test[1]_include.cmake")
+include("/root/repo/build/tests/etc_test[1]_include.cmake")
+include("/root/repo/build/tests/qf_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/roundtrip_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsvcli.dir/wsvcli.cc.o"
+  "CMakeFiles/wsvcli.dir/wsvcli.cc.o.d"
+  "wsvcli"
+  "wsvcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsvcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
