@@ -15,6 +15,7 @@
 #include "ltl/ltl_parser.h"
 #include "verify/error_free.h"
 #include "verify/ltl_verifier.h"
+#include "verify/parallel.h"
 
 namespace wsv {
 namespace {
@@ -72,6 +73,69 @@ void BM_Property4_PayBeforeShip(benchmark::State& state) {
   state.SetLabel("HOLDS (paper: shipped products are paid for)");
 }
 BENCHMARK(BM_Property4_PayBeforeShip)->Unit(benchmark::kMillisecond);
+
+// --- E2b: the parallel engine, /jobs:1 vs /jobs:N. ---------------------
+//
+// The jobs:1 rows run the serial verifier (the parallel front end
+// delegates); higher job counts fan the same sweep over the pool with
+// identical verdicts. Speedup scales with hardware threads — on a
+// single-core host the rows coincide (modulo pool overhead).
+
+// Pay-before-ship on the fixed small database: 2 closure variables x 3
+// candidates = 9 valuations, chunked across workers over one shared
+// configuration graph. Also exercises the FO-leaf memo.
+void BM_Property4_PayBeforeShip_Jobs(benchmark::State& state) {
+  WebService service = std::move(BuildEcommerceService()).value();
+  Instance db = EcommerceSmallDatabase();
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw")};
+  options.require_input_bounded = false;
+  options.closure_candidates = {V("p1"), V("100"), V("alice")};
+  ParallelLtlVerifier verifier(&service, options,
+                               static_cast<int>(state.range(0)));
+  auto prop = ParseTemporalProperty(
+      "forall pid, price . ((UPP & payamount(price) & button(\"submit\") "
+      "& pick(pid, price) & prod_prices(pid, price)) "
+      "B !(conf(name, price) & ship(name, pid)))",
+      &service.vocab());
+  for (auto _ : state) {
+    auto r = verifier.VerifyOnDatabase(*prop, db);
+    if (!r.ok() || !r->holds) {
+      state.SkipWithError("expected the property to hold");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_Property4_PayBeforeShip_Jobs)
+    ->ArgName("jobs")->Arg(1)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Database-level fan-out: the login service verified over every database
+// within the bound (the property holds, so the sweep is exhaustive — the
+// worst case for the enumerator and the best case for parallelism).
+void BM_LoginEnumSweep_Jobs(benchmark::State& state) {
+  WebService service = std::move(BuildLoginService()).value();
+  LtlVerifyOptions options;
+  options.db.fresh_values = 1;
+  options.db.max_tuples_per_relation = 1;
+  options.graph.constant_pool = {V("d0")};
+  ParallelLtlVerifier verifier(&service, options,
+                               static_cast<int>(state.range(0)));
+  auto prop = ParseTemporalProperty("G(!error(\"no such page\"))",
+                                    &service.vocab());
+  for (auto _ : state) {
+    auto r = verifier.Verify(*prop);
+    if (!r.ok() || !r->holds) {
+      state.SkipWithError("expected the property to hold");
+      return;
+    }
+    state.counters["databases"] =
+        static_cast<double>(r->databases_checked);
+  }
+}
+BENCHMARK(BM_LoginEnumSweep_Jobs)
+    ->ArgName("jobs")->Arg(1)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 // --- E3: scaling shape. -------------------------------------------------
 

@@ -1,0 +1,42 @@
+// Hash composition utilities.
+//
+// The verifiers deduplicate configurations, product vertices, and label
+// sets on hot paths; ordered containers there cost a log factor plus a
+// lexicographic comparison per probe. These helpers build the hashed
+// replacements: HashCombine folds component hashes boost-style, HashRange
+// folds an iterator range, and PackInts packs two non-negative 32-bit
+// ints into a single unordered_map key (product vertices, edge pairs).
+
+#ifndef WSV_COMMON_HASH_H_
+#define WSV_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace wsv {
+
+/// Folds `v` into `seed` (boost::hash_combine's mixing constant).
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hashes a range of elements through std::hash of the value type.
+template <typename It>
+size_t HashRange(It begin, It end, size_t seed = 0) {
+  using T = typename std::iterator_traits<It>::value_type;
+  std::hash<T> h;
+  for (It it = begin; it != end; ++it) seed = HashCombine(seed, h(*it));
+  return seed;
+}
+
+/// Packs two non-negative ints into one 64-bit key (identity-preserving,
+/// so an unordered_map<uint64_t, V> replaces map<pair<int,int>, V>).
+inline uint64_t PackInts(int a, int b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace wsv
+
+#endif  // WSV_COMMON_HASH_H_

@@ -24,6 +24,7 @@ enum class StatusCode {
   kUnsupported,       // outside the decidable class handled by a procedure
   kResourceExhausted, // search exceeded a configured node/time budget
   kNotFound,          // named entity missing from a schema or service
+  kCancelled,         // work abandoned because another worker already won
   kInternal,          // invariant violation inside the library
 };
 
@@ -56,6 +57,9 @@ class Status {
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

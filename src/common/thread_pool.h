@@ -1,0 +1,79 @@
+// A fixed-size worker pool for the parallel verification engine.
+//
+// The pool owns N threads that drain a FIFO task queue. It is built for
+// the verifier's fan-out pattern: a producer submits one task per
+// independent unit of work (candidate database, valuation chunk), workers
+// race, and the first counterexample cancels everything that cannot win
+// anymore. Accordingly the pool supports dropping the queued backlog
+// (CancelPending) while letting in-flight tasks finish — tasks observe
+// finer-grained cancellation themselves through whatever flag the caller
+// threads through them.
+//
+// Tasks must not throw across the pool boundary in normal operation (the
+// library is Status-based); if one does, the first exception is captured
+// and rethrown from Wait() so bugs surface instead of vanishing on a
+// worker thread.
+
+#ifndef WSV_COMMON_THREAD_POOL_H_
+#define WSV_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wsv {
+
+/// Number of workers to use when the caller asked for `jobs` threads:
+/// values <= 0 mean "one per hardware thread" (at least 1).
+int ResolveJobCount(int jobs);
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drops queued tasks and joins the workers. Does NOT wait for queued
+  /// work to run — call Wait() first if completion matters.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called during or after destruction.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running, then
+  /// rethrows the first exception any task threw (if any).
+  void Wait();
+
+  /// Drops all queued-but-not-started tasks; running tasks continue.
+  /// Returns how many tasks were dropped, so producers doing their own
+  /// outstanding-task accounting (backpressure) can settle their books.
+  size_t CancelPending();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Queued + running tasks (approximate the instant it returns).
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): pool drained
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_exception_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace wsv
+
+#endif  // WSV_COMMON_THREAD_POOL_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace wsv {
 
 bool Relation::Insert(const Tuple& t) {
@@ -27,6 +29,12 @@ std::string Relation::ToString() const {
   }
   out += "}";
   return out;
+}
+
+size_t Relation::Hash() const {
+  size_t h = static_cast<size_t>(arity_);
+  for (const Tuple& t : tuples_) h = HashCombine(h, TupleHash()(t));
+  return h;
 }
 
 Status Instance::EnsureRelation(const std::string& name, int arity) {
@@ -71,6 +79,20 @@ std::optional<Value> Instance::FindConstant(const std::string& name) const {
   auto it = constants_.find(name);
   if (it == constants_.end()) return std::nullopt;
   return it->second;
+}
+
+size_t Instance::Hash() const {
+  std::hash<std::string> str_hash;
+  size_t h = 0;
+  for (const auto& [name, rel] : relations_) {
+    h = HashCombine(h, str_hash(name));
+    h = HashCombine(h, rel.Hash());
+  }
+  for (const auto& [name, v] : constants_) {
+    h = HashCombine(h, str_hash(name));
+    h = HashCombine(h, ValueHash()(v));
+  }
+  return HashRange(domain_.begin(), domain_.end(), h);
 }
 
 std::string Instance::ToString() const {

@@ -52,6 +52,10 @@ class Relation {
     return a.tuples_ < b.tuples_;
   }
 
+  /// Structural hash, consistent with operator== (the tuple set is
+  /// ordered, so iteration order is canonical).
+  size_t Hash() const;
+
   std::string ToString() const;
 
  private:
@@ -101,6 +105,10 @@ class Instance {
     if (a.constants_ != b.constants_) return a.constants_ < b.constants_;
     return a.domain_ < b.domain_;
   }
+
+  /// Structural hash, consistent with operator== (all members are ordered
+  /// containers, so iteration order is canonical).
+  size_t Hash() const;
 
   std::string ToString() const;
 

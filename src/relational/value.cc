@@ -1,6 +1,7 @@
 #include "relational/value.h"
 
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 namespace wsv {
@@ -11,11 +12,26 @@ namespace {
 // name references stay valid for the program lifetime. The table is a
 // function-local static pointer (never destroyed) per the style rules on
 // static storage duration.
+//
+// The interner sits on the multi-threaded verification hot path (name()
+// is called per edge-signature render while building configuration
+// graphs in parallel), so it uses a reader-writer lock: lookups take a
+// shared lock, and every mutating path takes the exclusive lock exactly
+// once.
 struct Interner {
-  std::mutex mu;
+  std::shared_mutex mu;
   std::unordered_map<std::string, int32_t> ids;
   std::vector<const std::string*> names;  // id -> name (stable pointers)
   int64_t fresh_counter = 0;
+
+  // Inserts `name` with the next id. Caller holds the exclusive lock and
+  // has checked that `name` is absent.
+  int32_t InsertLocked(std::string name) {
+    int32_t id = static_cast<int32_t>(names.size());
+    auto inserted = ids.emplace(std::move(name), id).first;
+    names.push_back(&inserted->first);
+    return id;
+  }
 };
 
 Interner& GetInterner() {
@@ -27,39 +43,38 @@ Interner& GetInterner() {
 
 Value Value::Intern(std::string_view name) {
   Interner& in = GetInterner();
-  std::lock_guard<std::mutex> lock(in.mu);
-  auto it = in.ids.find(std::string(name));
+  std::string key(name);
+  {
+    // Fast path: already interned; shared lock admits concurrent readers.
+    std::shared_lock<std::shared_mutex> lock(in.mu);
+    auto it = in.ids.find(key);
+    if (it != in.ids.end()) return Value(it->second);
+  }
+  // Miss: one exclusive critical section, re-checking under the lock
+  // (another thread may have interned the name in the window).
+  std::unique_lock<std::shared_mutex> lock(in.mu);
+  auto it = in.ids.find(key);
   if (it != in.ids.end()) return Value(it->second);
-  int32_t id = static_cast<int32_t>(in.names.size());
-  auto inserted = in.ids.emplace(std::string(name), id).first;
-  in.names.push_back(&inserted->first);
-  return Value(id);
+  return Value(in.InsertLocked(std::move(key)));
 }
 
 Value Value::Fresh(std::string_view prefix) {
   Interner& in = GetInterner();
+  // Single exclusive critical section: bump the counter and insert the
+  // first non-colliding candidate without ever dropping the lock.
+  std::unique_lock<std::shared_mutex> lock(in.mu);
   while (true) {
-    int64_t n;
-    {
-      std::lock_guard<std::mutex> lock(in.mu);
-      n = in.fresh_counter++;
-    }
-    std::string candidate = std::string(prefix) + std::to_string(n);
-    {
-      std::lock_guard<std::mutex> lock(in.mu);
-      if (in.ids.find(candidate) == in.ids.end()) {
-        int32_t id = static_cast<int32_t>(in.names.size());
-        auto inserted = in.ids.emplace(std::move(candidate), id).first;
-        in.names.push_back(&inserted->first);
-        return Value(id);
-      }
+    std::string candidate =
+        std::string(prefix) + std::to_string(in.fresh_counter++);
+    if (in.ids.find(candidate) == in.ids.end()) {
+      return Value(in.InsertLocked(std::move(candidate)));
     }
   }
 }
 
 const std::string& Value::name() const {
   Interner& in = GetInterner();
-  std::lock_guard<std::mutex> lock(in.mu);
+  std::shared_lock<std::shared_mutex> lock(in.mu);
   return *in.names[static_cast<size_t>(id_)];
 }
 

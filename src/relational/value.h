@@ -73,4 +73,9 @@ struct TupleHash {
 
 }  // namespace wsv
 
+template <>
+struct std::hash<wsv::Value> {
+  size_t operator()(wsv::Value v) const { return wsv::ValueHash()(v); }
+};
+
 #endif  // WSV_RELATIONAL_VALUE_H_

@@ -1,5 +1,7 @@
 #include "runtime/config.h"
 
+#include "common/hash.h"
+
 namespace wsv {
 
 namespace {
@@ -16,6 +18,18 @@ std::string ConstantsToString(const std::map<std::string, Value>& consts) {
 }
 
 }  // namespace
+
+size_t Config::Hash() const {
+  size_t h = std::hash<std::string>()(page);
+  h = HashCombine(h, state.Hash());
+  h = HashCombine(h, prev_inputs.Hash());
+  h = HashCombine(h, actions.Hash());
+  for (const auto& [name, v] : provided_constants) {
+    h = HashCombine(h, std::hash<std::string>()(name));
+    h = HashCombine(h, ValueHash()(v));
+  }
+  return h;
+}
 
 std::string Config::ToString() const {
   std::string out = "page " + page + "\n";

@@ -48,7 +48,16 @@ struct Config {
     return a.provided_constants < b.provided_constants;
   }
 
+  /// Structural hash, consistent with operator==. The config-graph
+  /// builder deduplicates nodes through hashed containers keyed by this.
+  size_t Hash() const;
+
   std::string ToString() const;
+};
+
+/// Functor for unordered containers keyed by Config.
+struct ConfigHash {
+  size_t operator()(const Config& c) const { return c.Hash(); }
 };
 
 /// The user's decision at one step: values for the input constants the

@@ -2,7 +2,10 @@
 
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "common/hash.h"
 #include "fo/rewrite.h"
 #include "verify/db_enum.h"
 #include "ws/classify.h"
@@ -55,6 +58,13 @@ std::set<std::string> TraceLabel(const TraceView& trace,
   return label;
 }
 
+// Hash for label sets (ordered, so iteration order is canonical).
+struct LabelSetHash {
+  size_t operator()(const std::set<std::string>& names) const {
+    return HashRange(names.begin(), names.end());
+  }
+};
+
 }  // namespace
 
 StatusOr<Kripke> BuildPropositionalKripke(const WebService& service,
@@ -85,7 +95,7 @@ StatusOr<Kripke> BuildPropositionalKripke(const WebService& service,
 
   Kripke kripke;
   // Map each config-graph edge to a Kripke state keyed by its label.
-  std::map<std::set<std::string>, int> state_of_label;
+  std::unordered_map<std::set<std::string>, int, LabelSetHash> state_of_label;
   std::vector<int> edge_state(graph.edges.size());
   for (size_t e = 0; e < graph.edges.size(); ++e) {
     std::set<std::string> names =
@@ -101,13 +111,13 @@ StatusOr<Kripke> BuildPropositionalKripke(const WebService& service,
   }
   // Edges between consecutive trace elements; initial states are the
   // labels of the first step.
-  std::set<std::pair<int, int>> added;
+  std::unordered_set<uint64_t> added;
   for (size_t e = 0; e < graph.edges.size(); ++e) {
     if (graph.edges[e].from == graph.initial) {
       kripke.SetInitial(edge_state[e]);
     }
     for (int e2 : graph.out_edges[graph.edges[e].to]) {
-      if (added.insert({edge_state[e], edge_state[e2]}).second) {
+      if (added.insert(PackInts(edge_state[e], edge_state[e2])).second) {
         kripke.AddEdge(edge_state[e], edge_state[e2]);
       }
     }

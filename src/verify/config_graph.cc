@@ -2,7 +2,10 @@
 
 #include <deque>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "common/hash.h"
 #include "verify/db_enum.h"
 
 namespace wsv {
@@ -153,7 +156,7 @@ StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
     pool.assign(p.begin(), p.end());
   }
 
-  std::map<Config, int> node_index;
+  std::unordered_map<Config, int, ConfigHash> node_index;
   std::deque<int> worklist;
   auto intern_node = [&](const Config& c) -> int {
     auto it = node_index.find(c);
@@ -170,6 +173,9 @@ StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
   ChoiceEnumerator choices(stepper, pool);
 
   while (!worklist.empty()) {
+    if (options.cancel_check && options.cancel_check()) {
+      return Status::Cancelled("configuration graph build cancelled");
+    }
     if (graph.nodes.size() > options.max_nodes ||
         graph.edges.size() > options.max_edges) {
       graph.truncated = true;
@@ -181,7 +187,13 @@ StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
     Config current = graph.nodes[v];
     // Deduplicate parallel edges that lead to the same successor with the
     // same trace (different choices can be observationally identical).
-    std::set<std::pair<int, std::string>> seen;
+    struct EdgeSigHash {
+      size_t operator()(const std::pair<int, std::string>& p) const {
+        return HashCombine(std::hash<std::string>()(p.second),
+                           static_cast<size_t>(p.first));
+      }
+    };
+    std::unordered_set<std::pair<int, std::string>, EdgeSigHash> seen;
     Status st = choices.ForEachChoice(
         current, [&](const UserChoice& choice) -> Status {
           WSV_ASSIGN_OR_RETURN(StepOutcome outcome,

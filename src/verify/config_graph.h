@@ -16,6 +16,7 @@
 #ifndef WSV_VERIFY_CONFIG_GRAPH_H_
 #define WSV_VERIFY_CONFIG_GRAPH_H_
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -31,6 +32,12 @@ struct ConfigGraphOptions {
   std::vector<Value> constant_pool;
   size_t max_nodes = 200000;
   size_t max_edges = 2000000;
+  /// Cooperative cancellation hook, polled once per expanded node. When
+  /// it returns true, BuildConfigGraph abandons the build and returns
+  /// Status::Cancelled — the parallel engine sets this so workers whose
+  /// database can no longer win stop mid-build instead of finishing a
+  /// large graph nobody will read.
+  std::function<bool()> cancel_check;
 };
 
 struct ConfigGraph {

@@ -1,9 +1,12 @@
 #include "verify/ltl_verifier.h"
 
 #include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "automata/emptiness.h"
 #include "automata/ltl_to_buchi.h"
+#include "common/hash.h"
 #include "fo/input_bounded.h"
 #include "ws/classify.h"
 
@@ -41,17 +44,49 @@ std::set<Value> LassoDomain(const LassoRun& run, const Instance& database) {
   return dom;
 }
 
+// Hash for the FO-leaf memo keys (projected valuation digits).
+struct DigitsKeyHash {
+  size_t operator()(const std::vector<int32_t>& key) const {
+    return HashRange(key.begin(), key.end());
+  }
+};
+
 }  // namespace
 
-StatusOr<bool> LtlVerifier::CheckDatabase(const TemporalProperty& property,
-                                          const BuchiAutomaton& automaton,
-                                          const Instance& database,
-                                          LtlVerifyResult* result) {
-  Stepper stepper(service_, &database);
+StatusOr<BuchiAutomaton> BuildNegatedAutomaton(
+    const WebService& service, const TemporalProperty& property,
+    bool require_input_bounded) {
+  if (!property.formula->IsLtl()) {
+    return Status::InvalidArgument(
+        "property contains path quantifiers; use the branching-time "
+        "checkers");
+  }
+  if (require_input_bounded) {
+    WSV_RETURN_IF_ERROR(CheckInputBoundedService(service));
+    WSV_RETURN_IF_ERROR(CheckInputBoundedProperty(property, service.vocab()));
+  }
+  TFormulaPtr negated =
+      ToNegationNormalForm(*TFormula::Not(property.formula));
+  WSV_ASSIGN_OR_RETURN(BuchiAutomaton gba, LtlToBuchi(*negated));
+  return gba.Degeneralize();
+}
+
+StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
+    const WebService* service, const LtlVerifyOptions& options,
+    const TemporalProperty* property, const BuchiAutomaton* automaton,
+    const Instance& database) {
+  LtlDatabaseCheck check;
+  check.service_ = service;
+  check.property_ = property;
+  check.automaton_ = automaton;
+  check.database_ = std::make_unique<Instance>(database);
+  const Instance& db = *check.database_;
+
+  Stepper stepper(service, check.database_.get());
   // Track only the Prev_I relations the rules or the property observe.
   {
-    std::set<std::string> tracked = Stepper::PrevRelationsInRules(*service_);
-    for (const FormulaPtr& leaf : property.formula->FoLeaves()) {
+    std::set<std::string> tracked = Stepper::PrevRelationsInRules(*service);
+    for (const FormulaPtr& leaf : property->formula->FoLeaves()) {
       for (const Atom& atom : leaf->Atoms()) {
         if (atom.prev) tracked.insert(atom.relation);
       }
@@ -61,121 +96,212 @@ StatusOr<bool> LtlVerifier::CheckDatabase(const TemporalProperty& property,
 
   // Candidate values for input constants: the database's active domain,
   // the rule/property literals, plus fresh "typed by the user" values.
-  ConfigGraphOptions graph_options = options_.graph;
+  ConfigGraphOptions graph_options = options.graph;
   if (graph_options.constant_pool.empty()) {
-    std::set<Value> pool(database.domain().begin(), database.domain().end());
-    for (Value v : ServiceRuleLiterals(*service_)) pool.insert(v);
-    for (Value v : property.formula->Literals()) pool.insert(v);
-    for (int i = 0; i < options_.extra_constant_values; ++i) {
+    std::set<Value> pool(db.domain().begin(), db.domain().end());
+    for (Value v : ServiceRuleLiterals(*service)) pool.insert(v);
+    for (Value v : property->formula->Literals()) pool.insert(v);
+    for (int i = 0; i < options.extra_constant_values; ++i) {
       pool.insert(Value::Intern("u" + std::to_string(i)));
     }
     graph_options.constant_pool.assign(pool.begin(), pool.end());
   }
 
-  WSV_ASSIGN_OR_RETURN(ConfigGraph graph,
+  WSV_ASSIGN_OR_RETURN(check.graph_,
                        BuildConfigGraph(stepper, graph_options));
-  if (graph.truncated) result->complete_within_bounds = false;
-  result->total_graph_nodes += graph.nodes.size();
 
   // Valuation candidates for the universal closure variables: everything
   // that can occur in a run's active domain — the database, rule and
   // property literals, and the input-constant pool — unless the caller
   // restricted them.
-  std::vector<Value> cand;
-  if (!options_.closure_candidates.empty()) {
-    cand = options_.closure_candidates;
+  if (!options.closure_candidates.empty()) {
+    check.cand_ = options.closure_candidates;
   } else {
     std::set<Value> candidates(graph_options.constant_pool.begin(),
                                graph_options.constant_pool.end());
-    candidates.insert(database.domain().begin(), database.domain().end());
-    for (Value v : ServiceRuleLiterals(*service_)) candidates.insert(v);
-    for (Value v : property.formula->Literals()) candidates.insert(v);
-    cand.assign(candidates.begin(), candidates.end());
+    candidates.insert(db.domain().begin(), db.domain().end());
+    for (Value v : ServiceRuleLiterals(*service)) candidates.insert(v);
+    for (Value v : property->formula->Literals()) candidates.insert(v);
+    check.cand_.assign(candidates.begin(), candidates.end());
   }
 
-  // Leaves without closure variables are valuation-independent; label
-  // them once across all valuations.
-  const size_t num_leaves = automaton.leaves.size();
-  std::vector<bool> leaf_static(num_leaves);
-  for (size_t k = 0; k < num_leaves; ++k) {
-    std::set<std::string> free = automaton.leaves[k]->FreeVariables();
-    leaf_static[k] = free.empty();
+  const std::vector<std::string>& vars = property->universal_vars;
+  const uint64_t c = check.cand_.size();
+  check.stride_.assign(vars.size(), 1);
+  if (vars.empty()) {
+    check.num_valuations_ = 1;
+  } else if (c == 0) {
+    check.num_valuations_ = 0;  // vacuously no violating valuation
+  } else {
+    uint64_t n = 1;
+    for (size_t k = 0; k < vars.size(); ++k) {
+      check.stride_[k] = n;
+      if (n > UINT64_MAX / c) {
+        return Status::ResourceExhausted(
+            "closure valuation space overflows a 64-bit index; restrict "
+            "closure_candidates");
+      }
+      n *= c;
+    }
+    check.num_valuations_ = n;
   }
-  std::vector<std::vector<char>> static_truth(graph.edges.size());
-  for (size_t e = 0; e < graph.edges.size(); ++e) {
-    static_truth[e].assign(num_leaves, 0);
-    TraceView view = graph.View(static_cast<int>(e));
-    for (size_t k = 0; k < num_leaves; ++k) {
-      if (!leaf_static[k]) continue;
-      WSV_ASSIGN_OR_RETURN(bool b,
-                           EvalFoAtStep(*automaton.leaves[k], view,
-                                        database, *service_, {}));
-      static_truth[e][k] = b ? 1 : 0;
+
+  // Classify leaves by the closure variables they mention, and evaluate
+  // the valuation-independent ones once per database.
+  const size_t num_leaves = automaton->leaves.size();
+  check.leaf_vars_.resize(num_leaves);
+  check.static_cols_.resize(num_leaves);
+  check.domain_relevant_.resize(num_leaves);
+  for (size_t k = 0; k < num_leaves; ++k) {
+    std::set<std::string> free = automaton->leaves[k]->FreeVariables();
+    for (size_t p = 0; p < vars.size(); ++p) {
+      if (free.count(vars[p]) > 0) check.leaf_vars_[k].push_back(p);
+    }
+    if (check.leaf_vars_[k].empty()) {
+      std::vector<char>& col = check.static_cols_[k];
+      col.assign(check.graph_.edges.size(), 0);
+      for (size_t e = 0; e < check.graph_.edges.size(); ++e) {
+        TraceView view = check.graph_.View(static_cast<int>(e));
+        WSV_ASSIGN_OR_RETURN(bool b,
+                             EvalFoAtStep(*automaton->leaves[k], view, db,
+                                          *service, {}));
+        col[e] = b ? 1 : 0;
+      }
+    }
+    // A candidate value can influence this leaf through the active
+    // domain only if neither the database nor the leaf's own literals
+    // already provide it (every evaluation context contains both).
+    std::set<Value> lits = automaton->leaves[k]->Literals();
+    std::vector<char>& relevant = check.domain_relevant_[k];
+    relevant.assign(check.cand_.size(), 0);
+    for (size_t i = 0; i < check.cand_.size(); ++i) {
+      Value v = check.cand_[i];
+      relevant[i] = (db.domain().count(v) == 0 && lits.count(v) == 0) ? 1 : 0;
     }
   }
+  return check;
+}
 
-  const std::vector<std::string>& vars = property.universal_vars;
-  std::vector<size_t> idx(vars.size(), 0);
-  if (!vars.empty() && cand.empty()) return false;
+StatusOr<std::optional<IndexedCounterExample>>
+LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
+                                  const std::function<bool(uint64_t)>& stop,
+                                  uint64_t* product_states) const {
+  const std::vector<std::string>& vars = property_->universal_vars;
+  const size_t num_leaves = automaton_->leaves.size();
+  const size_t num_edges = graph_.edges.size();
+  const uint64_t c = cand_.size();
+  if (end > num_valuations_) end = num_valuations_;
 
-  while (true) {
+  // Memoized truth columns per dynamic leaf, keyed by the projection of
+  // the valuation onto the leaf's free variables plus the sorted set of
+  // domain-relevant candidate digits (the only other channel a closure
+  // value can reach the leaf through). Local to this call: concurrent
+  // sweeps of one context never share mutable state.
+  std::vector<
+      std::unordered_map<std::vector<int32_t>, std::vector<char>,
+                         DigitsKeyHash>>
+      memo(num_leaves);
+
+  std::vector<int32_t> digits(vars.size(), 0);
+  std::vector<const std::vector<char>*> cols(num_leaves, nullptr);
+
+  for (uint64_t i = begin; i < end; ++i) {
+    // Sweeping ascending means the first faithful counterexample is the
+    // range minimum, so we return the moment we find one; a stop only
+    // ever fires while still empty-handed.
+    if (stop && stop(i)) {
+      return Status::Cancelled("valuation sweep cancelled at index " +
+                               std::to_string(i));
+    }
     Valuation valuation;
-    for (size_t i = 0; i < vars.size(); ++i) {
-      valuation[vars[i]] = cand[idx[i]];
+    for (size_t k = 0; k < vars.size(); ++k) {
+      digits[k] = static_cast<int32_t>((i / stride_[k]) % c);
+      valuation[vars[k]] = cand_[static_cast<size_t>(digits[k])];
+    }
+
+    // Resolve the truth column of every FO leaf under `valuation`.
+    for (size_t k = 0; k < num_leaves; ++k) {
+      if (leaf_vars_[k].empty()) {
+        cols[k] = &static_cols_[k];
+        continue;
+      }
+      std::vector<int32_t> key;
+      key.reserve(leaf_vars_[k].size() + 1 + digits.size());
+      for (size_t p : leaf_vars_[k]) key.push_back(digits[p]);
+      key.push_back(-1);  // separator: bindings | domain extension
+      {
+        std::set<int32_t> extension;
+        for (int32_t d : digits) {
+          if (domain_relevant_[k][static_cast<size_t>(d)]) {
+            extension.insert(d);
+          }
+        }
+        key.insert(key.end(), extension.begin(), extension.end());
+      }
+      auto it = memo[k].find(key);
+      if (it == memo[k].end()) {
+        std::vector<char> col(num_edges, 0);
+        for (size_t e = 0; e < num_edges; ++e) {
+          TraceView view = graph_.View(static_cast<int>(e));
+          WSV_ASSIGN_OR_RETURN(bool b,
+                               EvalFoAtStep(*automaton_->leaves[k], view,
+                                            *database_, *service_,
+                                            valuation));
+          col[e] = b ? 1 : 0;
+        }
+        it = memo[k].emplace(std::move(key), std::move(col)).first;
+      }
+      cols[k] = &it->second;
     }
 
     // Label each edge with the truth of every FO leaf under `valuation`.
-    std::vector<std::vector<char>> edge_truth(graph.edges.size());
-    for (size_t e = 0; e < graph.edges.size(); ++e) {
-      edge_truth[e] = static_truth[e];
-      TraceView view = graph.View(static_cast<int>(e));
+    std::vector<std::vector<char>> edge_truth(num_edges);
+    for (size_t e = 0; e < num_edges; ++e) {
+      edge_truth[e].resize(num_leaves);
       for (size_t k = 0; k < num_leaves; ++k) {
-        if (leaf_static[k]) continue;
-        WSV_ASSIGN_OR_RETURN(bool b,
-                             EvalFoAtStep(*automaton.leaves[k], view,
-                                          database, *service_, valuation));
-        edge_truth[e][k] = b ? 1 : 0;
+        edge_truth[e][k] = (*cols[k])[e];
       }
     }
 
     // Product: vertices are (edge, automaton state) pairs where the state
     // label matches the edge's leaf truth.
-    std::vector<std::vector<int>> matching(graph.edges.size());
-    for (size_t e = 0; e < graph.edges.size(); ++e) {
-      for (size_t q = 0; q < automaton.size(); ++q) {
-        if (automaton.states[q] == edge_truth[e]) {
+    std::vector<std::vector<int>> matching(num_edges);
+    for (size_t e = 0; e < num_edges; ++e) {
+      for (size_t q = 0; q < automaton_->size(); ++q) {
+        if (automaton_->states[q] == edge_truth[e]) {
           matching[e].push_back(static_cast<int>(q));
         }
       }
     }
     std::vector<std::pair<int, int>> verts;  // (edge, q)
-    std::map<std::pair<int, int>, int> vert_index;
+    std::unordered_map<uint64_t, int> vert_index;
     auto vid = [&](int e, int q) {
-      auto key = std::make_pair(e, q);
+      uint64_t key = PackInts(e, q);
       auto it = vert_index.find(key);
       if (it != vert_index.end()) return it->second;
       int id = static_cast<int>(verts.size());
       vert_index.emplace(key, id);
-      verts.push_back(key);
+      verts.emplace_back(e, q);
       return id;
     };
-    for (size_t e = 0; e < graph.edges.size(); ++e) {
+    for (size_t e = 0; e < num_edges; ++e) {
       for (int q : matching[e]) vid(static_cast<int>(e), q);
     }
     std::vector<std::vector<int>> succ(verts.size());
     std::vector<char> initial(verts.size(), 0);
     std::vector<char> accepting(verts.size(), 0);
-    const std::set<int>& acc_set = automaton.accepting_sets.front();
+    const std::set<int>& acc_set = automaton_->accepting_sets.front();
     for (size_t v = 0; v < verts.size(); ++v) {
       auto [e, q] = verts[v];
-      if (graph.edges[e].from == graph.initial && automaton.initial[q]) {
+      if (graph_.edges[e].from == graph_.initial &&
+          automaton_->initial[q]) {
         initial[v] = 1;
       }
       if (acc_set.count(q) > 0) accepting[v] = 1;
-      for (int e2 : graph.out_edges[graph.edges[e].to]) {
+      for (int e2 : graph_.out_edges[graph_.edges[e].to]) {
         for (int q2 : matching[e2]) {
           bool q2_succ = false;
-          for (int s : automaton.succ[q]) {
+          for (int s : automaton_->succ[q]) {
             if (s == q2) {
               q2_succ = true;
               break;
@@ -185,72 +311,73 @@ StatusOr<bool> LtlVerifier::CheckDatabase(const TemporalProperty& property,
         }
       }
     }
-    result->total_product_states += verts.size();
+    if (product_states != nullptr) *product_states += verts.size();
 
-    std::optional<Lasso> lasso =
-        FindAcceptingLasso(succ, initial, accepting);
+    std::optional<Lasso> lasso = FindAcceptingLasso(succ, initial, accepting);
     if (lasso.has_value()) {
       // Reconstruct the run: prefix vertices then cycle[1..], looping back
       // to the prefix's last vertex.
       LassoRun run;
       for (int v : lasso->prefix) {
-        run.steps.push_back(graph.Materialize(verts[v].first));
+        run.steps.push_back(graph_.Materialize(verts[v].first));
       }
       run.loop_start = lasso->prefix.size() - 1;
-      for (size_t i = 1; i < lasso->cycle.size(); ++i) {
-        run.steps.push_back(graph.Materialize(verts[lasso->cycle[i]].first));
+      for (size_t j = 1; j < lasso->cycle.size(); ++j) {
+        run.steps.push_back(graph_.Materialize(verts[lasso->cycle[j]].first));
       }
       // Faithfulness check: the closure valuation must range over
       // Dom(rho); discard spurious witnesses using pool values that never
       // occur in the run or database.
-      std::set<Value> dom = LassoDomain(run, database);
-      std::set<Value> lits = property.formula->Literals();
+      std::set<Value> dom = LassoDomain(run, *database_);
+      std::set<Value> lits = property_->formula->Literals();
       dom.insert(lits.begin(), lits.end());
       bool in_dom = true;
       for (const auto& [var, v] : valuation) {
         if (dom.count(v) == 0) in_dom = false;
       }
       if (in_dom) {
-        result->holds = false;
-        CounterExample cex;
-        cex.database = database;
-        cex.run = std::move(run);
-        cex.valuation = valuation;
-        result->counterexample = std::move(cex);
-        return true;
+        IndexedCounterExample found;
+        found.valuation_index = i;
+        found.cex.database = *database_;
+        found.cex.run = std::move(run);
+        found.cex.valuation = std::move(valuation);
+        return std::optional<IndexedCounterExample>(std::move(found));
       }
     }
+  }
+  return std::optional<IndexedCounterExample>(std::nullopt);
+}
 
-    // Advance the valuation odometer.
-    if (vars.empty()) break;
-    size_t k = 0;
-    while (k < vars.size()) {
-      if (++idx[k] < cand.size()) break;
-      idx[k] = 0;
-      ++k;
-    }
-    if (k == vars.size()) break;
+StatusOr<bool> LtlVerifier::CheckDatabase(const TemporalProperty& property,
+                                          const BuchiAutomaton& automaton,
+                                          const Instance& database,
+                                          LtlVerifyResult* result) {
+  WSV_ASSIGN_OR_RETURN(
+      LtlDatabaseCheck check,
+      LtlDatabaseCheck::Create(service_, options_, &property, &automaton,
+                               database));
+  if (check.truncated()) result->complete_within_bounds = false;
+  result->total_graph_nodes += check.graph_nodes();
+
+  uint64_t product_states = 0;
+  auto found = check.CheckValuations(0, check.NumValuations(), nullptr,
+                                     &product_states);
+  result->total_product_states += product_states;
+  if (!found.ok()) return found.status();
+  if (found->has_value()) {
+    result->holds = false;
+    result->counterexample = std::move((**found).cex);
+    return true;
   }
   return false;
 }
 
 StatusOr<LtlVerifyResult> LtlVerifier::VerifyOnDatabase(
     const TemporalProperty& property, const Instance& database) {
-  if (!property.formula->IsLtl()) {
-    return Status::InvalidArgument(
-        "property contains path quantifiers; use the branching-time "
-        "checkers");
-  }
-  if (options_.require_input_bounded) {
-    WSV_RETURN_IF_ERROR(CheckInputBoundedService(*service_));
-    WSV_RETURN_IF_ERROR(
-        CheckInputBoundedProperty(property, service_->vocab()));
-  }
-  TFormulaPtr negated =
-      ToNegationNormalForm(*TFormula::Not(property.formula));
-  WSV_ASSIGN_OR_RETURN(BuchiAutomaton gba, LtlToBuchi(*negated));
-  BuchiAutomaton automaton = gba.Degeneralize();
-
+  WSV_ASSIGN_OR_RETURN(
+      BuchiAutomaton automaton,
+      BuildNegatedAutomaton(*service_, property,
+                            options_.require_input_bounded));
   LtlVerifyResult result;
   result.databases_checked = 1;
   WSV_RETURN_IF_ERROR(
@@ -260,20 +387,10 @@ StatusOr<LtlVerifyResult> LtlVerifier::VerifyOnDatabase(
 
 StatusOr<LtlVerifyResult> LtlVerifier::Verify(
     const TemporalProperty& property) {
-  if (!property.formula->IsLtl()) {
-    return Status::InvalidArgument(
-        "property contains path quantifiers; use the branching-time "
-        "checkers");
-  }
-  if (options_.require_input_bounded) {
-    WSV_RETURN_IF_ERROR(CheckInputBoundedService(*service_));
-    WSV_RETURN_IF_ERROR(
-        CheckInputBoundedProperty(property, service_->vocab()));
-  }
-  TFormulaPtr negated =
-      ToNegationNormalForm(*TFormula::Not(property.formula));
-  WSV_ASSIGN_OR_RETURN(BuchiAutomaton gba, LtlToBuchi(*negated));
-  BuchiAutomaton automaton = gba.Degeneralize();
+  WSV_ASSIGN_OR_RETURN(
+      BuchiAutomaton automaton,
+      BuildNegatedAutomaton(*service_, property,
+                            options_.require_input_bounded));
 
   DbEnumOptions db_options = options_.db;
   for (Value v : property.formula->Literals()) {

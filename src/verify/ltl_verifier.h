@@ -17,11 +17,22 @@
 // violation exists within the configured bounds (database size, input
 // constant pool), which is complete once the bounds reach the paper's
 // small-model sizes.
+//
+// The per-database work is packaged as LtlDatabaseCheck so the serial
+// verifier (below) and the parallel engine (verify/parallel.h) run the
+// *same* decision procedure: one context per candidate database, built
+// once, then a sweep over a range of closure-valuation indices. Contexts
+// are immutable after Create, so concurrent CheckValuations calls on one
+// context are safe.
 
 #ifndef WSV_VERIFY_LTL_VERIFIER_H_
 #define WSV_VERIFY_LTL_VERIFIER_H_
 
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "automata/buchi.h"
 #include "common/status.h"
@@ -71,6 +82,88 @@ struct LtlVerifyResult {
   bool complete_within_bounds = true;
 };
 
+/// A counterexample tagged with the valuation index it was found at, for
+/// deterministic lowest-index-wins selection across workers.
+struct IndexedCounterExample {
+  uint64_t valuation_index = 0;
+  CounterExample cex;
+};
+
+/// The per-database half of the Theorem 3.5 procedure: the configuration
+/// graph over one candidate database, the closure-valuation candidate
+/// list, and the truth table of valuation-independent FO leaves.
+///
+/// Valuations are addressed by index in [0, NumValuations()): index i
+/// denotes the valuation whose k-th variable takes candidate number
+/// (i / |cand|^k) mod |cand| — exactly the odometer order the serial
+/// sweep has always used, so "lowest index" and "found first serially"
+/// coincide.
+///
+/// Thread-compatibility: immutable after Create; CheckValuations is
+/// const and keeps all scratch state (including the FO-leaf memo) local
+/// to the call, so any number of threads may sweep disjoint index ranges
+/// of one context concurrently.
+class LtlDatabaseCheck {
+ public:
+  /// Builds the context: configuration graph, candidate valuations, and
+  /// static-leaf truth labels. Takes ownership of a copy of `database`
+  /// (the enumerator reuses its instance buffer across visits).
+  /// Honors `options.graph.cancel_check` during the graph build.
+  static StatusOr<LtlDatabaseCheck> Create(const WebService* service,
+                                           const LtlVerifyOptions& options,
+                                           const TemporalProperty* property,
+                                           const BuchiAutomaton* automaton,
+                                           const Instance& database);
+
+  /// Number of closure valuations to sweep. 1 when the property has no
+  /// universal variables; 0 when it has variables but no candidates
+  /// (vacuously no violation).
+  uint64_t NumValuations() const { return num_valuations_; }
+
+  const Instance& database() const { return *database_; }
+  uint64_t graph_nodes() const { return graph_.nodes.size(); }
+  bool truncated() const { return graph_.truncated; }
+
+  /// Sweeps valuation indices [begin, end) in increasing order and
+  /// returns the lowest-index counterexample in the range, or nullopt if
+  /// the range is violation-free. `stop` (optional) is polled with the
+  /// upcoming index before each valuation: once it returns true the
+  /// sweep aborts — with the counterexample found so far if any (later
+  /// indices cannot beat it), else with Status::Cancelled.
+  /// `product_states` (optional) accumulates product automaton sizes.
+  StatusOr<std::optional<IndexedCounterExample>> CheckValuations(
+      uint64_t begin, uint64_t end,
+      const std::function<bool(uint64_t)>& stop,
+      uint64_t* product_states) const;
+
+ private:
+  LtlDatabaseCheck() = default;
+
+  const WebService* service_ = nullptr;
+  const TemporalProperty* property_ = nullptr;
+  const BuchiAutomaton* automaton_ = nullptr;
+  std::unique_ptr<Instance> database_;  // owned; address stable
+  ConfigGraph graph_;
+  /// Candidate values for each closure variable.
+  std::vector<Value> cand_;
+  /// cand_.size()^k for each variable position k (odometer strides).
+  std::vector<uint64_t> stride_;
+  uint64_t num_valuations_ = 0;
+  /// Per leaf: positions (into property_->universal_vars) of the closure
+  /// variables free in the leaf. Empty = valuation-independent leaf.
+  std::vector<std::vector<size_t>> leaf_vars_;
+  /// Per *static* leaf k (leaf_vars_[k].empty()): truth per edge,
+  /// evaluated once at Create. Empty vector for dynamic leaves.
+  std::vector<std::vector<char>> static_cols_;
+  /// Per leaf and candidate index: true iff binding any closure variable
+  /// to that candidate extends the evaluation structure's active domain
+  /// beyond what the database and the leaf's own literals provide — the
+  /// only way one leaf's truth can depend on *another* variable's value.
+  /// Lets the memo key include exactly the domain-relevant values, so
+  /// memoized and direct evaluation agree bit-for-bit.
+  std::vector<std::vector<char>> domain_relevant_;
+};
+
 class LtlVerifier {
  public:
   LtlVerifier(const WebService* service, LtlVerifyOptions options);
@@ -91,6 +184,13 @@ class LtlVerifier {
   const WebService* service_;
   LtlVerifyOptions options_;
 };
+
+/// Validates the property for the linear-time pipeline and builds the
+/// degeneralized Büchi automaton for its negation. Shared by the serial
+/// and parallel front ends.
+StatusOr<BuchiAutomaton> BuildNegatedAutomaton(
+    const WebService& service, const TemporalProperty& property,
+    bool require_input_bounded);
 
 }  // namespace wsv
 

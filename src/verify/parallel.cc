@@ -1,0 +1,272 @@
+#include "verify/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace wsv {
+
+namespace {
+
+// The winning event of a sweep: the lowest-index counterexample or task
+// error seen so far. `best_index` doubles as the cancellation signal the
+// workers poll (UINT64_MAX = no event yet); the full event payload is
+// only touched under `mu`.
+struct EventBoard {
+  std::mutex mu;
+  std::atomic<uint64_t> best_index{UINT64_MAX};
+  bool is_error = false;
+  Status error = Status::OK();
+  std::optional<CounterExample> cex;
+
+  // Installs the event if it beats the current best. Returns true if it
+  // won (callers then cancel work that can no longer win).
+  bool Record(uint64_t index, bool is_err, Status st,
+              std::optional<CounterExample> c) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (index >= best_index.load(std::memory_order_relaxed)) return false;
+    best_index.store(index, std::memory_order_relaxed);
+    is_error = is_err;
+    error = std::move(st);
+    cex = std::move(c);
+    return true;
+  }
+};
+
+}  // namespace
+
+ParallelLtlVerifier::ParallelLtlVerifier(const WebService* service,
+                                         LtlVerifyOptions options, int jobs)
+    : service_(service),
+      options_(std::move(options)),
+      jobs_(ResolveJobCount(jobs)) {}
+
+StatusOr<LtlVerifyResult> ParallelLtlVerifier::Verify(
+    const TemporalProperty& property) {
+  if (jobs_ == 1) {
+    return LtlVerifier(service_, options_).Verify(property);
+  }
+
+  WSV_ASSIGN_OR_RETURN(
+      BuchiAutomaton automaton,
+      BuildNegatedAutomaton(*service_, property,
+                            options_.require_input_bounded));
+
+  DbEnumOptions db_options = options_.db;
+  for (Value v : property.formula->Literals()) {
+    db_options.base_values.push_back(v);
+  }
+
+  EventBoard board;
+  std::mutex stats_mu;
+  uint64_t total_graph_nodes = 0;
+  uint64_t total_product_states = 0;
+  bool complete = true;
+
+  // Backpressure: the enumerator runs far ahead of the workers, so cap
+  // the number of submitted-but-unfinished tasks to keep memory (each
+  // task holds a database copy) bounded.
+  std::condition_variable slot_cv;
+  std::mutex slot_mu;
+  uint64_t outstanding = 0;
+  const uint64_t max_outstanding = static_cast<uint64_t>(jobs_) * 2;
+
+  ThreadPool pool(jobs_);
+
+  auto cancelled_below = [&board](uint64_t d) {
+    return board.best_index.load(std::memory_order_relaxed) < d;
+  };
+  auto record = [&](uint64_t d, bool is_err, Status st,
+                    std::optional<CounterExample> c) {
+    if (board.Record(d, is_err, std::move(st), std::move(c))) {
+      size_t dropped = pool.CancelPending();
+      if (dropped > 0) {
+        std::lock_guard<std::mutex> lock(slot_mu);
+        outstanding -= dropped;
+      }
+      slot_cv.notify_all();
+    }
+  };
+
+  uint64_t db_index = 0;
+  auto enum_result = EnumerateDatabases(
+      *service_, db_options,
+      [&](const Instance& db) -> StatusOr<bool> {
+        const uint64_t d = db_index++;
+        if (cancelled_below(d)) return true;  // stop enumerating
+        {
+          std::unique_lock<std::mutex> lock(slot_mu);
+          slot_cv.wait(lock, [&] {
+            return outstanding < max_outstanding ||
+                   board.best_index.load(std::memory_order_relaxed) !=
+                       UINT64_MAX;
+          });
+          if (cancelled_below(d)) return true;
+          ++outstanding;
+        }
+        // The enumerator reuses its instance buffer, so the task gets a
+        // copy.
+        auto db_copy = std::make_shared<Instance>(db);
+        pool.Submit([&, d, db_copy] {
+          struct SlotGuard {
+            std::mutex& mu;
+            uint64_t& outstanding;
+            std::condition_variable& cv;
+            ~SlotGuard() {
+              {
+                std::lock_guard<std::mutex> lock(mu);
+                --outstanding;
+              }
+              cv.notify_all();
+            }
+          } guard{slot_mu, outstanding, slot_cv};
+          if (cancelled_below(d)) return;
+
+          LtlVerifyOptions opts = options_;
+          opts.graph.cancel_check = [&board, d] {
+            return board.best_index.load(std::memory_order_relaxed) < d;
+          };
+          auto check_or = LtlDatabaseCheck::Create(service_, opts, &property,
+                                                   &automaton, *db_copy);
+          if (!check_or.ok()) {
+            if (check_or.status().code() != StatusCode::kCancelled) {
+              record(d, true, check_or.status(), std::nullopt);
+            }
+            return;
+          }
+          uint64_t product_states = 0;
+          auto found_or = check_or->CheckValuations(
+              0, check_or->NumValuations(),
+              [&board, d](uint64_t) {
+                return board.best_index.load(std::memory_order_relaxed) < d;
+              },
+              &product_states);
+          {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            total_graph_nodes += check_or->graph_nodes();
+            total_product_states += product_states;
+            if (check_or->truncated()) complete = false;
+          }
+          if (!found_or.ok()) {
+            if (found_or.status().code() != StatusCode::kCancelled) {
+              record(d, true, found_or.status(), std::nullopt);
+            }
+            return;
+          }
+          if (found_or->has_value()) {
+            record(d, false, Status::OK(), std::move((**found_or).cex));
+          }
+        });
+        return false;
+      });
+  pool.Wait();
+
+  LtlVerifyResult result;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    result.total_graph_nodes = total_graph_nodes;
+    result.total_product_states = total_product_states;
+    result.complete_within_bounds = complete;
+  }
+  const uint64_t best = board.best_index.load();
+  if (best != UINT64_MAX) {
+    if (board.is_error) return board.error;
+    result.holds = false;
+    result.counterexample = std::move(board.cex);
+    // What the serial sweep would have visited before stopping.
+    result.databases_checked = best + 1;
+    return result;
+  }
+  // No event anywhere: an enumerator failure (e.g. the instance cap) is
+  // the outcome, exactly as in the serial verifier.
+  if (!enum_result.ok()) return enum_result.status();
+  result.databases_checked = db_index;
+  return result;
+}
+
+StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
+    const TemporalProperty& property, const Instance& database) {
+  if (jobs_ == 1) {
+    return LtlVerifier(service_, options_).VerifyOnDatabase(property,
+                                                            database);
+  }
+
+  WSV_ASSIGN_OR_RETURN(
+      BuchiAutomaton automaton,
+      BuildNegatedAutomaton(*service_, property,
+                            options_.require_input_bounded));
+  WSV_ASSIGN_OR_RETURN(
+      LtlDatabaseCheck check,
+      LtlDatabaseCheck::Create(service_, options_, &property, &automaton,
+                               database));
+
+  LtlVerifyResult result;
+  result.databases_checked = 1;
+  result.total_graph_nodes = check.graph_nodes();
+  if (check.truncated()) result.complete_within_bounds = false;
+
+  const uint64_t n = check.NumValuations();
+  if (n == 0) return result;
+
+  // Oversubscribe chunks relative to workers so uneven valuation costs
+  // load-balance. The context is immutable; chunks share it freely.
+  const uint64_t num_chunks =
+      std::min<uint64_t>(n, static_cast<uint64_t>(jobs_) * 4);
+  const uint64_t chunk = (n + num_chunks - 1) / num_chunks;
+
+  EventBoard board;
+  std::mutex stats_mu;
+  uint64_t total_product_states = 0;
+
+  ThreadPool pool(jobs_);
+  for (uint64_t begin = 0; begin < n; begin += chunk) {
+    const uint64_t end = std::min(n, begin + chunk);
+    pool.Submit([&, begin, end] {
+      if (board.best_index.load(std::memory_order_relaxed) <= begin) return;
+      uint64_t product_states = 0;
+      auto found_or = check.CheckValuations(
+          begin, end,
+          [&board](uint64_t i) {
+            return board.best_index.load(std::memory_order_relaxed) <= i;
+          },
+          &product_states);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        total_product_states += product_states;
+      }
+      if (!found_or.ok()) {
+        if (found_or.status().code() != StatusCode::kCancelled) {
+          // Key the error by the chunk's first index (a lower bound on
+          // where it occurred).
+          if (board.Record(begin, true, found_or.status(), std::nullopt)) {
+            pool.CancelPending();
+          }
+        }
+        return;
+      }
+      if (found_or->has_value()) {
+        if (board.Record((**found_or).valuation_index, false, Status::OK(),
+                         std::move((**found_or).cex))) {
+          pool.CancelPending();
+        }
+      }
+    });
+  }
+  pool.Wait();
+
+  result.total_product_states = total_product_states;
+  if (board.best_index.load() != UINT64_MAX) {
+    if (board.is_error) return board.error;
+    result.holds = false;
+    result.counterexample = std::move(board.cex);
+  }
+  return result;
+}
+
+}  // namespace wsv

@@ -13,9 +13,11 @@
 //       conditions i-iii); without a database, enumerate databases up to
 //       the bound.
 //   wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c]
-//                 [--fresh N] [--unchecked]
+//                 [--fresh N] [--unchecked] [--jobs N]
 //       Verify an LTL-FO property (Theorem 3.5); --unchecked skips the
-//       input-boundedness gate.
+//       input-boundedness gate. --jobs N fans the database/valuation
+//       sweep over N worker threads (default: one per hardware thread;
+//       1 = serial). Verdict and witness are identical at any job count.
 //   wsvcli verify-ctl <spec.wsv> <property> <db.wsd> [--pool a,b,c]
 //       Verify a propositional CTL / CTL* property on the service's
 //       Kripke structure over the given database (Theorem 4.4).
@@ -35,6 +37,7 @@
 #include "verify/abstraction.h"
 #include "verify/error_free.h"
 #include "verify/ltl_verifier.h"
+#include "verify/parallel.h"
 #include "ws/classify.h"
 #include "ws/data_parser.h"
 #include "ws/spec_parser.h"
@@ -54,7 +57,7 @@ int Usage() {
       "  wsvcli check-errors <spec.wsv> [db.wsd] [--pool a,b,c] "
       "[--fresh N]\n"
       "  wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c] "
-      "[--fresh N] [--unchecked]\n"
+      "[--fresh N] [--unchecked] [--jobs N]\n"
       "  wsvcli verify-ctl <spec.wsv> <property> <db.wsd> "
       "[--pool a,b,c]\n");
   return 2;
@@ -79,6 +82,8 @@ struct Flags {
   uint64_t seed = 0;
   int fresh = 1;
   bool unchecked = false;
+  /// Worker threads for `verify`; <= 0 = one per hardware thread.
+  int jobs = 0;
   std::vector<Value> pool;
 };
 
@@ -103,6 +108,9 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       flags.fresh = std::atoi(v.c_str());
     } else if (arg == "--unchecked") {
       flags.unchecked = true;
+    } else if (arg == "--jobs") {
+      WSV_ASSIGN_OR_RETURN(std::string v, next());
+      flags.jobs = std::atoi(v.c_str());
     } else if (arg == "--pool") {
       WSV_ASSIGN_OR_RETURN(std::string v, next());
       for (const std::string& piece : Split(v, ',')) {
@@ -219,7 +227,7 @@ int CmdVerify(const Flags& flags) {
   options.graph.constant_pool = flags.pool;
   options.db.fresh_values = flags.fresh;
   options.require_input_bounded = !flags.unchecked;
-  LtlVerifier verifier(&*service, options);
+  ParallelLtlVerifier verifier(&*service, options, flags.jobs);
   StatusOr<LtlVerifyResult> result = Status::OK();
   if (flags.positional.size() >= 3) {
     auto db = LoadDatabase(flags.positional[2], service->vocab());
