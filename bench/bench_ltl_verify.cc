@@ -13,6 +13,7 @@
 
 #include "gallery/gallery.h"
 #include "ltl/ltl_parser.h"
+#include "obs/report.h"
 #include "verify/error_free.h"
 #include "verify/ltl_verifier.h"
 #include "verify/parallel.h"
@@ -21,6 +22,26 @@ namespace wsv {
 namespace {
 
 Value V(const char* s) { return Value::Intern(s); }
+
+// Folds the verifier's own telemetry into the benchmark's user counters,
+// so `make bench_ltl_verify_json` carries the memo hit rate, graph
+// expansion, and product sizes into BENCH_ltl_verify.json alongside the
+// timings. Call obs::ResetMetrics() before the timing loop so the
+// snapshot covers exactly this benchmark's iterations.
+void MergeObsCounters(benchmark::State& state) {
+  obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  auto put = [&](const char* key, const char* counter) {
+    state.counters[key] = benchmark::Counter(
+        static_cast<double>(snap.CounterValue(counter)),
+        benchmark::Counter::kAvgIterations);
+  };
+  put("obs_nodes_expanded", "config_graph/nodes_expanded");
+  put("obs_product_states", "ltl/product_states");
+  put("obs_leaf_memo_hits", "ltl/leaf_memo_hits");
+  put("obs_leaf_memo_misses", "ltl/leaf_memo_misses");
+  double rate = obs::LeafMemoHitRate(snap);
+  if (rate >= 0) state.counters["obs_memo_hit_rate"] = rate;
+}
 
 // --- E2: the paper's properties on the running example. ---------------
 
@@ -33,6 +54,7 @@ void BM_Property1_Ecommerce(benchmark::State& state) {
   LtlVerifier verifier(&service, options);
   auto prop = ParseTemporalProperty("G(!PIP) | F(PIP & F(CC))",
                                     &service.vocab());
+  obs::ResetMetrics();
   for (auto _ : state) {
     auto r = verifier.VerifyOnDatabase(*prop, db);
     if (!r.ok() || r->holds) {
@@ -42,6 +64,7 @@ void BM_Property1_Ecommerce(benchmark::State& state) {
     state.counters["graph_nodes"] =
         static_cast<double>(r->total_graph_nodes);
   }
+  MergeObsCounters(state);
   state.SetLabel("VIOLATED (paper: eventuality not enforced)");
 }
 BENCHMARK(BM_Property1_Ecommerce)->Unit(benchmark::kMillisecond);
@@ -59,6 +82,7 @@ void BM_Property4_PayBeforeShip(benchmark::State& state) {
       "& pick(pid, price) & prod_prices(pid, price)) "
       "B !(conf(name, price) & ship(name, pid)))",
       &service.vocab());
+  obs::ResetMetrics();
   for (auto _ : state) {
     auto r = verifier.VerifyOnDatabase(*prop, db);
     if (!r.ok() || !r->holds) {
@@ -70,6 +94,7 @@ void BM_Property4_PayBeforeShip(benchmark::State& state) {
     state.counters["product_states"] =
         static_cast<double>(r->total_product_states);
   }
+  MergeObsCounters(state);
   state.SetLabel("HOLDS (paper: shipped products are paid for)");
 }
 BENCHMARK(BM_Property4_PayBeforeShip)->Unit(benchmark::kMillisecond);
@@ -98,6 +123,7 @@ void BM_Property4_PayBeforeShip_Jobs(benchmark::State& state) {
       "& pick(pid, price) & prod_prices(pid, price)) "
       "B !(conf(name, price) & ship(name, pid)))",
       &service.vocab());
+  obs::ResetMetrics();
   for (auto _ : state) {
     auto r = verifier.VerifyOnDatabase(*prop, db);
     if (!r.ok() || !r->holds) {
@@ -105,6 +131,7 @@ void BM_Property4_PayBeforeShip_Jobs(benchmark::State& state) {
       return;
     }
   }
+  MergeObsCounters(state);
 }
 BENCHMARK(BM_Property4_PayBeforeShip_Jobs)
     ->ArgName("jobs")->Arg(1)->Arg(4)
@@ -123,6 +150,7 @@ void BM_LoginEnumSweep_Jobs(benchmark::State& state) {
                                static_cast<int>(state.range(0)));
   auto prop = ParseTemporalProperty("G(!error(\"no such page\"))",
                                     &service.vocab());
+  obs::ResetMetrics();
   for (auto _ : state) {
     auto r = verifier.Verify(*prop);
     if (!r.ok() || !r->holds) {
@@ -132,6 +160,7 @@ void BM_LoginEnumSweep_Jobs(benchmark::State& state) {
     state.counters["databases"] =
         static_cast<double>(r->databases_checked);
   }
+  MergeObsCounters(state);
 }
 BENCHMARK(BM_LoginEnumSweep_Jobs)
     ->ArgName("jobs")->Arg(1)->Arg(4)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metrics.h"
+
 namespace wsv {
 
 namespace {
@@ -47,6 +49,8 @@ std::vector<int> BfsPath(const std::vector<std::vector<int>>& succ,
 std::optional<Lasso> FindAcceptingLasso(
     const std::vector<std::vector<int>>& succ,
     const std::vector<char>& initial, const std::vector<char>& accepting) {
+  WSV_TIMER("automata/emptiness_ns");
+  WSV_COUNT1("automata/emptiness_searches");
   const int n = static_cast<int>(succ.size());
 
   // Reachability from initial vertices.
@@ -149,6 +153,7 @@ std::optional<Lasso> FindAcceptingLasso(
     Lasso lasso;
     lasso.prefix = std::move(prefix);
     lasso.cycle = std::move(cycle);
+    WSV_COUNT1("automata/lassos_found");
     return lasso;
   }
   return std::nullopt;

@@ -3,6 +3,8 @@
 #include <map>
 #include <optional>
 
+#include "obs/trace.h"
+
 namespace wsv {
 
 namespace {
@@ -237,8 +239,11 @@ class Tableau {
 }  // namespace
 
 StatusOr<BuchiAutomaton> LtlToBuchi(const TFormula& formula) {
+  WSV_SPAN("automata/ltl_to_buchi");
   Tableau tableau;
-  return tableau.Build(formula);
+  StatusOr<BuchiAutomaton> out = tableau.Build(formula);
+  if (out.ok()) WSV_COUNT("automata/gba_states", out->size());
+  return out;
 }
 
 }  // namespace wsv

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace wsv {
 
 int ResolveJobCount(int jobs) {
@@ -30,9 +32,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  WSV_COUNT1("pool/tasks_submitted");
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), WSV_OBS_NOW()});
   }
   work_cv_.notify_one();
 }
@@ -54,6 +57,7 @@ size_t ThreadPool::CancelPending() {
     dropped = queue_.size();
     queue_.clear();
   }
+  WSV_COUNT("pool/tasks_cancelled", dropped);
   idle_cv_.notify_all();
   return dropped;
 }
@@ -65,7 +69,7 @@ size_t ThreadPool::pending() const {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -74,8 +78,10 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++running_;
     }
+    WSV_COUNT1("pool/tasks_run");
+    WSV_HIST("pool/queue_latency_ns", WSV_OBS_NOW() - task.enqueue_ns);
     try {
-      task();
+      task.fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_exception_) first_exception_ = std::current_exception();

@@ -64,10 +64,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// A queued task plus its enqueue timestamp, so the worker that
+  /// dequeues it can report queue latency ("pool/queue_latency_ns").
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: task or shutdown
   std::condition_variable idle_cv_;   // signals Wait(): pool drained
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   size_t running_ = 0;
   bool shutdown_ = false;
   std::exception_ptr first_exception_;

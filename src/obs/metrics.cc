@@ -1,0 +1,275 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace wsv {
+namespace obs {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t target = static_cast<uint64_t>(p * double(count));
+  if (target == 0) target = 1;
+  if (target > count) target = count;
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (cum >= target) {
+      if (b == 0) return 0;
+      if (b >= 64) return UINT64_MAX;
+      return (uint64_t{1} << b) - 1;  // bucket upper bound
+    }
+  }
+  return 0;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+namespace {
+
+size_t BucketOf(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+// Per-histogram block inside a shard. Written only by the shard's owner
+// thread; read cross-thread at snapshot time (relaxed atomics).
+struct HistBlock {
+  std::atomic<uint64_t> buckets[kHistogramBuckets];
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> sum{0};
+
+  HistBlock() {
+    for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+  }
+};
+
+// One thread's slot arrays. Slots are appended (never moved: deque) by
+// the owner under `mu` when a new metric id first reaches this thread;
+// the fast path indexes below the published size without locking.
+// Aggregators take `mu` to serialize against growth, then read the
+// atomics relaxed — the owner's unlocked writes race only on the atomic
+// slots themselves, which is the point.
+struct Shard {
+  std::mutex mu;
+  std::deque<std::atomic<uint64_t>> counters;
+  std::deque<HistBlock> hists;
+  std::atomic<size_t> counters_size{0};
+  std::atomic<size_t> hists_size{0};
+
+  std::atomic<uint64_t>& CounterSlot(size_t id) {
+    if (id >= counters_size.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mu);
+      while (counters.size() <= id) counters.emplace_back(0);
+      counters_size.store(counters.size(), std::memory_order_release);
+    }
+    return counters[id];
+  }
+
+  HistBlock& HistSlot(size_t id) {
+    if (id >= hists_size.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mu);
+      while (hists.size() <= id) hists.emplace_back();
+      hists_size.store(hists.size(), std::memory_order_release);
+    }
+    return hists[id];
+  }
+};
+
+// Folded totals of one metric id across exited threads.
+struct HistAccum {
+  uint64_t buckets[kHistogramBuckets] = {};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+};
+
+}  // namespace
+
+// The process-wide registry. Never destroyed (leaked on purpose) so
+// thread_local shard destructors can retire into it at any point of
+// process teardown.
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  Counter& GetCounter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] =
+        counter_ids_.try_emplace(std::string(name),
+                                 static_cast<uint32_t>(counter_names_.size()));
+    if (inserted) {
+      counter_names_.push_back(it->first);
+      counter_handles_.push_back(Counter(it->second));
+      retired_counters_.push_back(0);
+    }
+    return counter_handles_[it->second];
+  }
+
+  Histogram& GetHistogram(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] =
+        hist_ids_.try_emplace(std::string(name),
+                              static_cast<uint32_t>(hist_names_.size()));
+    if (inserted) {
+      hist_names_.push_back(it->first);
+      hist_handles_.push_back(Histogram(it->second));
+      retired_hists_.emplace_back();
+    }
+    return hist_handles_[it->second];
+  }
+
+  Shard* LocalShard() {
+    thread_local ShardHandle handle(*this);
+    return handle.shard.get();
+  }
+
+  MetricsSnapshot Snapshot() {
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint64_t> counter_totals(retired_counters_);
+    std::vector<HistAccum> hist_totals(retired_hists_);
+    for (const std::shared_ptr<Shard>& shard : shards_) {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      const size_t nc =
+          std::min(shard->counters.size(), counter_totals.size());
+      for (size_t i = 0; i < nc; ++i) {
+        counter_totals[i] +=
+            shard->counters[i].load(std::memory_order_relaxed);
+      }
+      const size_t nh = std::min(shard->hists.size(), hist_totals.size());
+      for (size_t i = 0; i < nh; ++i) {
+        FoldHist(shard->hists[i], &hist_totals[i]);
+      }
+    }
+    for (size_t i = 0; i < counter_totals.size(); ++i) {
+      snap.counters[counter_names_[i]] = counter_totals[i];
+    }
+    for (size_t i = 0; i < hist_totals.size(); ++i) {
+      HistogramSnapshot h;
+      h.count = hist_totals[i].count;
+      h.sum = hist_totals[i].sum;
+      h.buckets.assign(hist_totals[i].buckets,
+                       hist_totals[i].buckets + kHistogramBuckets);
+      snap.histograms[hist_names_[i]] = std::move(h);
+    }
+    return snap;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t& c : retired_counters_) c = 0;
+    for (HistAccum& h : retired_hists_) h = HistAccum();
+    for (const std::shared_ptr<Shard>& shard : shards_) {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+      for (HistBlock& h : shard->hists) {
+        for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+        h.count.store(0, std::memory_order_relaxed);
+        h.sum.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct ShardHandle {
+    explicit ShardHandle(Registry& registry)
+        : registry(registry), shard(std::make_shared<Shard>()) {
+      std::lock_guard<std::mutex> lock(registry.mu_);
+      registry.shards_.push_back(shard);
+    }
+    // Thread exit: fold this shard into the retired totals so counts
+    // survive pool teardown, and stop tracking it.
+    ~ShardHandle() { registry.Retire(shard); }
+    Registry& registry;
+    std::shared_ptr<Shard> shard;
+  };
+
+  static void FoldHist(const HistBlock& block, HistAccum* out) {
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      out->buckets[b] += block.buckets[b].load(std::memory_order_relaxed);
+    }
+    out->count += block.count.load(std::memory_order_relaxed);
+    out->sum += block.sum.load(std::memory_order_relaxed);
+  }
+
+  void Retire(const std::shared_ptr<Shard>& shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    const size_t nc = std::min(shard->counters.size(),
+                               retired_counters_.size());
+    for (size_t i = 0; i < nc; ++i) {
+      retired_counters_[i] +=
+          shard->counters[i].load(std::memory_order_relaxed);
+    }
+    const size_t nh = std::min(shard->hists.size(), retired_hists_.size());
+    for (size_t i = 0; i < nh; ++i) {
+      FoldHist(shard->hists[i], &retired_hists_[i]);
+    }
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i] == shard) {
+        shards_.erase(shards_.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::unordered_map<std::string, uint32_t> counter_ids_;
+  std::vector<std::string> counter_names_;
+  std::deque<Counter> counter_handles_;  // stable addresses
+  std::vector<uint64_t> retired_counters_;
+  std::unordered_map<std::string, uint32_t> hist_ids_;
+  std::vector<std::string> hist_names_;
+  std::deque<Histogram> hist_handles_;
+  std::vector<HistAccum> retired_hists_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+};
+
+void Counter::Add(uint64_t n) {
+  Registry::Get()
+      .LocalShard()
+      ->CounterSlot(id_)
+      .fetch_add(n, std::memory_order_relaxed);
+}
+
+void Histogram::Record(uint64_t value) {
+  HistBlock& block = Registry::Get().LocalShard()->HistSlot(id_);
+  block.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  block.count.fetch_add(1, std::memory_order_relaxed);
+  block.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+Counter& GetCounter(std::string_view name) {
+  return Registry::Get().GetCounter(name);
+}
+
+Histogram& GetHistogram(std::string_view name) {
+  return Registry::Get().GetHistogram(name);
+}
+
+MetricsSnapshot SnapshotMetrics() { return Registry::Get().Snapshot(); }
+
+void ResetMetrics() { Registry::Get().Reset(); }
+
+}  // namespace obs
+}  // namespace wsv

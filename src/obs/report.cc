@@ -1,0 +1,174 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <string>
+
+namespace wsv {
+namespace obs {
+
+namespace {
+
+std::string FormatRate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", rate * 100.0);
+  return buf;
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatDurationNs(uint64_t ns) {
+  char buf[32];
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", double(ns) / 1e3);
+  } else if (ns < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", double(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", double(ns) / 1e9);
+  }
+  return buf;
+}
+
+double LeafMemoHitRate(const MetricsSnapshot& snap) {
+  const uint64_t hits = snap.CounterValue("ltl/leaf_memo_hits");
+  const uint64_t misses = snap.CounterValue("ltl/leaf_memo_misses");
+  if (hits + misses == 0) return -1.0;
+  return double(hits) / double(hits + misses);
+}
+
+std::string FormatStatsTable(const MetricsSnapshot& snap) {
+  std::string out;
+  char line[256];
+  out += "== verification telemetry ==\n";
+  if (snap.counters.empty() && snap.histograms.empty()) {
+    out += "(no telemetry recorded)\n";
+    return out;
+  }
+
+  bool header = false;
+  for (const auto& [name, h] : snap.histograms) {
+    constexpr const char* kSpanPrefix = "span/";
+    if (name.rfind(kSpanPrefix, 0) != 0) continue;
+    if (!header) {
+      std::snprintf(line, sizeof(line), "%-34s %10s %10s %10s %10s\n",
+                    "phase", "count", "total", "mean", "p90");
+      out += line;
+      header = true;
+    }
+    std::snprintf(line, sizeof(line), "%-34s %10llu %10s %10s %10s\n",
+                  name.c_str() + 5,
+                  static_cast<unsigned long long>(h.count),
+                  FormatDurationNs(h.sum).c_str(),
+                  FormatDurationNs(static_cast<uint64_t>(h.Mean())).c_str(),
+                  FormatDurationNs(h.Percentile(0.90)).c_str());
+    out += line;
+  }
+
+  header = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind("span/", 0) == 0) continue;
+    if (!header) {
+      std::snprintf(line, sizeof(line), "%-34s %10s %10s %10s %10s\n",
+                    "histogram", "count", "total", "mean", "p90");
+      out += line;
+      header = true;
+    }
+    std::snprintf(line, sizeof(line), "%-34s %10llu %10s %10s %10s\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  FormatDurationNs(h.sum).c_str(),
+                  FormatDurationNs(static_cast<uint64_t>(h.Mean())).c_str(),
+                  FormatDurationNs(h.Percentile(0.90)).c_str());
+    out += line;
+  }
+
+  if (!snap.counters.empty()) {
+    std::snprintf(line, sizeof(line), "%-34s %10s\n", "counter", "value");
+    out += line;
+    for (const auto& [name, value] : snap.counters) {
+      std::snprintf(line, sizeof(line), "%-34s %10llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
+  }
+
+  const double memo_rate = LeafMemoHitRate(snap);
+  if (memo_rate >= 0.0) {
+    std::snprintf(
+        line, sizeof(line),
+        "fo-leaf memo hit rate: %s (%llu hits / %llu lookups)\n",
+        FormatRate(memo_rate).c_str(),
+        static_cast<unsigned long long>(
+            snap.CounterValue("ltl/leaf_memo_hits")),
+        static_cast<unsigned long long>(
+            snap.CounterValue("ltl/leaf_memo_hits") +
+            snap.CounterValue("ltl/leaf_memo_misses")));
+    out += line;
+  }
+  return out;
+}
+
+std::string StatsToJson(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(name, &out);
+    out += "\": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  char buf[64];
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(name, &out);
+    out += "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum_ns\": " + std::to_string(h.sum);
+    std::snprintf(buf, sizeof(buf), ", \"mean_ns\": %.1f", h.Mean());
+    out += buf;
+    out += ", \"p50_ns\": " + std::to_string(h.Percentile(0.50)) +
+           ", \"p90_ns\": " + std::to_string(h.Percentile(0.90)) +
+           ", \"p99_ns\": " + std::to_string(h.Percentile(0.99)) + "}";
+  }
+  out += "\n  },\n  \"derived\": {";
+  const double memo_rate = LeafMemoHitRate(snap);
+  if (memo_rate >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "\n    \"fo_leaf_memo_hit_rate\": %.4f",
+                  memo_rate);
+    out += buf;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace wsv

@@ -1,0 +1,34 @@
+// Rendering of metric snapshots: the human-readable phase/counter table
+// behind `wsvcli verify --stats` and the machine-readable JSON behind
+// `--stats-json` (also merged into the bench reports).
+
+#ifndef WSV_OBS_REPORT_H_
+#define WSV_OBS_REPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace wsv {
+namespace obs {
+
+/// Human-readable duration, e.g. "412ns", "3.1us", "24.7ms", "1.30s".
+std::string FormatDurationNs(uint64_t ns);
+
+/// The phase table: one row per span histogram (count/total/mean/p90),
+/// then every other histogram, then all counters, then derived rates
+/// (FO-leaf memo hit rate). Multi-line, trailing newline.
+std::string FormatStatsTable(const MetricsSnapshot& snap);
+
+/// {"counters":{...},"histograms":{name:{count,sum_ns,mean_ns,p50_ns,
+/// p90_ns,p99_ns}},"derived":{...}} with a trailing newline.
+std::string StatsToJson(const MetricsSnapshot& snap);
+
+/// hits / (hits + misses) of the FO-leaf truth memo, or -1 when there
+/// were no lookups.
+double LeafMemoHitRate(const MetricsSnapshot& snap);
+
+}  // namespace obs
+}  // namespace wsv
+
+#endif  // WSV_OBS_REPORT_H_

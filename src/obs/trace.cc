@@ -1,0 +1,179 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace wsv {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+// Tracks live per-thread buffers and the folded events of exited
+// threads. Leaked on purpose, like the metrics registry, so thread_local
+// destructors can retire into it during process teardown.
+class TraceRegistry {
+ public:
+  static TraceRegistry& Get() {
+    static TraceRegistry* r = new TraceRegistry;
+    return *r;
+  }
+
+  TraceBuffer* LocalBuffer() {
+    thread_local BufferHandle handle(*this);
+    return handle.buffer.get();
+  }
+
+  uint32_t LocalTid() {
+    thread_local uint32_t tid = next_tid_.fetch_add(1) + 1;
+    return tid;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.clear();
+    for (const std::shared_ptr<TraceBuffer>& b : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(b->mu);
+      b->events.clear();
+    }
+  }
+
+  std::vector<TraceEvent> Collect() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TraceEvent> out = retired_;
+    for (const std::shared_ptr<TraceBuffer>& b : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(b->mu);
+      out.insert(out.end(), b->events.begin(), b->events.end());
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.start_ns < b.start_ns;
+                     });
+    return out;
+  }
+
+ private:
+  struct BufferHandle {
+    explicit BufferHandle(TraceRegistry& registry)
+        : registry(registry), buffer(std::make_shared<TraceBuffer>()) {
+      std::lock_guard<std::mutex> lock(registry.mu_);
+      registry.buffers_.push_back(buffer);
+    }
+    ~BufferHandle() { registry.Retire(buffer); }
+    TraceRegistry& registry;
+    std::shared_ptr<TraceBuffer> buffer;
+  };
+
+  void Retire(const std::shared_ptr<TraceBuffer>& buffer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    retired_.insert(retired_.end(), buffer->events.begin(),
+                    buffer->events.end());
+    for (size_t i = 0; i < buffers_.size(); ++i) {
+      if (buffers_[i] == buffer) {
+        buffers_.erase(buffers_.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers_;
+  std::vector<TraceEvent> retired_;
+  std::atomic<uint32_t> next_tid_{0};
+};
+
+void AppendJsonEscaped(const std::string& s, std::ostream& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void StartTracing() {
+  TraceRegistry::Get().Clear();
+  g_tracing_enabled.store(true, std::memory_order_release);
+}
+
+void StopTracing() {
+  g_tracing_enabled.store(false, std::memory_order_release);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_acquire);
+}
+
+void RecordTraceEvent(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  TraceRegistry& registry = TraceRegistry::Get();
+  TraceEvent event;
+  event.name = name;
+  event.tid = registry.LocalTid();
+  event.start_ns = start_ns;
+  event.end_ns = end_ns;
+  TraceBuffer* buffer = registry.LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  return TraceRegistry::Get().Collect();
+}
+
+void WriteChromeTrace(std::ostream& out) {
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  uint64_t epoch = UINT64_MAX;
+  for (const TraceEvent& e : events) epoch = std::min(epoch, e.start_ns);
+  if (epoch == UINT64_MAX) epoch = 0;
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"wsv-verifier\"}}";
+  char buf[64];
+  for (const TraceEvent& e : events) {
+    out << ",\n{\"name\":\"";
+    AppendJsonEscaped(e.name, out);
+    out << "\",\"cat\":\"wsv\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid;
+    // Microsecond timestamps relative to the first span, 3 decimals.
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  double(e.start_ns - epoch) / 1000.0);
+    out << ",\"ts\":" << buf;
+    const uint64_t dur = e.end_ns >= e.start_ns ? e.end_ns - e.start_ns : 0;
+    std::snprintf(buf, sizeof(buf), "%.3f", double(dur) / 1000.0);
+    out << ",\"dur\":" << buf << "}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace obs
+}  // namespace wsv

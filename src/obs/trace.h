@@ -1,0 +1,100 @@
+// Scoped spans and Chrome trace-event export.
+//
+// WSV_SPAN("phase") times the enclosing scope. Every span feeds the
+// duration histogram "span/<phase>" in the metrics registry (that is
+// what the `--stats` phase table lists); when tracing is enabled
+// (StartTracing, driven by `wsvcli verify --trace-out`), the span
+// additionally records a begin/end timestamped event tagged with its
+// thread, and WriteChromeTrace serializes the collected events as
+// trace-event JSON loadable by chrome://tracing and Perfetto
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+//
+// Buffering mirrors the metrics shards: each thread appends to its own
+// buffer under a per-thread mutex (uncontended on the hot path), and
+// buffers of exited threads are folded into a retired list so a pool's
+// spans survive its teardown. Compiled out entirely by WSV_OBS_DISABLED.
+
+#ifndef WSV_OBS_TRACE_H_
+#define WSV_OBS_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wsv {
+namespace obs {
+
+/// One completed span. Timestamps are MonotonicNowNs() values; `tid` is
+/// a small dense id assigned per thread on first span.
+struct TraceEvent {
+  std::string name;
+  uint32_t tid = 0;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+};
+
+/// Clears previously collected events and starts recording spans.
+void StartTracing();
+/// Stops recording (collected events remain available).
+void StopTracing();
+bool TracingEnabled();
+
+/// Records a completed span directly (ScopedSpan's backend; exposed for
+/// tests and for phases measured by hand).
+void RecordTraceEvent(const char* name, uint64_t start_ns, uint64_t end_ns);
+
+/// All events recorded since StartTracing, across all threads, sorted by
+/// start time.
+std::vector<TraceEvent> CollectTraceEvents();
+
+/// Writes the collected events in Chrome trace-event JSON ("X" complete
+/// events, microsecond timestamps relative to the earliest span).
+void WriteChromeTrace(std::ostream& out);
+
+/// RAII span: always records into `hist` (may be null), and into the
+/// trace buffer when tracing is enabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, Histogram* hist)
+      : name_(name), hist_(hist), start_(MonotonicNowNs()) {}
+  ~ScopedSpan() {
+    const uint64_t end = MonotonicNowNs();
+    if (hist_ != nullptr) hist_->Record(end - start_);
+    if (TracingEnabled()) RecordTraceEvent(name_, start_, end);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  uint64_t start_;
+};
+
+}  // namespace obs
+}  // namespace wsv
+
+#if defined(WSV_OBS_DISABLED)
+
+#define WSV_SPAN(name) \
+  do {                 \
+  } while (0)
+
+#else  // !WSV_OBS_DISABLED
+
+/// Times the enclosing scope as the phase `name` (a string literal):
+/// histogram "span/<name>" plus a trace event when tracing is on.
+#define WSV_SPAN(name)                                                      \
+  static ::wsv::obs::Histogram& WSV_OBS_CONCAT(wsv_obs_span_hist_,          \
+                                               __LINE__) =                  \
+      ::wsv::obs::GetHistogram("span/" name);                               \
+  ::wsv::obs::ScopedSpan WSV_OBS_CONCAT(wsv_obs_span_, __LINE__)(           \
+      name, &WSV_OBS_CONCAT(wsv_obs_span_hist_, __LINE__))
+
+#endif  // WSV_OBS_DISABLED
+
+#endif  // WSV_OBS_TRACE_H_

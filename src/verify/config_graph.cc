@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "obs/trace.h"
 #include "verify/db_enum.h"
 
 namespace wsv {
@@ -39,6 +40,10 @@ TraceStep ConfigGraph::Materialize(int e) const {
 }
 
 std::string ConfigGraph::Stats() const {
+  // Thin formatting shim over the per-graph fields. The aggregate
+  // numbers live in the metrics registry ("config_graph/*" counters,
+  // recorded by BuildConfigGraph); prefer those for anything beyond a
+  // one-off log line.
   return std::to_string(nodes.size()) + " nodes, " +
          std::to_string(edges.size()) + " edges" +
          (truncated ? " (truncated)" : "");
@@ -147,6 +152,7 @@ class ChoiceEnumerator {
 
 StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
                                        const ConfigGraphOptions& options) {
+  WSV_SPAN("config_graph/build");
   ConfigGraph graph;
   std::vector<Value> pool = options.constant_pool;
   if (pool.empty()) {
@@ -160,7 +166,11 @@ StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
   std::deque<int> worklist;
   auto intern_node = [&](const Config& c) -> int {
     auto it = node_index.find(c);
-    if (it != node_index.end()) return it->second;
+    if (it != node_index.end()) {
+      WSV_COUNT1("config_graph/node_dedup_hits");
+      return it->second;
+    }
+    WSV_COUNT1("config_graph/nodes");
     int id = static_cast<int>(graph.nodes.size());
     node_index.emplace(c, id);
     graph.nodes.push_back(c);
@@ -174,6 +184,7 @@ StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
 
   while (!worklist.empty()) {
     if (options.cancel_check && options.cancel_check()) {
+      WSV_COUNT1("config_graph/builds_cancelled");
       return Status::Cancelled("configuration graph build cancelled");
     }
     if (graph.nodes.size() > options.max_nodes ||
@@ -183,6 +194,7 @@ StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
     }
     int v = worklist.front();
     worklist.pop_front();
+    WSV_COUNT1("config_graph/nodes_expanded");
     // Copy: intern_node may reallocate graph.nodes during enumeration.
     Config current = graph.nodes[v];
     // Deduplicate parallel edges that lead to the same successor with the
@@ -204,7 +216,11 @@ StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
           }
           int to = intern_node(outcome.next);
           std::string sig = outcome.trace.inputs.ToString();
-          if (!seen.insert({to, sig}).second) return Status::OK();
+          if (!seen.insert({to, sig}).second) {
+            WSV_COUNT1("config_graph/edge_dedup_hits");
+            return Status::OK();
+          }
+          WSV_COUNT1("config_graph/edges");
           ConfigGraph::Edge edge;
           edge.from = v;
           edge.to = to;
@@ -217,6 +233,7 @@ StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
         });
     WSV_RETURN_IF_ERROR(st);
   }
+  if (graph.truncated) WSV_COUNT1("config_graph/builds_truncated");
   return graph;
 }
 

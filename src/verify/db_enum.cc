@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "obs/metrics.h"
+
 namespace wsv {
 
 std::vector<Value> ServiceRuleLiterals(const WebService& service) {
@@ -112,10 +114,12 @@ class DbEnumerator {
   StatusOr<bool> FillConstant(size_t const_idx, Instance& current) {
     if (const_idx == db_constants_.size()) {
       if (++visited_ > options_.max_instances) {
+        WSV_COUNT1("db_enum/cap_exhausted");
         return Status::ResourceExhausted(
             "database enumeration exceeded max_instances = " +
             std::to_string(options_.max_instances));
       }
+      WSV_COUNT1("db_enum/instances_enumerated");
       return visit_(current);
     }
     for (Value v : domain_) {

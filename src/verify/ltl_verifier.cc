@@ -8,6 +8,7 @@
 #include "automata/ltl_to_buchi.h"
 #include "common/hash.h"
 #include "fo/input_bounded.h"
+#include "obs/trace.h"
 #include "ws/classify.h"
 
 namespace wsv {
@@ -65,16 +66,22 @@ StatusOr<BuchiAutomaton> BuildNegatedAutomaton(
     WSV_RETURN_IF_ERROR(CheckInputBoundedService(service));
     WSV_RETURN_IF_ERROR(CheckInputBoundedProperty(property, service.vocab()));
   }
+  WSV_SPAN("automata/build_negated");
   TFormulaPtr negated =
       ToNegationNormalForm(*TFormula::Not(property.formula));
   WSV_ASSIGN_OR_RETURN(BuchiAutomaton gba, LtlToBuchi(*negated));
-  return gba.Degeneralize();
+  BuchiAutomaton automaton = gba.Degeneralize();
+  WSV_COUNT("automata/buchi_states", automaton.size());
+  WSV_COUNT("automata/fo_leaves", automaton.leaves.size());
+  return automaton;
 }
 
 StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
     const WebService* service, const LtlVerifyOptions& options,
     const TemporalProperty* property, const BuchiAutomaton* automaton,
     const Instance& database) {
+  WSV_SPAN("verify/db_check_create");
+  WSV_COUNT1("verify/databases");
   LtlDatabaseCheck check;
   check.service_ = service;
   check.property_ = property;
@@ -158,6 +165,7 @@ StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
       if (free.count(vars[p]) > 0) check.leaf_vars_[k].push_back(p);
     }
     if (check.leaf_vars_[k].empty()) {
+      [[maybe_unused]] const uint64_t eval_start = WSV_OBS_NOW();
       std::vector<char>& col = check.static_cols_[k];
       col.assign(check.graph_.edges.size(), 0);
       for (size_t e = 0; e < check.graph_.edges.size(); ++e) {
@@ -167,6 +175,9 @@ StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
                                           *service, {}));
         col[e] = b ? 1 : 0;
       }
+      WSV_COUNT("ltl/fo_leaf_evals", check.graph_.edges.size());
+      WSV_COUNT1("ltl/static_leaf_cols");
+      WSV_HIST("ltl/leaf_col_eval_ns", WSV_OBS_NOW() - eval_start);
     }
     // A candidate value can influence this leaf through the active
     // domain only if neither the database nor the leaf's own literals
@@ -186,6 +197,7 @@ StatusOr<std::optional<IndexedCounterExample>>
 LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
                                   const std::function<bool(uint64_t)>& stop,
                                   uint64_t* product_states) const {
+  WSV_SPAN("verify/check_valuations");
   const std::vector<std::string>& vars = property_->universal_vars;
   const size_t num_leaves = automaton_->leaves.size();
   const size_t num_edges = graph_.edges.size();
@@ -210,9 +222,11 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
     // range minimum, so we return the moment we find one; a stop only
     // ever fires while still empty-handed.
     if (stop && stop(i)) {
+      WSV_COUNT1("ltl/valuation_sweeps_cancelled");
       return Status::Cancelled("valuation sweep cancelled at index " +
                                std::to_string(i));
     }
+    WSV_COUNT1("ltl/valuations_checked");
     Valuation valuation;
     for (size_t k = 0; k < vars.size(); ++k) {
       digits[k] = static_cast<int32_t>((i / stride_[k]) % c);
@@ -240,6 +254,8 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
       }
       auto it = memo[k].find(key);
       if (it == memo[k].end()) {
+        WSV_COUNT1("ltl/leaf_memo_misses");
+        [[maybe_unused]] const uint64_t eval_start = WSV_OBS_NOW();
         std::vector<char> col(num_edges, 0);
         for (size_t e = 0; e < num_edges; ++e) {
           TraceView view = graph_.View(static_cast<int>(e));
@@ -249,7 +265,12 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
                                             valuation));
           col[e] = b ? 1 : 0;
         }
+        WSV_COUNT("ltl/fo_leaf_evals", num_edges);
+        WSV_HIST("ltl/leaf_col_eval_ns", WSV_OBS_NOW() - eval_start);
         it = memo[k].emplace(std::move(key), std::move(col)).first;
+        WSV_COUNT1("ltl/leaf_memo_entries");
+      } else {
+        WSV_COUNT1("ltl/leaf_memo_hits");
       }
       cols[k] = &it->second;
     }
@@ -312,6 +333,8 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
       }
     }
     if (product_states != nullptr) *product_states += verts.size();
+    WSV_COUNT1("ltl/products_built");
+    WSV_COUNT("ltl/product_states", verts.size());
 
     std::optional<Lasso> lasso = FindAcceptingLasso(succ, initial, accepting);
     if (lasso.has_value()) {
@@ -335,7 +358,10 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
       for (const auto& [var, v] : valuation) {
         if (dom.count(v) == 0) in_dom = false;
       }
-      if (in_dom) {
+      if (!in_dom) {
+        WSV_COUNT1("ltl/spurious_witnesses");
+      } else {
+        WSV_COUNT1("ltl/counterexamples_found");
         IndexedCounterExample found;
         found.valuation_index = i;
         found.cex.database = *database_;

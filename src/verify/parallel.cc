@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace wsv {
 
@@ -24,6 +25,9 @@ struct EventBoard {
   bool is_error = false;
   Status error = Status::OK();
   std::optional<CounterExample> cex;
+  // When the first event landed (for time-to-first-counterexample and
+  // cancellation-drain telemetry). 0 = no event yet.
+  uint64_t first_event_ns = 0;
 
   // Installs the event if it beats the current best. Returns true if it
   // won (callers then cancel work that can no longer win).
@@ -31,6 +35,7 @@ struct EventBoard {
               std::optional<CounterExample> c) {
     std::lock_guard<std::mutex> lock(mu);
     if (index >= best_index.load(std::memory_order_relaxed)) return false;
+    if (first_event_ns == 0) first_event_ns = WSV_OBS_NOW();
     best_index.store(index, std::memory_order_relaxed);
     is_error = is_err;
     error = std::move(st);
@@ -52,6 +57,8 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::Verify(
   if (jobs_ == 1) {
     return LtlVerifier(service_, options_).Verify(property);
   }
+  WSV_SPAN("verify/parallel_sweep");
+  [[maybe_unused]] const uint64_t sweep_start = WSV_OBS_NOW();
 
   WSV_ASSIGN_OR_RETURN(
       BuchiAutomaton automaton,
@@ -85,6 +92,7 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::Verify(
   auto record = [&](uint64_t d, bool is_err, Status st,
                     std::optional<CounterExample> c) {
     if (board.Record(d, is_err, std::move(st), std::move(c))) {
+      WSV_COUNT1("verify/cancellations_signalled");
       size_t dropped = pool.CancelPending();
       if (dropped > 0) {
         std::lock_guard<std::mutex> lock(slot_mu);
@@ -99,7 +107,10 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::Verify(
       *service_, db_options,
       [&](const Instance& db) -> StatusOr<bool> {
         const uint64_t d = db_index++;
-        if (cancelled_below(d)) return true;  // stop enumerating
+        if (cancelled_below(d)) {
+          WSV_COUNT1("verify/dbs_pruned_by_cancel");
+          return true;  // stop enumerating
+        }
         {
           std::unique_lock<std::mutex> lock(slot_mu);
           slot_cv.wait(lock, [&] {
@@ -166,6 +177,15 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::Verify(
         return false;
       });
   pool.Wait();
+  if (board.first_event_ns != 0) {
+    if (!board.is_error) {
+      WSV_HIST("verify/time_to_first_cex_ns",
+               board.first_event_ns - sweep_start);
+    }
+    // How long in-flight work took to drain after the winner was known —
+    // the latency the three-layer cancellation is supposed to keep small.
+    WSV_HIST("verify/cancel_drain_ns", WSV_OBS_NOW() - board.first_event_ns);
+  }
 
   LtlVerifyResult result;
   {
@@ -196,6 +216,8 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
     return LtlVerifier(service_, options_).VerifyOnDatabase(property,
                                                             database);
   }
+  WSV_SPAN("verify/parallel_db_sweep");
+  [[maybe_unused]] const uint64_t sweep_start = WSV_OBS_NOW();
 
   WSV_ASSIGN_OR_RETURN(
       BuchiAutomaton automaton,
@@ -226,6 +248,7 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
 
   ThreadPool pool(jobs_);
   for (uint64_t begin = 0; begin < n; begin += chunk) {
+    WSV_COUNT1("verify/valuation_chunks");
     const uint64_t end = std::min(n, begin + chunk);
     pool.Submit([&, begin, end] {
       if (board.best_index.load(std::memory_order_relaxed) <= begin) return;
@@ -259,6 +282,13 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
     });
   }
   pool.Wait();
+  if (board.first_event_ns != 0) {
+    if (!board.is_error) {
+      WSV_HIST("verify/time_to_first_cex_ns",
+               board.first_event_ns - sweep_start);
+    }
+    WSV_HIST("verify/cancel_drain_ns", WSV_OBS_NOW() - board.first_event_ns);
+  }
 
   result.total_product_states = total_product_states;
   if (board.best_index.load() != UINT64_MAX) {

@@ -1,0 +1,53 @@
+// Compiled with -DWSV_OBS_DISABLED (see tests/CMakeLists.txt): every
+// instrumentation macro in THIS translation unit must be a no-op, while
+// the registry API itself stays linkable (the wsv library is built with
+// observability on — only the macro call sites compile away).
+
+#ifndef WSV_OBS_DISABLED
+#error "this test must be compiled with WSV_OBS_DISABLED"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wsv {
+namespace {
+
+TEST(ObsDisabled, MacrosCompileToNothing) {
+  // Each macro must be usable as a plain statement, including inside an
+  // unbraced if — i.e. expand to a single well-formed statement.
+  if (true) WSV_COUNT("obs_disabled_test/count", 3);
+  if (true) WSV_COUNT1("obs_disabled_test/count1");
+  if (true) WSV_HIST("obs_disabled_test/hist", 42);
+  {
+    WSV_TIMER("obs_disabled_test/timer");
+    WSV_SPAN("obs_disabled_test/span");
+  }
+  obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  // None of the names above were registered: the macros never touched
+  // the registry.
+  EXPECT_EQ(snap.counters.count("obs_disabled_test/count"), 0u);
+  EXPECT_EQ(snap.counters.count("obs_disabled_test/count1"), 0u);
+  EXPECT_EQ(snap.histograms.count("obs_disabled_test/hist"), 0u);
+  EXPECT_EQ(snap.histograms.count("obs_disabled_test/timer"), 0u);
+  EXPECT_EQ(snap.histograms.count("span/obs_disabled_test/span"), 0u);
+  EXPECT_EQ(snap.CounterValue("obs_disabled_test/count"), 0u);
+}
+
+TEST(ObsDisabled, NowIsConstantZero) {
+  EXPECT_EQ(WSV_OBS_NOW(), 0u);
+}
+
+TEST(ObsDisabled, RegistryApiStillLinks) {
+  // Direct API use (as opposed to the macros) still works — the kill
+  // switch compiles out instrumentation, not the subsystem.
+  obs::GetCounter("obs_disabled_test/direct").Add(7);
+  EXPECT_EQ(obs::SnapshotMetrics().CounterValue("obs_disabled_test/direct"),
+            7u);
+  obs::ResetMetrics();
+}
+
+}  // namespace
+}  // namespace wsv

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file written by `wsvcli verify
+--trace-out` (or obs::WriteChromeTrace generally).
+
+Checks that the file parses as JSON, follows the trace-event schema
+(https://chromium.googlesource.com/catapult -> tracing docs) closely
+enough for chrome://tracing and Perfetto to load it, and optionally that
+specific spans are present:
+
+    check_trace.py trace.json [--require-span NAME ...]
+
+Exit status 0 = valid, 1 = invalid, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace-event JSON file to validate")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a complete ('X') event with this name exists",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_trace: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        return fail(f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail("top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("missing 'traceEvents' array")
+
+    complete = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"event {i} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                return fail(f"event {i} missing required field '{key}'")
+        ph = ev["ph"]
+        if ph == "M":
+            continue  # metadata events carry no timestamps
+        if "ts" not in ev:
+            return fail(f"event {i} ({ev['name']!r}) missing 'ts'")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            return fail(f"event {i} ({ev['name']!r}) has bad ts {ev['ts']!r}")
+        if ph == "X":
+            if "dur" not in ev:
+                return fail(f"event {i} ({ev['name']!r}) is 'X' without 'dur'")
+            if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+                return fail(
+                    f"event {i} ({ev['name']!r}) has bad dur {ev['dur']!r}"
+                )
+            complete.append(ev)
+
+    if not complete:
+        return fail("no complete ('X') events — nothing was traced")
+
+    names = {ev["name"] for ev in complete}
+    for want in args.require_span:
+        if want not in names:
+            return fail(
+                f"required span {want!r} not found (have: {sorted(names)})"
+            )
+
+    print(
+        f"check_trace: OK: {len(complete)} spans, "
+        f"{len({ev['tid'] for ev in complete})} threads"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,26 +13,40 @@
 //       conditions i-iii); without a database, enumerate databases up to
 //       the bound.
 //   wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c]
-//                 [--fresh N] [--unchecked] [--jobs N]
+//                 [--fresh N] [--unchecked] [--jobs N] [--stats]
+//                 [--stats-json FILE] [--trace-out FILE] [--progress]
 //       Verify an LTL-FO property (Theorem 3.5); --unchecked skips the
 //       input-boundedness gate. --jobs N fans the database/valuation
 //       sweep over N worker threads (default: one per hardware thread;
 //       1 = serial). Verdict and witness are identical at any job count.
+//       Telemetry: --stats prints the phase/counter table to stderr,
+//       --stats-json writes the counter snapshot as JSON, --trace-out
+//       writes a Chrome/Perfetto trace-event file of the pipeline spans,
+//       and --progress prints a once-a-second heartbeat for long sweeps.
+//       Telemetry is flushed on every outcome — PASS, counterexample,
+//       error, or cancellation — so partial sweeps are still measurable.
 //   wsvcli verify-ctl <spec.wsv> <property> <db.wsd> [--pool a,b,c]
 //       Verify a propositional CTL / CTL* property on the service's
 //       Kripke structure over the given database (Theorem 4.4).
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/str_util.h"
 #include "ctl/ctl_check.h"
 #include "ctl/ctl_star_check.h"
 #include "ltl/ltl_parser.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "runtime/interpreter.h"
 #include "verify/abstraction.h"
 #include "verify/error_free.h"
@@ -57,7 +71,8 @@ int Usage() {
       "  wsvcli check-errors <spec.wsv> [db.wsd] [--pool a,b,c] "
       "[--fresh N]\n"
       "  wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c] "
-      "[--fresh N] [--unchecked] [--jobs N]\n"
+      "[--fresh N] [--unchecked] [--jobs N] [--stats] "
+      "[--stats-json FILE] [--trace-out FILE] [--progress]\n"
       "  wsvcli verify-ctl <spec.wsv> <property> <db.wsd> "
       "[--pool a,b,c]\n");
   return 2;
@@ -85,6 +100,12 @@ struct Flags {
   /// Worker threads for `verify`; <= 0 = one per hardware thread.
   int jobs = 0;
   std::vector<Value> pool;
+  /// Observability surface (verify): human table, JSON snapshot, Chrome
+  /// trace file, heartbeat.
+  bool stats = false;
+  std::string stats_json;
+  std::string trace_out;
+  bool progress = false;
 };
 
 StatusOr<Flags> ParseFlags(int argc, char** argv) {
@@ -111,6 +132,14 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
     } else if (arg == "--jobs") {
       WSV_ASSIGN_OR_RETURN(std::string v, next());
       flags.jobs = std::atoi(v.c_str());
+    } else if (arg == "--stats") {
+      flags.stats = true;
+    } else if (arg == "--stats-json") {
+      WSV_ASSIGN_OR_RETURN(flags.stats_json, next());
+    } else if (arg == "--trace-out") {
+      WSV_ASSIGN_OR_RETURN(flags.trace_out, next());
+    } else if (arg == "--progress") {
+      flags.progress = true;
     } else if (arg == "--pool") {
       WSV_ASSIGN_OR_RETURN(std::string v, next());
       for (const std::string& piece : Split(v, ',')) {
@@ -217,6 +246,91 @@ int CmdCheckErrors(const Flags& flags) {
   return 3;
 }
 
+// Once-a-second counter heartbeat on stderr while a long sweep runs.
+class ProgressHeartbeat {
+ public:
+  ProgressHeartbeat()
+      : start_ns_(obs::MonotonicNowNs()),
+        thread_([this] { Loop(); }) {}
+
+  ~ProgressHeartbeat() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!done_) {
+      if (cv_.wait_for(lock, std::chrono::seconds(1),
+                       [this] { return done_; })) {
+        return;
+      }
+      obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+      std::fprintf(
+          stderr,
+          "progress[%s]: dbs=%llu graph_nodes=%llu valuations=%llu "
+          "product_states=%llu cex=%llu\n",
+          obs::FormatDurationNs(obs::MonotonicNowNs() - start_ns_).c_str(),
+          static_cast<unsigned long long>(
+              snap.CounterValue("verify/databases")),
+          static_cast<unsigned long long>(
+              snap.CounterValue("config_graph/nodes")),
+          static_cast<unsigned long long>(
+              snap.CounterValue("ltl/valuations_checked")),
+          static_cast<unsigned long long>(
+              snap.CounterValue("ltl/product_states")),
+          static_cast<unsigned long long>(
+              snap.CounterValue("ltl/counterexamples_found")));
+      std::fflush(stderr);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  uint64_t start_ns_;
+  std::thread thread_;
+};
+
+// Flushes the telemetry the user asked for. Called on *every* verify
+// outcome — clean PASS, counterexample, error, or cancellation — so a
+// partial sweep still reports what it did before stopping.
+void EmitVerifyTelemetry(const Flags& flags) {
+  if (flags.stats || !flags.stats_json.empty()) {
+    obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+    if (flags.stats) {
+      std::fprintf(stderr, "%s", obs::FormatStatsTable(snap).c_str());
+      std::fflush(stderr);
+    }
+    if (!flags.stats_json.empty()) {
+      std::ofstream out(flags.stats_json);
+      if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     flags.stats_json.c_str());
+      } else {
+        out << obs::StatsToJson(snap);
+        out.flush();
+      }
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    obs::StopTracing();
+    std::ofstream out(flags.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   flags.trace_out.c_str());
+    } else {
+      obs::WriteChromeTrace(out);
+      out.flush();
+    }
+  }
+}
+
 int CmdVerify(const Flags& flags) {
   if (flags.positional.size() < 2) return Usage();
   auto service = LoadService(flags.positional[0]);
@@ -228,14 +342,23 @@ int CmdVerify(const Flags& flags) {
   options.db.fresh_values = flags.fresh;
   options.require_input_bounded = !flags.unchecked;
   ParallelLtlVerifier verifier(&*service, options, flags.jobs);
+  if (!flags.trace_out.empty()) obs::StartTracing();
   StatusOr<LtlVerifyResult> result = Status::OK();
-  if (flags.positional.size() >= 3) {
-    auto db = LoadDatabase(flags.positional[2], service->vocab());
-    if (!db.ok()) return Fail(db.status());
-    result = verifier.VerifyOnDatabase(*prop, *db);
-  } else {
-    result = verifier.Verify(*prop);
+  {
+    std::optional<ProgressHeartbeat> heartbeat;
+    if (flags.progress) heartbeat.emplace();
+    if (flags.positional.size() >= 3) {
+      auto db = LoadDatabase(flags.positional[2], service->vocab());
+      if (!db.ok()) {
+        EmitVerifyTelemetry(flags);
+        return Fail(db.status());
+      }
+      result = verifier.VerifyOnDatabase(*prop, *db);
+    } else {
+      result = verifier.Verify(*prop);
+    }
   }
+  EmitVerifyTelemetry(flags);
   if (!result.ok()) return Fail(result.status());
   if (result->holds) {
     std::printf("HOLDS within bounds (%llu database(s), %llu graph nodes, "
