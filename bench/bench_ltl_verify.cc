@@ -37,10 +37,17 @@ void MergeObsCounters(benchmark::State& state) {
   };
   put("obs_nodes_expanded", "config_graph/nodes_expanded");
   put("obs_product_states", "ltl/product_states");
+  put("obs_products_built", "ltl/products_built");
+  put("obs_valuations_checked", "ltl/valuations_checked");
+  put("obs_valuation_classes", "ltl/valuation_classes");
+  put("obs_class_hits", "ltl/class_hits");
+  put("obs_products_skipped", "ltl/products_skipped");
   put("obs_leaf_memo_hits", "ltl/leaf_memo_hits");
   put("obs_leaf_memo_misses", "ltl/leaf_memo_misses");
   double rate = obs::LeafMemoHitRate(snap);
   if (rate >= 0) state.counters["obs_memo_hit_rate"] = rate;
+  double collapse = obs::ValuationCollapseRate(snap);
+  if (collapse >= 0) state.counters["obs_collapse_rate"] = collapse;
 }
 
 // --- E2: the paper's properties on the running example. ---------------

@@ -1,0 +1,78 @@
+// A small dynamic bitset over 64-bit words.
+//
+// The product/emptiness hot path in the LTL-FO verifier packs FO-leaf
+// truth columns (one bit per configuration-graph edge) and automaton
+// state labels (one bit per leaf) as bitsets: equality becomes a word
+// compare, hashing a word fold, and the containers that dedupe columns
+// and labels key directly on the packed form. std::vector<bool> offers
+// the packing but neither a cheap hash nor access to the words;
+// std::bitset needs a compile-time size. This one is header-only and
+// deliberately minimal — grow it only when a hot path needs more.
+
+#ifndef WSV_COMMON_BITSET_H_
+#define WSV_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace wsv {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t num_bits) { Resize(num_bits); }
+
+  /// Sets the logical size to `num_bits` and clears every bit. Reuses
+  /// the word buffer, so resizing a scratch bitset in a loop does not
+  /// allocate once capacity has been reached.
+  void Resize(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + 63) / 64, 0);
+  }
+
+  void ClearAll() { words_.assign(words_.size(), 0); }
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Set(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    }
+  }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  size_t size() const { return num_bits_; }
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Bit-wise equality. Sizes must match for two bitsets to compare
+  /// equal; trailing bits beyond size() are always zero by construction.
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const Bitset& a, const Bitset& b) {
+    return !(a == b);
+  }
+
+  size_t Hash() const {
+    return HashRange(words_.begin(), words_.end(), num_bits_);
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Hasher for unordered containers keyed by Bitset.
+struct BitsetHash {
+  size_t operator()(const Bitset& b) const { return b.Hash(); }
+};
+
+}  // namespace wsv
+
+#endif  // WSV_COMMON_BITSET_H_

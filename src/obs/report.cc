@@ -62,6 +62,12 @@ double LeafMemoHitRate(const MetricsSnapshot& snap) {
   return double(hits) / double(hits + misses);
 }
 
+double ValuationCollapseRate(const MetricsSnapshot& snap) {
+  const uint64_t checked = snap.CounterValue("ltl/valuations_checked");
+  if (checked == 0) return -1.0;
+  return double(snap.CounterValue("ltl/class_hits")) / double(checked);
+}
+
 std::string FormatStatsTable(const MetricsSnapshot& snap) {
   std::string out;
   char line[256];
@@ -130,6 +136,17 @@ std::string FormatStatsTable(const MetricsSnapshot& snap) {
             snap.CounterValue("ltl/leaf_memo_misses")));
     out += line;
   }
+  const double collapse_rate = ValuationCollapseRate(snap);
+  if (collapse_rate >= 0.0) {
+    std::snprintf(
+        line, sizeof(line),
+        "valuation collapse rate: %s (%llu of %llu products skipped)\n",
+        FormatRate(collapse_rate).c_str(),
+        static_cast<unsigned long long>(snap.CounterValue("ltl/class_hits")),
+        static_cast<unsigned long long>(
+            snap.CounterValue("ltl/valuations_checked")));
+    out += line;
+  }
   return out;
 }
 
@@ -161,9 +178,17 @@ std::string StatsToJson(const MetricsSnapshot& snap) {
   }
   out += "\n  },\n  \"derived\": {";
   const double memo_rate = LeafMemoHitRate(snap);
+  bool first_derived = true;
   if (memo_rate >= 0.0) {
     std::snprintf(buf, sizeof(buf), "\n    \"fo_leaf_memo_hit_rate\": %.4f",
                   memo_rate);
+    out += buf;
+    first_derived = false;
+  }
+  const double collapse_rate = ValuationCollapseRate(snap);
+  if (collapse_rate >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "%s    \"valuation_collapse_rate\": %.4f",
+                  first_derived ? "\n" : ",\n", collapse_rate);
     out += buf;
   }
   out += "\n  }\n}\n";

@@ -28,6 +28,11 @@ std::string StatsToJson(const MetricsSnapshot& snap);
 /// were no lookups.
 double LeafMemoHitRate(const MetricsSnapshot& snap);
 
+/// class_hits / valuations_checked — the fraction of valuations whose
+/// product build + emptiness run the equivalence-class collapse
+/// skipped. -1 when no valuations were swept.
+double ValuationCollapseRate(const MetricsSnapshot& snap);
+
 }  // namespace obs
 }  // namespace wsv
 

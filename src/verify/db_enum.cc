@@ -1,5 +1,7 @@
 #include "verify/db_enum.h"
 
+#include <algorithm>
+#include <numeric>
 #include <set>
 
 #include "obs/metrics.h"
@@ -34,7 +36,10 @@ class DbEnumerator {
     for (Value v : ServiceRuleLiterals(service)) dom.insert(v);
     for (Value v : options.base_values) dom.insert(v);
     for (int i = 0; i < options.fresh_values; ++i) {
-      dom.insert(Value::Intern("d" + std::to_string(i)));
+      Value v = Value::Intern("d" + std::to_string(i));
+      // Only values the rules/property cannot name are interchangeable;
+      // a "fresh" value that collides with a literal is pinned.
+      if (dom.insert(v).second) fresh_.push_back(v);
     }
     domain_.assign(dom.begin(), dom.end());
     relations_ = service.vocab().RelationsOfKind(SymbolKind::kDatabase);
@@ -111,8 +116,62 @@ class DbEnumerator {
     return false;
   }
 
+  // Nothing in the service, the property, or the run semantics can name
+  // a purely fresh value, so instances that differ only by a permutation
+  // of fresh_ are isomorphic and get identical verdicts. Visit exactly
+  // one representative per orbit: the instance that is minimal under
+  // every fresh-value permutation (in particular, any instance using d1
+  // before d0 relabels to a strictly smaller one and is skipped). With
+  // <= 2 interchangeable values this costs one relabel+compare per
+  // candidate; the factorial is bounded by the tiny fresh_values option.
+  bool IsOrbitMinimal(const Instance& current) const {
+    if (fresh_.size() < 2) return true;
+    std::vector<size_t> perm(fresh_.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    while (std::next_permutation(perm.begin(), perm.end())) {
+      if (RelabeledIsSmaller(current, perm)) return false;
+    }
+    return true;
+  }
+
+  bool RelabeledIsSmaller(const Instance& current,
+                          const std::vector<size_t>& perm) const {
+    auto map_value = [&](Value v) {
+      for (size_t i = 0; i < fresh_.size(); ++i) {
+        if (v == fresh_[i]) return fresh_[perm[i]];
+      }
+      return v;
+    };
+    Instance relabeled;
+    for (Value v : current.domain()) relabeled.AddDomainValue(v);
+    for (const auto& [name, rel] : current.relations()) {
+      (void)relabeled.EnsureRelation(name, rel.arity());
+      Relation* out = relabeled.MutableRelation(name);
+      Tuple mapped;
+      for (const Tuple& t : rel.tuples()) {
+        mapped.assign(t.begin(), t.end());
+        for (Value& v : mapped) v = map_value(v);
+        out->Insert(mapped);
+      }
+    }
+    for (const auto& [name, v] : current.constants()) {
+      relabeled.SetConstant(name, map_value(v));
+    }
+    // Lexicographic instance order: relations (name-sorted maps compare
+    // element-wise; Relation orders by tuple set), then constants. Any
+    // fixed total order works — it only has to pick one orbit element.
+    if (relabeled.relations() != current.relations()) {
+      return relabeled.relations() < current.relations();
+    }
+    return relabeled.constants() < current.constants();
+  }
+
   StatusOr<bool> FillConstant(size_t const_idx, Instance& current) {
     if (const_idx == db_constants_.size()) {
+      if (!IsOrbitMinimal(current)) {
+        WSV_COUNT1("db_enum/symmetry_pruned");
+        return false;
+      }
       if (++visited_ > options_.max_instances) {
         WSV_COUNT1("db_enum/cap_exhausted");
         return Status::ResourceExhausted(
@@ -133,6 +192,8 @@ class DbEnumerator {
   const DbEnumOptions& options_;
   const std::function<StatusOr<bool>(const Instance&)>& visit_;
   std::vector<Value> domain_;
+  /// The interchangeable anonymous values, in d0..dn order.
+  std::vector<Value> fresh_;
   std::vector<RelationSymbol> relations_;
   std::vector<std::string> db_constants_;
   uint64_t visited_ = 0;

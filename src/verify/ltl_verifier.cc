@@ -1,5 +1,7 @@
 #include "verify/ltl_verifier.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <unordered_map>
 #include <utility>
@@ -45,14 +47,23 @@ std::set<Value> LassoDomain(const LassoRun& run, const Instance& database) {
   return dom;
 }
 
-// Hash for the FO-leaf memo keys (projected valuation digits).
-struct DigitsKeyHash {
-  size_t operator()(const std::vector<int32_t>& key) const {
+// Hash for vector-valued keys: the FO-leaf memo (projected valuation
+// digits) and the valuation class table (leaf-column id tuples).
+template <typename T>
+struct VectorKeyHash {
+  size_t operator()(const std::vector<T>& key) const {
     return HashRange(key.begin(), key.end());
   }
 };
 
+// Matching-state list for edge labels no automaton state carries.
+const std::vector<int> kNoMatchingStates;
+
 }  // namespace
+
+bool ClassCollapseEnabled() {
+  return std::getenv("WSV_DISABLE_CLASS_COLLAPSE") == nullptr;
+}
 
 StatusOr<BuchiAutomaton> BuildNegatedAutomaton(
     const WebService& service, const TemporalProperty& property,
@@ -156,39 +167,65 @@ StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
   // Classify leaves by the closure variables they mention, and evaluate
   // the valuation-independent ones once per database.
   const size_t num_leaves = automaton->leaves.size();
+  const size_t num_edges = check.graph_.edges.size();
   check.leaf_vars_.resize(num_leaves);
   check.static_cols_.resize(num_leaves);
   check.domain_relevant_.resize(num_leaves);
+  // Database-domain membership of each candidate is leaf-independent;
+  // scan the domain once instead of once per leaf.
+  std::vector<char> cand_in_db(check.cand_.size(), 0);
+  for (size_t i = 0; i < check.cand_.size(); ++i) {
+    cand_in_db[i] = db.domain().count(check.cand_[i]) > 0 ? 1 : 0;
+  }
   for (size_t k = 0; k < num_leaves; ++k) {
     std::set<std::string> free = automaton->leaves[k]->FreeVariables();
+    check.leaf_vars_[k].reserve(vars.size());
     for (size_t p = 0; p < vars.size(); ++p) {
       if (free.count(vars[p]) > 0) check.leaf_vars_[k].push_back(p);
     }
     if (check.leaf_vars_[k].empty()) {
       [[maybe_unused]] const uint64_t eval_start = WSV_OBS_NOW();
-      std::vector<char>& col = check.static_cols_[k];
-      col.assign(check.graph_.edges.size(), 0);
-      for (size_t e = 0; e < check.graph_.edges.size(); ++e) {
+      Bitset& col = check.static_cols_[k];
+      col.Resize(num_edges);
+      for (size_t e = 0; e < num_edges; ++e) {
         TraceView view = check.graph_.View(static_cast<int>(e));
         WSV_ASSIGN_OR_RETURN(bool b,
                              EvalFoAtStep(*automaton->leaves[k], view, db,
                                           *service, {}));
-        col[e] = b ? 1 : 0;
+        col.Set(e, b);
       }
-      WSV_COUNT("ltl/fo_leaf_evals", check.graph_.edges.size());
+      WSV_COUNT("ltl/fo_leaf_evals", num_edges);
       WSV_COUNT1("ltl/static_leaf_cols");
       WSV_HIST("ltl/leaf_col_eval_ns", WSV_OBS_NOW() - eval_start);
     }
     // A candidate value can influence this leaf through the active
     // domain only if neither the database nor the leaf's own literals
     // already provide it (every evaluation context contains both).
-    std::set<Value> lits = automaton->leaves[k]->Literals();
+    const std::set<Value> lits = automaton->leaves[k]->Literals();
     std::vector<char>& relevant = check.domain_relevant_[k];
     relevant.assign(check.cand_.size(), 0);
     for (size_t i = 0; i < check.cand_.size(); ++i) {
-      Value v = check.cand_[i];
-      relevant[i] = (db.domain().count(v) == 0 && lits.count(v) == 0) ? 1 : 0;
+      relevant[i] =
+          (!cand_in_db[i] && lits.count(check.cand_[i]) == 0) ? 1 : 0;
     }
+  }
+
+  // Index the automaton for the product hot path: states grouped by
+  // their packed leaf-truth label, and the successor relation as
+  // per-state bitsets.
+  const size_t num_states = automaton->size();
+  Bitset label(num_leaves);
+  for (size_t q = 0; q < num_states; ++q) {
+    label.Resize(num_leaves);
+    for (size_t k = 0; k < num_leaves; ++k) {
+      if (automaton->states[q][k]) label.Set(k);
+    }
+    check.label_index_[label].push_back(static_cast<int>(q));
+  }
+  check.succ_bits_.resize(num_states);
+  for (size_t q = 0; q < num_states; ++q) {
+    check.succ_bits_[q].Resize(num_states);
+    for (int s : automaton->succ[q]) check.succ_bits_[q].Set(s);
   }
   return check;
 }
@@ -203,19 +240,69 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
   const size_t num_edges = graph_.edges.size();
   const uint64_t c = cand_.size();
   if (end > num_valuations_) end = num_valuations_;
+  const bool collapse = ClassCollapseEnabled();
 
-  // Memoized truth columns per dynamic leaf, keyed by the projection of
+  // All sweep state is local to this call: concurrent sweeps of one
+  // context never share mutable state.
+  //
+  // Truth columns are interned by content: every distinct column gets a
+  // dense id, and the column store (a node-based map, so key addresses
+  // are stable) owns the bits. Two valuations whose leaves resolve to
+  // the same id tuple induce the *same* product — the equivalence
+  // classes the sweep collapses.
+  std::unordered_map<Bitset, uint32_t, BitsetHash> col_ids;
+  std::vector<const Bitset*> col_by_id;
+  auto intern_col = [&](const Bitset& col) -> uint32_t {
+    auto it = col_ids.find(col);
+    if (it == col_ids.end()) {
+      it = col_ids.emplace(col, static_cast<uint32_t>(col_by_id.size()))
+               .first;
+      col_by_id.push_back(&it->first);
+    }
+    return it->second;
+  };
+
+  // Memoized column ids per dynamic leaf, keyed by the projection of
   // the valuation onto the leaf's free variables plus the sorted set of
   // domain-relevant candidate digits (the only other channel a closure
-  // value can reach the leaf through). Local to this call: concurrent
-  // sweeps of one context never share mutable state.
-  std::vector<
-      std::unordered_map<std::vector<int32_t>, std::vector<char>,
-                         DigitsKeyHash>>
+  // value can reach the leaf through).
+  std::vector<std::unordered_map<std::vector<int32_t>, uint32_t,
+                                 VectorKeyHash<int32_t>>>
       memo(num_leaves);
 
+  // The emptiness verdict of each first-of-class product. For violating
+  // classes the accepting lasso and its Dom(rho) are cached too: repeats
+  // skip the product entirely but still re-run the valuation-specific
+  // faithfulness check (spuriousness depends on the concrete bindings).
+  struct ClassOutcome {
+    bool violating = false;
+    LassoRun run;
+    std::set<Value> dom;
+  };
+  std::unordered_map<std::vector<uint32_t>, ClassOutcome,
+                     VectorKeyHash<uint32_t>>
+      classes;
+
+  // Reusable per-sweep scratch: steady-state iterations (memoized
+  // columns, repeated class) allocate nothing, and even first-of-class
+  // product builds reuse the buffers' capacity.
   std::vector<int32_t> digits(vars.size(), 0);
-  std::vector<const std::vector<char>*> cols(num_leaves, nullptr);
+  std::vector<uint32_t> cols(num_leaves, 0);  // column id per leaf
+  std::vector<uint32_t> static_ids(num_leaves, 0);
+  for (size_t k = 0; k < num_leaves; ++k) {
+    if (leaf_vars_[k].empty()) static_ids[k] = intern_col(static_cols_[k]);
+  }
+  std::vector<int32_t> memo_key;
+  memo_key.reserve(2 * vars.size() + 1);
+  Bitset col_scratch;
+  Bitset label_scratch;
+  std::vector<const std::vector<int>*> matching(num_edges,
+                                                &kNoMatchingStates);
+  std::vector<std::pair<int, int>> verts;  // (edge, q)
+  std::unordered_map<uint64_t, int> vert_index;
+  std::vector<std::vector<int>> succ;
+  std::vector<char> initial;
+  std::vector<char> accepting;
 
   for (uint64_t i = begin; i < end; ++i) {
     // Sweeping ascending means the first faithful counterexample is the
@@ -227,149 +314,186 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
                                std::to_string(i));
     }
     WSV_COUNT1("ltl/valuations_checked");
-    Valuation valuation;
     for (size_t k = 0; k < vars.size(); ++k) {
       digits[k] = static_cast<int32_t>((i / stride_[k]) % c);
-      valuation[vars[k]] = cand_[static_cast<size_t>(digits[k])];
     }
+    // The full var -> value map is only needed off the fast path (FO
+    // evaluation on a memo miss, counterexample assembly); everything
+    // else works from the digits.
+    Valuation valuation;
+    auto ensure_valuation = [&] {
+      if (valuation.empty() && !vars.empty()) {
+        for (size_t k = 0; k < vars.size(); ++k) {
+          valuation[vars[k]] = cand_[static_cast<size_t>(digits[k])];
+        }
+      }
+    };
 
-    // Resolve the truth column of every FO leaf under `valuation`.
+    // Resolve the truth-column id of every FO leaf under the valuation.
     for (size_t k = 0; k < num_leaves; ++k) {
       if (leaf_vars_[k].empty()) {
-        cols[k] = &static_cols_[k];
+        cols[k] = static_ids[k];
         continue;
       }
-      std::vector<int32_t> key;
-      key.reserve(leaf_vars_[k].size() + 1 + digits.size());
-      for (size_t p : leaf_vars_[k]) key.push_back(digits[p]);
-      key.push_back(-1);  // separator: bindings | domain extension
+      memo_key.clear();
+      for (size_t p : leaf_vars_[k]) memo_key.push_back(digits[p]);
+      memo_key.push_back(-1);  // separator: bindings | domain extension
       {
-        std::set<int32_t> extension;
+        // The extension is the sorted deduped set of domain-relevant
+        // digits; the handful of closure variables makes insertion
+        // sort on the scratch tail the cheap way to canonicalize.
+        const size_t ext_begin = memo_key.size();
         for (int32_t d : digits) {
           if (domain_relevant_[k][static_cast<size_t>(d)]) {
-            extension.insert(d);
+            memo_key.push_back(d);
           }
         }
-        key.insert(key.end(), extension.begin(), extension.end());
+        std::sort(memo_key.begin() + ext_begin, memo_key.end());
+        memo_key.erase(
+            std::unique(memo_key.begin() + ext_begin, memo_key.end()),
+            memo_key.end());
       }
-      auto it = memo[k].find(key);
+      auto it = memo[k].find(memo_key);
       if (it == memo[k].end()) {
         WSV_COUNT1("ltl/leaf_memo_misses");
         [[maybe_unused]] const uint64_t eval_start = WSV_OBS_NOW();
-        std::vector<char> col(num_edges, 0);
+        ensure_valuation();
+        col_scratch.Resize(num_edges);
         for (size_t e = 0; e < num_edges; ++e) {
           TraceView view = graph_.View(static_cast<int>(e));
           WSV_ASSIGN_OR_RETURN(bool b,
                                EvalFoAtStep(*automaton_->leaves[k], view,
                                             *database_, *service_,
                                             valuation));
-          col[e] = b ? 1 : 0;
+          col_scratch.Set(e, b);
         }
         WSV_COUNT("ltl/fo_leaf_evals", num_edges);
         WSV_HIST("ltl/leaf_col_eval_ns", WSV_OBS_NOW() - eval_start);
-        it = memo[k].emplace(std::move(key), std::move(col)).first;
+        it = memo[k].emplace(memo_key, intern_col(col_scratch)).first;
         WSV_COUNT1("ltl/leaf_memo_entries");
       } else {
         WSV_COUNT1("ltl/leaf_memo_hits");
       }
-      cols[k] = &it->second;
+      cols[k] = it->second;
     }
 
-    // Label each edge with the truth of every FO leaf under `valuation`.
-    std::vector<std::vector<char>> edge_truth(num_edges);
-    for (size_t e = 0; e < num_edges; ++e) {
-      edge_truth[e].resize(num_leaves);
-      for (size_t k = 0; k < num_leaves; ++k) {
-        edge_truth[e][k] = (*cols[k])[e];
-      }
-    }
-
-    // Product: vertices are (edge, automaton state) pairs where the state
-    // label matches the edge's leaf truth.
-    std::vector<std::vector<int>> matching(num_edges);
-    for (size_t e = 0; e < num_edges; ++e) {
-      for (size_t q = 0; q < automaton_->size(); ++q) {
-        if (automaton_->states[q] == edge_truth[e]) {
-          matching[e].push_back(static_cast<int>(q));
-        }
-      }
-    }
-    std::vector<std::pair<int, int>> verts;  // (edge, q)
-    std::unordered_map<uint64_t, int> vert_index;
-    auto vid = [&](int e, int q) {
-      uint64_t key = PackInts(e, q);
-      auto it = vert_index.find(key);
-      if (it != vert_index.end()) return it->second;
-      int id = static_cast<int>(verts.size());
-      vert_index.emplace(key, id);
-      verts.emplace_back(e, q);
-      return id;
-    };
-    for (size_t e = 0; e < num_edges; ++e) {
-      for (int q : matching[e]) vid(static_cast<int>(e), q);
-    }
-    std::vector<std::vector<int>> succ(verts.size());
-    std::vector<char> initial(verts.size(), 0);
-    std::vector<char> accepting(verts.size(), 0);
-    const std::set<int>& acc_set = automaton_->accepting_sets.front();
-    for (size_t v = 0; v < verts.size(); ++v) {
-      auto [e, q] = verts[v];
-      if (graph_.edges[e].from == graph_.initial &&
-          automaton_->initial[q]) {
-        initial[v] = 1;
-      }
-      if (acc_set.count(q) > 0) accepting[v] = 1;
-      for (int e2 : graph_.out_edges[graph_.edges[e].to]) {
-        for (int q2 : matching[e2]) {
-          bool q2_succ = false;
-          for (int s : automaton_->succ[q]) {
-            if (s == q2) {
-              q2_succ = true;
-              break;
-            }
-          }
-          if (q2_succ) succ[v].push_back(vid(e2, q2));
-        }
-      }
-    }
-    if (product_states != nullptr) *product_states += verts.size();
-    WSV_COUNT1("ltl/products_built");
-    WSV_COUNT("ltl/product_states", verts.size());
-
-    std::optional<Lasso> lasso = FindAcceptingLasso(succ, initial, accepting);
-    if (lasso.has_value()) {
-      // Reconstruct the run: prefix vertices then cycle[1..], looping back
-      // to the prefix's last vertex.
-      LassoRun run;
-      for (int v : lasso->prefix) {
-        run.steps.push_back(graph_.Materialize(verts[v].first));
-      }
-      run.loop_start = lasso->prefix.size() - 1;
-      for (size_t j = 1; j < lasso->cycle.size(); ++j) {
-        run.steps.push_back(graph_.Materialize(verts[lasso->cycle[j]].first));
-      }
-      // Faithfulness check: the closure valuation must range over
-      // Dom(rho); discard spurious witnesses using pool values that never
-      // occur in the run or database.
-      std::set<Value> dom = LassoDomain(run, *database_);
-      std::set<Value> lits = property_->formula->Literals();
-      dom.insert(lits.begin(), lits.end());
-      bool in_dom = true;
-      for (const auto& [var, v] : valuation) {
-        if (dom.count(v) == 0) in_dom = false;
-      }
-      if (!in_dom) {
-        WSV_COUNT1("ltl/spurious_witnesses");
+    // Look up the valuation's equivalence class. A repeat skips the
+    // product build and emptiness run; its cached outcome is handled
+    // below exactly like a fresh one.
+    ClassOutcome naive_outcome;
+    ClassOutcome* outcome = nullptr;
+    bool first_of_class = true;
+    if (collapse) {
+      auto [it, inserted] = classes.try_emplace(cols);
+      outcome = &it->second;
+      first_of_class = inserted;
+      if (inserted) {
+        WSV_COUNT1("ltl/valuation_classes");
       } else {
-        WSV_COUNT1("ltl/counterexamples_found");
-        IndexedCounterExample found;
-        found.valuation_index = i;
-        found.cex.database = *database_;
-        found.cex.run = std::move(run);
-        found.cex.valuation = std::move(valuation);
-        return std::optional<IndexedCounterExample>(std::move(found));
+        WSV_COUNT1("ltl/class_hits");
+        WSV_COUNT1("ltl/products_skipped");
+      }
+    } else {
+      outcome = &naive_outcome;
+    }
+
+    if (first_of_class) {
+      // First of its class (or naive mode): build the product — vertices
+      // are (edge, automaton state) pairs where the state label matches
+      // the edge's leaf truth — and run emptiness.
+      verts.clear();
+      vert_index.clear();
+      for (size_t e = 0; e < num_edges; ++e) {
+        label_scratch.Resize(num_leaves);
+        for (size_t k = 0; k < num_leaves; ++k) {
+          if (col_by_id[cols[k]]->Test(e)) label_scratch.Set(k);
+        }
+        auto it = label_index_.find(label_scratch);
+        matching[e] = it == label_index_.end() ? &kNoMatchingStates
+                                               : &it->second;
+      }
+      auto vid = [&](int e, int q) {
+        uint64_t key = PackInts(e, q);
+        auto it = vert_index.find(key);
+        if (it != vert_index.end()) return it->second;
+        int id = static_cast<int>(verts.size());
+        vert_index.emplace(key, id);
+        verts.emplace_back(e, q);
+        return id;
+      };
+      for (size_t e = 0; e < num_edges; ++e) {
+        for (int q : *matching[e]) vid(static_cast<int>(e), q);
+      }
+      const size_t nv = verts.size();
+      succ.resize(nv);
+      for (size_t v = 0; v < nv; ++v) succ[v].clear();
+      initial.assign(nv, 0);
+      accepting.assign(nv, 0);
+      const std::set<int>& acc_set = automaton_->accepting_sets.front();
+      for (size_t v = 0; v < nv; ++v) {
+        auto [e, q] = verts[v];
+        if (graph_.edges[e].from == graph_.initial &&
+            automaton_->initial[q]) {
+          initial[v] = 1;
+        }
+        if (acc_set.count(q) > 0) accepting[v] = 1;
+        const Bitset& q_succ = succ_bits_[q];
+        for (int e2 : graph_.out_edges[graph_.edges[e].to]) {
+          for (int q2 : *matching[e2]) {
+            if (q_succ.Test(q2)) succ[v].push_back(vid(e2, q2));
+          }
+        }
+      }
+      if (product_states != nullptr) *product_states += nv;
+      WSV_COUNT1("ltl/products_built");
+      WSV_COUNT("ltl/product_states", nv);
+
+      std::optional<Lasso> lasso =
+          FindAcceptingLasso(succ, initial, accepting);
+      if (lasso.has_value()) {
+        // Reconstruct the run: prefix vertices then cycle[1..], looping
+        // back to the prefix's last vertex.
+        LassoRun run;
+        for (int v : lasso->prefix) {
+          run.steps.push_back(graph_.Materialize(verts[v].first));
+        }
+        run.loop_start = lasso->prefix.size() - 1;
+        for (size_t j = 1; j < lasso->cycle.size(); ++j) {
+          run.steps.push_back(
+              graph_.Materialize(verts[lasso->cycle[j]].first));
+        }
+        outcome->violating = true;
+        outcome->dom = LassoDomain(run, *database_);
+        std::set<Value> lits = property_->formula->Literals();
+        outcome->dom.insert(lits.begin(), lits.end());
+        outcome->run = std::move(run);
       }
     }
+    if (!outcome->violating) continue;
+
+    // Faithfulness check: the closure valuation must range over
+    // Dom(rho); discard spurious witnesses using pool values that never
+    // occur in the run or database. The product (and so the lasso) is
+    // class-invariant, but spuriousness is not — every valuation of a
+    // violating class takes this check individually.
+    bool in_dom = true;
+    for (size_t k = 0; k < vars.size(); ++k) {
+      if (outcome->dom.count(cand_[static_cast<size_t>(digits[k])]) == 0) {
+        in_dom = false;
+      }
+    }
+    if (!in_dom) {
+      WSV_COUNT1("ltl/spurious_witnesses");
+      continue;
+    }
+    WSV_COUNT1("ltl/counterexamples_found");
+    ensure_valuation();
+    IndexedCounterExample found;
+    found.valuation_index = i;
+    found.cex.database = *database_;
+    found.cex.run = outcome->run;
+    found.cex.valuation = std::move(valuation);
+    return std::optional<IndexedCounterExample>(std::move(found));
   }
   return std::optional<IndexedCounterExample>(std::nullopt);
 }

@@ -32,9 +32,11 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "automata/buchi.h"
+#include "common/bitset.h"
 #include "common/status.h"
 #include "ltl/run_semantics.h"
 #include "verify/config_graph.h"
@@ -130,7 +132,16 @@ class LtlDatabaseCheck {
   /// upcoming index before each valuation: once it returns true the
   /// sweep aborts — with the counterexample found so far if any (later
   /// indices cannot beat it), else with Status::Cancelled.
-  /// `product_states` (optional) accumulates product automaton sizes.
+  /// `product_states` (optional) accumulates product automaton sizes
+  /// (of the products actually built — see ClassCollapseEnabled()).
+  ///
+  /// Valuations whose FO leaves all resolve to previously seen truth
+  /// columns induce the *same* product, so the product build and
+  /// emptiness run execute once per equivalence class; repeats reuse
+  /// the cached verdict (and, for violating classes, the cached lasso),
+  /// re-running only the valuation-specific Dom(rho) faithfulness
+  /// check. The class table, like the FO-leaf memo, is local to the
+  /// call: concurrent sweeps of one context never share mutable state.
   StatusOr<std::optional<IndexedCounterExample>> CheckValuations(
       uint64_t begin, uint64_t end,
       const std::function<bool(uint64_t)>& stop,
@@ -153,8 +164,16 @@ class LtlDatabaseCheck {
   /// variables free in the leaf. Empty = valuation-independent leaf.
   std::vector<std::vector<size_t>> leaf_vars_;
   /// Per *static* leaf k (leaf_vars_[k].empty()): truth per edge,
-  /// evaluated once at Create. Empty vector for dynamic leaves.
-  std::vector<std::vector<char>> static_cols_;
+  /// evaluated once at Create. Empty bitset for dynamic leaves.
+  std::vector<Bitset> static_cols_;
+  /// Automaton states grouped by their leaf-truth label, packed as a
+  /// bitset over the leaves. Built once per context: the product
+  /// construction resolves an edge's matching states with one hash
+  /// lookup instead of comparing the edge's truth against every state.
+  std::unordered_map<Bitset, std::vector<int>, BitsetHash> label_index_;
+  /// succ_bits_[q].Test(q2) iff q2 is a successor of q — replaces the
+  /// linear scan of automaton_->succ[q] in the product edge relation.
+  std::vector<Bitset> succ_bits_;
   /// Per leaf and candidate index: true iff binding any closure variable
   /// to that candidate extends the evaluation structure's active domain
   /// beyond what the database and the leaf's own literals provide — the
@@ -184,6 +203,14 @@ class LtlVerifier {
   const WebService* service_;
   LtlVerifyOptions options_;
 };
+
+/// Whether the valuation sweep collapses equivalence classes of
+/// valuations (same truth column for every FO leaf => same product, so
+/// the emptiness verdict is computed once per class). On by default;
+/// setting the environment variable WSV_DISABLE_CLASS_COLLAPSE forces
+/// the naive one-product-per-valuation sweep (for tests and A/B runs).
+/// Verdicts and counterexamples are identical either way.
+bool ClassCollapseEnabled();
 
 /// Validates the property for the linear-time pipeline and builds the
 /// degeneralized Büchi automaton for its negation. Shared by the serial

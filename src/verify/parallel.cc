@@ -236,10 +236,17 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
   const uint64_t n = check.NumValuations();
   if (n == 0) return result;
 
-  // Oversubscribe chunks relative to workers so uneven valuation costs
-  // load-balance. The context is immutable; chunks share it freely.
-  const uint64_t num_chunks =
-      std::min<uint64_t>(n, static_cast<uint64_t>(jobs_) * 4);
+  // The context is immutable; chunks share it freely. Each chunk's
+  // sweep keeps its own FO-leaf memo and valuation-class table (call-
+  // local state in CheckValuations), so chunking trades collapse for
+  // balance: with class collapsing on, one contiguous shard per worker
+  // maximizes the per-shard collapse rate (and repeats cost next to
+  // nothing, so imbalance matters little); with the naive sweep forced,
+  // oversubscribe 4x so uneven valuation costs load-balance. Work
+  // counters sum exactly across shards either way — only the per-shard
+  // split (memo hits vs misses, classes vs hits) depends on the cut.
+  const uint64_t num_chunks = std::min<uint64_t>(
+      n, static_cast<uint64_t>(jobs_) * (ClassCollapseEnabled() ? 1 : 4));
   const uint64_t chunk = (n + num_chunks - 1) / num_chunks;
 
   EventBoard board;

@@ -403,9 +403,11 @@ TEST(CounterEquality, ClearLoopService) {
 }
 
 // Valuation sweep on the e-commerce service (pay-before-ship holds):
-// jobs=4 chunks the valuation range, so the memo hit/miss *split* may
-// differ (each chunk owns a memo), but the total lookups and every work
-// counter must still match the serial sweep.
+// jobs=4 shards the valuation range, so per-shard state *splits* may
+// differ — the memo hit/miss split, and (since each shard owns its
+// valuation-class table) how many first-of-class products get built —
+// but total memo lookups, the class-accounting identity, and every
+// other work counter must still match the serial sweep.
 TEST(CounterEquality, EcommerceValuationSweep) {
   WebService service = std::move(BuildEcommerceService()).value();
   Instance db = EcommerceSmallDatabase();
@@ -444,11 +446,28 @@ TEST(CounterEquality, EcommerceValuationSweep) {
   uint64_t memo4 = s4.CounterValue("ltl/leaf_memo_hits") +
                    s4.CounterValue("ltl/leaf_memo_misses");
 
-  EXPECT_EQ(work1, work4);
+  // Products are built once per valuation class *per shard*: the shard
+  // cut can only add first-of-class builds, never remove one.
+  auto drop_product_split = [](std::map<std::string, uint64_t> work) {
+    work.erase("ltl/products_built");
+    work.erase("ltl/product_states");
+    return work;
+  };
+  EXPECT_EQ(drop_product_split(work1), drop_product_split(work4));
+  EXPECT_LE(work1["ltl/products_built"], work4["ltl/products_built"]);
   EXPECT_EQ(memo1, memo4);
+  for (const obs::MetricsSnapshot* s : {&s1, &s4}) {
+    EXPECT_EQ(s->CounterValue("ltl/valuation_classes") +
+                  s->CounterValue("ltl/class_hits"),
+              s->CounterValue("ltl/valuations_checked"));
+  }
   if (kInstrumented) {
     EXPECT_GT(work1["ltl/valuations_checked"], 1u);
     EXPECT_GT(memo1, 0u);
+    // The collapse must actually bite on this property: fewer serial
+    // products than valuations.
+    EXPECT_LT(work1["ltl/products_built"],
+              work1["ltl/valuations_checked"]);
   }
 }
 

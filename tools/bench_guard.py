@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Work-counter regression guard for the benchmark suite.
+
+Runs a Google-Benchmark binary in JSON mode and fails if any counter
+exceeds its budget from a budgets file. Budgets are keyed by benchmark
+name (exact match against the JSON "name" field, i.e. including any
+"/arg" suffix) and map counter names to inclusive upper bounds:
+
+    {
+      "BM_Property4_PayBeforeShip": {"obs_products_built": 4},
+      ...
+    }
+
+The budgeted counters are *work* counters (products built, nodes
+expanded), not timings, so the guard is immune to machine noise: a
+budget trips only when a code change makes the verifier do more work —
+e.g. a regression in the valuation-class collapse would send
+obs_products_built from 2 back to 9 on the pay-before-ship sweep.
+
+Usage: bench_guard.py BENCH_BINARY BUDGETS_JSON [--min-time SECS]
+Exit status: 0 = all budgets hold, 1 = violation or missing benchmark.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("binary", help="benchmark executable")
+    ap.add_argument("budgets", help="budgets JSON file")
+    ap.add_argument("--min-time", default="0.01",
+                    help="--benchmark_min_time value (default 0.01)")
+    args = ap.parse_args()
+
+    with open(args.budgets) as f:
+        budgets = json.load(f)
+    if not budgets:
+        print("bench_guard: empty budgets file, nothing to check")
+        return 0
+
+    # Only run the budgeted benchmarks: anchored alternation on the
+    # base names (the part before any "/arg" suffix).
+    bases = sorted({name.split("/")[0] for name in budgets})
+    bench_filter = "^(" + "|".join(bases) + ")(/.*)?$"
+    cmd = [
+        args.binary,
+        "--benchmark_format=json",
+        "--benchmark_min_time=" + args.min_time,
+        "--benchmark_filter=" + bench_filter,
+    ]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, text=True)
+    if proc.returncode != 0:
+        print("bench_guard: %s exited with %d" % (cmd[0], proc.returncode))
+        return 1
+    report = json.loads(proc.stdout)
+
+    by_name = {}
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        by_name[entry["name"]] = entry
+
+    failures = []
+    for name, counters in sorted(budgets.items()):
+        entry = by_name.get(name)
+        if entry is None:
+            failures.append("benchmark %r not found in the report "
+                            "(ran filter %s)" % (name, bench_filter))
+            continue
+        for counter, budget in sorted(counters.items()):
+            if counter not in entry:
+                failures.append("%s: counter %r missing from the report"
+                                % (name, counter))
+                continue
+            value = entry[counter]
+            status = "OK" if value <= budget else "OVER BUDGET"
+            print("%-40s %-24s %10.1f <= %-10g %s"
+                  % (name, counter, value, budget, status))
+            if value > budget:
+                failures.append("%s: %s = %.1f exceeds budget %g"
+                                % (name, counter, value, budget))
+
+    if failures:
+        print("\nbench_guard: FAILED")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nbench_guard: all budgets hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
