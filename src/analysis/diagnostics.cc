@@ -1,0 +1,154 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace wsv {
+namespace analysis {
+
+const char* SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+void DiagnosticSink::Report(std::string rule_id, Severity severity, Span span,
+                            std::string message, std::string hint,
+                            std::string anchor, std::string page) {
+  Diagnostic d;
+  d.rule_id = std::move(rule_id);
+  d.severity = severity;
+  d.span = span;
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  d.anchor = std::move(anchor);
+  d.page = std::move(page);
+  diagnostics_.push_back(std::move(d));
+}
+
+void DiagnosticSink::SortBySpan() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     // Valid spans first, in source order.
+                     if (a.span.IsValid() != b.span.IsValid()) {
+                       return a.span.IsValid();
+                     }
+                     return a.span < b.span;
+                   });
+}
+
+size_t DiagnosticSink::Count(Severity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+const std::vector<RuleInfo>& RuleRegistry() {
+  static const std::vector<RuleInfo>* kRules = new std::vector<RuleInfo>{
+      {"WSV-PARSE-001", Severity::kError,
+       "specification does not parse", ""},
+      {"WSV-VAL-001", Severity::kError,
+       "unknown or undeclared symbol", "Definition 2.1"},
+      {"WSV-VAL-002", Severity::kError, "rule head arity mismatch",
+       "Definition 2.1"},
+      {"WSV-VAL-003", Severity::kError,
+       "free body variable not bound by the rule head", "Definition 2.1"},
+      {"WSV-VAL-004", Severity::kError, "duplicate or miscounted rules",
+       "Definition 2.1"},
+      {"WSV-VAL-005", Severity::kError,
+       "atom kind not permitted in this rule body", "Definition 2.1"},
+      {"WSV-VAL-006", Severity::kError,
+       "home/error/page structure violates the service definition",
+       "Definition 2.1"},
+      {"WSV-VAL-007", Severity::kError,
+       "target rule body is not a sentence", "Definition 2.1"},
+      {"WSV-VAL-008", Severity::kError, "repeated head variable",
+       "Definition 2.1"},
+      {"WSV-IB-001", Severity::kNote,
+       "quantification is not input-guarded", "Theorem 3.5"},
+      {"WSV-IB-002", Severity::kNote,
+       "non-ground state atom in an options rule", "Theorem 3.7"},
+      {"WSV-IB-003", Severity::kNote,
+       "quantified variable occurs in a state/action atom (state projection)",
+       "Theorem 3.8"},
+      {"WSV-IB-004", Severity::kWarning,
+       "prev input atom never fed by a predecessor page (assumes lossless "
+       "prev_I)",
+       "Theorem 3.9"},
+      {"WSV-CLS-001", Severity::kNote,
+       "state/action relation is not propositional", "Theorem 4.4"},
+      {"WSV-CLS-002", Severity::kNote,
+       "Prev_I atom not permitted in propositional services",
+       "Theorem 4.4"},
+      {"WSV-CLS-003", Severity::kNote,
+       "parameterized input or input constant in a fully propositional "
+       "service",
+       "Theorem 4.6"},
+      {"WSV-CLS-004", Severity::kNote,
+       "database atom in a fully propositional service", "Theorem 4.6"},
+      {"WSV-NAV-001", Severity::kWarning,
+       "page unreachable from the home page", ""},
+      {"WSV-NAV-002", Severity::kWarning,
+       "syntactically overlapping target rules (nondeterministic "
+       "navigation)",
+       ""},
+      {"WSV-DEAD-001", Severity::kWarning,
+       "state relation read but never written", ""},
+      {"WSV-DEAD-002", Severity::kNote,
+       "state relation written but never read", ""},
+      {"WSV-DEAD-003", Severity::kWarning,
+       "declared input or constant never used", ""},
+      {"WSV-DEAD-004", Severity::kWarning,
+       "action relation has no action rule", ""},
+      {"WSV-DEAD-005", Severity::kNote,
+       "database relation never referenced", ""},
+      {"WSV-DOM-001", Severity::kWarning,
+       "literal input atom outside the page's options domain", ""},
+  };
+  return *kRules;
+}
+
+const RuleInfo* FindRule(const std::string& id) {
+  for (const RuleInfo& rule : RuleRegistry()) {
+    if (id == rule.id) return &rule;
+  }
+  return nullptr;
+}
+
+Span SpanFromMessage(const std::string& message) {
+  // The lexer and parsers phrase locations as "... at line N, column M".
+  static const char kLine[] = "line ";
+  static const char kColumn[] = "column ";
+  size_t pos = message.rfind(kLine);
+  if (pos == std::string::npos) return Span{};
+  size_t p = pos + sizeof(kLine) - 1;
+  int line = 0;
+  while (p < message.size() && std::isdigit(message[p])) {
+    line = line * 10 + (message[p] - '0');
+    ++p;
+  }
+  if (line == 0) return Span{};
+  size_t cpos = message.find(kColumn, p);
+  int column = 1;
+  if (cpos != std::string::npos) {
+    p = cpos + sizeof(kColumn) - 1;
+    int col = 0;
+    while (p < message.size() && std::isdigit(message[p])) {
+      col = col * 10 + (message[p] - '0');
+      ++p;
+    }
+    if (col > 0) column = col;
+  }
+  return Span{line, column, line, column + 1};
+}
+
+}  // namespace analysis
+}  // namespace wsv

@@ -1,0 +1,98 @@
+// Diagnostic model for the spec linter and validators.
+//
+// A Diagnostic is one source-located finding: a stable rule ID
+// (e.g. "WSV-IB-002"), a severity, a Span into the .wsv source, a
+// message, an optional fix-it hint, and an optional "paper anchor"
+// naming the theorem of Deutsch-Sui-Vianu that motivates the rule
+// (e.g. "Theorem 3.7"). A DiagnosticSink accumulates every finding in
+// one pass — unlike the Status-based validators, which stop at the
+// first error — so a single lint run explains everything that is wrong
+// with a specification.
+//
+// This header is deliberately dependency-light (common/ only) so that
+// ws/validate.cc, ws/classify.cc, and fo/input_bounded.cc can emit
+// diagnostics without introducing layering cycles.
+
+#ifndef WSV_ANALYSIS_DIAGNOSTICS_H_
+#define WSV_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/span.h"
+
+namespace wsv {
+namespace analysis {
+
+enum class Severity {
+  kError,    // the specification is ill-formed; tools must reject it
+  kWarning,  // almost certainly a mistake, but the spec is well-formed
+  kNote,     // informational (e.g. why a decidable fragment is missed)
+};
+
+const char* SeverityToString(Severity severity);  // "error" | "warning" | ...
+
+struct Diagnostic {
+  std::string rule_id;   // stable ID, e.g. "WSV-IB-002"
+  Severity severity = Severity::kWarning;
+  Span span;             // invalid span = file-level finding
+  std::string message;
+  std::string hint;      // optional fix-it suggestion
+  std::string anchor;    // optional paper anchor, e.g. "Theorem 3.7"
+  std::string page;      // optional page name the finding belongs to
+};
+
+/// Accumulates diagnostics across analysis passes. Never stops early:
+/// passes report everything they see and the caller renders the lot.
+class DiagnosticSink {
+ public:
+  void Add(Diagnostic diag) { diagnostics_.push_back(std::move(diag)); }
+
+  /// Convenience used by the lint passes.
+  void Report(std::string rule_id, Severity severity, Span span,
+              std::string message, std::string hint = "",
+              std::string anchor = "", std::string page = "");
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t size() const { return diagnostics_.size(); }
+
+  size_t error_count() const { return Count(Severity::kError); }
+  size_t warning_count() const { return Count(Severity::kWarning); }
+  size_t note_count() const { return Count(Severity::kNote); }
+
+  /// Stable-sorts findings into source order (unknown locations last),
+  /// keeping insertion order within a location.
+  void SortBySpan();
+
+ private:
+  size_t Count(Severity severity) const;
+
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Static metadata for one lint/validation rule. The registry is the
+/// single source of truth for severities and paper anchors; SARIF output
+/// lists it under tool.driver.rules and DESIGN.md §7 documents it.
+struct RuleInfo {
+  const char* id;        // "WSV-IB-002"
+  Severity severity;     // default severity for findings of this rule
+  const char* summary;   // one-line description
+  const char* anchor;    // paper anchor ("Theorem 3.7") or ""
+};
+
+/// All registered rules, in ID order.
+const std::vector<RuleInfo>& RuleRegistry();
+
+/// Looks up a rule by ID; nullptr when unknown.
+const RuleInfo* FindRule(const std::string& id);
+
+/// Best-effort extraction of "line N, column M" from a Status message
+/// produced by the lexer/parsers. Returns an invalid Span when the
+/// message carries no location.
+Span SpanFromMessage(const std::string& message);
+
+}  // namespace analysis
+}  // namespace wsv
+
+#endif  // WSV_ANALYSIS_DIAGNOSTICS_H_

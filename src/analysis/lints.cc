@@ -1,0 +1,513 @@
+#include "analysis/lints.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ws/classify.h"
+#include "ws/spec_parser.h"
+#include "ws/validate.h"
+
+namespace wsv {
+namespace analysis {
+
+namespace {
+
+void ReportLint(DiagnosticSink* sink, const char* rule_id, Span span,
+                std::string message, std::string hint = "",
+                std::string page = "") {
+  const RuleInfo* info = FindRule(rule_id);
+  sink->Report(rule_id, info != nullptr ? info->severity : Severity::kWarning,
+               span, std::move(message), std::move(hint),
+               info != nullptr ? info->anchor : "", std::move(page));
+}
+
+// Applies `fn(page, rule_label, body, rule_span)` to every rule body.
+template <typename Fn>
+void ForEachBody(const WebService& service, const Fn& fn) {
+  for (const PageSchema& page : service.pages()) {
+    for (const InputRule& r : page.input_rules) {
+      fn(page, r.ToString(), r.body, r.span);
+    }
+    for (const StateRule& r : page.state_rules) {
+      fn(page, r.ToString(), r.body, r.span);
+    }
+    for (const ActionRule& r : page.action_rules) {
+      fn(page, r.ToString(), r.body, r.span);
+    }
+    for (const TargetRule& r : page.target_rules) {
+      fn(page, r.ToString(), r.body, r.span);
+    }
+  }
+}
+
+bool IsInputRelation(const Vocabulary& vocab, const std::string& name) {
+  const RelationSymbol* sym = vocab.FindRelation(name);
+  return sym != nullptr && sym->kind == SymbolKind::kInput;
+}
+
+// ---------------------------------------------------------------------------
+// WSV-IB-004: prev.I atoms that no predecessor page can have populated.
+//
+// Under the paper's (lossy) semantics prev_I holds the *previous* step's
+// input over I; a prev.I atom on page W can only be satisfied when some
+// predecessor of W offers I. If none does, the atom is always empty — the
+// author was likely assuming the lossless variant of prev_I, which
+// Theorem 3.9 shows undecidable.
+
+void LintLosslessPrev(const WebService& service, DiagnosticSink* sink) {
+  // Predecessor map from target rules.
+  std::map<std::string, std::set<std::string>> preds;
+  for (const PageSchema& page : service.pages()) {
+    for (const TargetRule& rule : page.target_rules) {
+      preds[rule.target].insert(page.name);
+    }
+  }
+  ForEachBody(service, [&](const PageSchema& page, const std::string& rule,
+                           const FormulaPtr& body, Span rule_span) {
+    for (const Atom& atom : body->Atoms()) {
+      if (!atom.prev || !IsInputRelation(service.vocab(), atom.relation)) {
+        continue;
+      }
+      bool fed = false;
+      for (const std::string& pred : preds[page.name]) {
+        const PageSchema* p = service.FindPage(pred);
+        if (p != nullptr && p->HasInputRelation(atom.relation)) {
+          fed = true;
+          break;
+        }
+      }
+      if (!fed) {
+        ReportLint(sink, "WSV-IB-004",
+                   atom.span.IsValid() ? atom.span : rule_span,
+                   "page " + page.name + ", " + rule + ": prev." +
+                       atom.relation +
+                       " is always empty: no predecessor page of " +
+                       page.name + " offers input " + atom.relation,
+                   "offer " + atom.relation +
+                       " on a page with a target rule into " + page.name +
+                       "; relying on inputs surviving extra steps needs "
+                       "lossless prev_I, which is undecidable",
+                   page.name);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// WSV-NAV-001: pages unreachable from the home page via target edges.
+
+void LintUnreachablePages(const WebService& service, DiagnosticSink* sink) {
+  if (service.home_page().empty() ||
+      service.FindPage(service.home_page()) == nullptr) {
+    return;  // validation already reported the broken root
+  }
+  std::set<std::string> reached;
+  std::vector<std::string> frontier{service.home_page()};
+  reached.insert(service.home_page());
+  while (!frontier.empty()) {
+    const PageSchema* page = service.FindPage(frontier.back());
+    frontier.pop_back();
+    if (page == nullptr) continue;
+    for (const std::string& t : page->targets) {
+      if (reached.insert(t).second) frontier.push_back(t);
+    }
+  }
+  for (const PageSchema& page : service.pages()) {
+    if (reached.count(page.name) == 0) {
+      ReportLint(sink, "WSV-NAV-001", page.span,
+                 "page " + page.name + " is unreachable from home page " +
+                     service.home_page(),
+                 "add a target rule leading to " + page.name +
+                     " or remove the page",
+                 page.name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WSV-NAV-002: syntactically overlapping target rules.
+//
+// Target rules of one page should be mutually exclusive, otherwise
+// navigation is nondeterministic (the runtime picks the first match).
+// We prove disjointness syntactically, using that each input relation
+// holds at most one tuple per step:
+//   (a) complementary conjuncts      phi   vs  !phi
+//   (b) differing ground input atoms I(a)  vs  I(b), a != b
+//   (c) input chosen vs not chosen   I(a)  vs  !(exists x . I(x) ...)
+// Disjunct pairs not provably disjoint by these rules get a warning.
+
+std::vector<FormulaPtr> FlattenOr(const FormulaPtr& f) {
+  if (f->kind() != Formula::Kind::kOr) return {f};
+  std::vector<FormulaPtr> out;
+  for (const FormulaPtr& c : f->children()) {
+    std::vector<FormulaPtr> sub = FlattenOr(c);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void FlattenAndInto(const FormulaPtr& f, std::vector<FormulaPtr>* out) {
+  if (f->kind() == Formula::Kind::kAnd) {
+    for (const FormulaPtr& c : f->children()) FlattenAndInto(c, out);
+  } else {
+    out->push_back(f);
+  }
+}
+
+std::vector<FormulaPtr> Conjuncts(const FormulaPtr& f) {
+  std::vector<FormulaPtr> out;
+  FlattenAndInto(f, &out);
+  return out;
+}
+
+// (a) some conjunct of one side is the negation of a conjunct of the other.
+bool HasComplementaryConjuncts(const std::vector<FormulaPtr>& a,
+                               const std::vector<FormulaPtr>& b) {
+  auto complements = [](const FormulaPtr& x, const FormulaPtr& y) {
+    return x->kind() == Formula::Kind::kNot &&
+           x->children()[0]->ToString() == y->ToString();
+  };
+  for (const FormulaPtr& ca : a) {
+    for (const FormulaPtr& cb : b) {
+      if (complements(ca, cb) || complements(cb, ca)) return true;
+    }
+  }
+  return false;
+}
+
+bool AllTermsLiteral(const Atom& atom) {
+  for (const Term& t : atom.terms) {
+    if (!t.is_literal()) return false;
+  }
+  return !atom.terms.empty();
+}
+
+// (b) both sides positively require the same input relation to hold a
+// fully literal tuple, and the tuples differ at some position. Since an
+// input relation holds at most one tuple per step, both cannot hold.
+bool HasDifferingGroundInputAtoms(const std::vector<FormulaPtr>& a,
+                                  const std::vector<FormulaPtr>& b,
+                                  const Vocabulary& vocab) {
+  for (const FormulaPtr& ca : a) {
+    if (ca->kind() != Formula::Kind::kAtom) continue;
+    const Atom& atom_a = ca->atom();
+    if (atom_a.prev || !IsInputRelation(vocab, atom_a.relation) ||
+        !AllTermsLiteral(atom_a)) {
+      continue;
+    }
+    for (const FormulaPtr& cb : b) {
+      if (cb->kind() != Formula::Kind::kAtom) continue;
+      const Atom& atom_b = cb->atom();
+      if (atom_b.prev || atom_b.relation != atom_a.relation ||
+          !AllTermsLiteral(atom_b) ||
+          atom_b.terms.size() != atom_a.terms.size()) {
+        continue;
+      }
+      for (size_t i = 0; i < atom_a.terms.size(); ++i) {
+        if (atom_a.terms[i].name() != atom_b.terms[i].name()) return true;
+      }
+    }
+  }
+  return false;
+}
+
+// True iff `f` is the "no tuple of I was chosen" pattern:
+// !(exists x... . I(x...) [& true]), all of I's terms quantified.
+bool IsNoInputChosen(const FormulaPtr& f, const std::string& relation,
+                     const Vocabulary& vocab) {
+  if (f->kind() != Formula::Kind::kNot) return false;
+  const FormulaPtr& inner = f->children()[0];
+  if (inner->kind() != Formula::Kind::kExists) return false;
+  std::vector<Atom> atoms = inner->body()->Atoms();
+  if (atoms.size() != 1) return false;
+  const Atom& atom = atoms[0];
+  if (atom.prev || atom.relation != relation ||
+      !IsInputRelation(vocab, atom.relation)) {
+    return false;
+  }
+  std::set<std::string> bound(inner->variables().begin(),
+                              inner->variables().end());
+  for (const Term& t : atom.terms) {
+    if (!t.is_variable() || bound.count(t.name()) == 0) return false;
+  }
+  return true;
+}
+
+// (c) one side positively requires a tuple of I, the other requires that
+// no tuple of I was chosen.
+bool HasChosenVsNotChosen(const std::vector<FormulaPtr>& a,
+                          const std::vector<FormulaPtr>& b,
+                          const Vocabulary& vocab) {
+  auto check = [&](const std::vector<FormulaPtr>& pos,
+                   const std::vector<FormulaPtr>& neg) {
+    for (const FormulaPtr& cp : pos) {
+      if (cp->kind() != Formula::Kind::kAtom) continue;
+      const Atom& atom = cp->atom();
+      if (atom.prev || !IsInputRelation(vocab, atom.relation)) continue;
+      for (const FormulaPtr& cn : neg) {
+        if (IsNoInputChosen(cn, atom.relation, vocab)) return true;
+      }
+    }
+    return false;
+  };
+  return check(a, b) || check(b, a);
+}
+
+bool ProvablyDisjoint(const FormulaPtr& d1, const FormulaPtr& d2,
+                      const Vocabulary& vocab) {
+  const std::vector<FormulaPtr> a = Conjuncts(d1);
+  const std::vector<FormulaPtr> b = Conjuncts(d2);
+  return HasComplementaryConjuncts(a, b) ||
+         HasDifferingGroundInputAtoms(a, b, vocab) ||
+         HasChosenVsNotChosen(a, b, vocab);
+}
+
+void LintOverlappingTargets(const WebService& service,
+                            DiagnosticSink* sink) {
+  for (const PageSchema& page : service.pages()) {
+    for (size_t i = 0; i < page.target_rules.size(); ++i) {
+      for (size_t j = i + 1; j < page.target_rules.size(); ++j) {
+        const TargetRule& r1 = page.target_rules[i];
+        const TargetRule& r2 = page.target_rules[j];
+        if (r1.target == r2.target) continue;  // duplicate = WSV-VAL-004
+        bool disjoint = true;
+        for (const FormulaPtr& d1 : FlattenOr(r1.body)) {
+          for (const FormulaPtr& d2 : FlattenOr(r2.body)) {
+            if (!ProvablyDisjoint(d1, d2, service.vocab())) {
+              disjoint = false;
+              break;
+            }
+          }
+          if (!disjoint) break;
+        }
+        if (!disjoint) {
+          ReportLint(sink, "WSV-NAV-002",
+                     r2.span.IsValid() ? r2.span : page.span,
+                     "page " + page.name + ": target rules for " +
+                         r1.target + " and " + r2.target +
+                         " are not provably disjoint; navigation may be "
+                         "nondeterministic",
+                     "guard the rules with distinct input options (e.g. "
+                     "different button labels)",
+                     page.name);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WSV-DEAD-*: dead or unused schema elements.
+
+void LintDeadSymbols(const WebService& service, DiagnosticSink* sink) {
+  const Vocabulary& vocab = service.vocab();
+
+  // Usage over every rule body: relations referenced, constants referenced.
+  std::set<std::string> referenced_relations;
+  std::set<std::string> referenced_constants;
+  ForEachBody(service, [&](const PageSchema&, const std::string&,
+                           const FormulaPtr& body, Span) {
+    for (const Atom& atom : body->Atoms()) {
+      referenced_relations.insert(atom.relation);
+    }
+    for (const std::string& c : body->ConstantSymbols()) {
+      referenced_constants.insert(c);
+    }
+  });
+
+  // State writes: heads of insertion rules. Reads: body references.
+  std::set<std::string> inserted_states;
+  std::set<std::string> action_rule_heads;
+  std::set<std::string> offered_inputs;
+  std::set<std::string> requested_constants;
+  for (const PageSchema& page : service.pages()) {
+    for (const StateRule& r : page.state_rules) {
+      if (r.insert) inserted_states.insert(r.state);
+    }
+    for (const ActionRule& r : page.action_rules) {
+      action_rule_heads.insert(r.action);
+    }
+    offered_inputs.insert(page.inputs.begin(), page.inputs.end());
+    requested_constants.insert(page.input_constants.begin(),
+                               page.input_constants.end());
+  }
+
+  for (const RelationSymbol& sym : vocab.relations()) {
+    switch (sym.kind) {
+      case SymbolKind::kState:
+        if (referenced_relations.count(sym.name) > 0 &&
+            inserted_states.count(sym.name) == 0) {
+          ReportLint(sink, "WSV-DEAD-001", sym.span,
+                     "state relation " + sym.name +
+                         " is read but never inserted; it is always empty",
+                     "add a '+" + sym.name + "' state rule or drop the "
+                     "reads");
+        } else if (inserted_states.count(sym.name) > 0 &&
+                   referenced_relations.count(sym.name) == 0) {
+          ReportLint(sink, "WSV-DEAD-002", sym.span,
+                     "state relation " + sym.name +
+                         " is written but never read by any rule",
+                     "it can still be observed by temporal properties; "
+                     "otherwise remove it");
+        }
+        break;
+      case SymbolKind::kInput:
+        if (offered_inputs.count(sym.name) == 0 &&
+            referenced_relations.count(sym.name) == 0) {
+          ReportLint(sink, "WSV-DEAD-003", sym.span,
+                     "input relation " + sym.name +
+                         " is declared but never offered by any page",
+                     "add 'input " + sym.name + ";' or an options rule to "
+                     "a page, or drop the declaration");
+        }
+        break;
+      case SymbolKind::kAction:
+        if (action_rule_heads.count(sym.name) == 0) {
+          ReportLint(sink, "WSV-DEAD-004", sym.span,
+                     "action relation " + sym.name +
+                         " has no action rule; it can never fire",
+                     "add an 'action " + sym.name + "(...) :- ...;' rule "
+                     "or drop the declaration");
+        }
+        break;
+      case SymbolKind::kDatabase:
+        if (referenced_relations.count(sym.name) == 0) {
+          ReportLint(sink, "WSV-DEAD-005", sym.span,
+                     "database relation " + sym.name +
+                         " is never referenced by any rule");
+        }
+        break;
+      case SymbolKind::kPage:
+        break;
+    }
+  }
+  for (const std::string& c : vocab.constants()) {
+    const bool is_input = vocab.IsInputConstant(c);
+    const bool used = referenced_constants.count(c) > 0 ||
+                      (is_input && requested_constants.count(c) > 0);
+    if (!used) {
+      ReportLint(sink, "WSV-DEAD-003", vocab.ConstantSpan(c),
+                 std::string(is_input ? "input constant " : "constant ") +
+                     c + " is declared but never used",
+                 "reference it in a rule or drop the declaration");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WSV-DOM-001: literal input atoms outside the page's options domain.
+//
+// When an options rule enumerates its tuples syntactically (a disjunction
+// of equality constraints over the head variables, the common
+//   options button(x) :- x = "login" | x = "register";
+// idiom), any rule of the same page requiring a fully literal tuple of
+// that input can be checked against the enumeration — catching label
+// typos like button("lgoin") that otherwise silently never fire.
+
+// Extracts the enumerated tuple set of an options rule, or returns false
+// when the body is not a syntactic enumeration.
+bool ExtractOptionsDomain(const InputRule& rule,
+                          std::set<std::vector<std::string>>* domain) {
+  for (const FormulaPtr& disjunct : FlattenOr(rule.body)) {
+    std::map<std::string, std::string> assignment;
+    for (const FormulaPtr& c : Conjuncts(disjunct)) {
+      if (c->kind() != Formula::Kind::kEquals) return false;
+      const Term& lhs = c->lhs();
+      const Term& rhs = c->rhs();
+      const Term* var = nullptr;
+      const Term* lit = nullptr;
+      if (lhs.is_variable() && rhs.is_literal()) {
+        var = &lhs;
+        lit = &rhs;
+      } else if (rhs.is_variable() && lhs.is_literal()) {
+        var = &rhs;
+        lit = &lhs;
+      } else {
+        return false;
+      }
+      auto [it, fresh] = assignment.emplace(var->name(), lit->name());
+      if (!fresh && it->second != lit->name()) return false;
+    }
+    std::vector<std::string> tuple;
+    for (const std::string& v : rule.head_vars) {
+      auto it = assignment.find(v);
+      if (it == assignment.end()) return false;  // head var unconstrained
+      tuple.push_back(it->second);
+    }
+    domain->insert(std::move(tuple));
+  }
+  return true;
+}
+
+void LintOptionsDomain(const WebService& service, DiagnosticSink* sink) {
+  for (const PageSchema& page : service.pages()) {
+    // Domains per input relation of this page, where extractable.
+    std::map<std::string, std::set<std::vector<std::string>>> domains;
+    for (const InputRule& rule : page.input_rules) {
+      std::set<std::vector<std::string>> domain;
+      if (ExtractOptionsDomain(rule, &domain)) {
+        domains[rule.input] = std::move(domain);
+      }
+    }
+    if (domains.empty()) continue;
+
+    auto check_body = [&](const std::string& rule_label,
+                          const FormulaPtr& body, Span rule_span) {
+      for (const Atom& atom : body->Atoms()) {
+        if (atom.prev) continue;
+        auto it = domains.find(atom.relation);
+        if (it == domains.end() || !AllTermsLiteral(atom)) continue;
+        std::vector<std::string> tuple;
+        for (const Term& t : atom.terms) tuple.push_back(t.name());
+        if (it->second.count(tuple) == 0) {
+          ReportLint(sink, "WSV-DOM-001",
+                     atom.span.IsValid() ? atom.span : rule_span,
+                     "page " + page.name + ", " + rule_label + ": " +
+                         atom.ToString() + " can never hold: the options "
+                         "rule for " + atom.relation +
+                         " does not offer this tuple",
+                     "check the literal against the options rule (typo?)",
+                     page.name);
+        }
+      }
+    };
+    for (const StateRule& r : page.state_rules) {
+      check_body(r.ToString(), r.body, r.span);
+    }
+    for (const ActionRule& r : page.action_rules) {
+      check_body(r.ToString(), r.body, r.span);
+    }
+    for (const TargetRule& r : page.target_rules) {
+      check_body(r.ToString(), r.body, r.span);
+    }
+  }
+}
+
+}  // namespace
+
+void RunAllLints(const WebService& service, DiagnosticSink* sink) {
+  CollectInputBoundedDiagnostics(service, sink);  // WSV-IB-001/002/003
+  LintLosslessPrev(service, sink);                // WSV-IB-004
+  LintUnreachablePages(service, sink);            // WSV-NAV-001
+  LintOverlappingTargets(service, sink);          // WSV-NAV-002
+  LintDeadSymbols(service, sink);                 // WSV-DEAD-*
+  LintOptionsDomain(service, sink);               // WSV-DOM-001
+}
+
+void LintSpecText(std::string_view source, DiagnosticSink* sink) {
+  StatusOr<WebService> parsed = ParseServiceSpecWithoutValidation(source);
+  if (!parsed.ok()) {
+    sink->Report("WSV-PARSE-001", Severity::kError,
+                 SpanFromMessage(parsed.status().message()),
+                 parsed.status().message());
+    return;
+  }
+  ValidateServiceDiagnostics(*parsed, sink);
+  RunAllLints(*parsed, sink);
+  sink->SortBySpan();
+}
+
+}  // namespace analysis
+}  // namespace wsv

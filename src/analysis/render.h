@@ -1,0 +1,47 @@
+// Renderers for diagnostics: annotated source text, JSON, and SARIF.
+//
+// All three renderers take the original specification source so they can
+// quote the offending line (text) or report accurate artifact locations
+// (SARIF). Diagnostics are rendered in the order given; callers usually
+// SortBySpan() first.
+
+#ifndef WSV_ANALYSIS_RENDER_H_
+#define WSV_ANALYSIS_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+
+namespace wsv {
+namespace analysis {
+
+/// Compiler-style annotated output:
+///
+///   specs/bad/thm37.wsd:12:9: note: state atom cart(x) is not ground
+///     state +cart(x) :- pick(x);
+///            ^~~~
+///       = hint: ground the state atom or bind x by an input option
+///       = anchor: Theorem 3.7
+///
+/// followed by a one-line summary ("2 errors, 1 warning, 3 notes").
+std::string RenderText(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& source, const std::string& path);
+
+/// One JSON object:
+///   {"file": ..., "diagnostics": [{"rule": ..., "severity": ...,
+///    "line": ..., "column": ..., "message": ..., "hint": ...,
+///    "anchor": ..., "page": ...}, ...],
+///    "summary": {"errors": N, "warnings": N, "notes": N}}
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& path);
+
+/// SARIF 2.1.0 log with one run; rule metadata is synthesized from the
+/// distinct rule IDs present in `diagnostics`.
+std::string RenderSarif(const std::vector<Diagnostic>& diagnostics,
+                        const std::string& path);
+
+}  // namespace analysis
+}  // namespace wsv
+
+#endif  // WSV_ANALYSIS_RENDER_H_

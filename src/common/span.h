@@ -1,0 +1,43 @@
+// Source spans: half-open [start, end) regions of a specification file,
+// 1-based lines and columns. A default-constructed Span (line 0) means
+// "no source location" — rules assembled programmatically through
+// ServiceBuilder carry no positions, and diagnostic renderers fall back
+// to file-level reporting for them.
+
+#ifndef WSV_COMMON_SPAN_H_
+#define WSV_COMMON_SPAN_H_
+
+#include <string>
+
+namespace wsv {
+
+struct Span {
+  int line = 0;        // 1-based; 0 = unknown location
+  int column = 0;      // 1-based
+  int end_line = 0;    // inclusive line of the last character
+  int end_column = 0;  // exclusive column one past the last character
+
+  bool IsValid() const { return line > 0; }
+
+  /// "12:5" (or "" when unknown). Columns only; renderers prepend paths.
+  std::string ToString() const {
+    if (!IsValid()) return "";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  friend bool operator==(const Span& a, const Span& b) {
+    return a.line == b.line && a.column == b.column &&
+           a.end_line == b.end_line && a.end_column == b.end_column;
+  }
+  friend bool operator!=(const Span& a, const Span& b) { return !(a == b); }
+
+  /// Orders by start position; used to sort diagnostics into source order.
+  friend bool operator<(const Span& a, const Span& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.column < b.column;
+  }
+};
+
+}  // namespace wsv
+
+#endif  // WSV_COMMON_SPAN_H_

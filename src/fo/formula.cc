@@ -62,7 +62,7 @@ FormulaPtr Formula::MakeAtom(Atom atom) {
 
 FormulaPtr Formula::MakeAtom(std::string relation, std::vector<Term> terms,
                              bool prev) {
-  return MakeAtom(Atom{std::move(relation), prev, std::move(terms)});
+  return MakeAtom(Atom{std::move(relation), prev, std::move(terms), Span{}});
 }
 
 FormulaPtr Formula::Equals(Term lhs, Term rhs) {

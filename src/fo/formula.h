@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "relational/schema.h"
 #include "relational/value.h"
 
@@ -40,6 +41,11 @@ class Term {
   bool is_variable() const { return kind_ == Kind::kVariable; }
   bool is_constant_symbol() const { return kind_ == Kind::kConstantSymbol; }
   bool is_literal() const { return kind_ == Kind::kLiteral; }
+
+  /// Source location of this occurrence (invalid for programmatically
+  /// built terms). Ignored by comparison operators.
+  const Span& span() const { return span_; }
+  void set_span(Span span) { span_ = span; }
 
   /// Variable or constant-symbol name; for literals, the value's name.
   const std::string& name() const { return name_; }
@@ -64,6 +70,7 @@ class Term {
   Kind kind_;
   std::string name_;
   Value literal_;
+  Span span_;
 };
 
 class Formula;
@@ -74,6 +81,8 @@ struct Atom {
   std::string relation;
   bool prev = false;
   std::vector<Term> terms;
+  /// Location of the relation-name token (invalid when built in code).
+  Span span;
 
   std::string ToString() const;
 };

@@ -6,6 +6,8 @@ namespace wsv {
 
 namespace {
 
+using Kind = InputBoundedViolation::Kind;
+
 // True iff the atom's relation is an input relation (current or prev).
 bool IsInputAtom(const Atom& atom, const Vocabulary& vocab) {
   const RelationSymbol* sym = vocab.FindRelation(atom.relation);
@@ -26,22 +28,42 @@ std::set<std::string> AtomVariables(const Atom& atom) {
   return vars;
 }
 
+// First valid atom location in syntactic order, for violations whose
+// offending node (a quantifier) carries no span of its own.
+Span FirstAtomSpan(const Formula& f) {
+  for (const Atom& atom : f.Atoms()) {
+    if (atom.span.IsValid()) return atom.span;
+  }
+  return Span{};
+}
+
+void Emit(std::vector<InputBoundedViolation>* out, Kind kind,
+          std::string message, Span span) {
+  out->push_back(InputBoundedViolation{kind, std::move(message), span});
+}
+
 // Checks the guard conditions for a quantifier over `vars` with guard
-// `alpha` and remainder `phi`.
-Status CheckGuard(const std::vector<std::string>& vars, const Formula& alpha,
-                  const Formula& phi, const Vocabulary& vocab,
-                  const Formula& site) {
+// `alpha` and remainder `phi`, reporting every violation.
+void CollectGuardViolations(const std::vector<std::string>& vars,
+                            const Formula& alpha, const Formula& phi,
+                            const Vocabulary& vocab, const Formula& site,
+                            std::vector<InputBoundedViolation>* out) {
   if (alpha.kind() != Formula::Kind::kAtom ||
       !IsInputAtom(alpha.atom(), vocab)) {
-    return Status::NotInputBounded(
-        "quantifier guard is not an input atom in: " + site.ToString());
+    Span span = FirstAtomSpan(alpha);
+    if (!span.IsValid()) span = FirstAtomSpan(site);
+    Emit(out, Kind::kUnguardedQuantifier,
+         "quantifier guard is not an input atom in: " + site.ToString(),
+         span);
+    return;
   }
   std::set<std::string> guard_vars = AtomVariables(alpha.atom());
   for (const std::string& v : vars) {
     if (guard_vars.count(v) == 0) {
-      return Status::NotInputBounded(
-          "quantified variable '" + v +
-          "' does not occur in the input guard of: " + site.ToString());
+      Emit(out, Kind::kUnguardedQuantifier,
+           "quantified variable '" + v +
+               "' does not occur in the input guard of: " + site.ToString(),
+           alpha.atom().span);
     }
   }
   for (const Atom& gamma : phi.Atoms()) {
@@ -49,30 +71,30 @@ Status CheckGuard(const std::vector<std::string>& vars, const Formula& alpha,
     std::set<std::string> gamma_vars = AtomVariables(gamma);
     for (const std::string& v : vars) {
       if (gamma_vars.count(v) > 0) {
-        return Status::NotInputBounded(
-            "quantified variable '" + v +
-            "' occurs in state/action atom " + gamma.ToString() +
-            " of: " + site.ToString());
+        Emit(out, Kind::kQuantifiedVarInStateAtom,
+             "quantified variable '" + v + "' occurs in state/action atom " +
+                 gamma.ToString() + " of: " + site.ToString(),
+             gamma.span.IsValid() ? gamma.span : FirstAtomSpan(site));
       }
     }
   }
-  return Status::OK();
 }
 
-Status CheckNode(const Formula& f, const Vocabulary& vocab) {
+void CollectNode(const Formula& f, const Vocabulary& vocab,
+                 std::vector<InputBoundedViolation>* out) {
   switch (f.kind()) {
     case Formula::Kind::kTrue:
     case Formula::Kind::kFalse:
     case Formula::Kind::kAtom:
     case Formula::Kind::kEquals:
-      return Status::OK();
+      return;
     case Formula::Kind::kNot:
     case Formula::Kind::kAnd:
     case Formula::Kind::kOr:
       for (const FormulaPtr& c : f.children()) {
-        WSV_RETURN_IF_ERROR(CheckNode(*c, vocab));
+        CollectNode(*c, vocab, out);
       }
-      return Status::OK();
+      return;
     case Formula::Kind::kExists: {
       // Body must be alpha & phi, with alpha an input atom guard.
       const Formula& body = *f.body();
@@ -88,85 +110,119 @@ Status CheckNode(const Formula& f, const Vocabulary& vocab) {
                                      body.children().end());
         phi = Formula::And(std::move(rest));
       } else {
-        return Status::NotInputBounded(
-            "existential quantifier body is not of the form "
-            "(input-atom & phi): " + f.ToString());
+        Emit(out, Kind::kUnguardedQuantifier,
+             "existential quantifier body is not of the form "
+             "(input-atom & phi): " + f.ToString(),
+             FirstAtomSpan(f));
+        CollectNode(body, vocab, out);
+        return;
       }
-      WSV_RETURN_IF_ERROR(CheckGuard(f.variables(), *alpha, *phi, vocab, f));
-      return CheckNode(*phi, vocab);
+      CollectGuardViolations(f.variables(), *alpha, *phi, vocab, f, out);
+      CollectNode(*phi, vocab, out);
+      return;
     }
     case Formula::Kind::kForall: {
       // Body must be alpha -> phi, i.e. Or(Not(alpha), phi).
       const Formula& body = *f.body();
       if (body.kind() != Formula::Kind::kOr || body.children().size() < 2 ||
           body.children()[0]->kind() != Formula::Kind::kNot) {
-        return Status::NotInputBounded(
-            "universal quantifier body is not of the form "
-            "(input-atom -> phi): " + f.ToString());
+        Emit(out, Kind::kUnguardedQuantifier,
+             "universal quantifier body is not of the form "
+             "(input-atom -> phi): " + f.ToString(),
+             FirstAtomSpan(f));
+        CollectNode(body, vocab, out);
+        return;
       }
       const Formula& alpha = *body.children()[0]->children()[0];
       std::vector<FormulaPtr> rest(body.children().begin() + 1,
                                    body.children().end());
       FormulaPtr phi = Formula::Or(std::move(rest));
-      WSV_RETURN_IF_ERROR(CheckGuard(f.variables(), alpha, *phi, vocab, f));
-      return CheckNode(*phi, vocab);
+      CollectGuardViolations(f.variables(), alpha, *phi, vocab, f, out);
+      CollectNode(*phi, vocab, out);
+      return;
     }
   }
-  return Status::Internal("bad formula kind");
 }
 
-Status CheckExistential(const Formula& f, const Vocabulary& vocab,
-                        bool positive) {
+void CollectExistential(const Formula& f, const Vocabulary& vocab,
+                        bool positive,
+                        std::vector<InputBoundedViolation>* out) {
   switch (f.kind()) {
     case Formula::Kind::kTrue:
     case Formula::Kind::kFalse:
     case Formula::Kind::kEquals:
-      return Status::OK();
+      return;
     case Formula::Kind::kAtom: {
       const RelationSymbol* sym = vocab.FindRelation(f.atom().relation);
       if (sym != nullptr && sym->kind == SymbolKind::kState) {
         if (!AtomVariables(f.atom()).empty()) {
-          return Status::NotInputBounded(
-              "state atom in input rule is not ground: " +
-              f.atom().ToString());
+          Emit(out, Kind::kNonGroundStateAtom,
+               "state atom in input rule is not ground: " +
+                   f.atom().ToString(),
+               f.atom().span);
         }
       }
-      return Status::OK();
+      return;
     }
     case Formula::Kind::kNot:
-      return CheckExistential(*f.children()[0], vocab, !positive);
+      CollectExistential(*f.children()[0], vocab, !positive, out);
+      return;
     case Formula::Kind::kAnd:
     case Formula::Kind::kOr:
       for (const FormulaPtr& c : f.children()) {
-        WSV_RETURN_IF_ERROR(CheckExistential(*c, vocab, positive));
+        CollectExistential(*c, vocab, positive, out);
       }
-      return Status::OK();
+      return;
     case Formula::Kind::kExists:
       if (!positive) {
-        return Status::NotInputBounded(
-            "existential quantifier under negation in input rule: " +
-            f.ToString());
+        Emit(out, Kind::kExistentialUnderNegation,
+             "existential quantifier under negation in input rule: " +
+                 f.ToString(),
+             FirstAtomSpan(f));
       }
-      return CheckExistential(*f.body(), vocab, positive);
+      CollectExistential(*f.body(), vocab, positive, out);
+      return;
     case Formula::Kind::kForall:
       if (positive) {
-        return Status::NotInputBounded(
-            "universal quantifier in input rule: " + f.ToString());
+        Emit(out, Kind::kUniversalInInputRule,
+             "universal quantifier in input rule: " + f.ToString(),
+             FirstAtomSpan(f));
       }
-      return CheckExistential(*f.body(), vocab, positive);
+      CollectExistential(*f.body(), vocab, positive, out);
+      return;
   }
-  return Status::Internal("bad formula kind");
+}
+
+Status FirstViolation(const std::vector<InputBoundedViolation>& violations) {
+  if (violations.empty()) return Status::OK();
+  return Status::NotInputBounded(violations.front().message);
 }
 
 }  // namespace
 
 Status CheckInputBounded(const Formula& formula, const Vocabulary& vocab) {
-  return CheckNode(formula, vocab);
+  std::vector<InputBoundedViolation> violations;
+  CollectInputBoundedViolations(formula, vocab, &violations);
+  return FirstViolation(violations);
 }
 
 Status CheckExistentialInputRule(const Formula& formula,
                                  const Vocabulary& vocab) {
-  return CheckExistential(formula, vocab, /*positive=*/true);
+  std::vector<InputBoundedViolation> violations;
+  CollectExistentialInputRuleViolations(formula, vocab, &violations);
+  return FirstViolation(violations);
+}
+
+void CollectInputBoundedViolations(const Formula& formula,
+                                   const Vocabulary& vocab,
+                                   std::vector<InputBoundedViolation>* out) {
+  CollectNode(formula, vocab, out);
+}
+
+void CollectExistentialInputRuleViolations(
+    const Formula& formula, const Vocabulary& vocab,
+    std::vector<InputBoundedViolation>* out) {
+  CollectExistential(formula, vocab, /*positive=*/true, out);
 }
 
 }  // namespace wsv

@@ -18,11 +18,36 @@
 #ifndef WSV_FO_INPUT_BOUNDED_H_
 #define WSV_FO_INPUT_BOUNDED_H_
 
+#include <string>
+#include <vector>
+
+#include "common/span.h"
 #include "common/status.h"
 #include "fo/formula.h"
 #include "relational/schema.h"
 
 namespace wsv {
+
+/// One way a formula escapes the input-bounded fragment. The kind maps
+/// onto the undecidability theorems of Section 3: relaxing guardedness
+/// (Theorem 3.5 boundary), allowing non-ground state atoms in input
+/// rules (Theorem 3.7), or projecting quantified variables into state
+/// atoms (Theorem 3.8).
+struct InputBoundedViolation {
+  enum class Kind {
+    kUnguardedQuantifier,        // quantifier not guarded by an input atom
+    kQuantifiedVarInStateAtom,   // guard variable leaks into state/action
+    kNonGroundStateAtom,         // input rule uses a non-ground state atom
+    kUniversalInInputRule,       // input rule not existential
+    kExistentialUnderNegation,   // input rule not existential (negated ∃)
+  };
+
+  Kind kind;
+  std::string message;
+  /// Closest source location: the offending atom when one is known,
+  /// otherwise invalid.
+  Span span;
+};
 
 /// Checks the input-bounded restriction for state/action/target rule
 /// formulas and for FO subformulas of temporal properties.
@@ -32,6 +57,17 @@ Status CheckInputBounded(const Formula& formula, const Vocabulary& vocab);
 /// quantifier, no existential under negation) with all state atoms ground.
 Status CheckExistentialInputRule(const Formula& formula,
                                  const Vocabulary& vocab);
+
+/// Like CheckInputBounded but reports *every* violation instead of the
+/// first; the Status checkers are thin wrappers over these collectors.
+void CollectInputBoundedViolations(const Formula& formula,
+                                   const Vocabulary& vocab,
+                                   std::vector<InputBoundedViolation>* out);
+
+/// Like CheckExistentialInputRule, collecting every violation.
+void CollectExistentialInputRuleViolations(
+    const Formula& formula, const Vocabulary& vocab,
+    std::vector<InputBoundedViolation>* out);
 
 }  // namespace wsv
 

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 
 namespace wsv {
@@ -42,6 +43,16 @@ struct Token {
   int column = 1;
 
   std::string Describe() const;
+
+  /// The source region this token covers. String tokens account for
+  /// their surrounding quotes (escapes are approximated by the unescaped
+  /// length, which is close enough for caret rendering).
+  Span span() const {
+    int width = static_cast<int>(text.size());
+    if (kind == TokenKind::kString) width += 2;
+    if (width == 0) width = 1;  // Eof and degenerate tokens
+    return Span{line, column, line, column + width};
+  }
 };
 
 /// Tokenizes `input`. Comments run from '#' or '//' to end of line.

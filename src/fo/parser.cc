@@ -22,23 +22,29 @@ class FoParser {
 
   StatusOr<Term> ParseTerm() {
     const Token& t = ts_.Peek();
+    const Span span = t.span();
     switch (t.kind) {
       case TokenKind::kIdent: {
         std::string name = ts_.Next().text;
-        if (vocab_ != nullptr && vocab_->IsConstant(name)) {
-          return Term::ConstantSymbol(std::move(name));
-        }
-        return Term::Variable(std::move(name));
+        Term term = (vocab_ != nullptr && vocab_->IsConstant(name))
+                        ? Term::ConstantSymbol(std::move(name))
+                        : Term::Variable(std::move(name));
+        term.set_span(span);
+        return term;
       }
       case TokenKind::kString:
-      case TokenKind::kNumber:
-        return Term::Literal(Value::Intern(ts_.Next().text));
+      case TokenKind::kNumber: {
+        Term term = Term::Literal(Value::Intern(ts_.Next().text));
+        term.set_span(span);
+        return term;
+      }
       default:
         return ts_.ErrorHere("expected a term");
     }
   }
 
-  StatusOr<FormulaPtr> ParseAtomTail(std::string relation, bool prev) {
+  StatusOr<FormulaPtr> ParseAtomTail(std::string relation, bool prev,
+                                     Span rel_span) {
     std::vector<Term> terms;
     if (ts_.TryConsume(TokenKind::kLParen)) {
       if (!ts_.TryConsume(TokenKind::kRParen)) {
@@ -65,7 +71,12 @@ class FoParser {
                                   relation);
       }
     }
-    return Formula::MakeAtom(std::move(relation), std::move(terms), prev);
+    Atom atom;
+    atom.relation = std::move(relation);
+    atom.prev = prev;
+    atom.terms = std::move(terms);
+    atom.span = rel_span;
+    return Formula::MakeAtom(std::move(atom));
   }
 
  private:
@@ -134,22 +145,25 @@ class FoParser {
       if (t.text == "prev" && ts_.Peek(1).kind == TokenKind::kDot) {
         ts_.Next();
         ts_.Next();
+        const Span rel_span = ts_.Peek().span();
         WSV_ASSIGN_OR_RETURN(std::string rel,
                              ts_.ExpectIdentText("an input relation name"));
-        return ParseAtomTail(std::move(rel), /*prev=*/true);
+        return ParseAtomTail(std::move(rel), /*prev=*/true, rel_span);
       }
       // Atom R(...) vs equality `x = t` vs bare proposition `R`.
       if (ts_.Peek(1).kind == TokenKind::kLParen) {
+        const Span rel_span = t.span();
         std::string rel = ts_.Next().text;
-        return ParseAtomTail(std::move(rel), /*prev=*/false);
+        return ParseAtomTail(std::move(rel), /*prev=*/false, rel_span);
       }
       if (ts_.Peek(1).kind == TokenKind::kEquals ||
           ts_.Peek(1).kind == TokenKind::kNotEquals) {
         return ParseEquality();
       }
       // Bare identifier: a proposition atom.
+      const Span rel_span = t.span();
       std::string rel = ts_.Next().text;
-      return ParseAtomTail(std::move(rel), /*prev=*/false);
+      return ParseAtomTail(std::move(rel), /*prev=*/false, rel_span);
     }
     if (t.kind == TokenKind::kString || t.kind == TokenKind::kNumber) {
       return ParseEquality();
@@ -209,10 +223,11 @@ StatusOr<FormulaPtr> ParseAtomFrom(TokenStream& ts, const Vocabulary* vocab) {
     ts.Next();
     prev = true;
   }
+  const Span rel_span = ts.Peek().span();
   WSV_ASSIGN_OR_RETURN(std::string rel,
                        ts.ExpectIdentText("a relation name"));
   FoParser parser(ts, vocab);
-  return parser.ParseAtomTail(std::move(rel), prev);
+  return parser.ParseAtomTail(std::move(rel), prev, rel_span);
 }
 
 }  // namespace wsv

@@ -21,7 +21,7 @@ const char* SymbolKindToString(SymbolKind kind) {
 }
 
 Status Vocabulary::AddRelation(const std::string& name, int arity,
-                               SymbolKind kind) {
+                               SymbolKind kind, Span span) {
   if (!IsIdentifier(name)) {
     return Status::InvalidArgument("relation name is not an identifier: '" +
                                    name + "'");
@@ -36,12 +36,12 @@ Status Vocabulary::AddRelation(const std::string& name, int arity,
     return Status::InvalidArgument("name already used by a constant: " + name);
   }
   relation_index_[name] = relations_.size();
-  relations_.push_back(RelationSymbol{name, arity, kind});
+  relations_.push_back(RelationSymbol{name, arity, kind, span});
   return Status::OK();
 }
 
 Status Vocabulary::AddConstant(const std::string& name,
-                               bool is_input_constant) {
+                               bool is_input_constant, Span span) {
   if (!IsIdentifier(name)) {
     return Status::InvalidArgument("constant name is not an identifier: '" +
                                    name + "'");
@@ -53,8 +53,14 @@ Status Vocabulary::AddConstant(const std::string& name,
     return Status::InvalidArgument("duplicate constant symbol: " + name);
   }
   constant_is_input_[name] = is_input_constant;
+  constant_span_[name] = span;
   constants_.push_back(name);
   return Status::OK();
+}
+
+Span Vocabulary::ConstantSpan(const std::string& name) const {
+  auto it = constant_span_.find(name);
+  return it == constant_span_.end() ? Span{} : it->second;
 }
 
 const RelationSymbol* Vocabulary::FindRelation(const std::string& name) const {

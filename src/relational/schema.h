@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 
 namespace wsv {
@@ -39,6 +40,8 @@ struct RelationSymbol {
   std::string name;
   int arity = 0;
   SymbolKind kind = SymbolKind::kDatabase;
+  /// Declaration site in the .wsv source (invalid when built in code).
+  Span span;
 
   bool IsProposition() const { return arity == 0; }
 };
@@ -50,12 +53,15 @@ class Vocabulary {
   Vocabulary() = default;
 
   /// Registers a relation symbol. Fails if the name is already taken by a
-  /// relation or a constant, or the arity is negative.
-  Status AddRelation(const std::string& name, int arity, SymbolKind kind);
+  /// relation or a constant, or the arity is negative. `span` records the
+  /// declaration site for diagnostics.
+  Status AddRelation(const std::string& name, int arity, SymbolKind kind,
+                     Span span = {});
 
   /// Registers a constant symbol. `is_input_constant` marks members of
   /// const(I), whose values arrive from the user during the run.
-  Status AddConstant(const std::string& name, bool is_input_constant);
+  Status AddConstant(const std::string& name, bool is_input_constant,
+                     Span span = {});
 
   /// Looks up a relation symbol by name; nullptr if absent.
   const RelationSymbol* FindRelation(const std::string& name) const;
@@ -78,11 +84,15 @@ class Vocabulary {
   /// The input constants const(I), in registration order.
   std::vector<std::string> InputConstants() const;
 
+  /// Declaration site of a constant symbol (invalid when unknown).
+  Span ConstantSpan(const std::string& name) const;
+
  private:
   std::vector<RelationSymbol> relations_;
   std::map<std::string, size_t> relation_index_;
   std::vector<std::string> constants_;
   std::map<std::string, bool> constant_is_input_;
+  std::map<std::string, Span> constant_span_;
 };
 
 }  // namespace wsv

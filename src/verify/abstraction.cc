@@ -294,21 +294,21 @@ StatusOr<WebService> AbstractToPropositional(const WebService& service) {
     np.targets = page.targets;
     for (const InputRule& r : page.input_rules) {
       WSV_ASSIGN_OR_RETURN(FormulaPtr abs, AbstractFo(*r.body, vocab));
-      np.input_rules.push_back(InputRule{r.input, r.head_vars, abs});
+      np.input_rules.push_back(InputRule{r.input, r.head_vars, abs, Span{}});
     }
     for (const StateRule& r : page.state_rules) {
       WSV_ASSIGN_OR_RETURN(FormulaPtr body,
                            AbstractRuleBody(r.body, r.head_vars, vocab));
-      np.state_rules.push_back(StateRule{r.state, r.insert, {}, body});
+      np.state_rules.push_back(StateRule{r.state, r.insert, {}, body, Span{}});
     }
     for (const ActionRule& r : page.action_rules) {
       WSV_ASSIGN_OR_RETURN(FormulaPtr body,
                            AbstractRuleBody(r.body, r.head_vars, vocab));
-      np.action_rules.push_back(ActionRule{r.action, {}, body});
+      np.action_rules.push_back(ActionRule{r.action, {}, body, Span{}});
     }
     for (const TargetRule& r : page.target_rules) {
       WSV_ASSIGN_OR_RETURN(FormulaPtr body, AbstractFo(*r.body, vocab));
-      np.target_rules.push_back(TargetRule{r.target, body});
+      np.target_rules.push_back(TargetRule{r.target, body, Span{}});
     }
     WSV_RETURN_IF_ERROR(ws.AddPage(std::move(np)));
   }

@@ -83,7 +83,7 @@ StatusOr<ErrorFreeTransform> TransformErrorFree(const WebService& service) {
     if (home_static_error && page.name == service.home_page()) {
       // Every run of the original errs at step 0; trap immediately.
       np.targets.push_back(trap);
-      np.target_rules.push_back(TargetRule{trap, Formula::True()});
+      np.target_rules.push_back(TargetRule{trap, Formula::True(), Span{}});
       WSV_RETURN_IF_ERROR(ws.AddPage(std::move(np)));
       continue;
     }
@@ -96,7 +96,7 @@ StatusOr<ErrorFreeTransform> TransformErrorFree(const WebService& service) {
     // Record constants provided on this page.
     for (const std::string& c : page.input_constants) {
       np.state_rules.push_back(
-          StateRule{ProvidedProp(c), true, {}, Formula::True()});
+          StateRule{ProvidedProp(c), true, {}, Formula::True(), Span{}});
     }
 
     // Error condition Delta evaluated while on this page.
@@ -140,12 +140,12 @@ StatusOr<ErrorFreeTransform> TransformErrorFree(const WebService& service) {
     FormulaPtr delta = Simplify(*Formula::Or(std::move(delta_parts)));
     if (delta->kind() != Formula::Kind::kFalse) {
       np.targets.push_back(trap);
-      np.target_rules.push_back(TargetRule{trap, delta});
+      np.target_rules.push_back(TargetRule{trap, delta, Span{}});
       for (const TargetRule& rule : page.target_rules) {
         np.targets.push_back(rule.target);
         np.target_rules.push_back(TargetRule{
             rule.target,
-            Simplify(*Formula::And(rule.body, Formula::Not(delta)))});
+            Simplify(*Formula::And(rule.body, Formula::Not(delta))), Span{}});
       }
     } else {
       np.targets = page.targets;
@@ -162,7 +162,7 @@ StatusOr<ErrorFreeTransform> TransformErrorFree(const WebService& service) {
   PageSchema trap_page;
   trap_page.name = trap;
   trap_page.targets.push_back(trap);
-  trap_page.target_rules.push_back(TargetRule{trap, Formula::True()});
+  trap_page.target_rules.push_back(TargetRule{trap, Formula::True(), Span{}});
   WSV_RETURN_IF_ERROR(ws.AddPage(std::move(trap_page)));
 
   for (const PageSchema& page : ws.pages()) {
@@ -262,7 +262,7 @@ StatusOr<SimpleTransform> TransformToSimple(const WebService& service) {
   PageSchema main;
   main.name = "Main";
   main.targets.push_back("Main");
-  main.target_rules.push_back(TargetRule{"Main", Formula::True()});
+  main.target_rules.push_back(TargetRule{"Main", Formula::True(), Span{}});
   for (const RelationSymbol& sym : vocab.RelationsOfKind(SymbolKind::kInput)) {
     main.inputs.push_back(sym.name);
   }
@@ -300,19 +300,22 @@ StatusOr<SimpleTransform> TransformToSimple(const WebService& service) {
   for (auto& [input, parts] : options_parts) {
     const RelationSymbol* sym = vocab.FindRelation(input);
     main.input_rules.push_back(InputRule{input, CanonicalVars(sym->arity),
-                                         Formula::Or(std::move(parts))});
+                                         Formula::Or(std::move(parts)),
+                                         Span{}});
   }
   for (auto& [key, parts] : state_parts) {
     const auto& [state, insert] = key;
     const RelationSymbol* sym = nv.FindRelation(state);
     main.state_rules.push_back(StateRule{state, insert,
                                          CanonicalVars(sym->arity),
-                                         Formula::Or(std::move(parts))});
+                                         Formula::Or(std::move(parts)),
+                                         Span{}});
   }
   for (auto& [action, parts] : action_parts) {
     const RelationSymbol* sym = vocab.FindRelation(action);
     main.action_rules.push_back(ActionRule{action, CanonicalVars(sym->arity),
-                                           Formula::Or(std::move(parts))});
+                                           Formula::Or(std::move(parts)),
+                                           Span{}});
   }
   WSV_RETURN_IF_ERROR(ws.AddPage(std::move(main)));
   WSV_RETURN_IF_ERROR(nv.AddRelation("Main", 0, SymbolKind::kPage));

@@ -139,7 +139,7 @@ PageBuilder& PageBuilder::Target(const std::string& target_page,
       page().targets.end()) {
     page().targets.push_back(target_page);
   }
-  page().target_rules.push_back(TargetRule{target_page, *parsed});
+  page().target_rules.push_back(TargetRule{target_page, *parsed, Span{}});
   return *this;
 }
 
@@ -151,56 +151,64 @@ void ServiceBuilder::Record(const Status& status) {
   if (first_error_.ok() && !status.ok()) first_error_ = status;
 }
 
-ServiceBuilder& ServiceBuilder::Database(const std::string& name, int arity) {
+ServiceBuilder& ServiceBuilder::Database(const std::string& name, int arity,
+                                         Span span) {
   Record(service_.mutable_vocab().AddRelation(name, arity,
-                                              SymbolKind::kDatabase));
+                                              SymbolKind::kDatabase, span));
   return *this;
 }
 
-ServiceBuilder& ServiceBuilder::State(const std::string& name, int arity) {
+ServiceBuilder& ServiceBuilder::State(const std::string& name, int arity,
+                                      Span span) {
   Record(service_.mutable_vocab().AddRelation(name, arity,
-                                              SymbolKind::kState));
+                                              SymbolKind::kState, span));
   return *this;
 }
 
-ServiceBuilder& ServiceBuilder::Input(const std::string& name, int arity) {
+ServiceBuilder& ServiceBuilder::Input(const std::string& name, int arity,
+                                      Span span) {
   Record(service_.mutable_vocab().AddRelation(name, arity,
-                                              SymbolKind::kInput));
+                                              SymbolKind::kInput, span));
   return *this;
 }
 
-ServiceBuilder& ServiceBuilder::Action(const std::string& name, int arity) {
+ServiceBuilder& ServiceBuilder::Action(const std::string& name, int arity,
+                                       Span span) {
   Record(service_.mutable_vocab().AddRelation(name, arity,
-                                              SymbolKind::kAction));
+                                              SymbolKind::kAction, span));
   return *this;
 }
 
-ServiceBuilder& ServiceBuilder::InputConstant(const std::string& name) {
+ServiceBuilder& ServiceBuilder::InputConstant(const std::string& name,
+                                              Span span) {
   Record(service_.mutable_vocab().AddConstant(name,
-                                              /*is_input_constant=*/true));
+                                              /*is_input_constant=*/true,
+                                              span));
   return *this;
 }
 
-ServiceBuilder& ServiceBuilder::Constant(const std::string& name) {
+ServiceBuilder& ServiceBuilder::Constant(const std::string& name, Span span) {
   Record(service_.mutable_vocab().AddConstant(name,
-                                              /*is_input_constant=*/false));
+                                              /*is_input_constant=*/false,
+                                              span));
   return *this;
 }
 
-PageBuilder ServiceBuilder::Page(const std::string& name) {
+PageBuilder ServiceBuilder::Page(const std::string& name, Span span) {
   PageSchema page;
   page.name = name;
+  page.span = span;
   staged_pages_.push_back(std::move(page));
   return PageBuilder(this, staged_pages_.size() - 1);
 }
 
-ServiceBuilder& ServiceBuilder::Home(const std::string& name) {
-  service_.set_home_page(name);
+ServiceBuilder& ServiceBuilder::Home(const std::string& name, Span span) {
+  service_.set_home_page(name, span);
   return *this;
 }
 
-ServiceBuilder& ServiceBuilder::Error(const std::string& name) {
-  service_.set_error_page(name);
+ServiceBuilder& ServiceBuilder::Error(const std::string& name, Span span) {
+  service_.set_error_page(name, span);
   return *this;
 }
 
@@ -259,7 +267,7 @@ Status DesugarHeadTerms(const std::vector<Term>& head_terms,
   return Status::OK();
 }
 
-StatusOr<WebService> ServiceBuilder::Build() {
+StatusOr<WebService> ServiceBuilder::BuildWithoutValidation() {
   if (!first_error_.ok()) return first_error_;
   for (PageSchema& page : staged_pages_) {
     WSV_RETURN_IF_ERROR(service_.AddPage(std::move(page)));
@@ -269,14 +277,20 @@ StatusOr<WebService> ServiceBuilder::Build() {
   // temporal formulas can reference them.
   for (const PageSchema& page : service_.pages()) {
     WSV_RETURN_IF_ERROR(service_.mutable_vocab().AddRelation(
-        page.name, 0, SymbolKind::kPage));
+        page.name, 0, SymbolKind::kPage, page.span));
   }
   if (!service_.error_page().empty()) {
     WSV_RETURN_IF_ERROR(service_.mutable_vocab().AddRelation(
-        service_.error_page(), 0, SymbolKind::kPage));
+        service_.error_page(), 0, SymbolKind::kPage,
+        service_.error_span()));
   }
-  WSV_RETURN_IF_ERROR(ValidateService(service_));
   return std::move(service_);
+}
+
+StatusOr<WebService> ServiceBuilder::Build() {
+  WSV_ASSIGN_OR_RETURN(WebService service, BuildWithoutValidation());
+  WSV_RETURN_IF_ERROR(ValidateService(service));
+  return service;
 }
 
 }  // namespace wsv

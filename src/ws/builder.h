@@ -85,21 +85,24 @@ class ServiceBuilder {
  public:
   explicit ServiceBuilder(std::string service_name);
 
-  ServiceBuilder& Database(const std::string& name, int arity);
-  ServiceBuilder& State(const std::string& name, int arity);
-  ServiceBuilder& Input(const std::string& name, int arity);
-  ServiceBuilder& Action(const std::string& name, int arity);
+  /// Declaration methods take an optional source span recorded on the
+  /// vocabulary symbol for diagnostics (the .wsv parser supplies it).
+  ServiceBuilder& Database(const std::string& name, int arity,
+                           Span span = {});
+  ServiceBuilder& State(const std::string& name, int arity, Span span = {});
+  ServiceBuilder& Input(const std::string& name, int arity, Span span = {});
+  ServiceBuilder& Action(const std::string& name, int arity, Span span = {});
   /// Declares a member of const(I): its value is supplied by the user.
-  ServiceBuilder& InputConstant(const std::string& name);
+  ServiceBuilder& InputConstant(const std::string& name, Span span = {});
   /// Declares a non-input constant (interpreted by the database instance).
-  ServiceBuilder& Constant(const std::string& name);
+  ServiceBuilder& Constant(const std::string& name, Span span = {});
 
   /// Starts a new page. Pages must come after schema declarations because
   /// rule bodies parse against the vocabulary.
-  PageBuilder Page(const std::string& name);
+  PageBuilder Page(const std::string& name, Span span = {});
 
-  ServiceBuilder& Home(const std::string& name);
-  ServiceBuilder& Error(const std::string& name);
+  ServiceBuilder& Home(const std::string& name, Span span = {});
+  ServiceBuilder& Error(const std::string& name, Span span = {});
 
   /// The vocabulary accumulated so far (used by the .wsv parser to parse
   /// rule formulas against the declarations).
@@ -108,6 +111,11 @@ class ServiceBuilder {
   /// Finalizes: registers page propositions, validates well-formedness
   /// (ws/validate.h), and returns the service or the first recorded error.
   StatusOr<WebService> Build();
+
+  /// Like Build() but skips ValidateService so static analysis can lint
+  /// structurally complete yet ill-formed services and report *every*
+  /// violation instead of the first.
+  StatusOr<WebService> BuildWithoutValidation();
 
  private:
   friend class PageBuilder;

@@ -6,22 +6,27 @@ namespace wsv {
 
 namespace {
 
+using analysis::Diagnostic;
+using analysis::DiagnosticSink;
+using analysis::FindRule;
+using analysis::Severity;
+
 // Applies `check` to every rule body in the service, attributing failures.
 template <typename Check>
 Status ForEachRuleBody(const WebService& service, const Check& check) {
   for (const PageSchema& page : service.pages()) {
     for (const InputRule& r : page.input_rules) {
       WSV_RETURN_IF_ERROR(check(page, r.body, /*is_input_rule=*/true,
-                                r.ToString()));
+                                r.ToString(), r.span));
     }
     for (const StateRule& r : page.state_rules) {
-      WSV_RETURN_IF_ERROR(check(page, r.body, false, r.ToString()));
+      WSV_RETURN_IF_ERROR(check(page, r.body, false, r.ToString(), r.span));
     }
     for (const ActionRule& r : page.action_rules) {
-      WSV_RETURN_IF_ERROR(check(page, r.body, false, r.ToString()));
+      WSV_RETURN_IF_ERROR(check(page, r.body, false, r.ToString(), r.span));
     }
     for (const TargetRule& r : page.target_rules) {
-      WSV_RETURN_IF_ERROR(check(page, r.body, false, r.ToString()));
+      WSV_RETURN_IF_ERROR(check(page, r.body, false, r.ToString(), r.span));
     }
   }
   return Status::OK();
@@ -34,13 +39,39 @@ Status Attribute(const PageSchema& page, const std::string& rule,
                                  inner.message());
 }
 
+// Maps an input-boundedness violation onto its lint rule. The kinds
+// correspond to the relaxations shown undecidable in Section 3.
+const char* RuleIdFor(InputBoundedViolation::Kind kind) {
+  switch (kind) {
+    case InputBoundedViolation::Kind::kNonGroundStateAtom:
+      return "WSV-IB-002";  // Theorem 3.7
+    case InputBoundedViolation::Kind::kQuantifiedVarInStateAtom:
+      return "WSV-IB-003";  // Theorem 3.8
+    case InputBoundedViolation::Kind::kUnguardedQuantifier:
+    case InputBoundedViolation::Kind::kUniversalInInputRule:
+    case InputBoundedViolation::Kind::kExistentialUnderNegation:
+      return "WSV-IB-001";  // Theorem 3.5 boundary
+  }
+  return "WSV-IB-001";
+}
+
+void ReportRule(DiagnosticSink* sink, const char* rule_id,
+                const PageSchema& page, const std::string& rule,
+                const std::string& message, Span span, std::string hint = "") {
+  const analysis::RuleInfo* info = FindRule(rule_id);
+  sink->Report(rule_id, info != nullptr ? info->severity : Severity::kNote,
+               span, "page " + page.name + ", " + rule + ": " + message,
+               std::move(hint),
+               info != nullptr ? info->anchor : "", page.name);
+}
+
 }  // namespace
 
 Status CheckInputBoundedService(const WebService& service) {
   return ForEachRuleBody(
       service,
       [&](const PageSchema& page, const FormulaPtr& body, bool is_input_rule,
-          const std::string& rule) -> Status {
+          const std::string& rule, Span) -> Status {
         Status st = is_input_rule
                         ? CheckExistentialInputRule(*body, service.vocab())
                         : CheckInputBounded(*body, service.vocab());
@@ -62,7 +93,7 @@ Status CheckPropositionalService(const WebService& service) {
   return ForEachRuleBody(
       service,
       [&](const PageSchema& page, const FormulaPtr& body, bool,
-          const std::string& rule) -> Status {
+          const std::string& rule, Span) -> Status {
         for (const Atom& atom : body->Atoms()) {
           if (atom.prev) {
             return Status::Unsupported(
@@ -91,7 +122,7 @@ Status CheckFullyPropositionalService(const WebService& service) {
   return ForEachRuleBody(
       service,
       [&](const PageSchema& page, const FormulaPtr& body, bool,
-          const std::string& rule) -> Status {
+          const std::string& rule, Span) -> Status {
         for (const Atom& atom : body->Atoms()) {
           const RelationSymbol* sym =
               service.vocab().FindRelation(atom.relation);
@@ -106,16 +137,119 @@ Status CheckFullyPropositionalService(const WebService& service) {
       });
 }
 
+void CollectInputBoundedDiagnostics(const WebService& service,
+                                    analysis::DiagnosticSink* sink) {
+  ForEachRuleBody(
+      service,
+      [&](const PageSchema& page, const FormulaPtr& body, bool is_input_rule,
+          const std::string& rule, Span rule_span) -> Status {
+        std::vector<InputBoundedViolation> violations;
+        if (is_input_rule) {
+          CollectExistentialInputRuleViolations(*body, service.vocab(),
+                                                &violations);
+        } else {
+          CollectInputBoundedViolations(*body, service.vocab(), &violations);
+        }
+        for (const InputBoundedViolation& v : violations) {
+          ReportRule(sink, RuleIdFor(v.kind), page, rule, v.message,
+                     v.span.IsValid() ? v.span : rule_span);
+        }
+        return Status::OK();
+      });
+}
+
+void CollectPropositionalDiagnostics(const WebService& service,
+                                     analysis::DiagnosticSink* sink) {
+  for (const RelationSymbol& sym : service.vocab().relations()) {
+    if ((sym.kind == SymbolKind::kState || sym.kind == SymbolKind::kAction) &&
+        sym.arity > 0) {
+      const analysis::RuleInfo* info = FindRule("WSV-CLS-001");
+      sink->Report("WSV-CLS-001", info->severity, sym.span,
+                   std::string(SymbolKindToString(sym.kind)) + " relation " +
+                       sym.name + " has arity " + std::to_string(sym.arity) +
+                       "; propositional services require arity 0",
+                   "", info->anchor);
+    }
+  }
+  ForEachRuleBody(
+      service,
+      [&](const PageSchema& page, const FormulaPtr& body, bool,
+          const std::string& rule, Span rule_span) -> Status {
+        for (const Atom& atom : body->Atoms()) {
+          if (atom.prev) {
+            ReportRule(sink, "WSV-CLS-002", page, rule,
+                       "Prev_I atom " + atom.ToString() +
+                           " not permitted in propositional services",
+                       atom.span.IsValid() ? atom.span : rule_span);
+          }
+        }
+        return Status::OK();
+      });
+}
+
+void CollectFullyPropositionalDiagnostics(const WebService& service,
+                                          analysis::DiagnosticSink* sink) {
+  for (const RelationSymbol& sym : service.vocab().relations()) {
+    if (sym.kind == SymbolKind::kInput && sym.arity > 0) {
+      const analysis::RuleInfo* info = FindRule("WSV-CLS-003");
+      sink->Report("WSV-CLS-003", info->severity, sym.span,
+                   "input relation " + sym.name + " has arity " +
+                       std::to_string(sym.arity) +
+                       "; fully propositional services require "
+                       "propositional inputs",
+                   "", info->anchor);
+    }
+  }
+  for (const std::string& c : service.vocab().InputConstants()) {
+    const analysis::RuleInfo* info = FindRule("WSV-CLS-003");
+    sink->Report("WSV-CLS-003", info->severity,
+                 service.vocab().ConstantSpan(c),
+                 "input constant " + c +
+                     " not permitted: fully propositional services take no "
+                     "input constants",
+                 "", info->anchor);
+  }
+  ForEachRuleBody(
+      service,
+      [&](const PageSchema& page, const FormulaPtr& body, bool,
+          const std::string& rule, Span rule_span) -> Status {
+        for (const Atom& atom : body->Atoms()) {
+          const RelationSymbol* sym =
+              service.vocab().FindRelation(atom.relation);
+          if (sym != nullptr && sym->kind == SymbolKind::kDatabase) {
+            ReportRule(sink, "WSV-CLS-004", page, rule,
+                       "database atom " + atom.ToString() +
+                           " not permitted in fully propositional services",
+                       atom.span.IsValid() ? atom.span : rule_span);
+          }
+        }
+        return Status::OK();
+      });
+}
+
 std::string ServiceClassification::ToString() const {
   std::string out;
-  auto row = [&](const char* label, bool member, const std::string& diag) {
+  auto row = [&](const char* label, bool member, const std::string& diag,
+                 const std::vector<Diagnostic>& diags) {
     out += std::string(label) + ": " + (member ? "yes" : "no");
-    if (!member && !diag.empty()) out += " (" + diag + ")";
     out += "\n";
+    if (member) return;
+    if (diags.empty()) {
+      if (!diag.empty()) out += "  - " + diag + "\n";
+      return;
+    }
+    for (const Diagnostic& d : diags) {
+      out += "  - [" + d.rule_id + "] " + d.message;
+      if (!d.anchor.empty()) out += " (" + d.anchor + ")";
+      out += "\n";
+    }
   };
-  row("input-bounded", input_bounded, input_bounded_diag);
-  row("propositional", propositional, propositional_diag);
-  row("fully propositional", fully_propositional, fully_propositional_diag);
+  row("input-bounded", input_bounded, input_bounded_diag,
+      input_bounded_diags);
+  row("propositional", propositional, propositional_diag,
+      propositional_diags);
+  row("fully propositional", fully_propositional, fully_propositional_diag,
+      fully_propositional_diags);
   return out;
 }
 
@@ -130,6 +264,17 @@ ServiceClassification ClassifyService(const WebService& service) {
   st = CheckFullyPropositionalService(service);
   out.fully_propositional = st.ok();
   out.fully_propositional_diag = st.message();
+
+  DiagnosticSink ib, prop, fully;
+  CollectInputBoundedDiagnostics(service, &ib);
+  CollectPropositionalDiagnostics(service, &prop);
+  CollectFullyPropositionalDiagnostics(service, &fully);
+  out.input_bounded_diags = ib.diagnostics();
+  // A class inherits the reasons of the classes it contains; keep each
+  // vector incremental and let ToString report the increments under the
+  // class where they first bite.
+  out.propositional_diags = prop.diagnostics();
+  out.fully_propositional_diags = fully.diagnostics();
   return out;
 }
 

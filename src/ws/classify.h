@@ -10,14 +10,18 @@
 //                        inputs are propositional and no rule mentions the
 //                        database; the database plays no role.
 //
-// Each checker returns OK or a diagnostic pinpointing the first violation,
-// so a caller can report *why* a service falls outside a class.
+// The Status checkers return OK or the *first* violation. The Collect*
+// functions report every violation into a DiagnosticSink with rule IDs
+// anchored to the theorems (WSV-IB-001/002/003, WSV-CLS-*), so
+// ClassifyService can explain all the reasons a service misses a class.
 
 #ifndef WSV_WS_CLASSIFY_H_
 #define WSV_WS_CLASSIFY_H_
 
 #include <string>
+#include <vector>
 
+#include "analysis/diagnostics.h"
 #include "common/status.h"
 #include "ws/service.h"
 
@@ -27,15 +31,38 @@ Status CheckInputBoundedService(const WebService& service);
 Status CheckPropositionalService(const WebService& service);
 Status CheckFullyPropositionalService(const WebService& service);
 
-/// Summary of class membership with diagnostics for the classes a
-/// service misses.
+/// Every way the service escapes the input-bounded fragment:
+///   WSV-IB-001  unguarded quantification        (Theorem 3.5 boundary)
+///   WSV-IB-002  non-ground state atom in an options rule  (Theorem 3.7)
+///   WSV-IB-003  quantified variable in a state/action atom (Theorem 3.8)
+void CollectInputBoundedDiagnostics(const WebService& service,
+                                    analysis::DiagnosticSink* sink);
+
+/// Requirements propositional services add on top of input-boundedness
+/// (WSV-CLS-001 non-propositional state/action, WSV-CLS-002 Prev_I atom).
+void CollectPropositionalDiagnostics(const WebService& service,
+                                     analysis::DiagnosticSink* sink);
+
+/// Requirements fully propositional services add on top of propositional
+/// ones (WSV-CLS-003 non-propositional input, WSV-CLS-004 database use).
+void CollectFullyPropositionalDiagnostics(const WebService& service,
+                                          analysis::DiagnosticSink* sink);
+
+/// Summary of class membership. For each class the service misses,
+/// `*_diags` lists *every* reason; `*_diag` keeps the historical
+/// first-violation string.
 struct ServiceClassification {
   bool input_bounded = false;
   std::string input_bounded_diag;
+  std::vector<analysis::Diagnostic> input_bounded_diags;
   bool propositional = false;
   std::string propositional_diag;
+  /// Reasons beyond the input-bounded ones (which also apply).
+  std::vector<analysis::Diagnostic> propositional_diags;
   bool fully_propositional = false;
   std::string fully_propositional_diag;
+  /// Reasons beyond the propositional ones (which also apply).
+  std::vector<analysis::Diagnostic> fully_propositional_diags;
 
   std::string ToString() const;
 };

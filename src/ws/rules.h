@@ -18,16 +18,19 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "fo/formula.h"
 
 namespace wsv {
 
 /// Options_I(head_vars) :- body. `input` names a relation in I of
-/// positive arity.
+/// positive arity. `span` locates the rule head in the .wsv source
+/// (invalid for rules assembled programmatically).
 struct InputRule {
   std::string input;
   std::vector<std::string> head_vars;
   FormulaPtr body;
+  Span span;
 
   std::string ToString() const;
 };
@@ -38,6 +41,7 @@ struct StateRule {
   bool insert = true;
   std::vector<std::string> head_vars;
   FormulaPtr body;
+  Span span;
 
   std::string ToString() const;
 };
@@ -47,6 +51,7 @@ struct ActionRule {
   std::string action;
   std::vector<std::string> head_vars;
   FormulaPtr body;
+  Span span;
 
   std::string ToString() const;
 };
@@ -55,6 +60,7 @@ struct ActionRule {
 struct TargetRule {
   std::string target;
   FormulaPtr body;
+  Span span;
 
   std::string ToString() const;
 };

@@ -22,6 +22,9 @@ namespace wsv {
 /// A Web page schema W = <I_W, A_W, T_W, R_W>.
 struct PageSchema {
   std::string name;
+  /// Location of the page-name token in the .wsv source (invalid for
+  /// programmatically built pages).
+  Span span;
   /// Input relations of this page (subset of I's relations).
   std::vector<std::string> inputs;
   /// Input constants requested on this page (subset of const(I)).
@@ -62,12 +65,20 @@ class WebService {
   void set_name(std::string name) { name_ = std::move(name); }
 
   const std::string& home_page() const { return home_page_; }
-  void set_home_page(std::string name) { home_page_ = std::move(name); }
+  void set_home_page(std::string name, Span span = {}) {
+    home_page_ = std::move(name);
+    home_span_ = span;
+  }
+  const Span& home_span() const { return home_span_; }
 
   /// The error page W_err. It is not a member of pages(); per the paper
   /// its only rule is W_err :- true (a self-loop with no inputs).
   const std::string& error_page() const { return error_page_; }
-  void set_error_page(std::string name) { error_page_ = std::move(name); }
+  void set_error_page(std::string name, Span span = {}) {
+    error_page_ = std::move(name);
+    error_span_ = span;
+  }
+  const Span& error_span() const { return error_span_; }
 
   std::string ToString() const;
 
@@ -77,7 +88,9 @@ class WebService {
   std::vector<PageSchema> pages_;
   std::map<std::string, size_t> page_index_;
   std::string home_page_;
+  Span home_span_;
   std::string error_page_;
+  Span error_span_;
 };
 
 }  // namespace wsv

@@ -15,7 +15,7 @@ class SpecParser {
  public:
   explicit SpecParser(TokenStream ts) : ts_(std::move(ts)) {}
 
-  StatusOr<WebService> Parse() {
+  StatusOr<WebService> Parse(bool validate) {
     WSV_RETURN_IF_ERROR(ts_.ExpectIdent("service"));
     WSV_ASSIGN_OR_RETURN(std::string name,
                          ts_.ExpectIdentText("a service name"));
@@ -41,55 +41,63 @@ class SpecParser {
         WSV_RETURN_IF_ERROR(ParsePage());
       } else if (t.text == "home") {
         ts_.Next();
+        const Span span = ts_.Peek().span();
         WSV_ASSIGN_OR_RETURN(std::string page,
                              ts_.ExpectIdentText("a page name"));
-        builder_->Home(page);
+        builder_->Home(page, span);
         WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kSemicolon, "';'"));
       } else if (t.text == "error") {
         ts_.Next();
+        const Span span = ts_.Peek().span();
         WSV_ASSIGN_OR_RETURN(std::string page,
                              ts_.ExpectIdentText("a page name"));
-        builder_->Error(page);
+        builder_->Error(page, span);
         WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kSemicolon, "';'"));
       } else {
         return ts_.ErrorHere("unknown declaration keyword '" + t.text + "'");
       }
     }
-    return builder_->Build();
+    return validate ? builder_->Build() : builder_->BuildWithoutValidation();
   }
 
  private:
-  // IDENT ['(' attr (',' attr)* ')'] — arity is the attribute count.
-  StatusOr<std::pair<std::string, int>> ParseRelDecl() {
-    WSV_ASSIGN_OR_RETURN(std::string name,
-                         ts_.ExpectIdentText("a relation name"));
+  struct RelDecl {
+    std::string name;
     int arity = 0;
+    Span span;
+  };
+
+  // IDENT ['(' attr (',' attr)* ')'] — arity is the attribute count.
+  StatusOr<RelDecl> ParseRelDecl() {
+    RelDecl decl;
+    decl.span = ts_.Peek().span();
+    WSV_ASSIGN_OR_RETURN(decl.name, ts_.ExpectIdentText("a relation name"));
     if (ts_.TryConsume(TokenKind::kLParen)) {
       if (!ts_.TryConsume(TokenKind::kRParen)) {
         do {
           WSV_RETURN_IF_ERROR(
               ts_.ExpectIdentText("an attribute name").status());
-          ++arity;
+          ++decl.arity;
         } while (ts_.TryConsume(TokenKind::kComma));
         WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kRParen, "')'"));
       }
     }
-    return std::make_pair(std::move(name), arity);
+    return decl;
   }
 
   Status ParseRelationDecls(SymbolKind kind) {
     ts_.Next();  // keyword
     do {
-      WSV_ASSIGN_OR_RETURN(auto decl, ParseRelDecl());
+      WSV_ASSIGN_OR_RETURN(RelDecl decl, ParseRelDecl());
       switch (kind) {
         case SymbolKind::kDatabase:
-          builder_->Database(decl.first, decl.second);
+          builder_->Database(decl.name, decl.arity, decl.span);
           break;
         case SymbolKind::kState:
-          builder_->State(decl.first, decl.second);
+          builder_->State(decl.name, decl.arity, decl.span);
           break;
         case SymbolKind::kAction:
-          builder_->Action(decl.first, decl.second);
+          builder_->Action(decl.name, decl.arity, decl.span);
           break;
         default:
           return Status::Internal("unexpected declaration kind");
@@ -102,10 +110,11 @@ class SpecParser {
   Status ParseInputDecls() {
     ts_.Next();  // 'input'
     do {
+      const Span span = ts_.Peek().span();
       WSV_ASSIGN_OR_RETURN(std::string name,
                            ts_.ExpectIdentText("an input name"));
       if (ts_.TryConsumeIdent("const")) {
-        builder_->InputConstant(name);
+        builder_->InputConstant(name, span);
         continue;
       }
       int arity = 0;
@@ -119,7 +128,7 @@ class SpecParser {
           WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kRParen, "')'"));
         }
       }
-      builder_->Input(name, arity);
+      builder_->Input(name, arity, span);
     } while (ts_.TryConsume(TokenKind::kComma));
     return ts_.Expect(TokenKind::kSemicolon, "';'");
   }
@@ -127,15 +136,19 @@ class SpecParser {
   Status ParseConstantDecls() {
     ts_.Next();  // 'constant'
     do {
+      const Span span = ts_.Peek().span();
       WSV_ASSIGN_OR_RETURN(std::string name,
                            ts_.ExpectIdentText("a constant name"));
-      builder_->Constant(name);
+      builder_->Constant(name, span);
     } while (ts_.TryConsume(TokenKind::kComma));
     return ts_.Expect(TokenKind::kSemicolon, "';'");
   }
 
-  // Parses "IDENT ['(' term,... ')']" as a rule head.
-  Status ParseHead(std::string* relation, std::vector<Term>* terms) {
+  // Parses "IDENT ['(' term,... ')']" as a rule head; `*span` reports the
+  // location of the head relation token.
+  Status ParseHead(std::string* relation, std::vector<Term>* terms,
+                   Span* span) {
+    *span = ts_.Peek().span();
     WSV_ASSIGN_OR_RETURN(*relation, ts_.ExpectIdentText("a relation name"));
     terms->clear();
     if (ts_.TryConsume(TokenKind::kLParen)) {
@@ -159,8 +172,9 @@ class SpecParser {
 
   Status ParsePage() {
     ts_.Next();  // 'page'
+    const Span page_span = ts_.Peek().span();
     WSV_ASSIGN_OR_RETURN(std::string name, ts_.ExpectIdentText("a page name"));
-    PageBuilder page = builder_->Page(name);
+    PageBuilder page = builder_->Page(name, page_span);
     WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kLBrace, "'{'"));
     while (!ts_.TryConsume(TokenKind::kRBrace)) {
       if (ts_.AtEnd()) return ts_.ErrorHere("unterminated page block");
@@ -176,11 +190,13 @@ class SpecParser {
       } else if (keyword == "options") {
         std::string relation;
         std::vector<Term> terms;
-        WSV_RETURN_IF_ERROR(ParseHead(&relation, &terms));
+        Span head_span;
+        WSV_RETURN_IF_ERROR(ParseHead(&relation, &terms, &head_span));
         WSV_ASSIGN_OR_RETURN(FormulaPtr body, ParseRuleBody());
         InputRule rule;
         rule.input = std::move(relation);
         rule.body = std::move(body);
+        rule.span = head_span;
         WSV_RETURN_IF_ERROR(
             DesugarHeadTerms(terms, &rule.body, &rule.head_vars));
         page.AddInputRule(std::move(rule));
@@ -195,12 +211,14 @@ class SpecParser {
         }
         std::string relation;
         std::vector<Term> terms;
-        WSV_RETURN_IF_ERROR(ParseHead(&relation, &terms));
+        Span head_span;
+        WSV_RETURN_IF_ERROR(ParseHead(&relation, &terms, &head_span));
         WSV_ASSIGN_OR_RETURN(FormulaPtr body, ParseRuleBody());
         StateRule rule;
         rule.state = std::move(relation);
         rule.insert = insert;
         rule.body = std::move(body);
+        rule.span = head_span;
         WSV_RETURN_IF_ERROR(
             DesugarHeadTerms(terms, &rule.body, &rule.head_vars));
         page.AddStateRule(std::move(rule));
@@ -211,11 +229,13 @@ class SpecParser {
             ts_.Peek(1).kind == TokenKind::kColonDash) {
           std::string relation;
           std::vector<Term> terms;
-          WSV_RETURN_IF_ERROR(ParseHead(&relation, &terms));
+          Span head_span;
+          WSV_RETURN_IF_ERROR(ParseHead(&relation, &terms, &head_span));
           WSV_ASSIGN_OR_RETURN(FormulaPtr body, ParseRuleBody());
           ActionRule rule;
           rule.action = std::move(relation);
           rule.body = std::move(body);
+          rule.span = head_span;
           WSV_RETURN_IF_ERROR(
               DesugarHeadTerms(terms, &rule.body, &rule.head_vars));
           page.AddActionRule(std::move(rule));
@@ -228,10 +248,15 @@ class SpecParser {
           WSV_RETURN_IF_ERROR(ts_.Expect(TokenKind::kSemicolon, "';'"));
         }
       } else if (keyword == "target") {
+        const Span target_span = ts_.Peek().span();
         WSV_ASSIGN_OR_RETURN(std::string target,
                              ts_.ExpectIdentText("a page name"));
         WSV_ASSIGN_OR_RETURN(FormulaPtr body, ParseRuleBody());
-        page.AddTargetRule(TargetRule{std::move(target), std::move(body)});
+        TargetRule rule;
+        rule.target = std::move(target);
+        rule.body = std::move(body);
+        rule.span = target_span;
+        page.AddTargetRule(std::move(rule));
       } else {
         return ts_.ErrorHere("unknown page statement '" + keyword + "'");
       }
@@ -245,12 +270,20 @@ class SpecParser {
   std::optional<ServiceBuilder> builder_;
 };
 
+StatusOr<WebService> ParseSpecImpl(std::string_view text, bool validate) {
+  WSV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  SpecParser parser{TokenStream(std::move(tokens))};
+  return parser.Parse(validate);
+}
+
 }  // namespace
 
 StatusOr<WebService> ParseServiceSpec(std::string_view text) {
-  WSV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  SpecParser parser{TokenStream(std::move(tokens))};
-  return parser.Parse();
+  return ParseSpecImpl(text, /*validate=*/true);
+}
+
+StatusOr<WebService> ParseServiceSpecWithoutValidation(std::string_view text) {
+  return ParseSpecImpl(text, /*validate=*/false);
 }
 
 }  // namespace wsv

@@ -40,6 +40,11 @@ namespace wsv {
 /// Parses and validates a complete .wsv specification.
 StatusOr<WebService> ParseServiceSpec(std::string_view text);
 
+/// Parses a .wsv specification without running ValidateService. Used by
+/// the static analyzer (src/analysis/), which re-runs validation on a
+/// DiagnosticSink to report every violation rather than the first.
+StatusOr<WebService> ParseServiceSpecWithoutValidation(std::string_view text);
+
 }  // namespace wsv
 
 #endif  // WSV_WS_SPEC_PARSER_H_

@@ -2,108 +2,150 @@
 
 #include <map>
 #include <set>
+#include <string>
 
 namespace wsv {
 
 namespace {
+
+using analysis::DiagnosticSink;
+using analysis::Severity;
 
 // Context strings for diagnostics.
 std::string Where(const PageSchema& page, const std::string& rule) {
   return "page " + page.name + ", " + rule;
 }
 
+void Error(DiagnosticSink* sink, const char* rule_id, Span span,
+           std::string message, const std::string& page = "",
+           std::string hint = "") {
+  sink->Report(rule_id, Severity::kError, span, std::move(message),
+               std::move(hint), /*anchor=*/"Definition 2.1", page);
+}
+
 // Checks that all atoms of `body` use relations permitted for this rule
 // kind: database, state, prev-input always; current-input atoms only when
 // `allow_current_input` and then only relations offered by the page.
-Status CheckBodyVocabulary(const FormulaPtr& body, const PageSchema& page,
-                           const Vocabulary& vocab, bool allow_current_input,
-                           const std::string& context) {
+void CheckBodyVocabulary(const FormulaPtr& body, const PageSchema& page,
+                         const Vocabulary& vocab, bool allow_current_input,
+                         const std::string& context, Span rule_span,
+                         DiagnosticSink* sink) {
   for (const Atom& atom : body->Atoms()) {
+    const Span span = atom.span.IsValid() ? atom.span : rule_span;
     const RelationSymbol* sym = vocab.FindRelation(atom.relation);
     if (sym == nullptr) {
-      return Status::NotFound(context + ": unknown relation " +
-                              atom.relation);
+      Error(sink, "WSV-VAL-001", span,
+            context + ": unknown relation " + atom.relation, page.name,
+            "declare '" + atom.relation +
+                "' in a database/state/input/action section");
+      continue;
     }
     switch (sym->kind) {
       case SymbolKind::kDatabase:
       case SymbolKind::kState:
         if (atom.prev) {
-          return Status::InvalidArgument(context +
-                                         ": prev. on non-input relation " +
-                                         atom.relation);
+          Error(sink, "WSV-VAL-005", span,
+                context + ": prev. on non-input relation " + atom.relation,
+                page.name, "prev. applies only to input relations");
         }
         break;
       case SymbolKind::kInput:
         if (atom.prev) break;  // Prev_I atoms are always permitted.
         if (!allow_current_input) {
-          return Status::InvalidArgument(
-              context + ": current input atom " + atom.ToString() +
-              " not permitted in an input (options) rule");
-        }
-        if (!page.HasInputRelation(atom.relation)) {
-          return Status::InvalidArgument(
-              context + ": input relation " + atom.relation +
-              " is not offered by page " + page.name);
+          Error(sink, "WSV-VAL-005", span,
+                context + ": current input atom " + atom.ToString() +
+                    " not permitted in an input (options) rule",
+                page.name,
+                "options rules may reference only database, state, and "
+                "prev. input atoms");
+        } else if (!page.HasInputRelation(atom.relation)) {
+          Error(sink, "WSV-VAL-005", span,
+                context + ": input relation " + atom.relation +
+                    " is not offered by page " + page.name,
+                page.name,
+                "add 'input " + atom.relation + ";' to the page");
         }
         break;
       case SymbolKind::kAction:
-        return Status::InvalidArgument(context + ": action atom " +
-                                       atom.ToString() +
-                                       " not permitted in a rule body");
+        Error(sink, "WSV-VAL-005", span,
+              context + ": action atom " + atom.ToString() +
+                  " not permitted in a rule body",
+              page.name);
+        break;
       case SymbolKind::kPage:
-        return Status::InvalidArgument(context + ": page proposition " +
-                                       atom.relation +
-                                       " not permitted in a rule body");
+        Error(sink, "WSV-VAL-005", span,
+              context + ": page proposition " + atom.relation +
+                  " not permitted in a rule body",
+              page.name);
+        break;
     }
   }
-  return Status::OK();
 }
 
-Status CheckHead(const std::vector<std::string>& head_vars,
-                 const FormulaPtr& body, const std::string& context) {
+void CheckHead(const std::vector<std::string>& head_vars,
+               const FormulaPtr& body, const std::string& context,
+               Span rule_span, const std::string& page,
+               DiagnosticSink* sink) {
   std::set<std::string> heads(head_vars.begin(), head_vars.end());
   if (heads.size() != head_vars.size()) {
-    return Status::InvalidArgument(context +
-                                   ": repeated head variable (builder "
-                                   "desugaring should have removed these)");
+    Error(sink, "WSV-VAL-008", rule_span,
+          context +
+              ": repeated head variable (builder desugaring should have "
+              "removed these)",
+          page);
   }
   for (const std::string& v : body->FreeVariables()) {
     if (heads.count(v) == 0) {
-      return Status::InvalidArgument(context + ": body variable '" + v +
-                                     "' does not appear in the rule head");
+      Error(sink, "WSV-VAL-003", rule_span,
+            context + ": body variable '" + v +
+                "' does not appear in the rule head",
+            page, "bind '" + v + "' in the head or quantify it in the body");
     }
   }
-  return Status::OK();
 }
 
-Status ValidatePage(const PageSchema& page, const WebService& service) {
+void ValidatePage(const PageSchema& page, const WebService& service,
+                  DiagnosticSink* sink) {
   const Vocabulary& vocab = service.vocab();
 
   for (const std::string& in : page.inputs) {
     const RelationSymbol* sym = vocab.FindRelation(in);
     if (sym == nullptr || sym->kind != SymbolKind::kInput) {
-      return Status::NotFound("page " + page.name +
-                              ": undeclared input relation " + in);
+      Error(sink, "WSV-VAL-001", page.span,
+            "page " + page.name + ": undeclared input relation " + in,
+            page.name, "declare '" + in + "' in an input section");
     }
   }
   for (const std::string& c : page.input_constants) {
     if (!vocab.IsInputConstant(c)) {
-      return Status::NotFound("page " + page.name +
-                              ": undeclared input constant " + c);
+      Error(sink, "WSV-VAL-001", page.span,
+            "page " + page.name + ": undeclared input constant " + c,
+            page.name, "declare '" + c + " const' in an input section");
     }
   }
   for (const std::string& a : page.actions) {
     const RelationSymbol* sym = vocab.FindRelation(a);
     if (sym == nullptr || sym->kind != SymbolKind::kAction) {
-      return Status::NotFound("page " + page.name +
-                              ": undeclared action relation " + a);
+      Error(sink, "WSV-VAL-001", page.span,
+            "page " + page.name + ": undeclared action relation " + a,
+            page.name, "declare '" + a + "' in an action section");
     }
   }
   for (const std::string& t : page.targets) {
     if (service.FindPage(t) == nullptr) {
-      return Status::NotFound("page " + page.name + ": target page " + t +
-                              " is not declared (the error page may not be "
-                              "an explicit target)");
+      // Attribute to the first target rule naming this page, if any.
+      Span span = page.span;
+      for (const TargetRule& rule : page.target_rules) {
+        if (rule.target == t && rule.span.IsValid()) {
+          span = rule.span;
+          break;
+        }
+      }
+      Error(sink, "WSV-VAL-001", span,
+            "page " + page.name + ": target page " + t +
+                " is not declared (the error page may not be an explicit "
+                "target)",
+            page.name);
     }
   }
 
@@ -113,27 +155,33 @@ Status ValidatePage(const PageSchema& page, const WebService& service) {
     const std::string ctx = Where(page, rule.ToString());
     const RelationSymbol* sym = vocab.FindRelation(rule.input);
     if (sym == nullptr || sym->kind != SymbolKind::kInput) {
-      return Status::NotFound(ctx + ": not an input relation");
+      Error(sink, "WSV-VAL-001", rule.span, ctx + ": not an input relation",
+            page.name);
+      continue;
     }
     if (sym->arity == 0) {
-      return Status::InvalidArgument(
-          ctx + ": propositional inputs take no options rule");
-    }
-    if (static_cast<int>(rule.head_vars.size()) != sym->arity) {
-      return Status::InvalidArgument(ctx + ": head arity mismatch");
+      Error(sink, "WSV-VAL-004", rule.span,
+            ctx + ": propositional inputs take no options rule", page.name);
+    } else if (static_cast<int>(rule.head_vars.size()) != sym->arity) {
+      Error(sink, "WSV-VAL-002", rule.span,
+            ctx + ": head arity mismatch", page.name,
+            "relation " + rule.input + " has arity " +
+                std::to_string(sym->arity));
     }
     ++options_count[rule.input];
-    WSV_RETURN_IF_ERROR(CheckHead(rule.head_vars, rule.body, ctx));
-    WSV_RETURN_IF_ERROR(CheckBodyVocabulary(rule.body, page, vocab,
-                                            /*allow_current_input=*/false,
-                                            ctx));
+    CheckHead(rule.head_vars, rule.body, ctx, rule.span, page.name, sink);
+    CheckBodyVocabulary(rule.body, page, vocab,
+                        /*allow_current_input=*/false, ctx, rule.span, sink);
   }
   for (const std::string& in : page.inputs) {
     const RelationSymbol* sym = vocab.FindRelation(in);
-    if (sym->arity > 0 && options_count[in] != 1) {
-      return Status::InvalidArgument(
-          "page " + page.name + ": input relation " + in + " needs exactly "
-          "one options rule, found " + std::to_string(options_count[in]));
+    if (sym != nullptr && sym->kind == SymbolKind::kInput &&
+        sym->arity > 0 && options_count[in] != 1) {
+      Error(sink, "WSV-VAL-004", page.span,
+            "page " + page.name + ": input relation " + in +
+                " needs exactly one options rule, found " +
+                std::to_string(options_count[in]),
+            page.name);
     }
   }
 
@@ -143,18 +191,23 @@ Status ValidatePage(const PageSchema& page, const WebService& service) {
     const std::string ctx = Where(page, rule.ToString());
     const RelationSymbol* sym = vocab.FindRelation(rule.state);
     if (sym == nullptr || sym->kind != SymbolKind::kState) {
-      return Status::NotFound(ctx + ": not a state relation");
+      Error(sink, "WSV-VAL-001", rule.span, ctx + ": not a state relation",
+            page.name);
+      continue;
     }
     if (static_cast<int>(rule.head_vars.size()) != sym->arity) {
-      return Status::InvalidArgument(ctx + ": head arity mismatch");
+      Error(sink, "WSV-VAL-002", rule.span, ctx + ": head arity mismatch",
+            page.name,
+            "relation " + rule.state + " has arity " +
+                std::to_string(sym->arity));
     }
     if (++state_count[{rule.state, rule.insert}] > 1) {
-      return Status::InvalidArgument(ctx + ": duplicate state rule");
+      Error(sink, "WSV-VAL-004", rule.span, ctx + ": duplicate state rule",
+            page.name);
     }
-    WSV_RETURN_IF_ERROR(CheckHead(rule.head_vars, rule.body, ctx));
-    WSV_RETURN_IF_ERROR(CheckBodyVocabulary(rule.body, page, vocab,
-                                            /*allow_current_input=*/true,
-                                            ctx));
+    CheckHead(rule.head_vars, rule.body, ctx, rule.span, page.name, sink);
+    CheckBodyVocabulary(rule.body, page, vocab,
+                        /*allow_current_input=*/true, ctx, rule.span, sink);
   }
 
   // Action rules: one per action relation.
@@ -163,18 +216,23 @@ Status ValidatePage(const PageSchema& page, const WebService& service) {
     const std::string ctx = Where(page, rule.ToString());
     const RelationSymbol* sym = vocab.FindRelation(rule.action);
     if (sym == nullptr || sym->kind != SymbolKind::kAction) {
-      return Status::NotFound(ctx + ": not an action relation");
+      Error(sink, "WSV-VAL-001", rule.span, ctx + ": not an action relation",
+            page.name);
+      continue;
     }
     if (static_cast<int>(rule.head_vars.size()) != sym->arity) {
-      return Status::InvalidArgument(ctx + ": head arity mismatch");
+      Error(sink, "WSV-VAL-002", rule.span, ctx + ": head arity mismatch",
+            page.name,
+            "relation " + rule.action + " has arity " +
+                std::to_string(sym->arity));
     }
     if (++action_count[rule.action] > 1) {
-      return Status::InvalidArgument(ctx + ": duplicate action rule");
+      Error(sink, "WSV-VAL-004", rule.span, ctx + ": duplicate action rule",
+            page.name);
     }
-    WSV_RETURN_IF_ERROR(CheckHead(rule.head_vars, rule.body, ctx));
-    WSV_RETURN_IF_ERROR(CheckBodyVocabulary(rule.body, page, vocab,
-                                            /*allow_current_input=*/true,
-                                            ctx));
+    CheckHead(rule.head_vars, rule.body, ctx, rule.span, page.name, sink);
+    CheckBodyVocabulary(rule.body, page, vocab,
+                        /*allow_current_input=*/true, ctx, rule.span, sink);
   }
 
   // Target rules: sentences, one per target page.
@@ -182,45 +240,59 @@ Status ValidatePage(const PageSchema& page, const WebService& service) {
   for (const TargetRule& rule : page.target_rules) {
     const std::string ctx = Where(page, rule.ToString());
     if (service.FindPage(rule.target) == nullptr) {
-      return Status::NotFound(ctx + ": unknown target page");
+      Error(sink, "WSV-VAL-001", rule.span, ctx + ": unknown target page",
+            page.name);
     }
     if (++target_count[rule.target] > 1) {
-      return Status::InvalidArgument(ctx + ": duplicate target rule");
+      Error(sink, "WSV-VAL-004", rule.span, ctx + ": duplicate target rule",
+            page.name);
     }
     if (!rule.body->FreeVariables().empty()) {
-      return Status::InvalidArgument(ctx +
-                                     ": target rule body must be a sentence");
+      Error(sink, "WSV-VAL-007", rule.span,
+            ctx + ": target rule body must be a sentence", page.name,
+            "quantify the body's free variables");
     }
-    WSV_RETURN_IF_ERROR(CheckBodyVocabulary(rule.body, page, vocab,
-                                            /*allow_current_input=*/true,
-                                            ctx));
+    CheckBodyVocabulary(rule.body, page, vocab,
+                        /*allow_current_input=*/true, ctx, rule.span, sink);
   }
-  return Status::OK();
 }
 
 }  // namespace
 
-Status ValidateService(const WebService& service) {
+void ValidateServiceDiagnostics(const WebService& service,
+                                analysis::DiagnosticSink* sink) {
   if (service.home_page().empty()) {
-    return Status::InvalidArgument("no home page declared");
-  }
-  if (service.FindPage(service.home_page()) == nullptr) {
-    return Status::NotFound("home page " + service.home_page() +
-                            " is not declared");
+    Error(sink, "WSV-VAL-006", Span{}, "no home page declared", "",
+          "add 'home <page>;'");
+  } else if (service.FindPage(service.home_page()) == nullptr) {
+    Error(sink, "WSV-VAL-001", service.home_span(),
+          "home page " + service.home_page() + " is not declared");
   }
   if (service.error_page().empty()) {
-    return Status::InvalidArgument("no error page declared");
-  }
-  if (service.FindPage(service.error_page()) != nullptr) {
-    return Status::InvalidArgument(
-        "error page " + service.error_page() +
-        " must not be a member of the page set (Definition 2.1)");
+    Error(sink, "WSV-VAL-006", Span{}, "no error page declared", "",
+          "add 'error <page>;'");
+  } else if (service.FindPage(service.error_page()) != nullptr) {
+    Error(sink, "WSV-VAL-006", service.error_span(),
+          "error page " + service.error_page() +
+              " must not be a member of the page set (Definition 2.1)");
   }
   if (service.pages().empty()) {
-    return Status::InvalidArgument("service declares no pages");
+    Error(sink, "WSV-VAL-006", Span{}, "service declares no pages");
   }
   for (const PageSchema& page : service.pages()) {
-    WSV_RETURN_IF_ERROR(ValidatePage(page, service));
+    ValidatePage(page, service, sink);
+  }
+}
+
+Status ValidateService(const WebService& service) {
+  analysis::DiagnosticSink sink;
+  ValidateServiceDiagnostics(service, &sink);
+  for (const analysis::Diagnostic& d : sink.diagnostics()) {
+    if (d.severity != analysis::Severity::kError) continue;
+    // WSV-VAL-001 findings are "unknown/undeclared symbol" — historically
+    // reported as NotFound; everything else was InvalidArgument.
+    if (d.rule_id == "WSV-VAL-001") return Status::NotFound(d.message);
+    return Status::InvalidArgument(d.message);
   }
   return Status::OK();
 }

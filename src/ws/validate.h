@@ -7,10 +7,17 @@
 // the page's own inputs I_W), head variables are distinct and cover the
 // body's free variables, and every positive-arity input relation of a
 // page has exactly one options rule.
+//
+// Two entry points share one implementation: ValidateService returns the
+// first violation as a Status (the historical behavior Build() relies
+// on), while ValidateServiceDiagnostics reports *every* violation into a
+// DiagnosticSink with WSV-VAL-* rule IDs and source spans — the linter
+// uses it so one run explains everything that is wrong.
 
 #ifndef WSV_WS_VALIDATE_H_
 #define WSV_WS_VALIDATE_H_
 
+#include "analysis/diagnostics.h"
 #include "common/status.h"
 #include "ws/service.h"
 
@@ -18,6 +25,10 @@ namespace wsv {
 
 /// Validates the whole service; returns the first violation found.
 Status ValidateService(const WebService& service);
+
+/// Validates the whole service, reporting every violation.
+void ValidateServiceDiagnostics(const WebService& service,
+                                analysis::DiagnosticSink* sink);
 
 }  // namespace wsv
 

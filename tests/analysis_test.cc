@@ -1,0 +1,583 @@
+// Tests for the static-analysis subsystem: span threading through the
+// spec parser, multi-diagnostic accumulation, every lint rule, the three
+// renderers, and the diagnostic-bearing classification.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostics.h"
+#include "analysis/lints.h"
+#include "analysis/render.h"
+#include "gallery/gallery.h"
+#include "ws/classify.h"
+#include "ws/spec_parser.h"
+#include "ws/validate.h"
+
+namespace wsv {
+namespace {
+
+using analysis::Diagnostic;
+using analysis::DiagnosticSink;
+using analysis::Severity;
+
+std::vector<Diagnostic> Lint(const std::string& source) {
+  DiagnosticSink sink;
+  analysis::LintSpecText(source, &sink);
+  return sink.diagnostics();
+}
+
+bool HasRule(const std::vector<Diagnostic>& diags, const std::string& id) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.rule_id == id; });
+}
+
+const Diagnostic* FindDiag(const std::vector<Diagnostic>& diags,
+                           const std::string& id) {
+  for (const Diagnostic& d : diags) {
+    if (d.rule_id == id) return &d;
+  }
+  return nullptr;
+}
+
+// A minimal clean skeleton the per-rule tests below perturb.
+constexpr char kCleanSpec[] = R"(service Clean;
+input button(label);
+page HP {
+  options button(b) :- b = "go";
+  target BYE :- button("go");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+
+// --- Span threading ---------------------------------------------------
+
+TEST(SpanThreading, DeclarationSpansAreExact) {
+  // The `state cart` declaration sits mid-file: line 4, after two spaces
+  // of nothing — `state ` is 6 characters, so the name starts at col 7.
+  const std::string spec = R"(service Spans;
+database user(uname, upass);
+input button(label);
+state cart(pid, price);
+page HP {
+  options button(b) :- b = "go";
+  state +cart("p", "1") :- button("go");
+  target BYE :- button("go") & cart("p", "1");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  StatusOr<WebService> service = ParseServiceSpec(spec);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  const RelationSymbol* cart = service->vocab().FindRelation("cart");
+  ASSERT_NE(cart, nullptr);
+  EXPECT_EQ(cart->span.line, 4);
+  EXPECT_EQ(cart->span.column, 7);
+  const RelationSymbol* button = service->vocab().FindRelation("button");
+  ASSERT_NE(button, nullptr);
+  EXPECT_EQ(button->span.line, 3);
+  EXPECT_EQ(button->span.column, 7);
+}
+
+TEST(SpanThreading, RuleSpansPointAtTheHead) {
+  const std::string spec = R"(service Spans;
+input button(label);
+state done;
+page HP {
+  options button(b) :- b = "go";
+  state +done :- button("go");
+  target BYE :- done & button("go");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  StatusOr<WebService> service = ParseServiceSpec(spec);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  const PageSchema* hp = service->FindPage("HP");
+  ASSERT_NE(hp, nullptr);
+  ASSERT_EQ(hp->state_rules.size(), 1u);
+  // `  state +done ...` — the head relation name after "  state +".
+  EXPECT_EQ(hp->state_rules[0].span.line, 6);
+  EXPECT_EQ(hp->state_rules[0].span.column, 10);
+  ASSERT_EQ(hp->target_rules.size(), 1u);
+  EXPECT_EQ(hp->target_rules[0].span.line, 7);
+  EXPECT_EQ(hp->target_rules[0].span.column, 10);
+}
+
+TEST(SpanThreading, ParseErrorSpanRecovered) {
+  std::vector<Diagnostic> diags = Lint("service X;\ninput button(label;\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule_id, "WSV-PARSE-001");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].span.line, 2);
+  EXPECT_EQ(diags[0].span.column, 19);
+}
+
+TEST(SpanThreading, SpanFromMessageParsesLocations) {
+  Span s = analysis::SpanFromMessage("oops at line 12, column 34");
+  EXPECT_EQ(s.line, 12);
+  EXPECT_EQ(s.column, 34);
+  EXPECT_FALSE(analysis::SpanFromMessage("no location here").IsValid());
+}
+
+// --- Multi-diagnostic accumulation ------------------------------------
+
+TEST(Validation, ReportsEveryErrorInOnePass) {
+  // Two independent validation errors: a free body variable and a
+  // non-sentence target body. The old first-error path stopped at one.
+  const std::string spec = R"(service Multi;
+state seen(x);
+input button(label);
+page HP {
+  options button(b) :- b = "go";
+  state +seen("k") :- button("go") & loose = "x";
+  target BYE :- button(z);
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  std::vector<Diagnostic> diags = Lint(spec);
+  EXPECT_TRUE(HasRule(diags, "WSV-VAL-003"));
+  EXPECT_TRUE(HasRule(diags, "WSV-VAL-007"));
+  size_t errors = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++errors;
+  }
+  EXPECT_GE(errors, 2u);
+
+  // The wrapped Status still reports the first error only.
+  StatusOr<WebService> parsed = ParseServiceSpecWithoutValidation(spec);
+  ASSERT_TRUE(parsed.ok());
+  Status st = ValidateService(*parsed);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Validation, DiagnosticsArriveSortedBySpan) {
+  const std::string spec = R"(service Multi;
+state seen(x);
+input button(label);
+page HP {
+  options button(b) :- b = "go";
+  state +seen("k") :- button("go") & loose = "x";
+  target BYE :- button(z);
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  std::vector<Diagnostic> diags = Lint(spec);
+  ASSERT_GE(diags.size(), 2u);
+  for (size_t i = 1; i < diags.size(); ++i) {
+    if (diags[i - 1].span.IsValid() && diags[i].span.IsValid()) {
+      EXPECT_FALSE(diags[i].span < diags[i - 1].span);
+    }
+  }
+}
+
+// --- One test per lint rule -------------------------------------------
+
+TEST(Lints, Thm37NonGroundStateAtomInOptionsRule) {
+  const std::string spec = R"(service T;
+state seen(x);
+input pick(x);
+page HP {
+  options pick(x) :- seen(x);
+  state +seen(x) :- pick(x);
+  target BYE :- seen("k");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  std::vector<Diagnostic> diags = Lint(spec);
+  const Diagnostic* d = FindDiag(diags, "WSV-IB-002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_EQ(d->anchor, "Theorem 3.7");
+  EXPECT_EQ(d->span.line, 5);
+}
+
+TEST(Lints, Thm38QuantifiedVariableInStateAtom) {
+  const std::string spec = R"(service T;
+state log(p, a);
+state flagged(p);
+input pickid(p);
+input payamount(a);
+page HP {
+  options pickid(p) :- p = "p1";
+  options payamount(a) :- a = "1";
+  state +log(p, a) :- pickid(p) & payamount(a);
+  state +flagged(p) :- pickid(p) & (exists a . payamount(a) & log(p, a));
+  target BYE :- flagged("p1");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  std::vector<Diagnostic> diags = Lint(spec);
+  const Diagnostic* d = FindDiag(diags, "WSV-IB-003");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->anchor, "Theorem 3.8");
+}
+
+TEST(Lints, Thm39PrevInputNeverFedByPredecessor) {
+  const std::string spec = R"(service T;
+state paid(a);
+input button(label);
+input amount(a);
+page HP {
+  options button(b) :- b = "pay";
+  target PAY :- button("pay");
+}
+page PAY {
+  options button(b) :- b = "ok";
+  state +paid(a) :- prev.amount(a) & button("ok");
+  target BYE :- paid("1");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  std::vector<Diagnostic> diags = Lint(spec);
+  const Diagnostic* d = FindDiag(diags, "WSV-IB-004");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->anchor, "Theorem 3.9");
+  EXPECT_EQ(d->page, "PAY");
+}
+
+TEST(Lints, Thm39CleanWhenPredecessorOffersTheInput) {
+  const std::string spec = R"(service T;
+state paid(a);
+input button(label);
+input amount(a);
+page HP {
+  options button(b) :- b = "pay";
+  options amount(a) :- a = "1" | a = "2";
+  target PAY :- button("pay");
+}
+page PAY {
+  options button(b) :- b = "ok";
+  state +paid(a) :- prev.amount(a) & button("ok");
+  target BYE :- paid("1");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  EXPECT_FALSE(HasRule(Lint(spec), "WSV-IB-004"));
+}
+
+TEST(Lints, UnguardedQuantifier) {
+  const std::string spec = R"(service T;
+database item(x);
+state found;
+input button(label);
+page HP {
+  options button(b) :- b = "go";
+  state +found :- (exists x . item(x) & true) & button("go");
+  target BYE :- found;
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  std::vector<Diagnostic> diags = Lint(spec);
+  const Diagnostic* d = FindDiag(diags, "WSV-IB-001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->anchor, "Theorem 3.5");
+}
+
+TEST(Lints, UnreachablePage) {
+  const std::string spec = R"(service T;
+input button(label);
+page HP {
+  options button(b) :- b = "go";
+  target BYE :- button("go");
+}
+page ORPHAN {
+  options button(b) :- b = "x";
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  std::vector<Diagnostic> diags = Lint(spec);
+  const Diagnostic* d = FindDiag(diags, "WSV-NAV-001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("ORPHAN"), std::string::npos);
+}
+
+TEST(Lints, OverlappingTargetRules) {
+  const std::string spec = R"(service T;
+input button(label);
+input flag(x);
+page HP {
+  options button(b) :- b = "a";
+  options flag(x) :- x = "on";
+  target P1 :- button("a");
+  target P2 :- flag("on");
+}
+page P1 {
+}
+page P2 {
+}
+home HP;
+error ERR;
+)";
+  EXPECT_TRUE(HasRule(Lint(spec), "WSV-NAV-002"));
+}
+
+TEST(Lints, DisjointTargetRulesByButtonLabelAreClean) {
+  const std::string spec = R"(service T;
+input button(label);
+page HP {
+  options button(b) :- b = "a" | b = "b";
+  target P1 :- button("a");
+  target P2 :- button("b");
+}
+page P1 {
+}
+page P2 {
+}
+home HP;
+error ERR;
+)";
+  EXPECT_FALSE(HasRule(Lint(spec), "WSV-NAV-002"));
+}
+
+TEST(Lints, DeadStateReadNeverWritten) {
+  const std::string spec = R"(service T;
+state ghost(x);
+input button(label);
+page HP {
+  options button(b) :- b = "go";
+  target BYE :- button("go") & ghost("k");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  std::vector<Diagnostic> diags = Lint(spec);
+  const Diagnostic* d = FindDiag(diags, "WSV-DEAD-001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(Lints, DeadStateWrittenNeverRead) {
+  const std::string spec = R"(service T;
+state audit(x);
+input button(label);
+page HP {
+  options button(b) :- b = "go";
+  state +audit("k") :- button("go");
+  target BYE :- button("go");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  std::vector<Diagnostic> diags = Lint(spec);
+  const Diagnostic* d = FindDiag(diags, "WSV-DEAD-002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kNote);
+}
+
+TEST(Lints, UnusedInputRelation) {
+  const std::string spec = R"(service T;
+input button(label);
+input neverused(x);
+page HP {
+  options button(b) :- b = "go";
+  target BYE :- button("go");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  EXPECT_TRUE(HasRule(Lint(spec), "WSV-DEAD-003"));
+}
+
+TEST(Lints, ActionWithoutRule) {
+  const std::string spec = R"(service T;
+input button(label);
+action notify(who);
+page HP {
+  options button(b) :- b = "go";
+  target BYE :- button("go");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  EXPECT_TRUE(HasRule(Lint(spec), "WSV-DEAD-004"));
+}
+
+TEST(Lints, UnreferencedDatabaseRelation) {
+  const std::string spec = R"(service T;
+database prices(pid, price);
+input button(label);
+page HP {
+  options button(b) :- b = "go";
+  target BYE :- button("go");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  EXPECT_TRUE(HasRule(Lint(spec), "WSV-DEAD-005"));
+}
+
+TEST(Lints, LiteralOutsideOptionsDomain) {
+  const std::string spec = R"(service T;
+input button(label);
+page HP {
+  options button(b) :- b = "yes" | b = "no";
+  target BYE :- button("maybe");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)";
+  std::vector<Diagnostic> diags = Lint(spec);
+  const Diagnostic* d = FindDiag(diags, "WSV-DOM-001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("maybe"), std::string::npos);
+}
+
+TEST(Lints, CleanSkeletonHasNoWarningsOrErrors) {
+  for (const Diagnostic& d : Lint(kCleanSpec)) {
+    EXPECT_EQ(d.severity, Severity::kNote) << d.rule_id << ": " << d.message;
+  }
+}
+
+TEST(Lints, GallerySpecsLintCleanUnderWerror) {
+  for (const std::string* source :
+       {&EcommerceSpecText(), &LoginSpecText()}) {
+    DiagnosticSink sink;
+    analysis::LintSpecText(*source, &sink);
+    EXPECT_EQ(sink.error_count(), 0u);
+    EXPECT_EQ(sink.warning_count(), 0u)
+        << analysis::RenderText(sink.diagnostics(), *source, "gallery");
+  }
+}
+
+// --- Classification lists every reason --------------------------------
+
+TEST(Classify, EcommerceListsAllPropositionalViolations) {
+  StatusOr<WebService> service = BuildEcommerceService();
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ServiceClassification cls = ClassifyService(*service);
+  // The reconstruction leans on the Theorem 3.7/3.8 relaxations (e.g.
+  // `options cartitem(p, pr) :- cart(p, pr)`), so the strict checker
+  // rejects it — and must list every offending rule, not just the first.
+  EXPECT_FALSE(cls.input_bounded);
+  EXPECT_FALSE(cls.propositional);
+  EXPECT_FALSE(cls.fully_propositional);
+  EXPECT_GE(cls.input_bounded_diags.size(), 2u);
+  for (const Diagnostic& d : cls.input_bounded_diags) {
+    EXPECT_EQ(d.rule_id.rfind("WSV-IB-", 0), 0u) << d.rule_id;
+  }
+  EXPECT_GE(cls.propositional_diags.size(), 2u);
+  for (const Diagnostic& d : cls.propositional_diags) {
+    EXPECT_TRUE(d.rule_id == "WSV-CLS-001" || d.rule_id == "WSV-CLS-002")
+        << d.rule_id;
+    EXPECT_EQ(d.anchor, "Theorem 4.4");
+  }
+  EXPECT_GE(cls.fully_propositional_diags.size(), 2u);
+  std::string rendered = cls.ToString();
+  EXPECT_NE(rendered.find("WSV-CLS-001"), std::string::npos);
+  EXPECT_NE(rendered.find("WSV-IB-"), std::string::npos);
+}
+
+// --- Renderers --------------------------------------------------------
+
+TEST(Render, TextShowsCaretAndSummary) {
+  const std::string spec = "service X;\ninput button(label;\n";
+  DiagnosticSink sink;
+  analysis::LintSpecText(spec, &sink);
+  std::string out =
+      analysis::RenderText(sink.diagnostics(), spec, "broken.wsv");
+  EXPECT_NE(out.find("broken.wsv:2:19: error:"), std::string::npos);
+  EXPECT_NE(out.find("[WSV-PARSE-001]"), std::string::npos);
+  EXPECT_NE(out.find("input button(label;"), std::string::npos);
+  EXPECT_NE(out.find("^"), std::string::npos);
+  EXPECT_NE(out.find("1 error, 0 warnings, 0 notes"), std::string::npos);
+}
+
+TEST(Render, JsonCarriesRuleSpanSeverityAnchor) {
+  DiagnosticSink sink;
+  sink.Report("WSV-IB-002", Severity::kNote, Span{11, 22, 11, 26},
+              "state atom in input rule is not ground", "", "Theorem 3.7",
+              "HP");
+  std::string out = analysis::RenderJson(sink.diagnostics(), "t.wsv");
+  EXPECT_NE(out.find("\"rule\": \"WSV-IB-002\""), std::string::npos);
+  EXPECT_NE(out.find("\"severity\": \"note\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\": 11"), std::string::npos);
+  EXPECT_NE(out.find("\"column\": 22"), std::string::npos);
+  EXPECT_NE(out.find("\"anchor\": \"Theorem 3.7\""), std::string::npos);
+  EXPECT_NE(out.find("\"notes\": 1"), std::string::npos);
+}
+
+TEST(Render, JsonEscapesStrings) {
+  DiagnosticSink sink;
+  sink.Report("WSV-VAL-001", Severity::kError, Span{},
+              "bad \"quoted\"\tvalue\n");
+  std::string out = analysis::RenderJson(sink.diagnostics(), "a\\b.wsv");
+  EXPECT_NE(out.find("bad \\\"quoted\\\"\\tvalue\\n"), std::string::npos);
+  EXPECT_NE(out.find("a\\\\b.wsv"), std::string::npos);
+}
+
+TEST(Render, SarifStructure) {
+  DiagnosticSink sink;
+  sink.Report("WSV-NAV-001", Severity::kWarning, Span{3, 6, 3, 12},
+              "page P is unreachable");
+  std::string out = analysis::RenderSarif(sink.diagnostics(), "t.wsv");
+  EXPECT_NE(out.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(out.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"wsvcli\""), std::string::npos);
+  EXPECT_NE(out.find("\"ruleId\": \"WSV-NAV-001\""), std::string::npos);
+  EXPECT_NE(out.find("\"level\": \"warning\""), std::string::npos);
+  EXPECT_NE(out.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(out.find("\"startColumn\": 6"), std::string::npos);
+}
+
+// --- Rule registry ----------------------------------------------------
+
+TEST(Registry, EveryRuleHasUniqueIdAndSummary) {
+  std::set<std::string> ids;
+  for (const analysis::RuleInfo& rule : analysis::RuleRegistry()) {
+    EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate id " << rule.id;
+    EXPECT_NE(std::string(rule.summary), "");
+  }
+  EXPECT_NE(analysis::FindRule("WSV-IB-002"), nullptr);
+  EXPECT_EQ(analysis::FindRule("WSV-NOPE-999"), nullptr);
+}
+
+}  // namespace
+}  // namespace wsv

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Golden-output check for the spec linter.
+
+For every ``*.wsd`` specification in the corpus directory, runs
+
+    wsvcli lint <spec> --werror
+
+with the corpus directory as the working directory (so the paths baked
+into the output stay stable) and compares exit code + stdout against
+``golden/<spec>.txt``.  The golden file's first line records the
+expected exit code as ``# exit: N``; the rest is the verbatim renderer
+output.
+
+Usage:
+    check_lint_golden.py --wsvcli PATH --dir specs/bad [--update]
+
+``--update`` regenerates every golden file from the current linter
+output instead of comparing.
+"""
+
+import argparse
+import difflib
+import os
+import subprocess
+import sys
+
+
+def lint(wsvcli, corpus, name):
+    proc = subprocess.run(
+        [wsvcli, "lint", name, "--werror"],
+        cwd=corpus,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--wsvcli", required=True)
+    parser.add_argument("--dir", required=True)
+    parser.add_argument("--update", action="store_true")
+    args = parser.parse_args()
+
+    corpus = os.path.abspath(args.dir)
+    wsvcli = os.path.abspath(args.wsvcli)
+    golden_dir = os.path.join(corpus, "golden")
+    specs = sorted(f for f in os.listdir(corpus) if f.endswith(".wsd"))
+    if not specs:
+        print(f"no *.wsd specs found in {corpus}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for name in specs:
+        code, out = lint(wsvcli, corpus, name)
+        actual = f"# exit: {code}\n{out}"
+        golden_path = os.path.join(golden_dir, name[: -len(".wsd")] + ".txt")
+        if args.update:
+            os.makedirs(golden_dir, exist_ok=True)
+            with open(golden_path, "w") as f:
+                f.write(actual)
+            print(f"updated {golden_path}")
+            continue
+        try:
+            with open(golden_path) as f:
+                expected = f.read()
+        except FileNotFoundError:
+            print(f"FAIL {name}: missing golden file {golden_path}")
+            failures += 1
+            continue
+        if actual != expected:
+            print(f"FAIL {name}: output differs from {golden_path}")
+            sys.stdout.writelines(
+                difflib.unified_diff(
+                    expected.splitlines(keepends=True),
+                    actual.splitlines(keepends=True),
+                    fromfile="golden",
+                    tofile="actual",
+                )
+            )
+            failures += 1
+        else:
+            print(f"ok   {name}")
+
+    if failures:
+        print(f"{failures} of {len(specs)} golden checks failed")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Sanity-checks the linter's SARIF 2.1.0 export.
+
+Runs ``wsvcli lint <spec> --format=sarif``, parses the output as JSON,
+and asserts the structural invariants a SARIF consumer relies on:
+schema/version headers, a tool.driver with a rule table, and results
+whose ruleId, level, message, and physical location are all populated
+and cross-referenced against the rule table.
+
+Usage:
+    check_sarif.py --wsvcli PATH --spec specs/bad/thm37_state_atom.wsd
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+LEVELS = {"error", "warning", "note"}
+
+
+def fail(msg):
+    print(f"SARIF check failed: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--wsvcli", required=True)
+    parser.add_argument("--spec", required=True)
+    args = parser.parse_args()
+
+    proc = subprocess.run(
+        [args.wsvcli, "lint", args.spec, "--format=sarif"],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"output is not valid JSON: {e}")
+
+    if doc.get("version") != "2.1.0":
+        fail(f"version is {doc.get('version')!r}, want '2.1.0'")
+    if "sarif-2.1.0" not in doc.get("$schema", ""):
+        fail(f"$schema {doc.get('$schema')!r} does not name sarif-2.1.0")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or len(runs) != 1:
+        fail("runs must be a one-element list")
+    run = runs[0]
+
+    driver = run.get("tool", {}).get("driver", {})
+    if driver.get("name") != "wsvcli":
+        fail(f"tool.driver.name is {driver.get('name')!r}")
+    rules = driver.get("rules", [])
+    rule_ids = {r.get("id") for r in rules}
+    for rule in rules:
+        if not rule.get("shortDescription", {}).get("text"):
+            fail(f"rule {rule.get('id')} lacks shortDescription.text")
+
+    results = run.get("results")
+    if not isinstance(results, list) or not results:
+        fail("results must be a non-empty list")
+    for res in results:
+        rid = res.get("ruleId", "")
+        if not rid.startswith("WSV-"):
+            fail(f"result ruleId {rid!r} is not a WSV rule")
+        if rid not in rule_ids:
+            fail(f"result ruleId {rid} missing from tool.driver.rules")
+        if res.get("level") not in LEVELS:
+            fail(f"result level {res.get('level')!r} not in {sorted(LEVELS)}")
+        if not res.get("message", {}).get("text"):
+            fail(f"result {rid} lacks message.text")
+        locs = res.get("locations")
+        if not locs:
+            fail(f"result {rid} has no locations")
+        phys = locs[0].get("physicalLocation", {})
+        if not phys.get("artifactLocation", {}).get("uri"):
+            fail(f"result {rid} lacks artifactLocation.uri")
+        region = phys.get("region", {})
+        if not isinstance(region.get("startLine"), int) or region["startLine"] < 1:
+            fail(f"result {rid} has bad region.startLine")
+
+    print(f"SARIF ok: {len(results)} results, {len(rules)} rules")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

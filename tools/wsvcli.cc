@@ -28,6 +28,15 @@
 //   wsvcli verify-ctl <spec.wsv> <property> <db.wsd> [--pool a,b,c]
 //       Verify a propositional CTL / CTL* property on the service's
 //       Kripke structure over the given database (Theorem 4.4).
+//   wsvcli lint <spec.wsv> [--format=text|json|sarif] [--werror]
+//       Static analysis: reports *every* finding in one pass — parse and
+//       well-formedness errors (WSV-PARSE/VAL-*), decidability-frontier
+//       notes anchored to the paper's theorems (WSV-IB-*), navigation
+//       and dead-symbol warnings (WSV-NAV-*, WSV-DEAD-*, WSV-DOM-*).
+//       Exit code: 2 on errors, 1 on warnings under --werror, else 0.
+//
+// Parse and validation failures exit non-zero on every subcommand, with
+// annotated diagnostics on stderr rendered by the same engine as lint.
 
 #include <chrono>
 #include <condition_variable>
@@ -41,6 +50,8 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/lints.h"
+#include "analysis/render.h"
 #include "common/str_util.h"
 #include "ctl/ctl_check.h"
 #include "ctl/ctl_star_check.h"
@@ -55,6 +66,7 @@
 #include "ws/classify.h"
 #include "ws/data_parser.h"
 #include "ws/spec_parser.h"
+#include "ws/validate.h"
 
 namespace wsv {
 namespace {
@@ -74,7 +86,8 @@ int Usage() {
       "[--fresh N] [--unchecked] [--jobs N] [--stats] "
       "[--stats-json FILE] [--trace-out FILE] [--progress]\n"
       "  wsvcli verify-ctl <spec.wsv> <property> <db.wsd> "
-      "[--pool a,b,c]\n");
+      "[--pool a,b,c]\n"
+      "  wsvcli lint <spec.wsv> [--format=text|json|sarif] [--werror]\n");
   return 2;
 }
 
@@ -106,6 +119,10 @@ struct Flags {
   std::string stats_json;
   std::string trace_out;
   bool progress = false;
+  /// Lint output format: "text", "json", or "sarif".
+  std::string format = "text";
+  /// Lint: treat warnings as errors (exit 1 when any warning fires).
+  bool werror = false;
 };
 
 StatusOr<Flags> ParseFlags(int argc, char** argv) {
@@ -140,6 +157,12 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       WSV_ASSIGN_OR_RETURN(flags.trace_out, next());
     } else if (arg == "--progress") {
       flags.progress = true;
+    } else if (arg == "--werror") {
+      flags.werror = true;
+    } else if (arg == "--format") {
+      WSV_ASSIGN_OR_RETURN(flags.format, next());
+    } else if (StartsWith(arg, "--format=")) {
+      flags.format = arg.substr(std::strlen("--format="));
     } else if (arg == "--pool") {
       WSV_ASSIGN_OR_RETURN(std::string v, next());
       for (const std::string& piece : Split(v, ',')) {
@@ -154,9 +177,28 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
   return flags;
 }
 
+// Loads and validates a service. On parse or validation failure, every
+// diagnostic is rendered (annotated source) to stderr — the same engine
+// `lint` uses — and the error status is returned so all subcommands exit
+// non-zero consistently.
 StatusOr<WebService> LoadService(const std::string& path) {
   WSV_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
-  return ParseServiceSpec(text);
+  StatusOr<WebService> service = ParseServiceSpec(text);
+  if (!service.ok()) {
+    analysis::DiagnosticSink sink;
+    StatusOr<WebService> parsed = ParseServiceSpecWithoutValidation(text);
+    if (!parsed.ok()) {
+      sink.Report("WSV-PARSE-001", analysis::Severity::kError,
+                  analysis::SpanFromMessage(parsed.status().message()),
+                  parsed.status().message());
+    } else {
+      ValidateServiceDiagnostics(*parsed, &sink);
+      sink.SortBySpan();
+    }
+    std::fputs(analysis::RenderText(sink.diagnostics(), text, path).c_str(),
+               stderr);
+  }
+  return service;
 }
 
 StatusOr<Instance> LoadDatabase(const std::string& path,
@@ -375,6 +417,31 @@ int CmdVerify(const Flags& flags) {
   return 3;
 }
 
+int CmdLint(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  if (flags.format != "text" && flags.format != "json" &&
+      flags.format != "sarif") {
+    return Fail(Status::InvalidArgument("unknown --format: " + flags.format));
+  }
+  const std::string& path = flags.positional[0];
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  analysis::DiagnosticSink sink;
+  analysis::LintSpecText(*text, &sink);
+  std::string out;
+  if (flags.format == "json") {
+    out = analysis::RenderJson(sink.diagnostics(), path);
+  } else if (flags.format == "sarif") {
+    out = analysis::RenderSarif(sink.diagnostics(), path);
+  } else {
+    out = analysis::RenderText(sink.diagnostics(), *text, path);
+  }
+  std::fputs(out.c_str(), stdout);
+  if (sink.error_count() > 0) return 2;
+  if (flags.werror && sink.warning_count() > 0) return 1;
+  return 0;
+}
+
 int CmdVerifyCtl(const Flags& flags) {
   if (flags.positional.size() < 3) return Usage();
   auto service = LoadService(flags.positional[0]);
@@ -409,6 +476,7 @@ int Main(int argc, char** argv) {
   if (cmd == "check-errors") return CmdCheckErrors(*flags);
   if (cmd == "verify") return CmdVerify(*flags);
   if (cmd == "verify-ctl") return CmdVerifyCtl(*flags);
+  if (cmd == "lint") return CmdLint(*flags);
   return Usage();
 }
 
