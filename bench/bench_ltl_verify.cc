@@ -44,6 +44,15 @@ void MergeObsCounters(benchmark::State& state) {
   put("obs_products_skipped", "ltl/products_skipped");
   put("obs_leaf_memo_hits", "ltl/leaf_memo_hits");
   put("obs_leaf_memo_misses", "ltl/leaf_memo_misses");
+  put("obs_otf_states_created", "ltl/otf_states_created");
+  put("obs_otf_early_exits", "ltl/otf_early_exits");
+  // Peak product size: the max of the per-search state-count histogram
+  // (not averaged — it is already a max over the snapshot window).
+  auto hist = snap.histograms.find("ltl/peak_product_states");
+  if (hist != snap.histograms.end()) {
+    state.counters["obs_peak_product_states"] =
+        static_cast<double>(hist->second.max);
+  }
   double rate = obs::LeafMemoHitRate(snap);
   if (rate >= 0) state.counters["obs_memo_hit_rate"] = rate;
   double collapse = obs::ValuationCollapseRate(snap);
@@ -52,12 +61,15 @@ void MergeObsCounters(benchmark::State& state) {
 
 // --- E2: the paper's properties on the running example. ---------------
 
-void BM_Property1_Ecommerce(benchmark::State& state) {
+// Property 1 runs in both modes so the _Eager row is the A/B baseline
+// for the on-the-fly early exit (tools/bench_guard.py compares them).
+void RunProperty1(benchmark::State& state, bool eager) {
   WebService service = std::move(BuildEcommerceService()).value();
   Instance db = EcommerceSmallDatabase();
   LtlVerifyOptions options;
   options.graph.constant_pool = {V("alice"), V("pw")};
   options.require_input_bounded = false;
+  options.force_eager = eager;
   LtlVerifier verifier(&service, options);
   auto prop = ParseTemporalProperty("G(!PIP) | F(PIP & F(CC))",
                                     &service.vocab());
@@ -74,15 +86,25 @@ void BM_Property1_Ecommerce(benchmark::State& state) {
   MergeObsCounters(state);
   state.SetLabel("VIOLATED (paper: eventuality not enforced)");
 }
+
+void BM_Property1_Ecommerce(benchmark::State& state) {
+  RunProperty1(state, /*eager=*/false);
+}
 BENCHMARK(BM_Property1_Ecommerce)->Unit(benchmark::kMillisecond);
 
-void BM_Property4_PayBeforeShip(benchmark::State& state) {
+void BM_Property1_Ecommerce_Eager(benchmark::State& state) {
+  RunProperty1(state, /*eager=*/true);
+}
+BENCHMARK(BM_Property1_Ecommerce_Eager)->Unit(benchmark::kMillisecond);
+
+void RunProperty4(benchmark::State& state, bool eager) {
   WebService service = std::move(BuildEcommerceService()).value();
   Instance db = EcommerceSmallDatabase();
   LtlVerifyOptions options;
   options.graph.constant_pool = {V("alice"), V("pw")};
   options.require_input_bounded = false;
   options.closure_candidates = {V("p1"), V("100"), V("alice")};
+  options.force_eager = eager;
   LtlVerifier verifier(&service, options);
   auto prop = ParseTemporalProperty(
       "forall pid, price . ((UPP & payamount(price) & button(\"submit\") "
@@ -104,7 +126,16 @@ void BM_Property4_PayBeforeShip(benchmark::State& state) {
   MergeObsCounters(state);
   state.SetLabel("HOLDS (paper: shipped products are paid for)");
 }
+
+void BM_Property4_PayBeforeShip(benchmark::State& state) {
+  RunProperty4(state, /*eager=*/false);
+}
 BENCHMARK(BM_Property4_PayBeforeShip)->Unit(benchmark::kMillisecond);
+
+void BM_Property4_PayBeforeShip_Eager(benchmark::State& state) {
+  RunProperty4(state, /*eager=*/true);
+}
+BENCHMARK(BM_Property4_PayBeforeShip_Eager)->Unit(benchmark::kMillisecond);
 
 // --- E2b: the parallel engine, /jobs:1 vs /jobs:N. ---------------------
 //
@@ -223,22 +254,29 @@ BENCHMARK(BM_ScaleDatabaseBound)->DenseRange(1, 4, 1)
     ->Unit(benchmark::kMillisecond);
 
 // Universal closure arity: each additional closure variable multiplies
-// the valuation space by the candidate count.
+// the valuation space by the candidate count. The telemetry merge makes
+// the FO-leaf memo visible: later valuations re-resolve leaves whose
+// projected bindings repeat, so the hit count must be nonzero here
+// (bench-guarded).
 void BM_ScaleClosureArity(benchmark::State& state) {
   WebService service = std::move(BuildLoginService()).value();
   Instance db = LoginDatabase();
   LtlVerifyOptions options;
   options.graph.constant_pool = {V("alice"), V("pw"), V("u0")};
   LtlVerifier verifier(&service, options);
+  // One G-leaf per closure variable: a leaf's truth column depends only
+  // on the valuation's projection onto its own variable, so with k >= 2
+  // variables the sweep re-resolves each leaf |cand|^(k-1) times per
+  // projected value — the memo's bread and butter.
   std::string vars = "m0";
-  std::string body = "!error(m0)";
+  std::string body = "G(!error(m0) | logged_in | true)";
   for (int i = 1; i < state.range(0); ++i) {
     vars += ", m" + std::to_string(i);
-    body += " | !error(m" + std::to_string(i) + ")";
+    body += " & G(!error(m" + std::to_string(i) + ") | logged_in | true)";
   }
-  auto prop = ParseTemporalProperty(
-      "forall " + vars + " . G(" + body + " | logged_in | true)",
-      &service.vocab());
+  auto prop = ParseTemporalProperty("forall " + vars + " . (" + body + ")",
+                                    &service.vocab());
+  obs::ResetMetrics();
   for (auto _ : state) {
     auto r = verifier.VerifyOnDatabase(*prop, db);
     if (!r.ok()) {
@@ -247,8 +285,50 @@ void BM_ScaleClosureArity(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(r->holds);
   }
+  MergeObsCounters(state);
 }
 BENCHMARK(BM_ScaleClosureArity)->DenseRange(1, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// A HOLDS family where the exhaustive search cannot early-exit: the
+// login safety property over every database within a growing bound. The
+// on-the-fly and eager rows must agree on verdicts; the guard asserts
+// the lazy path never *creates* more product states than the eager one
+// materializes (no state-count inversion on HOLDS).
+void RunLoginHoldsSweep(benchmark::State& state, bool eager) {
+  WebService service = std::move(BuildLoginService()).value();
+  LtlVerifyOptions options;
+  options.db.fresh_values = 1;
+  options.db.max_tuples_per_relation = static_cast<int>(state.range(0));
+  options.graph.constant_pool = {V("d0")};
+  options.force_eager = eager;
+  LtlVerifier verifier(&service, options);
+  auto prop = ParseTemporalProperty("G(!CP | logged_in)", &service.vocab());
+  obs::ResetMetrics();
+  for (auto _ : state) {
+    auto r = verifier.Verify(*prop);
+    if (!r.ok() || !r->holds) {
+      state.SkipWithError("expected the property to hold");
+      return;
+    }
+    state.counters["databases"] =
+        static_cast<double>(r->databases_checked);
+    state.counters["product_states"] =
+        static_cast<double>(r->total_product_states);
+  }
+  MergeObsCounters(state);
+}
+
+void BM_LoginHoldsBound(benchmark::State& state) {
+  RunLoginHoldsSweep(state, /*eager=*/false);
+}
+BENCHMARK(BM_LoginHoldsBound)->ArgName("bound")->DenseRange(1, 2, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LoginHoldsBound_Eager(benchmark::State& state) {
+  RunLoginHoldsSweep(state, /*eager=*/true);
+}
+BENCHMARK(BM_LoginHoldsBound_Eager)->ArgName("bound")->DenseRange(1, 2, 1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -35,6 +35,30 @@ class Bitset {
 
   void ClearAll() { words_.assign(words_.size(), 0); }
 
+  /// Grows the logical size to `num_bits`, preserving existing bits (new
+  /// bits are zero). No-op if already at least that large. The on-the-fly
+  /// verifier extends FO-leaf truth columns as configuration-graph edges
+  /// materialize; Resize would wipe the prefix already evaluated.
+  void GrowTo(size_t num_bits) {
+    if (num_bits <= num_bits_) return;
+    num_bits_ = num_bits;
+    words_.resize((num_bits + 63) / 64, 0);
+  }
+
+  /// True iff the first `n` bits of `*this` and `other` coincide. Both
+  /// bitsets must have size() >= n. Compares whole words, masking the
+  /// tail word.
+  bool PrefixEquals(const Bitset& other, size_t n) const {
+    const size_t full = n / 64;
+    for (size_t w = 0; w < full; ++w) {
+      if (words_[w] != other.words_[w]) return false;
+    }
+    const size_t rest = n & 63;
+    if (rest == 0) return true;
+    const uint64_t mask = (uint64_t{1} << rest) - 1;
+    return (words_[full] & mask) == (other.words_[full] & mask);
+  }
+
   void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
   void Set(size_t i, bool value) {
     if (value) {

@@ -55,6 +55,10 @@ struct HistBlock {
   std::atomic<uint64_t> buckets[kHistogramBuckets];
   std::atomic<uint64_t> count{0};
   std::atomic<uint64_t> sum{0};
+  // Exact running maximum. Single-writer per shard, so a plain
+  // load-compare-store (no CAS loop) is race-free; aggregators read it
+  // relaxed like every other slot.
+  std::atomic<uint64_t> max{0};
 
   HistBlock() {
     for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
@@ -98,6 +102,7 @@ struct HistAccum {
   uint64_t buckets[kHistogramBuckets] = {};
   uint64_t count = 0;
   uint64_t sum = 0;
+  uint64_t max = 0;
 };
 
 }  // namespace
@@ -168,6 +173,7 @@ class Registry {
       HistogramSnapshot h;
       h.count = hist_totals[i].count;
       h.sum = hist_totals[i].sum;
+      h.max = hist_totals[i].max;
       h.buckets.assign(hist_totals[i].buckets,
                        hist_totals[i].buckets + kHistogramBuckets);
       snap.histograms[hist_names_[i]] = std::move(h);
@@ -186,6 +192,7 @@ class Registry {
         for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
         h.count.store(0, std::memory_order_relaxed);
         h.sum.store(0, std::memory_order_relaxed);
+        h.max.store(0, std::memory_order_relaxed);
       }
     }
   }
@@ -210,6 +217,7 @@ class Registry {
     }
     out->count += block.count.load(std::memory_order_relaxed);
     out->sum += block.sum.load(std::memory_order_relaxed);
+    out->max = std::max(out->max, block.max.load(std::memory_order_relaxed));
   }
 
   void Retire(const std::shared_ptr<Shard>& shard) {
@@ -257,6 +265,9 @@ void Histogram::Record(uint64_t value) {
   block.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
   block.count.fetch_add(1, std::memory_order_relaxed);
   block.sum.fetch_add(value, std::memory_order_relaxed);
+  if (value > block.max.load(std::memory_order_relaxed)) {
+    block.max.store(value, std::memory_order_relaxed);
+  }
 }
 
 Counter& GetCounter(std::string_view name) {

@@ -43,6 +43,7 @@ inline constexpr size_t kHistogramBuckets = 65;
 struct HistogramSnapshot {
   uint64_t count = 0;
   uint64_t sum = 0;  // exact sum of recorded values (ns for timers)
+  uint64_t max = 0;  // exact maximum recorded value (0 when count == 0)
   std::vector<uint64_t> buckets;  // kHistogramBuckets cumulative-free counts
 
   double Mean() const { return count == 0 ? 0.0 : double(sum) / double(count); }

@@ -100,16 +100,23 @@ std::string FormatStatsTable(const MetricsSnapshot& snap) {
   for (const auto& [name, h] : snap.histograms) {
     if (name.rfind("span/", 0) == 0) continue;
     if (!header) {
-      std::snprintf(line, sizeof(line), "%-34s %10s %10s %10s %10s\n",
-                    "histogram", "count", "total", "mean", "p90");
+      std::snprintf(line, sizeof(line), "%-34s %10s %10s %10s %10s %10s\n",
+                    "histogram", "count", "total", "mean", "p90", "max");
       out += line;
       header = true;
     }
-    std::snprintf(line, sizeof(line), "%-34s %10llu %10s %10s %10s\n",
+    // The "_ns" suffix marks duration histograms; everything else is a
+    // dimensionless size/depth distribution and renders as raw numbers.
+    const bool is_duration =
+        name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+    auto fmt = [&](uint64_t v) -> std::string {
+      return is_duration ? FormatDurationNs(v) : std::to_string(v);
+    };
+    std::snprintf(line, sizeof(line), "%-34s %10llu %10s %10s %10s %10s\n",
                   name.c_str(), static_cast<unsigned long long>(h.count),
-                  FormatDurationNs(h.sum).c_str(),
-                  FormatDurationNs(static_cast<uint64_t>(h.Mean())).c_str(),
-                  FormatDurationNs(h.Percentile(0.90)).c_str());
+                  fmt(h.sum).c_str(),
+                  fmt(static_cast<uint64_t>(h.Mean())).c_str(),
+                  fmt(h.Percentile(0.90)).c_str(), fmt(h.max).c_str());
     out += line;
   }
 
@@ -174,7 +181,8 @@ std::string StatsToJson(const MetricsSnapshot& snap) {
     out += buf;
     out += ", \"p50_ns\": " + std::to_string(h.Percentile(0.50)) +
            ", \"p90_ns\": " + std::to_string(h.Percentile(0.90)) +
-           ", \"p99_ns\": " + std::to_string(h.Percentile(0.99)) + "}";
+           ", \"p99_ns\": " + std::to_string(h.Percentile(0.99)) +
+           ", \"max\": " + std::to_string(h.max) + "}";
   }
   out += "\n  },\n  \"derived\": {";
   const double memo_rate = LeafMemoHitRate(snap);

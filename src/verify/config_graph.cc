@@ -1,6 +1,5 @@
 #include "verify/config_graph.h"
 
-#include <deque>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -150,91 +149,126 @@ class ChoiceEnumerator {
 
 }  // namespace
 
-StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
-                                       const ConfigGraphOptions& options) {
-  WSV_SPAN("config_graph/build");
-  ConfigGraph graph;
-  std::vector<Value> pool = options.constant_pool;
-  if (pool.empty()) {
-    std::set<Value> p(stepper.database().domain().begin(),
-                      stepper.database().domain().end());
-    for (Value v : ServiceRuleLiterals(stepper.service())) p.insert(v);
-    pool.assign(p.begin(), p.end());
+LazyConfigGraph::LazyConfigGraph(const Stepper* stepper,
+                                 ConfigGraphOptions options)
+    : stepper_(stepper), options_(std::move(options)) {
+  pool_ = options_.constant_pool;
+  if (pool_.empty()) {
+    std::set<Value> p(stepper_->database().domain().begin(),
+                      stepper_->database().domain().end());
+    for (Value v : ServiceRuleLiterals(stepper_->service())) p.insert(v);
+    pool_.assign(p.begin(), p.end());
   }
+  graph_.initial = InternNode(stepper_->InitialConfig());
+}
 
-  std::unordered_map<Config, int, ConfigHash> node_index;
-  std::deque<int> worklist;
-  auto intern_node = [&](const Config& c) -> int {
-    auto it = node_index.find(c);
-    if (it != node_index.end()) {
-      WSV_COUNT1("config_graph/node_dedup_hits");
-      return it->second;
+int LazyConfigGraph::InternNode(const Config& c) {
+  auto it = node_index_.find(c);
+  if (it != node_index_.end()) {
+    WSV_COUNT1("config_graph/node_dedup_hits");
+    return it->second;
+  }
+  WSV_COUNT1("config_graph/nodes");
+  int id = static_cast<int>(graph_.nodes.size());
+  node_index_.emplace(c, id);
+  graph_.nodes.push_back(c);
+  graph_.out_edges.emplace_back();
+  expanded_.push_back(0);
+  return id;
+}
+
+void LazyConfigGraph::MarkTruncated() {
+  if (!graph_.truncated) {
+    graph_.truncated = true;
+    WSV_COUNT1("config_graph/builds_truncated");
+  }
+}
+
+Status LazyConfigGraph::ExpandNode(int v) {
+  WSV_COUNT1("config_graph/nodes_expanded");
+  expanded_[static_cast<size_t>(v)] = 1;
+  // Copy: InternNode may reallocate graph_.nodes during enumeration.
+  Config current = graph_.nodes[static_cast<size_t>(v)];
+  // Deduplicate parallel edges that lead to the same successor with the
+  // same trace (different choices can be observationally identical).
+  struct EdgeSigHash {
+    size_t operator()(const std::pair<int, std::string>& p) const {
+      return HashCombine(std::hash<std::string>()(p.second),
+                         static_cast<size_t>(p.first));
     }
-    WSV_COUNT1("config_graph/nodes");
-    int id = static_cast<int>(graph.nodes.size());
-    node_index.emplace(c, id);
-    graph.nodes.push_back(c);
-    graph.out_edges.emplace_back();
-    worklist.push_back(id);
-    return id;
   };
+  std::unordered_set<std::pair<int, std::string>, EdgeSigHash> seen;
+  ChoiceEnumerator choices(*stepper_, pool_);
+  return choices.ForEachChoice(
+      current, [&](const UserChoice& choice) -> Status {
+        WSV_ASSIGN_OR_RETURN(StepOutcome outcome,
+                             stepper_->Step(current, choice));
+        if (graph_.edges.size() >= options_.max_edges) {
+          MarkTruncated();
+          return Status::OK();
+        }
+        int to = InternNode(outcome.next);
+        std::string sig = outcome.trace.inputs.ToString();
+        if (!seen.insert({to, sig}).second) {
+          WSV_COUNT1("config_graph/edge_dedup_hits");
+          return Status::OK();
+        }
+        WSV_COUNT1("config_graph/edges");
+        ConfigGraph::Edge edge;
+        edge.from = v;
+        edge.to = to;
+        edge.inputs = std::move(outcome.trace.inputs);
+        edge.to_error = outcome.to_error;
+        edge.error_reason = std::move(outcome.error_reason);
+        graph_.out_edges[static_cast<size_t>(v)].push_back(
+            static_cast<int>(graph_.edges.size()));
+        graph_.edges.push_back(std::move(edge));
+        return Status::OK();
+      });
+}
 
-  graph.initial = intern_node(stepper.InitialConfig());
-  ChoiceEnumerator choices(stepper, pool);
+StatusOr<bool> LazyConfigGraph::EnsureExpanded(int v) {
+  if (Expanded(v)) return true;
+  if (options_.cancel_check && options_.cancel_check()) {
+    WSV_COUNT1("config_graph/builds_cancelled");
+    return Status::Cancelled("configuration graph build cancelled");
+  }
+  if (graph_.nodes.size() > options_.max_nodes ||
+      graph_.edges.size() > options_.max_edges) {
+    MarkTruncated();
+    return false;
+  }
+  WSV_RETURN_IF_ERROR(ExpandNode(v));
+  return true;
+}
 
-  while (!worklist.empty()) {
-    if (options.cancel_check && options.cancel_check()) {
+Status LazyConfigGraph::ExpandAll() {
+  // Nodes are interned in BFS-discovery order and expanded in id order,
+  // so this loop *is* the classic worklist BFS — budget and cancellation
+  // behavior match the historical eager builder exactly.
+  for (size_t v = 0; v < graph_.nodes.size(); ++v) {
+    if (options_.cancel_check && options_.cancel_check()) {
       WSV_COUNT1("config_graph/builds_cancelled");
       return Status::Cancelled("configuration graph build cancelled");
     }
-    if (graph.nodes.size() > options.max_nodes ||
-        graph.edges.size() > options.max_edges) {
-      graph.truncated = true;
+    if (graph_.nodes.size() > options_.max_nodes ||
+        graph_.edges.size() > options_.max_edges) {
+      MarkTruncated();
       break;
     }
-    int v = worklist.front();
-    worklist.pop_front();
-    WSV_COUNT1("config_graph/nodes_expanded");
-    // Copy: intern_node may reallocate graph.nodes during enumeration.
-    Config current = graph.nodes[v];
-    // Deduplicate parallel edges that lead to the same successor with the
-    // same trace (different choices can be observationally identical).
-    struct EdgeSigHash {
-      size_t operator()(const std::pair<int, std::string>& p) const {
-        return HashCombine(std::hash<std::string>()(p.second),
-                           static_cast<size_t>(p.first));
-      }
-    };
-    std::unordered_set<std::pair<int, std::string>, EdgeSigHash> seen;
-    Status st = choices.ForEachChoice(
-        current, [&](const UserChoice& choice) -> Status {
-          WSV_ASSIGN_OR_RETURN(StepOutcome outcome,
-                               stepper.Step(current, choice));
-          if (graph.edges.size() >= options.max_edges) {
-            graph.truncated = true;
-            return Status::OK();
-          }
-          int to = intern_node(outcome.next);
-          std::string sig = outcome.trace.inputs.ToString();
-          if (!seen.insert({to, sig}).second) {
-            WSV_COUNT1("config_graph/edge_dedup_hits");
-            return Status::OK();
-          }
-          WSV_COUNT1("config_graph/edges");
-          ConfigGraph::Edge edge;
-          edge.from = v;
-          edge.to = to;
-          edge.inputs = std::move(outcome.trace.inputs);
-          edge.to_error = outcome.to_error;
-          edge.error_reason = std::move(outcome.error_reason);
-          graph.out_edges[v].push_back(static_cast<int>(graph.edges.size()));
-          graph.edges.push_back(std::move(edge));
-          return Status::OK();
-        });
-    WSV_RETURN_IF_ERROR(st);
+    if (!Expanded(static_cast<int>(v))) {
+      WSV_RETURN_IF_ERROR(ExpandNode(static_cast<int>(v)));
+    }
   }
-  if (graph.truncated) WSV_COUNT1("config_graph/builds_truncated");
-  return graph;
+  return Status::OK();
+}
+
+StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
+                                       const ConfigGraphOptions& options) {
+  WSV_SPAN("config_graph/build");
+  LazyConfigGraph lazy(&stepper, options);
+  WSV_RETURN_IF_ERROR(lazy.ExpandAll());
+  return lazy.TakeGraph();
 }
 
 }  // namespace wsv

@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -72,6 +73,61 @@ struct ConfigGraph {
 /// Builds the reachable configuration graph from the initial node.
 StatusOr<ConfigGraph> BuildConfigGraph(const Stepper& stepper,
                                        const ConfigGraphOptions& options);
+
+/// Incremental construction of the same graph, driven by the consumer:
+/// nodes are interned on discovery and expanded (their out-edges
+/// materialized through the stepper) only on request. The on-the-fly
+/// product search uses this so a configuration is stepped only when the
+/// nested DFS actually reaches it; BuildConfigGraph is ExpandAll() over
+/// the same machinery, so eager and lazy builds produce identical
+/// node/edge orderings, dedup behavior, budgets, and counters.
+///
+/// Not thread-safe: each concurrent valuation sweep owns its own
+/// instance (the verifiers keep it call-local).
+class LazyConfigGraph {
+ public:
+  /// `stepper` must outlive the LazyConfigGraph. An empty
+  /// options.constant_pool resolves to the database's active domain plus
+  /// the service's rule literals, as in BuildConfigGraph.
+  LazyConfigGraph(const Stepper* stepper, ConfigGraphOptions options);
+
+  LazyConfigGraph(const LazyConfigGraph&) = delete;
+  LazyConfigGraph& operator=(const LazyConfigGraph&) = delete;
+
+  /// The graph built so far. out_edges[v] is complete iff Expanded(v);
+  /// unexpanded nodes look like dead ends, which is exactly the prefix
+  /// semantics of a truncated eager build.
+  const ConfigGraph& graph() const { return graph_; }
+  int initial() const { return graph_.initial; }
+  bool truncated() const { return graph_.truncated; }
+  bool Expanded(int v) const {
+    return expanded_[static_cast<size_t>(v)] != 0;
+  }
+
+  /// Materializes node v's out-edges if not already done. Returns false
+  /// when a budget leaves the node unexpanded (the graph is then marked
+  /// truncated); Status::Cancelled when options.cancel_check fires.
+  StatusOr<bool> EnsureExpanded(int v);
+
+  /// Expands every reachable node in BFS (= node id) order, exactly as
+  /// BuildConfigGraph does, honoring budgets and cancellation.
+  Status ExpandAll();
+
+  /// Moves the graph out; the LazyConfigGraph must not be used after.
+  ConfigGraph TakeGraph() { return std::move(graph_); }
+
+ private:
+  int InternNode(const Config& c);
+  Status ExpandNode(int v);
+  void MarkTruncated();
+
+  const Stepper* stepper_;
+  ConfigGraphOptions options_;
+  std::vector<Value> pool_;
+  ConfigGraph graph_;
+  std::unordered_map<Config, int, ConfigHash> node_index_;
+  std::vector<char> expanded_;
+};
 
 }  // namespace wsv
 

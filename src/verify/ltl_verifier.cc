@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <deque>
 #include <set>
 #include <unordered_map>
 #include <utility>
@@ -65,6 +66,22 @@ bool ClassCollapseEnabled() {
   return std::getenv("WSV_DISABLE_CLASS_COLLAPSE") == nullptr;
 }
 
+bool OnTheFlyEnabled() {
+  return std::getenv("WSV_DISABLE_ONTHEFLY") == nullptr;
+}
+
+std::set<std::string> TrackedPrevRelations(const WebService& service,
+                                           const TemporalProperty& property) {
+  // Track only the Prev_I relations the rules or the property observe.
+  std::set<std::string> tracked = Stepper::PrevRelationsInRules(service);
+  for (const FormulaPtr& leaf : property.formula->FoLeaves()) {
+    for (const Atom& atom : leaf->Atoms()) {
+      if (atom.prev) tracked.insert(atom.relation);
+    }
+  }
+  return tracked;
+}
+
 StatusOr<BuchiAutomaton> BuildNegatedAutomaton(
     const WebService& service, const TemporalProperty& property,
     bool require_input_bounded) {
@@ -100,17 +117,11 @@ StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
   check.database_ = std::make_unique<Instance>(database);
   const Instance& db = *check.database_;
 
-  Stepper stepper(service, check.database_.get());
-  // Track only the Prev_I relations the rules or the property observe.
-  {
-    std::set<std::string> tracked = Stepper::PrevRelationsInRules(*service);
-    for (const FormulaPtr& leaf : property->formula->FoLeaves()) {
-      for (const Atom& atom : leaf->Atoms()) {
-        if (atom.prev) tracked.insert(atom.relation);
-      }
-    }
-    stepper.SetTrackedPrev(std::move(tracked));
-  }
+  // The stepper is owned by the context: on-the-fly sweeps generate
+  // successors long after Create returns.
+  check.stepper_ = std::make_unique<Stepper>(service, check.database_.get());
+  check.stepper_->SetTrackedPrev(TrackedPrevRelations(*service, *property));
+  const Stepper& stepper = *check.stepper_;
 
   // Candidate values for input constants: the database's active domain,
   // the rule/property literals, plus fresh "typed by the user" values.
@@ -124,9 +135,13 @@ StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
     }
     graph_options.constant_pool.assign(pool.begin(), pool.end());
   }
+  check.graph_options_ = graph_options;
 
-  WSV_ASSIGN_OR_RETURN(check.graph_,
-                       BuildConfigGraph(stepper, graph_options));
+  check.on_the_fly_ = OnTheFlyEnabled() && !options.force_eager;
+  if (!check.on_the_fly_) {
+    WSV_ASSIGN_OR_RETURN(check.graph_,
+                         BuildConfigGraph(stepper, graph_options));
+  }
 
   // Valuation candidates for the universal closure variables: everything
   // that can occur in a run's active domain — the database, rule and
@@ -170,6 +185,7 @@ StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
   const size_t num_edges = check.graph_.edges.size();
   check.leaf_vars_.resize(num_leaves);
   check.static_cols_.resize(num_leaves);
+  check.leaf_qfree_.resize(num_leaves, 0);
   check.domain_relevant_.resize(num_leaves);
   // Database-domain membership of each candidate is leaf-independent;
   // scan the domain once instead of once per leaf.
@@ -183,7 +199,8 @@ StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
     for (size_t p = 0; p < vars.size(); ++p) {
       if (free.count(vars[p]) > 0) check.leaf_vars_[k].push_back(p);
     }
-    if (check.leaf_vars_[k].empty()) {
+    check.leaf_qfree_[k] = automaton->leaves[k]->IsQuantifierFree() ? 1 : 0;
+    if (check.leaf_vars_[k].empty() && !check.on_the_fly_) {
       [[maybe_unused]] const uint64_t eval_start = WSV_OBS_NOW();
       Bitset& col = check.static_cols_[k];
       col.Resize(num_edges);
@@ -234,6 +251,7 @@ StatusOr<std::optional<IndexedCounterExample>>
 LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
                                   const std::function<bool(uint64_t)>& stop,
                                   uint64_t* product_states) const {
+  if (on_the_fly_) return CheckValuationsOtf(begin, end, stop, product_states);
   WSV_SPAN("verify/check_valuations");
   const std::vector<std::string>& vars = property_->universal_vars;
   const size_t num_leaves = automaton_->leaves.size();
@@ -338,10 +356,12 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
       memo_key.clear();
       for (size_t p : leaf_vars_[k]) memo_key.push_back(digits[p]);
       memo_key.push_back(-1);  // separator: bindings | domain extension
-      {
+      if (!leaf_qfree_[k]) {
         // The extension is the sorted deduped set of domain-relevant
         // digits; the handful of closure variables makes insertion
         // sort on the scratch tail the cheap way to canonicalize.
+        // Quantifier-free leaves skip it: they never iterate the active
+        // domain, so extending it cannot change their truth.
         const size_t ext_begin = memo_key.size();
         for (int32_t d : digits) {
           if (domain_relevant_[k][static_cast<size_t>(d)]) {
@@ -498,6 +518,381 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
   return std::optional<IndexedCounterExample>(std::nullopt);
 }
 
+StatusOr<std::optional<IndexedCounterExample>>
+LtlDatabaseCheck::CheckValuationsOtf(
+    uint64_t begin, uint64_t end, const std::function<bool(uint64_t)>& stop,
+    uint64_t* product_states) const {
+  WSV_SPAN("verify/check_valuations");
+  const std::vector<std::string>& vars = property_->universal_vars;
+  const size_t num_leaves = automaton_->leaves.size();
+  const uint64_t c = cand_.size();
+  if (end > num_valuations_) end = num_valuations_;
+  const bool collapse = ClassCollapseEnabled();
+
+  // One lazy graph per sweep call: configurations are stepped only when
+  // a nested DFS reaches them, and everything this call expands stays
+  // local to it — concurrent sweeps of one context never share mutable
+  // state. The graph's cancellation hook additionally honors `stop` with
+  // the index currently being swept, so a mid-search better-witness
+  // signal aborts expansion too.
+  uint64_t current_index = begin;
+  ConfigGraphOptions gopts = graph_options_;
+  const std::function<bool()> base_cancel = gopts.cancel_check;
+  const std::function<bool(uint64_t)>& stop_ref = stop;
+  gopts.cancel_check = [&base_cancel, &stop_ref, &current_index]() {
+    if (base_cancel && base_cancel()) return true;
+    return stop_ref && stop_ref(current_index);
+  };
+  LazyConfigGraph lazy(stepper_.get(), gopts);
+  const ConfigGraph& graph = lazy.graph();
+
+  // Fold this call's graph into the context-wide totals on every exit
+  // path (counterexample, cancellation, error, clean finish).
+  struct GraphAccounting {
+    const LazyConfigGraph& lazy;
+    OtfTotals* totals;
+    ~GraphAccounting() {
+      totals->nodes.fetch_add(lazy.graph().nodes.size(),
+                              std::memory_order_relaxed);
+      if (lazy.truncated()) {
+        totals->truncated.store(true, std::memory_order_relaxed);
+      }
+    }
+  } accounting{lazy, otf_totals_.get()};
+
+  // Truth columns over the *prefix* of edges evaluated so far. Columns
+  // are identified by address (the deque keeps them stable) and extended
+  // on demand: a column's bits are meaningful on [0, upto).
+  struct LeafCol {
+    Bitset bits;
+    size_t upto = 0;
+    /// The binding the column is evaluated under. Only the projection
+    /// onto the leaf's free variables (plus the domain extension — see
+    /// the memo key) can influence the truth, so sharing the column
+    /// across valuations with the same key is exact.
+    Valuation val;
+  };
+  std::deque<LeafCol> col_store;
+  std::vector<LeafCol*> static_col(num_leaves, nullptr);
+  std::vector<std::unordered_map<std::vector<int32_t>, LeafCol*,
+                                 VectorKeyHash<int32_t>>>
+      memo(num_leaves);
+
+  auto extend_col = [&](size_t k, LeafCol* col, size_t n) -> Status {
+    if (col->upto >= n) return Status::OK();
+    [[maybe_unused]] const uint64_t eval_start = WSV_OBS_NOW();
+    col->bits.GrowTo(n);
+    for (size_t e = col->upto; e < n; ++e) {
+      TraceView view = graph.View(static_cast<int>(e));
+      WSV_ASSIGN_OR_RETURN(bool b,
+                           EvalFoAtStep(*automaton_->leaves[k], view,
+                                        *database_, *service_, col->val));
+      col->bits.Set(e, b);
+    }
+    WSV_COUNT("ltl/fo_leaf_evals", n - col->upto);
+    WSV_HIST("ltl/leaf_col_eval_ns", WSV_OBS_NOW() - eval_start);
+    col->upto = n;
+    return Status::OK();
+  };
+
+  // Valuation equivalence classes, on-the-fly flavor: a class remembers
+  // its leaf columns and how many edges existed right after its
+  // representative's search (`edges_at_close`). The search only ever
+  // consulted labels of edges below that bound, and per-node out-edge
+  // lists don't depend on expansion timing — so a later valuation whose
+  // columns agree with the class on [0, edges_at_close) would reproduce
+  // the search verbatim and inherits its verdict (and lasso). At most
+  // one class can match: classes are closed in sweep order, and a new
+  // class differs from every earlier one within the earlier bound.
+  struct OtfClass {
+    std::vector<LeafCol*> cols;
+    size_t edges_at_close = 0;
+    bool violating = false;
+    LassoRun run;
+    std::set<Value> dom;
+  };
+  std::deque<OtfClass> classes;  // deque: outcome pointers stay stable
+
+  // Automaton-side lookups hoisted out of the sweep.
+  const std::set<int>& acc_set = automaton_->accepting_sets.front();
+  std::vector<char> q_acc(automaton_->size(), 0);
+  for (int q : acc_set) q_acc[static_cast<size_t>(q)] = 1;
+
+  std::vector<int32_t> digits(vars.size(), 0);
+  std::vector<LeafCol*> leaf_cols(num_leaves, nullptr);
+  std::vector<int32_t> memo_key;
+  memo_key.reserve(2 * vars.size() + 1);
+  Bitset label_scratch;
+
+  for (uint64_t i = begin; i < end; ++i) {
+    current_index = i;
+    if (stop && stop(i)) {
+      WSV_COUNT1("ltl/valuation_sweeps_cancelled");
+      return Status::Cancelled("valuation sweep cancelled at index " +
+                               std::to_string(i));
+    }
+    WSV_COUNT1("ltl/valuations_checked");
+    for (size_t k = 0; k < vars.size(); ++k) {
+      digits[k] = static_cast<int32_t>((i / stride_[k]) % c);
+    }
+    Valuation valuation;
+    auto ensure_valuation = [&] {
+      if (valuation.empty() && !vars.empty()) {
+        for (size_t k = 0; k < vars.size(); ++k) {
+          valuation[vars[k]] = cand_[static_cast<size_t>(digits[k])];
+        }
+      }
+    };
+
+    // Resolve each leaf's column (same memo discipline as the eager
+    // sweep; only the representation changed from eager bits to a lazily
+    // extended prefix).
+    for (size_t k = 0; k < num_leaves; ++k) {
+      if (leaf_vars_[k].empty()) {
+        if (static_col[k] == nullptr) {
+          col_store.emplace_back();
+          static_col[k] = &col_store.back();
+          WSV_COUNT1("ltl/static_leaf_cols");
+        }
+        leaf_cols[k] = static_col[k];
+        continue;
+      }
+      memo_key.clear();
+      for (size_t p : leaf_vars_[k]) memo_key.push_back(digits[p]);
+      memo_key.push_back(-1);  // separator: bindings | domain extension
+      if (!leaf_qfree_[k]) {
+        const size_t ext_begin = memo_key.size();
+        for (int32_t d : digits) {
+          if (domain_relevant_[k][static_cast<size_t>(d)]) {
+            memo_key.push_back(d);
+          }
+        }
+        std::sort(memo_key.begin() + ext_begin, memo_key.end());
+        memo_key.erase(
+            std::unique(memo_key.begin() + ext_begin, memo_key.end()),
+            memo_key.end());
+      }
+      auto it = memo[k].find(memo_key);
+      if (it == memo[k].end()) {
+        WSV_COUNT1("ltl/leaf_memo_misses");
+        ensure_valuation();
+        col_store.emplace_back();
+        col_store.back().val = valuation;
+        it = memo[k].emplace(memo_key, &col_store.back()).first;
+        WSV_COUNT1("ltl/leaf_memo_entries");
+      } else {
+        WSV_COUNT1("ltl/leaf_memo_hits");
+      }
+      leaf_cols[k] = it->second;
+    }
+
+    // Class lookup by column prefix (pointer equality short-circuits the
+    // common case of a shared memoized column).
+    OtfClass* outcome = nullptr;
+    if (collapse) {
+      for (OtfClass& cls : classes) {
+        bool same = true;
+        for (size_t k = 0; k < num_leaves && same; ++k) {
+          if (cls.cols[k] == leaf_cols[k]) continue;
+          WSV_RETURN_IF_ERROR(
+              extend_col(k, cls.cols[k], cls.edges_at_close));
+          WSV_RETURN_IF_ERROR(
+              extend_col(k, leaf_cols[k], cls.edges_at_close));
+          if (!cls.cols[k]->bits.PrefixEquals(leaf_cols[k]->bits,
+                                              cls.edges_at_close)) {
+            same = false;
+          }
+        }
+        if (same) {
+          outcome = &cls;
+          break;
+        }
+      }
+    }
+
+    OtfClass local;  // the outcome buffer in naive (no-collapse) mode
+    if (outcome != nullptr) {
+      WSV_COUNT1("ltl/class_hits");
+      WSV_COUNT1("ltl/products_skipped");
+    } else {
+      if (collapse) WSV_COUNT1("ltl/valuation_classes");
+
+      // The on-the-fly product search. Vertices (edge, automaton state)
+      // are interned as the nested DFS reaches them; asking for a
+      // vertex's successors is what expands the configuration graph.
+      std::vector<std::pair<int, int>> verts;
+      std::unordered_map<uint64_t, int> vert_index;
+      std::deque<std::vector<int>> vsucc;  // stable addresses for the DFS
+      std::vector<char> vsucc_done;
+      std::vector<const std::vector<int>*> matching;
+
+      auto vid = [&](int e, int q) {
+        uint64_t key = PackInts(e, q);
+        auto it = vert_index.find(key);
+        if (it != vert_index.end()) return it->second;
+        int id = static_cast<int>(verts.size());
+        vert_index.emplace(key, id);
+        verts.emplace_back(e, q);
+        return id;
+      };
+
+      // The automaton states whose label matches edge e's leaf truth.
+      // Requires every leaf column to cover e; cached per search.
+      auto edge_matching =
+          [&](size_t e) -> StatusOr<const std::vector<int>*> {
+        if (e < matching.size() && matching[e] != nullptr) {
+          return matching[e];
+        }
+        if (matching.size() <= e) matching.resize(e + 1, nullptr);
+        for (size_t k = 0; k < num_leaves; ++k) {
+          WSV_RETURN_IF_ERROR(extend_col(k, leaf_cols[k], e + 1));
+        }
+        label_scratch.Resize(num_leaves);
+        for (size_t k = 0; k < num_leaves; ++k) {
+          if (leaf_cols[k]->bits.Test(e)) label_scratch.Set(k);
+        }
+        auto it = label_index_.find(label_scratch);
+        matching[e] =
+            it == label_index_.end() ? &kNoMatchingStates : &it->second;
+        return matching[e];
+      };
+
+      auto ensure_slot = [&](size_t v) {
+        while (vsucc.size() <= v) {
+          vsucc.emplace_back();
+          vsucc_done.push_back(0);
+        }
+      };
+      auto succ_fn = [&](int v) -> StatusOr<const std::vector<int>*> {
+        ensure_slot(static_cast<size_t>(v));
+        if (vsucc_done[static_cast<size_t>(v)]) {
+          return &vsucc[static_cast<size_t>(v)];
+        }
+        const auto [e, q] = verts[static_cast<size_t>(v)];
+        const int to = graph.edges[static_cast<size_t>(e)].to;
+        // An unexpanded node (budget hit) is a dead end — exactly the
+        // truncated-prefix semantics of the eager build.
+        WSV_ASSIGN_OR_RETURN(bool expanded, lazy.EnsureExpanded(to));
+        (void)expanded;
+        std::vector<int> out;
+        const Bitset& q_succ = succ_bits_[q];
+        for (int e2 : graph.out_edges[static_cast<size_t>(to)]) {
+          WSV_ASSIGN_OR_RETURN(const std::vector<int>* m,
+                               edge_matching(static_cast<size_t>(e2)));
+          for (int q2 : *m) {
+            if (q_succ.Test(q2)) out.push_back(vid(e2, q2));
+          }
+        }
+        vsucc[static_cast<size_t>(v)] = std::move(out);
+        vsucc_done[static_cast<size_t>(v)] = 1;
+        return &vsucc[static_cast<size_t>(v)];
+      };
+
+      // Initial vertices: the initial configuration's out-edges paired
+      // with initial automaton states whose label matches.
+      auto init_or = lazy.EnsureExpanded(lazy.initial());
+      std::vector<int> initial_verts;
+      Status search_status = init_or.status();
+      std::optional<Lasso> lasso;
+      NestedDfsStats dfs_stats;
+      if (search_status.ok()) {
+        for (int e : graph.out_edges[static_cast<size_t>(lazy.initial())]) {
+          auto m_or = edge_matching(static_cast<size_t>(e));
+          if (!m_or.ok()) {
+            search_status = m_or.status();
+            break;
+          }
+          for (int q : **m_or) {
+            if (automaton_->initial[static_cast<size_t>(q)]) {
+              initial_verts.push_back(vid(e, q));
+            }
+          }
+        }
+      }
+      if (search_status.ok()) {
+        auto lasso_or = FindAcceptingLassoOnTheFly(
+            initial_verts, succ_fn,
+            [&](int v) {
+              return q_acc[static_cast<size_t>(
+                         verts[static_cast<size_t>(v)].second)] != 0;
+            },
+            [&]() { return stop && stop(current_index); }, &dfs_stats);
+        if (lasso_or.ok()) {
+          lasso = std::move(*lasso_or);
+        } else {
+          search_status = lasso_or.status();
+        }
+      }
+      if (!search_status.ok()) {
+        if (search_status.code() == StatusCode::kCancelled) {
+          WSV_COUNT1("ltl/valuation_sweeps_cancelled");
+        }
+        return search_status;
+      }
+
+      const size_t nv = verts.size();
+      if (product_states != nullptr) *product_states += nv;
+      WSV_COUNT1("ltl/products_built");
+      WSV_COUNT("ltl/product_states", nv);
+      WSV_COUNT("ltl/otf_states_created", nv);
+      WSV_HIST("ltl/peak_product_states", nv);
+      WSV_HIST("ltl/otf_dfs_depth", dfs_stats.max_depth);
+
+      if (lasso.has_value()) {
+        WSV_COUNT1("ltl/otf_early_exits");
+        LassoRun run;
+        for (int v : lasso->prefix) {
+          run.steps.push_back(
+              graph.Materialize(verts[static_cast<size_t>(v)].first));
+        }
+        run.loop_start = lasso->prefix.size() - 1;
+        for (size_t j = 1; j < lasso->cycle.size(); ++j) {
+          run.steps.push_back(graph.Materialize(
+              verts[static_cast<size_t>(lasso->cycle[j])].first));
+        }
+        local.violating = true;
+        local.dom = LassoDomain(run, *database_);
+        std::set<Value> lits = property_->formula->Literals();
+        local.dom.insert(lits.begin(), lits.end());
+        local.run = std::move(run);
+      }
+      if (collapse) {
+        local.cols = leaf_cols;
+        local.edges_at_close = graph.edges.size();
+        classes.push_back(std::move(local));
+        outcome = &classes.back();
+      } else {
+        outcome = &local;
+      }
+    }
+
+    if (!outcome->violating) continue;
+
+    // Faithfulness: identical to the eager sweep — the valuation must
+    // range over Dom(rho) ∪ property literals or the witness is spurious
+    // for this particular binding.
+    bool in_dom = true;
+    for (size_t k = 0; k < vars.size(); ++k) {
+      if (outcome->dom.count(cand_[static_cast<size_t>(digits[k])]) == 0) {
+        in_dom = false;
+      }
+    }
+    if (!in_dom) {
+      WSV_COUNT1("ltl/spurious_witnesses");
+      continue;
+    }
+    WSV_COUNT1("ltl/counterexamples_found");
+    ensure_valuation();
+    IndexedCounterExample found;
+    found.valuation_index = i;
+    found.cex.database = *database_;
+    found.cex.run = outcome->run;
+    found.cex.valuation = std::move(valuation);
+    return std::optional<IndexedCounterExample>(std::move(found));
+  }
+  return std::optional<IndexedCounterExample>(std::nullopt);
+}
+
 StatusOr<bool> LtlVerifier::CheckDatabase(const TemporalProperty& property,
                                           const BuchiAutomaton& automaton,
                                           const Instance& database,
@@ -506,12 +901,14 @@ StatusOr<bool> LtlVerifier::CheckDatabase(const TemporalProperty& property,
       LtlDatabaseCheck check,
       LtlDatabaseCheck::Create(service_, options_, &property, &automaton,
                                database));
-  if (check.truncated()) result->complete_within_bounds = false;
-  result->total_graph_nodes += check.graph_nodes();
 
   uint64_t product_states = 0;
   auto found = check.CheckValuations(0, check.NumValuations(), nullptr,
                                      &product_states);
+  // Graph accounting after the sweep: in on-the-fly mode the graph is
+  // expanded (and possibly truncated) by the sweep itself.
+  if (check.truncated()) result->complete_within_bounds = false;
+  result->total_graph_nodes += check.graph_nodes();
   result->total_product_states += product_states;
   if (!found.ok()) return found.status();
   if (found->has_value()) {

@@ -28,10 +28,13 @@
 #ifndef WSV_VERIFY_LTL_VERIFIER_H_
 #define WSV_VERIFY_LTL_VERIFIER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +63,11 @@ struct LtlVerifyOptions {
   /// counterexamples; complete only if every violating valuation is
   /// covered).
   std::vector<Value> closure_candidates;
+  /// Force the eager pipeline (full configuration graph + full product +
+  /// SCC emptiness) even when the on-the-fly path is enabled. The CLI's
+  /// `verify --eager`; equivalent to the WSV_DISABLE_ONTHEFLY=1
+  /// environment toggle but scoped to this verifier.
+  bool force_eager = false;
 };
 
 /// A violation witness: the database and the ultimately periodic run.
@@ -123,8 +131,20 @@ class LtlDatabaseCheck {
   uint64_t NumValuations() const { return num_valuations_; }
 
   const Instance& database() const { return *database_; }
-  uint64_t graph_nodes() const { return graph_.nodes.size(); }
-  bool truncated() const { return graph_.truncated; }
+
+  /// Configuration-graph size and truncation. Eager mode: properties of
+  /// the one graph built at Create, valid immediately. On-the-fly mode:
+  /// aggregates over the lazily expanded per-sweep graphs, so read them
+  /// *after* the CheckValuations calls you care about.
+  uint64_t graph_nodes() const {
+    return on_the_fly_ ? otf_totals_->nodes.load(std::memory_order_relaxed)
+                       : graph_.nodes.size();
+  }
+  bool truncated() const {
+    return on_the_fly_
+               ? otf_totals_->truncated.load(std::memory_order_relaxed)
+               : graph_.truncated;
+  }
 
   /// Sweeps valuation indices [begin, end) in increasing order and
   /// returns the lowest-index counterexample in the range, or nullopt if
@@ -150,10 +170,37 @@ class LtlDatabaseCheck {
  private:
   LtlDatabaseCheck() = default;
 
+  /// The on-the-fly sweep (see DESIGN.md §6e): per call, a lazy
+  /// configuration graph is expanded by nested-DFS product searches run
+  /// once per valuation equivalence class.
+  StatusOr<std::optional<IndexedCounterExample>> CheckValuationsOtf(
+      uint64_t begin, uint64_t end,
+      const std::function<bool(uint64_t)>& stop,
+      uint64_t* product_states) const;
+
   const WebService* service_ = nullptr;
   const TemporalProperty* property_ = nullptr;
   const BuchiAutomaton* automaton_ = nullptr;
   std::unique_ptr<Instance> database_;  // owned; address stable
+  /// The bound stepper; owned so on-the-fly sweeps can generate
+  /// successors after Create returns (address stable across moves).
+  std::unique_ptr<Stepper> stepper_;
+  /// Graph options with the input-constant pool resolved; the seed of
+  /// every lazy per-sweep graph (and of the eager build).
+  ConfigGraphOptions graph_options_;
+  /// True: CheckValuations interleaves graph expansion, product
+  /// construction, and nested-DFS emptiness. False: the eager pipeline
+  /// over graph_.
+  bool on_the_fly_ = false;
+  /// Aggregates across on-the-fly sweeps (graph_nodes()/truncated());
+  /// relaxed atomics because concurrent chunked sweeps finish
+  /// independently. Heap-allocated so the context stays movable.
+  struct OtfTotals {
+    std::atomic<uint64_t> nodes{0};
+    std::atomic<bool> truncated{false};
+  };
+  std::unique_ptr<OtfTotals> otf_totals_ = std::make_unique<OtfTotals>();
+  /// Empty (unbuilt) in on-the-fly mode.
   ConfigGraph graph_;
   /// Candidate values for each closure variable.
   std::vector<Value> cand_;
@@ -164,8 +211,13 @@ class LtlDatabaseCheck {
   /// variables free in the leaf. Empty = valuation-independent leaf.
   std::vector<std::vector<size_t>> leaf_vars_;
   /// Per *static* leaf k (leaf_vars_[k].empty()): truth per edge,
-  /// evaluated once at Create. Empty bitset for dynamic leaves.
+  /// evaluated once at Create. Empty bitset for dynamic leaves; empty in
+  /// on-the-fly mode (columns are then grown lazily per sweep).
   std::vector<Bitset> static_cols_;
+  /// Per leaf: quantifier-free? A QF leaf never iterates the active
+  /// domain, so its truth is independent of which closure values extend
+  /// the domain — the memo key can drop the domain-extension digits.
+  std::vector<char> leaf_qfree_;
   /// Automaton states grouped by their leaf-truth label, packed as a
   /// bitset over the leaves. Built once per context: the product
   /// construction resolves an edge's matching states with one hash
@@ -211,6 +263,22 @@ class LtlVerifier {
 /// the naive one-product-per-valuation sweep (for tests and A/B runs).
 /// Verdicts and counterexamples are identical either way.
 bool ClassCollapseEnabled();
+
+/// Whether LtlDatabaseCheck::CheckValuations runs the on-the-fly pipeline
+/// (lazy configuration-graph expansion interleaved with nested-DFS
+/// product emptiness, aborting at the first accepting cycle). On by
+/// default; setting the environment variable WSV_DISABLE_ONTHEFLY forces
+/// the eager pipeline (full graph + full product + SCC emptiness), as
+/// does LtlVerifyOptions::force_eager per verifier. Verdicts and
+/// counterexamples are identical either way.
+bool OnTheFlyEnabled();
+
+/// The prev-relation names a run of `service` must track so that both
+/// the service's rules and the property's `prev` atoms can be evaluated.
+/// Shared by the verifiers and the witness validator so replayed runs
+/// carry the exact prev-state the original search saw.
+std::set<std::string> TrackedPrevRelations(const WebService& service,
+                                           const TemporalProperty& property);
 
 /// Validates the property for the linear-time pipeline and builds the
 /// degeneralized Büchi automaton for its negation. Shared by the serial

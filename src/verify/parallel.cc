@@ -230,11 +230,13 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
 
   LtlVerifyResult result;
   result.databases_checked = 1;
-  result.total_graph_nodes = check.graph_nodes();
-  if (check.truncated()) result.complete_within_bounds = false;
 
   const uint64_t n = check.NumValuations();
-  if (n == 0) return result;
+  if (n == 0) {
+    result.total_graph_nodes = check.graph_nodes();
+    if (check.truncated()) result.complete_within_bounds = false;
+    return result;
+  }
 
   // The context is immutable; chunks share it freely. Each chunk's
   // sweep keeps its own FO-leaf memo and valuation-class table (call-
@@ -297,6 +299,10 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
     WSV_HIST("verify/cancel_drain_ns", WSV_OBS_NOW() - board.first_event_ns);
   }
 
+  // Graph accounting after the sweeps: in on-the-fly mode the graphs are
+  // expanded (and possibly truncated) by the per-shard sweeps.
+  result.total_graph_nodes = check.graph_nodes();
+  if (check.truncated()) result.complete_within_bounds = false;
   result.total_product_states = total_product_states;
   if (board.best_index.load() != UINT64_MAX) {
     if (board.is_error) return board.error;

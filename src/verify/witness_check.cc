@@ -1,0 +1,168 @@
+#include "verify/witness_check.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ltl/run_semantics.h"
+#include "obs/trace.h"
+#include "runtime/successor.h"
+
+namespace wsv {
+
+namespace {
+
+Status StepMismatch(size_t i, const std::string& what,
+                    const std::string& expect, const std::string& got) {
+  return Status::InvalidArgument(
+      "witness step " + std::to_string(i) + ": " + what +
+      " mismatch\n  recorded: " + expect + "\n  replayed: " + got);
+}
+
+std::string KappaToString(const std::map<std::string, Value>& kappa) {
+  std::string out = "{";
+  for (const auto& [name, v] : kappa) {
+    if (out.size() > 1) out += ", ";
+    out += name + "=" + v.name();
+  }
+  return out + "}";
+}
+
+// Rebuilds the user's decision at `config` from the inputs the witness
+// recorded for this step. The stepper then re-validates it: constants
+// must match the page's requests, relation picks must be among the
+// computed options.
+StatusOr<UserChoice> ReconstructChoice(const Stepper& stepper,
+                                       const Config& config,
+                                       const TraceStep& step, size_t i) {
+  UserChoice choice;
+  const WebService& service = stepper.service();
+  if (config.page == service.error_page() ||
+      stepper.StaticError(config).has_value()) {
+    return choice;  // the single successor ignores the choice
+  }
+  const PageSchema* page = service.FindPage(config.page);
+  if (page == nullptr) {
+    return Status::InvalidArgument("witness step " + std::to_string(i) +
+                                   ": unknown page " + config.page);
+  }
+  for (const std::string& name : page->input_constants) {
+    auto it = step.kappa.find(name);
+    if (it == step.kappa.end()) {
+      return Status::InvalidArgument(
+          "witness step " + std::to_string(i) + ": page " + page->name +
+          " requests input constant " + name +
+          " but the step's kappa does not provide it");
+    }
+    choice.constant_values[name] = it->second;
+  }
+  for (const std::string& in : page->inputs) {
+    const RelationSymbol* sym = service.vocab().FindRelation(in);
+    if (sym == nullptr) continue;
+    const Relation* rel = step.inputs.FindRelation(in);
+    if (sym->arity == 0) {
+      choice.proposition_choices[in] = rel != nullptr && rel->AsBool();
+      continue;
+    }
+    if (rel == nullptr || rel->empty()) continue;  // no pick
+    if (rel->size() > 1) {
+      return Status::InvalidArgument(
+          "witness step " + std::to_string(i) + ": input relation " + in +
+          " records " + std::to_string(rel->size()) +
+          " tuples; a user picks at most one");
+    }
+    choice.relation_choices[in] = *rel->tuples().begin();
+  }
+  return choice;
+}
+
+}  // namespace
+
+Status ValidateWitness(const WebService& service,
+                       const TemporalProperty& property,
+                       const CounterExample& cex) {
+  WSV_SPAN("verify/witness_check");
+  const LassoRun& run = cex.run;
+  if (run.steps.empty()) {
+    return Status::InvalidArgument("witness run has no steps");
+  }
+  if (run.loop_start >= run.steps.size()) {
+    return Status::InvalidArgument(
+        "witness loop_start " + std::to_string(run.loop_start) +
+        " out of range (run has " + std::to_string(run.steps.size()) +
+        " steps)");
+  }
+  for (const std::string& var : property.universal_vars) {
+    if (cex.valuation.find(var) == cex.valuation.end()) {
+      return Status::InvalidArgument(
+          "witness valuation does not bind closure variable " + var);
+    }
+  }
+
+  Stepper stepper(&service, &cex.database);
+  stepper.SetTrackedPrev(TrackedPrevRelations(service, property));
+
+  // Replay: each recorded step must (a) start at the configuration the
+  // replay reached and (b) reproduce its trace element exactly.
+  std::vector<Config> configs;
+  configs.reserve(run.steps.size() + 1);
+  Config config = stepper.InitialConfig();
+  for (size_t i = 0; i < run.steps.size(); ++i) {
+    const TraceStep& step = run.steps[i];
+    if (step.page != config.page) {
+      return StepMismatch(i, "page", step.page, config.page);
+    }
+    if (!(step.state == config.state)) {
+      return StepMismatch(i, "state", step.state.ToString(),
+                          config.state.ToString());
+    }
+    if (!(step.prev_inputs == config.prev_inputs)) {
+      return StepMismatch(i, "prev_inputs", step.prev_inputs.ToString(),
+                          config.prev_inputs.ToString());
+    }
+    if (!(step.actions == config.actions)) {
+      return StepMismatch(i, "actions", step.actions.ToString(),
+                          config.actions.ToString());
+    }
+    WSV_ASSIGN_OR_RETURN(UserChoice choice,
+                         ReconstructChoice(stepper, config, step, i));
+    WSV_ASSIGN_OR_RETURN(StepOutcome outcome, stepper.Step(config, choice));
+    if (!(outcome.trace.inputs == step.inputs)) {
+      return StepMismatch(i, "inputs", step.inputs.ToString(),
+                          outcome.trace.inputs.ToString());
+    }
+    if (outcome.trace.kappa != step.kappa) {
+      return StepMismatch(i, "kappa", KappaToString(step.kappa),
+                          KappaToString(outcome.trace.kappa));
+    }
+    configs.push_back(std::move(config));
+    config = std::move(outcome.next);
+  }
+
+  // Closure: the successor of the last step is where the lasso loops
+  // back to, making the periodic extension a real run.
+  if (!(config == configs[run.loop_start])) {
+    return Status::InvalidArgument(
+        "witness lasso does not close: the successor of the final step "
+        "differs from the configuration at loop_start " +
+        std::to_string(run.loop_start));
+  }
+
+  // Violation: under the witness valuation the property fails on this
+  // run. (The verifier's faithfulness filter already checked the
+  // valuation ranges over Dom(rho); semantic falsity subsumes what we
+  // need here.)
+  WSV_ASSIGN_OR_RETURN(
+      bool sat, EvaluateLtlOnLassoWithValuation(*property.formula, run,
+                                                cex.database, service,
+                                                cex.valuation));
+  if (sat) {
+    return Status::InvalidArgument(
+        "witness run satisfies the property under the witness valuation; "
+        "not a violation");
+  }
+  WSV_COUNT1("verify/witnesses_validated");
+  return Status::OK();
+}
+
+}  // namespace wsv

@@ -408,7 +408,16 @@ TEST(CounterEquality, ClearLoopService) {
 // valuation-class table) how many first-of-class products get built —
 // but total memo lookups, the class-accounting identity, and every
 // other work counter must still match the serial sweep.
+//
+// Pinned to the eager pipeline: on-the-fly sweeps each expand their own
+// lazy configuration graph, so config_graph/* totals legitimately vary
+// with the shard cut. The on-the-fly analogues (verdict equivalence and
+// product-state bounds across jobs) live in otf_test.cc.
 TEST(CounterEquality, EcommerceValuationSweep) {
+  setenv("WSV_DISABLE_ONTHEFLY", "1", 1);
+  struct EnvGuard {
+    ~EnvGuard() { unsetenv("WSV_DISABLE_ONTHEFLY"); }
+  } env_guard;
   WebService service = std::move(BuildEcommerceService()).value();
   Instance db = EcommerceSmallDatabase();
   LtlVerifyOptions options;

@@ -20,6 +20,7 @@
 #include "verify/config_graph.h"
 #include "verify/ltl_verifier.h"
 #include "verify/parallel.h"
+#include "verify/witness_check.h"
 #include "ws/builder.h"
 
 namespace wsv {
@@ -152,6 +153,9 @@ TEST_F(ParallelLoginTest, ViolatedPropertyAgreesOnWitness) {
                                   r.counterexample->database, service_);
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_FALSE(*again);
+  // And replays through the standalone witness validator.
+  Status witness = ValidateWitness(service_, *p, *r.counterexample);
+  EXPECT_TRUE(witness.ok()) << witness.ToString();
 }
 
 TEST_F(ParallelLoginTest, UniversalClosureAgreesOnValuation) {
@@ -187,6 +191,8 @@ TEST_F(ParallelLoginTest, EnumeratedDatabaseSweepAgrees) {
   ASSERT_TRUE(par->counterexample.has_value());
   EXPECT_EQ(serial->counterexample->ToString(),
             par->counterexample->ToString());
+  Status witness = ValidateWitness(service_, *p, *par->counterexample);
+  EXPECT_TRUE(witness.ok()) << witness.ToString();
 }
 
 TEST_F(ParallelLoginTest, HoldingEnumeratedSweepAgrees) {

@@ -5,6 +5,7 @@
 #include "verify/error_free.h"
 #include "verify/ltl_verifier.h"
 #include "verify/transform.h"
+#include "verify/witness_check.h"
 #include "ws/builder.h"
 
 namespace wsv {
@@ -63,6 +64,9 @@ TEST_F(LoginVerifyTest, ViolationProducesGenuineCounterexample) {
   auto again = EvaluateLtlOnLasso(*p, cex.run, cex.database, service_);
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_FALSE(*again);
+  // And through the standalone replay validator.
+  Status witness = ValidateWitness(service_, *p, cex);
+  EXPECT_TRUE(witness.ok()) << witness.ToString();
 }
 
 TEST_F(LoginVerifyTest, UniversalClosureCounterexample) {
@@ -71,6 +75,10 @@ TEST_F(LoginVerifyTest, UniversalClosureCounterexample) {
   ASSERT_FALSE(r->holds);
   ASSERT_TRUE(r->counterexample.has_value());
   EXPECT_EQ(r->counterexample->valuation.at("m"), V("failed login"));
+  auto p = ParseTemporalProperty("forall m . G(!error(m))", &service_.vocab());
+  ASSERT_TRUE(p.ok());
+  Status witness = ValidateWitness(service_, *p, *r->counterexample);
+  EXPECT_TRUE(witness.ok()) << witness.ToString();
 }
 
 TEST_F(LoginVerifyTest, EventualityFailsBecauseUserMayIdle) {

@@ -2,20 +2,37 @@
 """Work-counter regression guard for the benchmark suite.
 
 Runs a Google-Benchmark binary in JSON mode and fails if any counter
-exceeds its budget from a budgets file. Budgets are keyed by benchmark
+leaves its budget from a budgets file. Budgets are keyed by benchmark
 name (exact match against the JSON "name" field, i.e. including any
-"/arg" suffix) and map counter names to inclusive upper bounds:
+"/arg" suffix) and map counter names to either an inclusive upper bound
+(a bare number) or a {"min": x, "max": y} object (each side optional) —
+min bounds guard features that must keep *working* (e.g. the FO-leaf
+memo must keep hitting), max bounds guard against doing more work:
 
     {
       "BM_Property4_PayBeforeShip": {"obs_products_built": 4},
+      "BM_ScaleClosureArity/2": {"obs_leaf_memo_hits": {"min": 1}},
       ...
     }
+
+The special "__compare__" key holds cross-benchmark ratio rules, each
+asserting numerator-counter / denominator-counter <= max_ratio:
+
+    "__compare__": [
+      {"label": "on-the-fly beats eager on Property 1",
+       "numerator": ["BM_Property1_Ecommerce", "obs_otf_states_created"],
+       "denominator": ["BM_Property1_Ecommerce_Eager",
+                       "obs_product_states"],
+       "max_ratio": 0.2}
+    ]
 
 The budgeted counters are *work* counters (products built, nodes
 expanded), not timings, so the guard is immune to machine noise: a
 budget trips only when a code change makes the verifier do more work —
 e.g. a regression in the valuation-class collapse would send
-obs_products_built from 2 back to 9 on the pay-before-ship sweep.
+obs_products_built from 2 back to 9 on the pay-before-ship sweep, and a
+regression in the on-the-fly early exit would push the Property-1 ratio
+toward 1.
 
 Usage: bench_guard.py BENCH_BINARY BUDGETS_JSON [--min-time SECS]
 Exit status: 0 = all budgets hold, 1 = violation or missing benchmark.
@@ -25,6 +42,33 @@ import argparse
 import json
 import subprocess
 import sys
+
+
+def parse_budget(budget):
+    """Normalize a budget spec to a (min, max) pair (either side None)."""
+    if isinstance(budget, dict):
+        return budget.get("min"), budget.get("max")
+    return None, budget
+
+
+def describe_bounds(lo, hi):
+    if lo is not None and hi is not None:
+        return "in [%g, %g]" % (lo, hi)
+    if lo is not None:
+        return ">= %g" % lo
+    return "<= %g" % hi
+
+
+def lookup(by_name, name, counter, failures):
+    entry = by_name.get(name)
+    if entry is None:
+        failures.append("benchmark %r not found in the report" % name)
+        return None
+    if counter not in entry:
+        failures.append("%s: counter %r missing from the report"
+                        % (name, counter))
+        return None
+    return entry[counter]
 
 
 def main():
@@ -41,9 +85,15 @@ def main():
         print("bench_guard: empty budgets file, nothing to check")
         return 0
 
+    compares = budgets.pop("__compare__", [])
+
     # Only run the budgeted benchmarks: anchored alternation on the
     # base names (the part before any "/arg" suffix).
-    bases = sorted({name.split("/")[0] for name in budgets})
+    names = set(budgets)
+    for rule in compares:
+        names.add(rule["numerator"][0])
+        names.add(rule["denominator"][0])
+    bases = sorted({name.split("/")[0] for name in names})
     bench_filter = "^(" + "|".join(bases) + ")(/.*)?$"
     cmd = [
         args.binary,
@@ -76,12 +126,41 @@ def main():
                                 % (name, counter))
                 continue
             value = entry[counter]
-            status = "OK" if value <= budget else "OVER BUDGET"
-            print("%-40s %-24s %10.1f <= %-10g %s"
-                  % (name, counter, value, budget, status))
-            if value > budget:
-                failures.append("%s: %s = %.1f exceeds budget %g"
-                                % (name, counter, value, budget))
+            lo, hi = parse_budget(budget)
+            ok = ((lo is None or value >= lo) and
+                  (hi is None or value <= hi))
+            bounds = describe_bounds(lo, hi)
+            print("%-40s %-24s %10.1f %-18s %s"
+                  % (name, counter, value, bounds,
+                     "OK" if ok else "OUT OF BUDGET"))
+            if not ok:
+                failures.append("%s: %s = %.1f violates budget %s"
+                                % (name, counter, value, bounds))
+
+    for rule in compares:
+        num_name, num_counter = rule["numerator"]
+        den_name, den_counter = rule["denominator"]
+        num = lookup(by_name, num_name, num_counter, failures)
+        den = lookup(by_name, den_name, den_counter, failures)
+        if num is None or den is None:
+            continue
+        label = rule.get("label", "%s/%s vs %s/%s" %
+                         (num_name, num_counter, den_name, den_counter))
+        if den == 0:
+            failures.append("compare %r: denominator %s[%s] is zero"
+                            % (label, den_name, den_counter))
+            continue
+        ratio = float(num) / float(den)
+        ok = ratio <= rule["max_ratio"]
+        print("compare: %-48s %10.4f <= %-10g %s"
+              % (label, ratio, rule["max_ratio"],
+                 "OK" if ok else "OUT OF BUDGET"))
+        if not ok:
+            failures.append(
+                "compare %r: %s[%s]=%.1f / %s[%s]=%.1f = %.4f exceeds "
+                "max ratio %g" % (label, num_name, num_counter, num,
+                                  den_name, den_counter, den, ratio,
+                                  rule["max_ratio"]))
 
     if failures:
         print("\nbench_guard: FAILED")

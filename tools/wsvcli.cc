@@ -13,12 +13,17 @@
 //       conditions i-iii); without a database, enumerate databases up to
 //       the bound.
 //   wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c]
-//                 [--fresh N] [--unchecked] [--jobs N] [--stats]
+//                 [--fresh N] [--unchecked] [--eager] [--jobs N] [--stats]
 //                 [--stats-json FILE] [--trace-out FILE] [--progress]
 //       Verify an LTL-FO property (Theorem 3.5); --unchecked skips the
-//       input-boundedness gate. --jobs N fans the database/valuation
-//       sweep over N worker threads (default: one per hardware thread;
-//       1 = serial). Verdict and witness are identical at any job count.
+//       input-boundedness gate. By default the product is searched
+//       on-the-fly (configurations expanded only as the nested DFS
+//       reaches them, stopping at the first accepting cycle); --eager
+//       forces the classic pipeline — full configuration graph, full
+//       product, SCC emptiness — as an oracle for A/B runs. --jobs N
+//       fans the database/valuation sweep over N worker threads
+//       (default: one per hardware thread; 1 = serial). Verdict and
+//       witness are identical at any job count and in either mode.
 //       Telemetry: --stats prints the phase/counter table to stderr,
 //       --stats-json writes the counter snapshot as JSON, --trace-out
 //       writes a Chrome/Perfetto trace-event file of the pipeline spans,
@@ -83,7 +88,7 @@ int Usage() {
       "  wsvcli check-errors <spec.wsv> [db.wsd] [--pool a,b,c] "
       "[--fresh N]\n"
       "  wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c] "
-      "[--fresh N] [--unchecked] [--jobs N] [--stats] "
+      "[--fresh N] [--unchecked] [--eager] [--jobs N] [--stats] "
       "[--stats-json FILE] [--trace-out FILE] [--progress]\n"
       "  wsvcli verify-ctl <spec.wsv> <property> <db.wsd> "
       "[--pool a,b,c]\n"
@@ -110,6 +115,8 @@ struct Flags {
   uint64_t seed = 0;
   int fresh = 1;
   bool unchecked = false;
+  /// Force the eager verification pipeline (LtlVerifyOptions::force_eager).
+  bool eager = false;
   /// Worker threads for `verify`; <= 0 = one per hardware thread.
   int jobs = 0;
   std::vector<Value> pool;
@@ -146,6 +153,8 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       flags.fresh = std::atoi(v.c_str());
     } else if (arg == "--unchecked") {
       flags.unchecked = true;
+    } else if (arg == "--eager") {
+      flags.eager = true;
     } else if (arg == "--jobs") {
       WSV_ASSIGN_OR_RETURN(std::string v, next());
       flags.jobs = std::atoi(v.c_str());
@@ -383,6 +392,7 @@ int CmdVerify(const Flags& flags) {
   options.graph.constant_pool = flags.pool;
   options.db.fresh_values = flags.fresh;
   options.require_input_bounded = !flags.unchecked;
+  options.force_eager = flags.eager;
   ParallelLtlVerifier verifier(&*service, options, flags.jobs);
   if (!flags.trace_out.empty()) obs::StartTracing();
   StatusOr<LtlVerifyResult> result = Status::OK();
