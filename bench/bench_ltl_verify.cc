@@ -46,6 +46,11 @@ void MergeObsCounters(benchmark::State& state) {
   put("obs_leaf_memo_misses", "ltl/leaf_memo_misses");
   put("obs_otf_states_created", "ltl/otf_states_created");
   put("obs_otf_early_exits", "ltl/otf_early_exits");
+  put("obs_bytecode_compiles", "fo/bytecode_compiles");
+  put("obs_bytecode_cache_hits", "fo/bytecode_cache_hits");
+  put("obs_bytecode_steps", "fo/bytecode_steps");
+  put("obs_bytecode_execs", "fo/bytecode_execs");
+  put("obs_interp_evals", "fo/interp_evals");
   // Peak product size: the max of the per-search state-count histogram
   // (not averaged — it is already a max over the snapshot window).
   auto hist = snap.histograms.find("ltl/peak_product_states");
@@ -57,6 +62,8 @@ void MergeObsCounters(benchmark::State& state) {
   if (rate >= 0) state.counters["obs_memo_hit_rate"] = rate;
   double collapse = obs::ValuationCollapseRate(snap);
   if (collapse >= 0) state.counters["obs_collapse_rate"] = collapse;
+  double compiled = obs::BytecodeCompiledShare(snap);
+  if (compiled >= 0) state.counters["obs_bytecode_compiled_share"] = compiled;
 }
 
 // --- E2: the paper's properties on the running example. ---------------

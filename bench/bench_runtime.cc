@@ -4,6 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "fo/bytecode/compiler.h"
+#include "fo/bytecode/vm.h"
+#include "fo/evaluator.h"
 #include "gallery/gallery.h"
 #include "runtime/interpreter.h"
 
@@ -104,6 +110,84 @@ void BM_SingleStepHP(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SingleStepHP);
+
+// --- Leaf-evaluation micro family -----------------------------------
+//
+// The same FO sentence evaluated by the compiled bytecode engine and by
+// the tree-walking interpreter, over a chain-shaped guarded join whose
+// closure arity scales with the benchmark argument:
+//
+//   exists x0..x{k-1} ( edge(x0,x1) & ... & edge(x{k-2},x{k-1})
+//                       & !(x0 = x{k-1}) )
+//
+// on a 16-node edge cycle. This is the per-leaf hot loop of LTL
+// verification with the context setup amortized away, so the
+// compiled/interpreted real-time ratio (guarded in budgets_runtime.json)
+// measures the engines themselves.
+
+FormulaPtr ClosureChainFormula(int k) {
+  auto var = [](int i) { return Term::Variable("x" + std::to_string(i)); };
+  std::vector<FormulaPtr> conjs;
+  for (int i = 0; i + 1 < k; ++i) {
+    conjs.push_back(
+        Formula::MakeAtom(Atom{"edge", false, {var(i), var(i + 1)}, {}}));
+  }
+  conjs.push_back(Formula::Not(Formula::Equals(var(0), var(k - 1))));
+  std::vector<std::string> vars;
+  for (int i = 0; i < k; ++i) vars.push_back("x" + std::to_string(i));
+  return Formula::Exists(std::move(vars), Formula::And(std::move(conjs)));
+}
+
+Instance EdgeCycleInstance(int n) {
+  Instance inst;
+  (void)inst.EnsureRelation("edge", 2);
+  for (int i = 0; i < n; ++i) {
+    Value a = Value::Intern("d" + std::to_string(i));
+    Value b = Value::Intern("d" + std::to_string((i + 1) % n));
+    inst.MutableRelation("edge")->Insert({a, b});
+    inst.AddDomainValue(a);
+  }
+  return inst;
+}
+
+void BM_LeafEvalCompiled(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  Instance inst = EdgeCycleInstance(16);
+  EvalContext ctx;
+  ctx.AddLayer(&inst);
+  FormulaPtr f = ClosureChainFormula(arity);
+  auto prog = fobc::CompileBool(f);
+  if (!prog.ok()) {
+    state.SkipWithError(prog.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = fobc::Execute(**prog, ctx);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_LeafEvalCompiled)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_LeafEvalInterp(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  Instance inst = EdgeCycleInstance(16);
+  EvalContext ctx;
+  ctx.AddLayer(&inst);
+  FormulaPtr f = ClosureChainFormula(arity);
+  for (auto _ : state) {
+    auto r = Evaluate(*f, ctx);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_LeafEvalInterp)->Arg(2)->Arg(3)->Arg(4);
 
 }  // namespace
 }  // namespace wsv

@@ -1,0 +1,140 @@
+#include "fo/bytecode/cache.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "fo/bytecode/compiler.h"
+#include "fo/bytecode/vm.h"
+#include "obs/metrics.h"
+
+namespace wsv {
+namespace fobc {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+thread_local int t_disable_depth = 0;
+
+bool DisabledByEnv() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("WSV_DISABLE_FO_BYTECODE");
+    return v != nullptr && *v != '\0' && std::string(v) != "0";
+  }();
+  return disabled;
+}
+
+// Cached programs pin their source FormulaPtr (Program::source), so a
+// Formula* key can never be reused by a different live formula.
+struct Cache {
+  std::shared_mutex mu;
+  std::unordered_map<const Formula*, std::shared_ptr<const Program>> bool_progs;
+  std::unordered_map<const Formula*, std::shared_ptr<const Program>>
+      query_progs;
+};
+
+Cache& GetCache() {
+  static Cache* cache = new Cache();
+  return *cache;
+}
+
+std::shared_ptr<const Program> Lookup(
+    const std::unordered_map<const Formula*,
+                             std::shared_ptr<const Program>>& map,
+    std::shared_mutex& mu, const Formula* key, bool* found) {
+  std::shared_lock<std::shared_mutex> lock(mu);
+  auto it = map.find(key);
+  if (it == map.end()) {
+    *found = false;
+    return nullptr;
+  }
+  *found = true;
+  return it->second;
+}
+
+}  // namespace
+
+bool BytecodeEnabled() {
+  if (DisabledByEnv()) return false;
+  if (!g_enabled.load(std::memory_order_relaxed)) return false;
+  return t_disable_depth == 0;
+}
+
+void SetBytecodeEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+ScopedDisable::ScopedDisable() { ++t_disable_depth; }
+ScopedDisable::~ScopedDisable() { --t_disable_depth; }
+
+std::shared_ptr<const Program> GetOrCompileBool(const FormulaPtr& f) {
+  if (f == nullptr) return nullptr;
+  Cache& cache = GetCache();
+  bool found = false;
+  std::shared_ptr<const Program> prog =
+      Lookup(cache.bool_progs, cache.mu, f.get(), &found);
+  if (found) {
+    WSV_COUNT1("fo/bytecode_cache_hits");
+    return prog;
+  }
+  WSV_COUNT1("fo/bytecode_compiles");
+  auto compiled = CompileBool(f);
+  // Failures are cached as nullptr so a bad formula compiles only once.
+  prog = compiled.ok() ? std::move(compiled).value() : nullptr;
+  std::unique_lock<std::shared_mutex> lock(cache.mu);
+  auto [it, inserted] = cache.bool_progs.emplace(f.get(), prog);
+  return inserted ? prog : it->second;
+}
+
+std::shared_ptr<const Program> GetOrCompileQuery(
+    const FormulaPtr& f, const std::vector<std::string>& head_vars) {
+  if (f == nullptr) return nullptr;
+  Cache& cache = GetCache();
+  bool found = false;
+  std::shared_ptr<const Program> prog =
+      Lookup(cache.query_progs, cache.mu, f.get(), &found);
+  if (found && (prog == nullptr || prog->head_vars == head_vars)) {
+    WSV_COUNT1("fo/bytecode_cache_hits");
+    return prog;
+  }
+  WSV_COUNT1("fo/bytecode_compiles");
+  auto compiled = CompileQuery(f, head_vars);
+  std::shared_ptr<const Program> fresh =
+      compiled.ok() ? std::move(compiled).value() : nullptr;
+  if (found) return fresh;  // head mismatch: usable, but not cacheable
+  std::unique_lock<std::shared_mutex> lock(cache.mu);
+  auto [it, inserted] = cache.query_progs.emplace(f.get(), fresh);
+  return inserted ? fresh : it->second;
+}
+
+StatusOr<bool> EvaluateFast(const FormulaPtr& f, const EvalContext& ctx,
+                            const Valuation& valuation) {
+  if (BytecodeEnabled()) {
+    std::shared_ptr<const Program> prog = GetOrCompileBool(f);
+    if (prog != nullptr) return Execute(*prog, ctx, valuation);
+  }
+  return Evaluate(*f, ctx, valuation);
+}
+
+StatusOr<std::set<Tuple>> EvaluateQueryFast(
+    const FormulaPtr& f, const std::vector<std::string>& vars,
+    const EvalContext& ctx, const Valuation& valuation) {
+  if (BytecodeEnabled()) {
+    bool heads_bound = false;
+    for (const std::string& v : vars) {
+      if (valuation.count(v) > 0) {
+        heads_bound = true;
+        break;
+      }
+    }
+    if (!heads_bound) {
+      std::shared_ptr<const Program> prog = GetOrCompileQuery(f, vars);
+      if (prog != nullptr) return ExecuteQuery(*prog, ctx, valuation);
+    }
+  }
+  return EvaluateQuery(*f, vars, ctx, valuation);
+}
+
+}  // namespace fobc
+}  // namespace wsv

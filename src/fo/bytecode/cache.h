@@ -1,0 +1,73 @@
+// Program cache and gating for the FO bytecode engine.
+//
+// Each FO leaf, input-option formula, and update rule is compiled once
+// per process and cached by formula address (entries pin the FormulaPtr,
+// so an address is never reused while cached). The engine is on by
+// default and can be disabled three ways, all of which fall back to the
+// tree-walking interpreter:
+//
+//   * environment: WSV_DISABLE_FO_BYTECODE=1 (read once per process),
+//   * process-wide: SetBytecodeEnabled(false) (the CLI's
+//     --no-fo-bytecode flag),
+//   * per-thread, scoped: ScopedDisable (used by witness validation to
+//     re-check verdicts with the interpreter as the oracle).
+
+#ifndef WSV_FO_BYTECODE_CACHE_H_
+#define WSV_FO_BYTECODE_CACHE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fo/bytecode/program.h"
+#include "fo/evaluator.h"
+
+namespace wsv {
+namespace fobc {
+
+/// True iff the compiled path should be used on this thread right now.
+bool BytecodeEnabled();
+
+/// Process-wide switch (the env var still wins when set).
+void SetBytecodeEnabled(bool enabled);
+
+/// Disables the compiled path on this thread for the object's lifetime.
+/// Nests; used to force interpreter evaluation as a differential oracle.
+class ScopedDisable {
+ public:
+  ScopedDisable();
+  ~ScopedDisable();
+  ScopedDisable(const ScopedDisable&) = delete;
+  ScopedDisable& operator=(const ScopedDisable&) = delete;
+};
+
+/// Returns the cached boolean program for `f`, compiling on first use.
+/// nullptr when compilation failed (callers fall back to the
+/// interpreter). Thread-safe.
+std::shared_ptr<const Program> GetOrCompileBool(const FormulaPtr& f);
+
+/// Same for query programs. A cached program is reused only when its
+/// head-variable list matches; otherwise a fresh uncached compile is
+/// returned.
+std::shared_ptr<const Program> GetOrCompileQuery(
+    const FormulaPtr& f, const std::vector<std::string>& head_vars);
+
+/// Evaluates `f`, compiled when the engine is enabled, interpreted
+/// otherwise (or when compilation fails). Drop-in for fo/Evaluate at
+/// call sites that hold a FormulaPtr.
+StatusOr<bool> EvaluateFast(const FormulaPtr& f, const EvalContext& ctx,
+                            const Valuation& valuation = {});
+
+/// Query counterpart of EvaluateFast. Falls back to the interpreter
+/// when the entry valuation binds a head variable (compiled query
+/// programs assume unbound heads) or the head list is malformed.
+StatusOr<std::set<Tuple>> EvaluateQueryFast(
+    const FormulaPtr& f, const std::vector<std::string>& vars,
+    const EvalContext& ctx, const Valuation& valuation = {});
+
+}  // namespace fobc
+}  // namespace wsv
+
+#endif  // WSV_FO_BYTECODE_CACHE_H_

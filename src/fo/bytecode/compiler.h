@@ -1,0 +1,42 @@
+// One-shot compiler from fo::Formula to register bytecode.
+//
+// Compilation mirrors the tree-walker's evaluation strategy instruction
+// for instruction: existential quantifiers become relation scans over
+// the first positive atom conjunct that binds a quantified variable
+// (guard-driven join), with an active-domain loop as the fallback;
+// universal quantifiers compile as the negated existential of the NNF'd
+// negated body; query enumeration compiles the query enumerator's
+// guard/branch recursion with an explicit emit instruction. Variable
+// bind order, term resolution order, short-circuiting, and every error
+// message are preserved so compiled verdicts are bit-identical to the
+// interpreter's.
+
+#ifndef WSV_FO_BYTECODE_COMPILER_H_
+#define WSV_FO_BYTECODE_COMPILER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fo/bytecode/program.h"
+#include "fo/formula.h"
+
+namespace wsv {
+namespace fobc {
+
+/// Compiles `f` as a sentence: Execute() returns its truth value under
+/// an EvalContext and entry valuation.
+StatusOr<std::shared_ptr<const Program>> CompileBool(const FormulaPtr& f);
+
+/// Compiles `f` as a query with head variables `head_vars` (must be
+/// distinct): ExecuteQuery() returns the satisfying head tuples. The
+/// compiled program assumes no head variable is bound by the entry
+/// valuation; callers with pre-bound heads must use the interpreter.
+StatusOr<std::shared_ptr<const Program>> CompileQuery(
+    const FormulaPtr& f, const std::vector<std::string>& head_vars);
+
+}  // namespace fobc
+}  // namespace wsv
+
+#endif  // WSV_FO_BYTECODE_COMPILER_H_

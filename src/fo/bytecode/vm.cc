@@ -1,0 +1,296 @@
+#include "fo/bytecode/vm.h"
+
+#include <atomic>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "relational/instance.h"
+
+namespace wsv {
+namespace fobc {
+namespace {
+
+std::atomic<uint64_t> g_step_budget{kDefaultStepBudget};
+
+/// One open quantifier loop: a relation scan or an active-domain walk.
+struct Frame {
+  uint32_t begin_ip = 0;
+  std::set<Tuple>::const_iterator it;
+  std::set<Tuple>::const_iterator end;
+  size_t dom_idx = 0;
+};
+
+/// The per-thread arena. Vectors keep their capacity across executions,
+/// so after warm-up an Execute performs no heap allocation.
+struct Scratch {
+  std::vector<Value> regs;
+  std::vector<Value> consts;
+  std::vector<const Relation*> rels;
+  std::vector<Frame> frames;
+  Tuple tup;
+  const std::vector<Value>* domain = nullptr;
+};
+
+thread_local Scratch t_scratch;
+
+/// Outcome of advancing a scan to its next matching tuple.
+enum class ScanResult { kMatch, kEnd };
+
+StatusOr<bool> Run(const Program& p, const EvalContext& ctx,
+                   const Valuation& valuation, std::set<Tuple>* results) {
+  WSV_COUNT1("fo/bytecode_execs");
+  Scratch& s = t_scratch;
+  s.regs.assign(p.num_regs, Value());
+  s.consts.clear();
+  for (const ConstSlot& slot : p.consts) {
+    if (slot.is_symbol) {
+      // Lazily *checked*: an unbound symbol is an error only when an
+      // instruction actually reads the slot, preserving the
+      // tree-walker's short-circuit behavior.
+      s.consts.push_back(ctx.ResolveConstant(slot.name).value_or(Value()));
+    } else {
+      s.consts.push_back(slot.literal);
+    }
+  }
+  s.rels.clear();
+  for (const RelSlot& slot : p.rels) {
+    s.rels.push_back(ctx.ResolveRelation(slot.name, slot.prev));
+  }
+  s.frames.clear();
+  s.frames.reserve(p.max_frames);
+  s.domain = nullptr;
+  for (const auto& [name, reg] : p.free_vars) {
+    auto it = valuation.find(name);
+    if (it != valuation.end()) s.regs[reg] = it->second;
+  }
+
+  const uint64_t budget = g_step_budget.load(std::memory_order_relaxed);
+  uint64_t steps = 0;
+  bool flag = false;
+  uint32_t pc = 0;
+
+  // Every return path records the steps actually spent.
+  struct StepFlush {
+    uint64_t& steps;
+    ~StepFlush() { WSV_COUNT("fo/bytecode_steps", steps); }
+  } flush{steps};
+
+  auto budget_error = [&]() -> Status {
+    return Status::ResourceExhausted(
+        "fo bytecode step budget exhausted (" + std::to_string(budget) +
+        " steps)");
+  };
+
+  // Advances `fr` (starting at its current tuple) to the next tuple
+  // matching the scan operands of the kScanBegin at `begin`. Tags mirror
+  // the tree-walker's guard rules; see program.h.
+  auto scan_advance = [&](Frame& fr,
+                          const Instr& begin) -> StatusOr<ScanResult> {
+    const uint32_t n = begin.count;
+    for (; fr.it != fr.end; ++fr.it) {
+      if (++steps > budget) return budget_error();
+      const Tuple& t = *fr.it;
+      bool match = n <= t.size();
+      for (uint32_t i = 0; i < n && match; ++i) {
+        const uint32_t operand = p.pool[begin.b + i];
+        const uint32_t idx = OperandIndexOf(operand);
+        switch (OperandTagOf(operand)) {
+          case kOperandBind:
+            s.regs[idx] = t[i];
+            break;
+          case kOperandCheck:
+            match = s.regs[idx].valid() && s.regs[idx] == t[i];
+            break;
+          case kOperandCheckSoft:
+            if (s.regs[idx].valid()) match = s.regs[idx] == t[i];
+            break;
+          case kOperandConst: {
+            Value v = s.consts[idx];
+            if (!v.valid()) {
+              return Status::Internal("unbound constant symbol: " +
+                                      p.consts[idx].name);
+            }
+            match = v == t[i];
+            break;
+          }
+          case kOperandReg:
+            match = s.regs[idx].valid() && s.regs[idx] == t[i];
+            break;
+        }
+      }
+      if (match) return ScanResult::kMatch;
+    }
+    return ScanResult::kEnd;
+  };
+
+  auto load_operand = [&](uint32_t operand, Value* out) -> Status {
+    const uint32_t idx = OperandIndexOf(operand);
+    if (OperandTagOf(operand) == kOperandReg) {
+      Value v = s.regs[idx];
+      if (!v.valid()) {
+        return Status::Internal("unbound variable: " + p.reg_names[idx]);
+      }
+      *out = v;
+      return Status::OK();
+    }
+    Value v = s.consts[idx];
+    if (!v.valid()) {
+      return Status::Internal("unbound constant symbol: " +
+                              p.consts[idx].name);
+    }
+    *out = v;
+    return Status::OK();
+  };
+
+  for (;;) {
+    if (++steps > budget) return budget_error();
+    const Instr& in = p.code[pc];
+    uint32_t next = pc + 1;
+    switch (in.op) {
+      case Op::kFlagSet:
+        flag = in.a != 0;
+        break;
+      case Op::kNot:
+        flag = !flag;
+        break;
+      case Op::kJump:
+        next = in.a;
+        break;
+      case Op::kJumpIfFalse:
+        if (!flag) next = in.a;
+        break;
+      case Op::kJumpIfTrue:
+        if (flag) next = in.a;
+        break;
+      case Op::kAtom: {
+        const Relation* rel = s.rels[in.a];
+        if (rel == nullptr || rel->empty()) {
+          // Before resolving terms, like the tree-walker's early-out.
+          flag = false;
+          break;
+        }
+        s.tup.clear();
+        for (uint32_t i = 0; i < in.count; ++i) {
+          Value v;
+          WSV_RETURN_IF_ERROR(load_operand(p.pool[in.b + i], &v));
+          s.tup.push_back(v);
+        }
+        flag = rel->Contains(s.tup);
+        break;
+      }
+      case Op::kEq: {
+        Value lhs, rhs;
+        WSV_RETURN_IF_ERROR(load_operand(in.a, &lhs));
+        WSV_RETURN_IF_ERROR(load_operand(in.b, &rhs));
+        flag = lhs == rhs;
+        break;
+      }
+      case Op::kScanBegin: {
+        const Relation* rel = s.rels[in.a];
+        if (rel == nullptr || rel->empty()) {
+          flag = false;
+          next = in.c;
+          break;
+        }
+        s.frames.push_back(Frame{pc, rel->tuples().begin(),
+                                 rel->tuples().end(), 0});
+        WSV_ASSIGN_OR_RETURN(ScanResult r,
+                             scan_advance(s.frames.back(), in));
+        if (r == ScanResult::kEnd) {
+          s.frames.pop_back();
+          flag = false;
+          next = in.c;
+        }
+        break;
+      }
+      case Op::kScanNext: {
+        Frame& fr = s.frames.back();
+        const Instr& begin = p.code[in.a];
+        ++fr.it;
+        WSV_ASSIGN_OR_RETURN(ScanResult r, scan_advance(fr, begin));
+        if (r == ScanResult::kMatch) {
+          next = in.a + 1;
+        } else {
+          s.frames.pop_back();
+          flag = false;
+          next = begin.c;
+        }
+        break;
+      }
+      case Op::kDomBegin: {
+        if (s.domain == nullptr) s.domain = &ctx.ActiveDomain();
+        if (s.domain->empty()) {
+          flag = false;
+          next = in.c;
+          break;
+        }
+        Frame fr;
+        fr.begin_ip = pc;
+        s.frames.push_back(fr);
+        s.regs[in.a] = (*s.domain)[0];
+        break;
+      }
+      case Op::kDomNext: {
+        Frame& fr = s.frames.back();
+        const Instr& begin = p.code[in.a];
+        if (++fr.dom_idx < s.domain->size()) {
+          s.regs[begin.a] = (*s.domain)[fr.dom_idx];
+          next = in.a + 1;
+        } else {
+          s.frames.pop_back();
+          flag = false;
+          next = begin.c;
+        }
+        break;
+      }
+      case Op::kBreak:
+        s.frames.pop_back();
+        next = in.a;
+        break;
+      case Op::kEmit: {
+        s.tup.clear();
+        for (uint32_t i = 0; i < in.count; ++i) {
+          const uint32_t idx = OperandIndexOf(p.pool[in.a + i]);
+          Value v = s.regs[idx];
+          if (!v.valid()) {
+            return Status::Internal("query variable unbound at emit: " +
+                                    p.reg_names[idx]);
+          }
+          s.tup.push_back(v);
+        }
+        if (results != nullptr) results->insert(s.tup);
+        break;
+      }
+      case Op::kHalt:
+        return flag;
+    }
+    pc = next;
+  }
+}
+
+}  // namespace
+
+uint64_t GetStepBudget() {
+  return g_step_budget.load(std::memory_order_relaxed);
+}
+
+void SetStepBudget(uint64_t budget) {
+  g_step_budget.store(budget == 0 ? kDefaultStepBudget : budget,
+                      std::memory_order_relaxed);
+}
+
+StatusOr<bool> Execute(const Program& program, const EvalContext& ctx,
+                       const Valuation& valuation) {
+  return Run(program, ctx, valuation, /*results=*/nullptr);
+}
+
+StatusOr<std::set<Tuple>> ExecuteQuery(const Program& program,
+                                       const EvalContext& ctx,
+                                       const Valuation& valuation) {
+  std::set<Tuple> out;
+  WSV_RETURN_IF_ERROR(Run(program, ctx, valuation, &out).status());
+  return out;
+}
+
+}  // namespace fobc
+}  // namespace wsv

@@ -172,7 +172,7 @@ StatusOr<bool> EvalNode(const EtcFormula& f, const EvalContext& ctx,
       }
       return false;
     case EtcFormula::Kind::kExists: {
-      std::vector<Value> domain = ctx.ActiveDomain();
+      const std::vector<Value>& domain = ctx.ActiveDomain();
       return EvalExists(f.variables(), 0, *f.children()[0], ctx, valuation,
                         domain);
     }
@@ -192,7 +192,7 @@ StatusOr<bool> EvalNode(const EtcFormula& f, const EvalContext& ctx,
       // TC is reflexive on its arguments by the usual convention used in
       // the reduction (a path of length >= 0); include src itself.
       if (src == dst) return true;
-      std::vector<Value> domain = ctx.ActiveDomain();
+      const std::vector<Value>& domain = ctx.ActiveDomain();
       // BFS from src over edges defined by body(x; y).
       std::set<Tuple> visited{src};
       std::vector<Tuple> frontier{src};

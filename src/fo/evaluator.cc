@@ -1,17 +1,21 @@
 #include "fo/evaluator.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "fo/rewrite.h"
+#include "obs/metrics.h"
 
 namespace wsv {
 
 void EvalContext::AddLayer(const Instance* instance) {
   layers_.push_back(instance);
+  domain_valid_ = false;
 }
 
 void EvalContext::SetConstant(const std::string& name, Value v) {
   constant_overrides_[name] = v;
+  domain_valid_ = false;
 }
 
 const Relation* EvalContext::ResolveRelation(const std::string& name,
@@ -38,19 +42,66 @@ std::optional<Value> EvalContext::ResolveConstant(
   return std::nullopt;
 }
 
-std::vector<Value> EvalContext::ActiveDomain() const {
-  std::set<Value> dom = extra_domain_;
-  for (const Instance* layer : layers_) {
-    dom.insert(layer->domain().begin(), layer->domain().end());
+const std::vector<Value>& EvalContext::ActiveDomain() const {
+  if (!domain_valid_) {
+    std::set<Value> dom = extra_domain_;
+    for (const Instance* layer : layers_) {
+      dom.insert(layer->domain().begin(), layer->domain().end());
+    }
+    if (prev_layer_ != nullptr) {
+      dom.insert(prev_layer_->domain().begin(), prev_layer_->domain().end());
+    }
+    for (const auto& [name, v] : constant_overrides_) dom.insert(v);
+    domain_cache_.assign(dom.begin(), dom.end());
+    domain_valid_ = true;
   }
-  if (prev_layer_ != nullptr) {
-    dom.insert(prev_layer_->domain().begin(), prev_layer_->domain().end());
-  }
-  for (const auto& [name, v] : constant_overrides_) dom.insert(v);
-  return std::vector<Value>(dom.begin(), dom.end());
+  return domain_cache_;
 }
 
 namespace {
+
+// Hot-path variable bindings: a small insertion-ordered flat vector.
+// Rule and property valuations hold a handful of variables, where a
+// linear scan over contiguous pairs beats std::map node chasing in the
+// quantifier loops. The public API keeps Valuation = std::map; the
+// conversion happens once per Evaluate/EvaluateQuery entry.
+class Bindings {
+ public:
+  Bindings() = default;
+  explicit Bindings(const Valuation& valuation) {
+    entries_.reserve(valuation.size());
+    for (const auto& [name, v] : valuation) entries_.emplace_back(name, v);
+  }
+
+  const Value* Find(const std::string& name) const {
+    for (const auto& e : entries_) {
+      if (e.first == name) return &e.second;
+    }
+    return nullptr;
+  }
+
+  void Set(const std::string& name, Value v) {
+    for (auto& e : entries_) {
+      if (e.first == name) {
+        e.second = v;
+        return;
+      }
+    }
+    entries_.emplace_back(name, v);
+  }
+
+  void Erase(const std::string& name) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == name) {
+        entries_.erase(it);
+        return;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
 
 // Recursively flattens nested conjunctions into a conjunct list.
 void FlattenAnd(const Formula& f, std::vector<const Formula*>* out) {
@@ -72,16 +123,16 @@ class Evaluator {
  public:
   explicit Evaluator(const EvalContext& ctx) : ctx_(ctx) {}
 
-  StatusOr<Value> ResolveTerm(const Term& t, const Valuation& valuation) {
+  StatusOr<Value> ResolveTerm(const Term& t, const Bindings& valuation) {
     switch (t.kind()) {
       case Term::Kind::kLiteral:
         return t.literal();
       case Term::Kind::kVariable: {
-        auto it = valuation.find(t.name());
-        if (it == valuation.end()) {
+        const Value* v = valuation.Find(t.name());
+        if (v == nullptr) {
           return Status::Internal("unbound variable: " + t.name());
         }
-        return it->second;
+        return *v;
       }
       case Term::Kind::kConstantSymbol: {
         std::optional<Value> v = ctx_.ResolveConstant(t.name());
@@ -94,7 +145,7 @@ class Evaluator {
     return Status::Internal("bad term kind");
   }
 
-  StatusOr<bool> Eval(const Formula& f, Valuation& valuation) {
+  StatusOr<bool> Eval(const Formula& f, Bindings& valuation) {
     switch (f.kind()) {
       case Formula::Kind::kTrue:
         return true;
@@ -138,12 +189,12 @@ class Evaluator {
       case Formula::Kind::kExists:
       case Formula::Kind::kForall: {
         // Quantified variables shadow any outer bindings.
-        Valuation saved;
+        std::vector<std::pair<std::string, Value>> saved;
         for (const std::string& v : f.variables()) {
-          auto it = valuation.find(v);
-          if (it != valuation.end()) {
-            saved.emplace(v, it->second);
-            valuation.erase(it);
+          const Value* bound = valuation.Find(v);
+          if (bound != nullptr) {
+            saved.emplace_back(v, *bound);
+            valuation.Erase(v);
           }
         }
         std::set<std::string> vars(f.variables().begin(),
@@ -158,7 +209,7 @@ class Evaluator {
           result = EvalExists(std::move(vars), *negated, valuation);
           if (result.ok()) result = !*result;
         }
-        for (const auto& [v, val] : saved) valuation[v] = val;
+        for (const auto& [v, val] : saved) valuation.Set(v, val);
         return result;
       }
     }
@@ -167,7 +218,7 @@ class Evaluator {
 
   // Existential evaluation over the variable set `vars`.
   StatusOr<bool> EvalExists(std::set<std::string> vars, const Formula& body,
-                            Valuation& valuation) {
+                            Bindings& valuation) {
     if (vars.empty()) return Eval(body, valuation);
 
     // Flatten conjunctions to find a guard atom.
@@ -191,17 +242,16 @@ class Evaluator {
       const Relation* rel = ctx_.ResolveRelation(atom.relation, atom.prev);
       if (rel == nullptr || rel->empty()) return false;  // guard unmatchable
       for (const Tuple& tuple : rel->tuples()) {
-        Valuation saved_bindings;
         std::vector<std::string> newly_bound;
         bool match = true;
         for (size_t i = 0; i < atom.terms.size() && match; ++i) {
           const Term& term = atom.terms[i];
           if (term.is_variable()) {
-            auto it = valuation.find(term.name());
-            if (it != valuation.end()) {
-              match = it->second == tuple[i];
+            const Value* bound = valuation.Find(term.name());
+            if (bound != nullptr) {
+              match = *bound == tuple[i];
             } else if (vars.count(term.name()) > 0) {
-              valuation[term.name()] = tuple[i];
+              valuation.Set(term.name(), tuple[i]);
               newly_bound.push_back(term.name());
               vars.erase(term.name());
             } else {
@@ -219,7 +269,7 @@ class Evaluator {
           sub = EvalExistsRest(vars, conjuncts, guard, valuation);
         }
         for (const std::string& v : newly_bound) {
-          valuation.erase(v);
+          valuation.Erase(v);
           vars.insert(v);
         }
         if (!sub.ok()) return sub.status();
@@ -231,11 +281,11 @@ class Evaluator {
     // Fallback: bind one variable over the active domain.
     std::string var = *vars.begin();
     vars.erase(vars.begin());
-    if (domain_.empty()) domain_ = ctx_.ActiveDomain();
-    for (Value v : domain_) {
-      valuation[var] = v;
+    if (domain_ == nullptr) domain_ = &ctx_.ActiveDomain();
+    for (Value v : *domain_) {
+      valuation.Set(var, v);
       StatusOr<bool> sub = EvalExists(vars, body, valuation);
-      valuation.erase(var);
+      valuation.Erase(var);
       if (!sub.ok()) return sub.status();
       if (*sub) return true;
     }
@@ -247,7 +297,7 @@ class Evaluator {
   // evaluates the remaining conjuncts with the still-unbound vars.
   StatusOr<bool> EvalExistsRest(std::set<std::string>& vars,
                                 const std::vector<const Formula*>& conjuncts,
-                                const Formula* guard, Valuation& valuation) {
+                                const Formula* guard, Bindings& valuation) {
     std::vector<FormulaPtr> rest;
     rest.reserve(conjuncts.size());
     for (const Formula* c : conjuncts) {
@@ -289,7 +339,7 @@ class Evaluator {
   }
 
   const EvalContext& ctx_;
-  std::vector<Value> domain_;  // lazily materialized
+  const std::vector<Value>* domain_ = nullptr;  // lazily materialized
 };
 
 // Query enumeration with the same guard-driven strategy, collecting all
@@ -300,35 +350,35 @@ class QueryEnumerator {
                   const std::vector<std::string>& head_vars)
       : ctx_(ctx), head_vars_(head_vars), evaluator_(ctx) {}
 
-  StatusOr<std::set<Tuple>> Run(const Formula& body, Valuation valuation) {
+  StatusOr<std::set<Tuple>> Run(const Formula& body, Bindings valuation) {
     std::set<std::string> unbound;
     for (const std::string& v : head_vars_) {
-      if (valuation.find(v) == valuation.end()) unbound.insert(v);
+      if (valuation.Find(v) == nullptr) unbound.insert(v);
     }
     WSV_RETURN_IF_ERROR(Enumerate(unbound, body, valuation));
     return std::move(results_);
   }
 
  private:
-  Status Emit(const Valuation& valuation, const Formula& body) {
-    Valuation val = valuation;
+  Status Emit(const Bindings& valuation, const Formula& body) {
+    Bindings val = valuation;
     WSV_ASSIGN_OR_RETURN(bool holds, evaluator_.Eval(body, val));
     if (!holds) return Status::OK();
     Tuple t;
     t.reserve(head_vars_.size());
     for (const std::string& v : head_vars_) {
-      auto it = val.find(v);
-      if (it == val.end()) {
+      const Value* bound = val.Find(v);
+      if (bound == nullptr) {
         return Status::Internal("query variable unbound at emit: " + v);
       }
-      t.push_back(it->second);
+      t.push_back(*bound);
     }
     results_.insert(std::move(t));
     return Status::OK();
   }
 
   Status Enumerate(std::set<std::string> unbound, const Formula& body,
-                   Valuation& valuation) {
+                   Bindings& valuation) {
     if (unbound.empty()) return Emit(valuation, body);
 
     // Disjunction: enumerate each branch (results are a union). The
@@ -364,18 +414,18 @@ class QueryEnumerator {
         for (size_t i = 0; i < atom.terms.size() && match; ++i) {
           const Term& term = atom.terms[i];
           if (term.is_variable() && unbound.count(term.name()) > 0) {
-            auto it = valuation.find(term.name());
-            if (it != valuation.end()) {
-              match = it->second == tuple[i];
+            const Value* bound = valuation.Find(term.name());
+            if (bound != nullptr) {
+              match = *bound == tuple[i];
             } else {
-              valuation[term.name()] = tuple[i];
+              valuation.Set(term.name(), tuple[i]);
               newly_bound.push_back(term.name());
             }
           } else if (term.is_variable()) {
-            auto it = valuation.find(term.name());
+            const Value* bound = valuation.Find(term.name());
             // Unbound non-head variables (quantified deeper) cannot be
             // constrained here; skip the guard constraint for them.
-            if (it != valuation.end()) match = it->second == tuple[i];
+            if (bound != nullptr) match = *bound == tuple[i];
           } else {
             StatusOr<Value> v =
                 evaluator_.ResolveTerm(term, valuation);
@@ -388,7 +438,7 @@ class QueryEnumerator {
           for (const std::string& v : newly_bound) rest.erase(v);
           WSV_RETURN_IF_ERROR(Enumerate(std::move(rest), body, valuation));
         }
-        for (const std::string& v : newly_bound) valuation.erase(v);
+        for (const std::string& v : newly_bound) valuation.Erase(v);
       }
       return Status::OK();
     }
@@ -396,11 +446,11 @@ class QueryEnumerator {
     // Fallback: bind one variable over the active domain.
     std::string var = *unbound.begin();
     unbound.erase(unbound.begin());
-    if (domain_.empty()) domain_ = ctx_.ActiveDomain();
-    for (Value v : domain_) {
-      valuation[var] = v;
+    if (domain_ == nullptr) domain_ = &ctx_.ActiveDomain();
+    for (Value v : *domain_) {
+      valuation.Set(var, v);
       WSV_RETURN_IF_ERROR(Enumerate(unbound, body, valuation));
-      valuation.erase(var);
+      valuation.Erase(var);
     }
     return Status::OK();
   }
@@ -408,7 +458,7 @@ class QueryEnumerator {
   const EvalContext& ctx_;
   const std::vector<std::string>& head_vars_;
   Evaluator evaluator_;
-  std::vector<Value> domain_;
+  const std::vector<Value>* domain_ = nullptr;
   std::set<Tuple> results_;
 };
 
@@ -416,8 +466,9 @@ class QueryEnumerator {
 
 StatusOr<bool> Evaluate(const Formula& formula, const EvalContext& ctx,
                         const Valuation& valuation) {
+  WSV_COUNT1("fo/interp_evals");
   Evaluator ev(ctx);
-  Valuation val = valuation;
+  Bindings val(valuation);
   return ev.Eval(formula, val);
 }
 
@@ -430,8 +481,9 @@ StatusOr<std::set<Tuple>> EvaluateQuery(const Formula& formula,
   if (distinct.size() != vars.size()) {
     return Status::InvalidArgument("repeated query head variable");
   }
+  WSV_COUNT1("fo/interp_evals");
   QueryEnumerator qe(ctx, vars);
-  return qe.Run(formula, valuation);
+  return qe.Run(formula, Bindings(valuation));
 }
 
 }  // namespace wsv

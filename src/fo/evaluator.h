@@ -34,13 +34,19 @@ class EvalContext {
 
   /// Sets the instance used to resolve prev.I atoms (relation names in it
   /// are the plain input relation names).
-  void SetPrevLayer(const Instance* instance) { prev_layer_ = instance; }
+  void SetPrevLayer(const Instance* instance) {
+    prev_layer_ = instance;
+    domain_valid_ = false;
+  }
 
   /// Binds a constant symbol, overriding any layer's binding.
   void SetConstant(const std::string& name, Value v);
 
   /// Adds extra elements to the active domain beyond the layers' domains.
-  void AddDomainValue(Value v) { extra_domain_.insert(v); }
+  void AddDomainValue(Value v) {
+    extra_domain_.insert(v);
+    domain_valid_ = false;
+  }
 
   /// Resolves a relation; nullptr means the relation is empty/absent.
   const Relation* ResolveRelation(const std::string& name, bool prev) const;
@@ -49,14 +55,19 @@ class EvalContext {
   std::optional<Value> ResolveConstant(const std::string& name) const;
 
   /// The active domain: union of all layer domains, constant overrides,
-  /// and extra values, in Value order.
-  std::vector<Value> ActiveDomain() const;
+  /// and extra values, in Value order. Memoized until the next mutator
+  /// call; the lazy const materialization is not synchronized, so a
+  /// context must not see its first ActiveDomain() call from two threads
+  /// at once (contexts are built per evaluation everywhere in the repo).
+  const std::vector<Value>& ActiveDomain() const;
 
  private:
   std::vector<const Instance*> layers_;
   const Instance* prev_layer_ = nullptr;
   std::map<std::string, Value> constant_overrides_;
   std::set<Value> extra_domain_;
+  mutable std::vector<Value> domain_cache_;
+  mutable bool domain_valid_ = false;
 };
 
 /// A variable assignment.

@@ -1,6 +1,11 @@
 #include "ltl/run_semantics.h"
 
+#include <memory>
 #include <set>
+
+#include "fo/bytecode/cache.h"
+#include "fo/bytecode/vm.h"
+#include "obs/metrics.h"
 
 namespace wsv {
 
@@ -13,12 +18,27 @@ std::string LassoRun::ToString() const {
   return out;
 }
 
-StatusOr<bool> EvalFoAtStep(const Formula& leaf, const TraceView& step,
+StatusOr<bool> EvalFoAtStep(const FormulaPtr& leaf, const TraceView& step,
                             const Instance& database,
                             const WebService& service,
                             const Valuation& valuation) {
+  WSV_TIMER("ltl/leaf_eval_ns");
+  // The compiled program carries the leaf's constant-symbol and literal
+  // analyses, so the hot path re-derives neither.
+  std::shared_ptr<const fobc::Program> prog;
+  if (fobc::BytecodeEnabled()) prog = fobc::GetOrCompileBool(leaf);
+  std::set<std::string> csyms_fallback;
+  std::set<Value> lits_fallback;
+  if (prog == nullptr) {
+    csyms_fallback = leaf->ConstantSymbols();
+    lits_fallback = leaf->Literals();
+  }
+  const std::set<std::string>& csyms =
+      prog != nullptr ? prog->constant_symbols : csyms_fallback;
+  const std::set<Value>& lits =
+      prog != nullptr ? prog->literals : lits_fallback;
   // Condition (a): input constants of the sentence must be in kappa_i.
-  for (const std::string& c : leaf.ConstantSymbols()) {
+  for (const std::string& c : csyms) {
     if (service.vocab().IsInputConstant(c) && step.kappa->count(c) == 0) {
       return false;
     }
@@ -38,12 +58,13 @@ StatusOr<bool> EvalFoAtStep(const Formula& leaf, const TraceView& step,
   ctx.AddLayer(&database);
   ctx.SetPrevLayer(step.prev_inputs);
   for (const auto& [name, v] : *step.kappa) ctx.SetConstant(name, v);
-  for (Value v : leaf.Literals()) ctx.AddDomainValue(v);
+  for (Value v : lits) ctx.AddDomainValue(v);
   for (const auto& [var, v] : valuation) ctx.AddDomainValue(v);
-  return Evaluate(leaf, ctx, valuation);
+  if (prog != nullptr) return fobc::Execute(*prog, ctx, valuation);
+  return Evaluate(*leaf, ctx, valuation);
 }
 
-StatusOr<bool> EvalFoAtStep(const Formula& leaf, const TraceStep& step,
+StatusOr<bool> EvalFoAtStep(const FormulaPtr& leaf, const TraceStep& step,
                             const Instance& database,
                             const WebService& service,
                             const Valuation& valuation) {
@@ -79,7 +100,7 @@ class LassoEvaluator {
         std::vector<char> v(n);
         for (size_t i = 0; i < n; ++i) {
           WSV_ASSIGN_OR_RETURN(bool b,
-                               EvalFoAtStep(*f.fo(), run_.steps[i],
+                               EvalFoAtStep(f.fo(), run_.steps[i],
                                             database_, service_, valuation_));
           v[i] = b ? 1 : 0;
         }

@@ -44,13 +44,14 @@ struct TraceView {
 };
 
 /// Evaluates one FO leaf at one trace step under `valuation` (bindings
-/// for the property's universal closure variables).
-StatusOr<bool> EvalFoAtStep(const Formula& leaf, const TraceStep& step,
+/// for the property's universal closure variables). Takes the shared
+/// formula pointer so repeated leaves hit the compiled-program cache.
+StatusOr<bool> EvalFoAtStep(const FormulaPtr& leaf, const TraceStep& step,
                             const Instance& database,
                             const WebService& service,
                             const Valuation& valuation);
 
-StatusOr<bool> EvalFoAtStep(const Formula& leaf, const TraceView& step,
+StatusOr<bool> EvalFoAtStep(const FormulaPtr& leaf, const TraceView& step,
                             const Instance& database,
                             const WebService& service,
                             const Valuation& valuation);

@@ -68,6 +68,13 @@ double ValuationCollapseRate(const MetricsSnapshot& snap) {
   return double(snap.CounterValue("ltl/class_hits")) / double(checked);
 }
 
+double BytecodeCompiledShare(const MetricsSnapshot& snap) {
+  const uint64_t compiled = snap.CounterValue("fo/bytecode_execs");
+  const uint64_t interp = snap.CounterValue("fo/interp_evals");
+  if (compiled + interp == 0) return -1.0;
+  return double(compiled) / double(compiled + interp);
+}
+
 std::string FormatStatsTable(const MetricsSnapshot& snap) {
   std::string out;
   char line[256];
@@ -154,6 +161,18 @@ std::string FormatStatsTable(const MetricsSnapshot& snap) {
             snap.CounterValue("ltl/valuations_checked")));
     out += line;
   }
+  const double compiled_share = BytecodeCompiledShare(snap);
+  if (compiled_share >= 0.0) {
+    std::snprintf(
+        line, sizeof(line),
+        "fo eval engine: %s compiled (%llu compiled / %llu interpreted)\n",
+        FormatRate(compiled_share).c_str(),
+        static_cast<unsigned long long>(
+            snap.CounterValue("fo/bytecode_execs")),
+        static_cast<unsigned long long>(
+            snap.CounterValue("fo/interp_evals")));
+    out += line;
+  }
   return out;
 }
 
@@ -197,6 +216,14 @@ std::string StatsToJson(const MetricsSnapshot& snap) {
   if (collapse_rate >= 0.0) {
     std::snprintf(buf, sizeof(buf), "%s    \"valuation_collapse_rate\": %.4f",
                   first_derived ? "\n" : ",\n", collapse_rate);
+    out += buf;
+    first_derived = false;
+  }
+  const double compiled_share = BytecodeCompiledShare(snap);
+  if (compiled_share >= 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s    \"fo_bytecode_compiled_share\": %.4f",
+                  first_derived ? "\n" : ",\n", compiled_share);
     out += buf;
   }
   out += "\n  }\n}\n";

@@ -33,6 +33,11 @@ double LeafMemoHitRate(const MetricsSnapshot& snap);
 /// skipped. -1 when no valuations were swept.
 double ValuationCollapseRate(const MetricsSnapshot& snap);
 
+/// bytecode_execs / (bytecode_execs + interp_evals) — the share of FO
+/// evaluations served by the compiled bytecode engine instead of the
+/// tree-walking interpreter. -1 when no FO evaluation ran.
+double BytecodeCompiledShare(const MetricsSnapshot& snap);
+
 }  // namespace obs
 }  // namespace wsv
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fo/bytecode/cache.h"
+
 namespace wsv {
 
 Stepper::Stepper(const WebService* service, const Instance* database)
@@ -140,8 +142,9 @@ StatusOr<std::map<std::string, std::set<Tuple>>> Stepper::ComputeOptions(
   EvalContext ctx = MakeContext(config, kappa, /*current_inputs=*/nullptr);
   std::map<std::string, std::set<Tuple>> options;
   for (const InputRule& rule : page->input_rules) {
-    WSV_ASSIGN_OR_RETURN(std::set<Tuple> tuples,
-                         EvaluateQuery(*rule.body, rule.head_vars, ctx));
+    WSV_ASSIGN_OR_RETURN(
+        std::set<Tuple> tuples,
+        fobc::EvaluateQueryFast(rule.body, rule.head_vars, ctx));
     options[rule.input] = std::move(tuples);
   }
   return options;
@@ -251,7 +254,7 @@ StatusOr<StepOutcome> Stepper::Step(const Config& config,
   // Target rules; condition (iii) fires on ambiguity.
   std::vector<std::string> true_targets;
   for (const TargetRule& rule : page->target_rules) {
-    WSV_ASSIGN_OR_RETURN(bool fired, Evaluate(*rule.body, ctx));
+    WSV_ASSIGN_OR_RETURN(bool fired, fobc::EvaluateFast(rule.body, ctx));
     if (fired) true_targets.push_back(rule.target);
   }
   if (true_targets.size() > 1) {
@@ -270,8 +273,9 @@ StatusOr<StepOutcome> Stepper::Step(const Config& config,
   out.next.state = config.state;
   std::map<std::string, std::pair<std::set<Tuple>, std::set<Tuple>>> updates;
   for (const StateRule& rule : page->state_rules) {
-    WSV_ASSIGN_OR_RETURN(std::set<Tuple> tuples,
-                         EvaluateQuery(*rule.body, rule.head_vars, ctx));
+    WSV_ASSIGN_OR_RETURN(
+        std::set<Tuple> tuples,
+        fobc::EvaluateQueryFast(rule.body, rule.head_vars, ctx));
     auto& [ins, del] = updates[rule.state];
     (rule.insert ? ins : del) = std::move(tuples);
   }
@@ -303,8 +307,9 @@ StatusOr<StepOutcome> Stepper::Step(const Config& config,
   // Actions triggered at step i land in A_{i+1}.
   out.next.actions = EmptyInstanceOfKind(SymbolKind::kAction);
   for (const ActionRule& rule : page->action_rules) {
-    WSV_ASSIGN_OR_RETURN(std::set<Tuple> tuples,
-                         EvaluateQuery(*rule.body, rule.head_vars, ctx));
+    WSV_ASSIGN_OR_RETURN(
+        std::set<Tuple> tuples,
+        fobc::EvaluateQueryFast(rule.body, rule.head_vars, ctx));
     Relation* rel = out.next.actions.MutableRelation(rule.action);
     for (const Tuple& t : tuples) {
       rel->Insert(t);

@@ -207,7 +207,7 @@ StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
       for (size_t e = 0; e < num_edges; ++e) {
         TraceView view = check.graph_.View(static_cast<int>(e));
         WSV_ASSIGN_OR_RETURN(bool b,
-                             EvalFoAtStep(*automaton->leaves[k], view, db,
+                             EvalFoAtStep(automaton->leaves[k], view, db,
                                           *service, {}));
         col.Set(e, b);
       }
@@ -382,7 +382,7 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
         for (size_t e = 0; e < num_edges; ++e) {
           TraceView view = graph_.View(static_cast<int>(e));
           WSV_ASSIGN_OR_RETURN(bool b,
-                               EvalFoAtStep(*automaton_->leaves[k], view,
+                               EvalFoAtStep(automaton_->leaves[k], view,
                                             *database_, *service_,
                                             valuation));
           col_scratch.Set(e, b);
@@ -585,7 +585,7 @@ LtlDatabaseCheck::CheckValuationsOtf(
     for (size_t e = col->upto; e < n; ++e) {
       TraceView view = graph.View(static_cast<int>(e));
       WSV_ASSIGN_OR_RETURN(bool b,
-                           EvalFoAtStep(*automaton_->leaves[k], view,
+                           EvalFoAtStep(automaton_->leaves[k], view,
                                         *database_, *service_, col->val));
       col->bits.Set(e, b);
     }

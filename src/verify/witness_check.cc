@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "fo/bytecode/cache.h"
 #include "ltl/run_semantics.h"
 #include "obs/trace.h"
 #include "runtime/successor.h"
@@ -151,11 +152,16 @@ Status ValidateWitness(const WebService& service,
   // Violation: under the witness valuation the property fails on this
   // run. (The verifier's faithfulness filter already checked the
   // valuation ranges over Dom(rho); semantic falsity subsumes what we
-  // need here.)
-  WSV_ASSIGN_OR_RETURN(
-      bool sat, EvaluateLtlOnLassoWithValuation(*property.formula, run,
-                                                cex.database, service,
-                                                cex.valuation));
+  // need here.) Re-checked with the tree-walking interpreter so the
+  // validation stays an independent oracle for the bytecode engine.
+  bool sat;
+  {
+    fobc::ScopedDisable no_bytecode;
+    WSV_ASSIGN_OR_RETURN(
+        sat, EvaluateLtlOnLassoWithValuation(*property.formula, run,
+                                             cex.database, service,
+                                             cex.valuation));
+  }
   if (sat) {
     return Status::InvalidArgument(
         "witness run satisfies the property under the witness valuation; "

@@ -13,8 +13,9 @@
 //       conditions i-iii); without a database, enumerate databases up to
 //       the bound.
 //   wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c]
-//                 [--fresh N] [--unchecked] [--eager] [--jobs N] [--stats]
-//                 [--stats-json FILE] [--trace-out FILE] [--progress]
+//                 [--fresh N] [--unchecked] [--eager] [--jobs N]
+//                 [--no-fo-bytecode] [--stats] [--stats-json FILE]
+//                 [--trace-out FILE] [--progress]
 //       Verify an LTL-FO property (Theorem 3.5); --unchecked skips the
 //       input-boundedness gate. By default the product is searched
 //       on-the-fly (configurations expanded only as the nested DFS
@@ -24,6 +25,9 @@
 //       fans the database/valuation sweep over N worker threads
 //       (default: one per hardware thread; 1 = serial). Verdict and
 //       witness are identical at any job count and in either mode.
+//       --no-fo-bytecode evaluates FO formulas with the tree-walking
+//       interpreter instead of the compiled bytecode engine (same
+//       verdicts, slower; for debugging and A/B runs).
 //       Telemetry: --stats prints the phase/counter table to stderr,
 //       --stats-json writes the counter snapshot as JSON, --trace-out
 //       writes a Chrome/Perfetto trace-event file of the pipeline spans,
@@ -60,6 +64,7 @@
 #include "common/str_util.h"
 #include "ctl/ctl_check.h"
 #include "ctl/ctl_star_check.h"
+#include "fo/bytecode/cache.h"
 #include "ltl/ltl_parser.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -88,8 +93,8 @@ int Usage() {
       "  wsvcli check-errors <spec.wsv> [db.wsd] [--pool a,b,c] "
       "[--fresh N]\n"
       "  wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c] "
-      "[--fresh N] [--unchecked] [--eager] [--jobs N] [--stats] "
-      "[--stats-json FILE] [--trace-out FILE] [--progress]\n"
+      "[--fresh N] [--unchecked] [--eager] [--jobs N] [--no-fo-bytecode] "
+      "[--stats] [--stats-json FILE] [--trace-out FILE] [--progress]\n"
       "  wsvcli verify-ctl <spec.wsv> <property> <db.wsd> "
       "[--pool a,b,c]\n"
       "  wsvcli lint <spec.wsv> [--format=text|json|sarif] [--werror]\n");
@@ -119,6 +124,10 @@ struct Flags {
   bool eager = false;
   /// Worker threads for `verify`; <= 0 = one per hardware thread.
   int jobs = 0;
+  /// Evaluate FO formulas with the tree-walking interpreter instead of
+  /// the compiled bytecode engine (same verdicts, slower; for debugging
+  /// and differential runs).
+  bool no_fo_bytecode = false;
   std::vector<Value> pool;
   /// Observability surface (verify): human table, JSON snapshot, Chrome
   /// trace file, heartbeat.
@@ -158,6 +167,8 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
     } else if (arg == "--jobs") {
       WSV_ASSIGN_OR_RETURN(std::string v, next());
       flags.jobs = std::atoi(v.c_str());
+    } else if (arg == "--no-fo-bytecode") {
+      flags.no_fo_bytecode = true;
     } else if (arg == "--stats") {
       flags.stats = true;
     } else if (arg == "--stats-json") {
@@ -478,6 +489,7 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   auto flags = ParseFlags(argc, argv);
   if (!flags.ok()) return Fail(flags.status());
+  if (flags->no_fo_bytecode) fobc::SetBytecodeEnabled(false);
   std::string cmd = argv[1];
   if (cmd == "validate") return CmdValidate(*flags);
   if (cmd == "print") return CmdPrint(*flags);
