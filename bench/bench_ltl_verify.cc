@@ -64,6 +64,19 @@ void MergeObsCounters(benchmark::State& state) {
   if (collapse >= 0) state.counters["obs_collapse_rate"] = collapse;
   double compiled = obs::BytecodeCompiledShare(snap);
   if (compiled >= 0) state.counters["obs_bytecode_compiled_share"] = compiled;
+  double cache_rate = obs::ProgramCacheHitRate(snap);
+  if (cache_rate >= 0) {
+    state.counters["obs_program_cache_hit_rate"] = cache_rate;
+  }
+  // Live-memory gauges: occupancy at snapshot time, not per-iteration
+  // work, so they land as plain values ("mem/x_bytes" -> "mem_x_bytes").
+  for (const auto& [name, value] : snap.gauges) {
+    std::string key = name;
+    for (char& c : key) {
+      if (c == '/') c = '_';
+    }
+    state.counters[key] = static_cast<double>(value);
+  }
 }
 
 // --- E2: the paper's properties on the running example. ---------------

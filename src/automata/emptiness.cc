@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wsv {
 
@@ -49,6 +50,7 @@ std::vector<int> BfsPath(const std::vector<std::vector<int>>& succ,
 std::optional<Lasso> FindAcceptingLasso(
     const std::vector<std::vector<int>>& succ,
     const std::vector<char>& initial, const std::vector<char>& accepting) {
+  WSV_SPAN("automata/emptiness");
   WSV_TIMER("automata/emptiness_ns");
   WSV_COUNT1("automata/emptiness_searches");
   const int n = static_cast<int>(succ.size());
@@ -164,6 +166,7 @@ StatusOr<std::optional<Lasso>> FindAcceptingLassoOnTheFly(
     const std::function<StatusOr<const std::vector<int>*>(int)>& succ,
     const std::function<bool(int)>& accepting,
     const std::function<bool()>& stop, NestedDfsStats* stats) {
+  WSV_SPAN("automata/emptiness");
   WSV_TIMER("automata/emptiness_ns");
   WSV_COUNT1("automata/emptiness_searches");
 

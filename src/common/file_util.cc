@@ -1,0 +1,35 @@
+#include "common/file_util.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace wsv {
+
+std::string AtomicTempPath(const std::string& path) {
+  return path + ".tmp." + std::to_string(::getpid());
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = AtomicTempPath(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::InvalidArgument("cannot open for writing: " + tmp);
+    }
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::Internal("short write: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace wsv

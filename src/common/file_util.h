@@ -1,0 +1,30 @@
+// Atomic file writes for telemetry artifacts.
+//
+// A cancelled or crashed run must never leave a truncated --trace-out /
+// --stats-json / --log-json file behind: downstream tooling (CI
+// validators, bench harvesters) treats the presence of the artifact as
+// "complete and parseable". Both helpers therefore write to a sibling
+// temp file and publish with std::rename, which is atomic within a
+// filesystem — the final path either holds the complete content or does
+// not exist.
+
+#ifndef WSV_COMMON_FILE_UTIL_H_
+#define WSV_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace wsv {
+
+/// The sibling temp path used while writing `path` atomically
+/// ("<path>.tmp.<pid>"). Exposed so tests can assert cleanup.
+std::string AtomicTempPath(const std::string& path);
+
+/// Writes `contents` to `path` atomically: temp file, flush, rename.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+}  // namespace wsv
+
+#endif  // WSV_COMMON_FILE_UTIL_H_

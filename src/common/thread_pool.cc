@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/request.h"
 
 namespace wsv {
 
@@ -35,7 +36,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   WSV_COUNT1("pool/tasks_submitted");
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(QueuedTask{std::move(task), WSV_OBS_NOW()});
+    queue_.push_back(
+        QueuedTask{std::move(task), WSV_OBS_NOW(), obs::CurrentRequestId()});
   }
   work_cv_.notify_one();
 }
@@ -78,6 +80,9 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++running_;
     }
+    // Attribute the task's metric writes (including the pool's own
+    // scheduling metrics) to the request that submitted it.
+    obs::RequestBinding bind(task.request);
     WSV_COUNT1("pool/tasks_run");
     WSV_HIST("pool/queue_latency_ns", WSV_OBS_NOW() - task.enqueue_ns);
     try {

@@ -26,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace wsv {
 
 /// Number of workers to use when the caller asked for `jobs` threads:
@@ -65,10 +67,13 @@ class ThreadPool {
   void WorkerLoop();
 
   /// A queued task plus its enqueue timestamp, so the worker that
-  /// dequeues it can report queue latency ("pool/queue_latency_ns").
+  /// dequeues it can report queue latency ("pool/queue_latency_ns"), and
+  /// the submitter's request id, so the worker attributes the task's
+  /// metric writes to the request that submitted it (obs/request.h).
   struct QueuedTask {
     std::function<void()> fn;
     uint64_t enqueue_ns = 0;
+    obs::RequestId request = obs::kNoRequest;
   };
 
   mutable std::mutex mu_;

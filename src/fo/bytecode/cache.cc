@@ -32,7 +32,61 @@ struct Cache {
   std::unordered_map<const Formula*, std::shared_ptr<const Program>> bool_progs;
   std::unordered_map<const Formula*, std::shared_ptr<const Program>>
       query_progs;
+  // Occupancy (under mu): entries never evict, so these only grow.
+  uint64_t entries = 0;
+  uint64_t program_bytes = 0;
+  uint64_t formula_bytes = 0;
 };
+
+// Estimated heap footprint of a compiled program: the flat arrays plus
+// per-slot string storage. Deliberately coarse (no allocator rounding).
+uint64_t ApproxProgramBytes(const Program& prog) {
+  uint64_t bytes = sizeof(Program);
+  bytes += prog.code.capacity() * sizeof(Instr);
+  bytes += prog.pool.capacity() * sizeof(uint32_t);
+  for (const ConstSlot& c : prog.consts) {
+    bytes += sizeof(ConstSlot) + c.name.capacity();
+  }
+  for (const RelSlot& r : prog.rels) bytes += sizeof(RelSlot) + r.name.capacity();
+  for (const std::string& s : prog.reg_names) bytes += sizeof(std::string) + s.capacity();
+  for (const auto& [name, reg] : prog.free_vars) {
+    bytes += sizeof(std::string) + sizeof(uint32_t) + name.capacity();
+  }
+  for (const std::string& s : prog.head_vars) bytes += sizeof(std::string) + s.capacity();
+  for (const std::string& s : prog.constant_symbols) bytes += 48 + s.capacity();
+  bytes += prog.literals.size() * 48;
+  return bytes;
+}
+
+// Estimated footprint of the pinned source formula tree: per-node header
+// plus term/variable vectors. Cached entries keep these alive for the
+// process lifetime (the cache key pins FormulaPtr).
+uint64_t ApproxFormulaBytes(const Formula& f) {
+  uint64_t bytes = sizeof(Formula);
+  bytes += f.atom().relation.capacity();
+  bytes += f.atom().terms.capacity() * sizeof(Term);
+  for (const std::string& v : f.variables()) {
+    bytes += sizeof(std::string) + v.capacity();
+  }
+  for (const FormulaPtr& child : f.children()) {
+    if (child != nullptr) bytes += ApproxFormulaBytes(*child);
+  }
+  return bytes;
+}
+
+// Caller holds the cache lock and has just inserted `prog` for `f`.
+void AccountInsertLocked(Cache& cache, const FormulaPtr& f,
+                         const std::shared_ptr<const Program>& prog) {
+  const uint64_t prog_bytes =
+      prog == nullptr ? sizeof(void*) : ApproxProgramBytes(*prog);
+  const uint64_t formula_bytes = ApproxFormulaBytes(*f);
+  cache.entries += 1;
+  cache.program_bytes += prog_bytes;
+  cache.formula_bytes += formula_bytes;
+  WSV_GAUGE_ADD("mem/fo_program_cache_entries", 1);
+  WSV_GAUGE_ADD("mem/fo_program_cache_bytes", prog_bytes);
+  WSV_GAUGE_ADD("mem/fo_pinned_formula_bytes", formula_bytes);
+}
 
 Cache& GetCache() {
   static Cache* cache = new Cache();
@@ -84,6 +138,7 @@ std::shared_ptr<const Program> GetOrCompileBool(const FormulaPtr& f) {
   prog = compiled.ok() ? std::move(compiled).value() : nullptr;
   std::unique_lock<std::shared_mutex> lock(cache.mu);
   auto [it, inserted] = cache.bool_progs.emplace(f.get(), prog);
+  if (inserted) AccountInsertLocked(cache, f, prog);
   return inserted ? prog : it->second;
 }
 
@@ -105,7 +160,18 @@ std::shared_ptr<const Program> GetOrCompileQuery(
   if (found) return fresh;  // head mismatch: usable, but not cacheable
   std::unique_lock<std::shared_mutex> lock(cache.mu);
   auto [it, inserted] = cache.query_progs.emplace(f.get(), fresh);
+  if (inserted) AccountInsertLocked(cache, f, fresh);
   return inserted ? fresh : it->second;
+}
+
+CacheStats ProgramCacheStats() {
+  Cache& cache = GetCache();
+  std::shared_lock<std::shared_mutex> lock(cache.mu);
+  CacheStats stats;
+  stats.entries = cache.entries;
+  stats.program_bytes = cache.program_bytes;
+  stats.formula_bytes = cache.formula_bytes;
+  return stats;
 }
 
 StatusOr<bool> EvaluateFast(const FormulaPtr& f, const EvalContext& ctx,

@@ -43,6 +43,16 @@ class ScopedDisable {
   ScopedDisable& operator=(const ScopedDisable&) = delete;
 };
 
+/// Occupancy of the process-wide program cache, for --stats and the
+/// mem/fo_* gauges. Byte figures are footprint estimates (vector
+/// capacities + node overheads), not allocator ground truth.
+struct CacheStats {
+  uint64_t entries = 0;         // cached programs incl. failure tombstones
+  uint64_t program_bytes = 0;   // compiled code + slot tables
+  uint64_t formula_bytes = 0;   // pinned source formula trees
+};
+CacheStats ProgramCacheStats();
+
 /// Returns the cached boolean program for `f`, compiling on first use.
 /// nullptr when compilation failed (callers fall back to the
 /// interpreter). Thread-safe.

@@ -29,7 +29,21 @@ struct Scratch {
   std::vector<Frame> frames;
   Tuple tup;
   const std::vector<Value>* domain = nullptr;
+  // Capacity bytes already published to the mem/vm_arena_bytes gauge.
+  // Capacities persist across executions, so the figure only grows until
+  // thread exit returns the whole arena.
+  uint64_t reported_bytes = 0;
+
+  ~Scratch() { WSV_GAUGE_SUB("mem/vm_arena_bytes", reported_bytes); }
 };
+
+uint64_t ArenaBytes(const Scratch& s) {
+  return s.regs.capacity() * sizeof(Value) +
+         s.consts.capacity() * sizeof(Value) +
+         s.rels.capacity() * sizeof(const Relation*) +
+         s.frames.capacity() * sizeof(Frame) +
+         s.tup.capacity() * sizeof(Value);
+}
 
 thread_local Scratch t_scratch;
 
@@ -69,11 +83,20 @@ StatusOr<bool> Run(const Program& p, const EvalContext& ctx,
   bool flag = false;
   uint32_t pc = 0;
 
-  // Every return path records the steps actually spent.
+  // Every return path records the steps actually spent and publishes
+  // arena capacity growth to the occupancy gauge.
   struct StepFlush {
     uint64_t& steps;
-    ~StepFlush() { WSV_COUNT("fo/bytecode_steps", steps); }
-  } flush{steps};
+    Scratch& scratch;
+    ~StepFlush() {
+      WSV_COUNT("fo/bytecode_steps", steps);
+      const uint64_t bytes = ArenaBytes(scratch);
+      if (bytes > scratch.reported_bytes) {
+        WSV_GAUGE_ADD("mem/vm_arena_bytes", bytes - scratch.reported_bytes);
+        scratch.reported_bytes = bytes;
+      }
+    }
+  } flush{steps, s};
 
   auto budget_error = [&]() -> Status {
     return Status::ResourceExhausted(

@@ -1,0 +1,118 @@
+// Wide-event JSONL log: one self-contained JSON object per line, one
+// line per request phase plus one terminal line per request.
+//
+// The log is the replay/audit record a verification service keys off:
+// instead of many narrow log lines that must be joined to reconstruct a
+// request, each event carries everything known about its subject —
+// request id and label, spec/property content hashes, verdict, wall
+// time, and the exact counter delta attributed to the request
+// (obs/request.h). `wsvcli verify --log-json <file>` emits it; the
+// watchdog (obs/watchdog.h) adds "stall" and "heartbeat" events.
+//
+// Event kinds:
+//   "phase"     one pipeline phase of a request (parse, lint, db_enum,
+//               product, emptiness, witness_check, ...). Explicit phases
+//               are emitted by the front end; span-derived phases are
+//               aggregated from the request's `span/*` histograms at
+//               summary time (count / total_ns / max_ns).
+//   "stall"     watchdog: an open span (or the whole request) exceeded
+//               its deadline.
+//   "heartbeat" watchdog: periodic progress sample.
+//   "request"   terminal event: verdict, outcome, full counter delta.
+//               Every request id appearing in the log has exactly one,
+//               and it is the id's last event (check_events.py enforces
+//               this).
+//
+// Timestamps (`ts_ns`) are stamped under the log's mutex from the
+// monotonic clock, so they are non-decreasing across the whole file.
+// The log streams to a sibling temp file and publishes via atomic
+// rename at Close(): a crashed run leaves only the temp, never a
+// truncated artifact.
+
+#ifndef WSV_OBS_EVENTS_H_
+#define WSV_OBS_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace wsv {
+namespace obs {
+
+class RequestScope;
+
+/// One JSONL line. Fields with empty/zero defaults are omitted from the
+/// serialization (except ts_ns, which Emit stamps).
+struct WideEvent {
+  std::string event = "phase";  // phase | stall | heartbeat | request
+  std::string phase;
+  RequestId request = kNoRequest;
+  std::string label;      // request label (spec path, job name)
+  uint64_t ts_ns = 0;     // stamped at Emit when 0
+  uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, std::string>> text;  // extra strings
+  std::vector<std::pair<std::string, uint64_t>> nums;     // extra numbers
+  std::vector<std::pair<std::string, uint64_t>> counters;  // counter delta
+};
+
+/// The process-wide JSONL sink. Disabled (all Emits dropped) until Open.
+class EventLog {
+ public:
+  static EventLog& Get();
+
+  /// Starts streaming to a temp sibling of `path`; Close() publishes it.
+  Status Open(const std::string& path);
+
+  /// Cheap check for emitters (watchdog samples, hot paths).
+  bool enabled() const;
+
+  /// Serializes and appends one event (no-op while disabled). Stamps
+  /// ts_ns under the log mutex, so timestamps are monotone file-wide.
+  void Emit(const WideEvent& event);
+
+  /// Flushes and atomically renames the temp file onto the final path.
+  /// Idempotent; returns OK when already closed or never opened.
+  Status Close();
+
+  /// Drops the temp file without publishing (error paths, tests).
+  void Discard();
+
+ private:
+  EventLog() = default;
+};
+
+/// JSON-serializes `event` exactly as Emit writes it (exposed for tests).
+std::string SerializeWideEvent(const WideEvent& event);
+
+/// 16-hex-digit FNV-1a content hash for spec/property identity in events.
+std::string ContentHashHex(std::string_view text);
+
+/// The terminal event's "outcome" vocabulary:
+///   completed             ok, no early exit
+///   cancelled_early_exit  ok, but the parallel sweep cancelled work
+///                         after the winning counterexample (delta shows
+///                         verify/cancellations_signalled > 0)
+///   resource_exhausted    kResourceExhausted (step/node budgets)
+///   cancelled             kCancelled
+///   error                 any other failure
+std::string DeriveOutcome(const Status& status, const MetricsSnapshot& delta);
+
+/// Emits the span-derived phase events for `delta` (one per `span/*`
+/// histogram with samples) followed by the terminal "request" event
+/// carrying the verdict, outcome, and nonzero counter delta. `text`
+/// fields (spec_hash, property_hash, ...) are attached to every emitted
+/// event.
+void EmitRequestSummary(
+    const RequestScope& scope, const MetricsSnapshot& delta,
+    std::string_view verdict, std::string_view outcome,
+    const std::vector<std::pair<std::string, std::string>>& text);
+
+}  // namespace obs
+}  // namespace wsv
+
+#endif  // WSV_OBS_EVENTS_H_

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 namespace wsv {
 namespace obs {
@@ -43,7 +44,48 @@ uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
   return it == counters.end() ? 0 : it->second;
 }
 
+int64_t MetricsSnapshot::GaugeValue(std::string_view name) const {
+  auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& later,
+                              const MetricsSnapshot& earlier) {
+  MetricsSnapshot d;
+  for (const auto& [name, value] : later.counters) {
+    const uint64_t base = earlier.CounterValue(name);
+    d.counters[name] = value >= base ? value - base : 0;
+  }
+  for (const auto& [name, h] : later.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) {
+      d.histograms[name] = h;
+      continue;
+    }
+    const HistogramSnapshot& base = it->second;
+    HistogramSnapshot out;
+    out.count = h.count >= base.count ? h.count - base.count : 0;
+    out.sum = h.sum >= base.sum ? h.sum - base.sum : 0;
+    out.max = h.max;  // not subtractable; upper bound for the interval
+    out.buckets.resize(kHistogramBuckets, 0);
+    const size_t nb = std::min(h.buckets.size(), size_t{kHistogramBuckets});
+    for (size_t b = 0; b < nb; ++b) {
+      const uint64_t bb = b < base.buckets.size() ? base.buckets[b] : 0;
+      out.buckets[b] = h.buckets[b] >= bb ? h.buckets[b] - bb : 0;
+    }
+    d.histograms[name] = std::move(out);
+  }
+  for (const auto& [name, value] : later.gauges) {
+    auto it = earlier.gauges.find(name);
+    d.gauges[name] = value - (it == earlier.gauges.end() ? 0 : it->second);
+  }
+  return d;
+}
+
 namespace {
+
+// Which request this thread's metric writes attribute to.
+thread_local RequestId t_current_request = kNoRequest;
 
 size_t BucketOf(uint64_t value) {
   return static_cast<size_t>(std::bit_width(value));
@@ -65,14 +107,21 @@ struct HistBlock {
   }
 };
 
-// One thread's slot arrays. Slots are appended (never moved: deque) by
-// the owner under `mu` when a new metric id first reaches this thread;
-// the fast path indexes below the published size without locking.
-// Aggregators take `mu` to serialize against growth, then read the
-// atomics relaxed — the owner's unlocked writes race only on the atomic
-// slots themselves, which is the point.
+// One thread's slot arrays for one request id. Slots are appended (never
+// moved: deque) by the owner under `mu` when a new metric id first
+// reaches this thread; the fast path indexes below the published size
+// without locking. Aggregators take `mu` to serialize against growth,
+// then read the atomics relaxed — the owner's unlocked writes race only
+// on the atomic slots themselves, which is the point.
 struct Shard {
   std::mutex mu;
+  // The request this shard's writes attribute to. Immutable after
+  // construction: switching requests switches shards, not tags.
+  RequestId request = kNoRequest;
+  // Set (under the registry lock) when CloseRequestAccounting folded and
+  // zeroed this shard. The owner thread drops closed shards lazily; any
+  // residual writes in the meantime stay live and exactly counted.
+  std::atomic<bool> closed{false};
   std::deque<std::atomic<uint64_t>> counters;
   std::deque<HistBlock> hists;
   std::atomic<size_t> counters_size{0};
@@ -143,9 +192,28 @@ class Registry {
     return hist_handles_[it->second];
   }
 
+  Gauge& GetGauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] =
+        gauge_ids_.try_emplace(std::string(name),
+                               static_cast<uint32_t>(gauge_names_.size()));
+    if (inserted) {
+      gauge_names_.push_back(it->first);
+      gauge_slots_.emplace_back(0);
+      gauge_handles_.push_back(Gauge(&gauge_slots_.back()));
+    }
+    return gauge_handles_[it->second];
+  }
+
+  // The shard this thread's writes currently go to: one per (thread,
+  // current request id), created on first use. The (id, shard) pair is
+  // cached so the steady-state write path costs one thread_local read
+  // and one compare on top of the slot add.
   Shard* LocalShard() {
-    thread_local ShardHandle handle(*this);
-    return handle.shard.get();
+    thread_local ThreadShards tls(*this);
+    const RequestId rid = t_current_request;
+    if (rid == tls.cached_request) return tls.cached_shard;
+    return SwitchShard(tls, rid);
   }
 
   MetricsSnapshot Snapshot() {
@@ -155,28 +223,12 @@ class Registry {
     std::vector<HistAccum> hist_totals(retired_hists_);
     for (const std::shared_ptr<Shard>& shard : shards_) {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
-      const size_t nc =
-          std::min(shard->counters.size(), counter_totals.size());
-      for (size_t i = 0; i < nc; ++i) {
-        counter_totals[i] +=
-            shard->counters[i].load(std::memory_order_relaxed);
-      }
-      const size_t nh = std::min(shard->hists.size(), hist_totals.size());
-      for (size_t i = 0; i < nh; ++i) {
-        FoldHist(shard->hists[i], &hist_totals[i]);
-      }
+      AddShardLocked(*shard, &counter_totals, &hist_totals);
     }
-    for (size_t i = 0; i < counter_totals.size(); ++i) {
-      snap.counters[counter_names_[i]] = counter_totals[i];
-    }
-    for (size_t i = 0; i < hist_totals.size(); ++i) {
-      HistogramSnapshot h;
-      h.count = hist_totals[i].count;
-      h.sum = hist_totals[i].sum;
-      h.max = hist_totals[i].max;
-      h.buckets.assign(hist_totals[i].buckets,
-                       hist_totals[i].buckets + kHistogramBuckets);
-      snap.histograms[hist_names_[i]] = std::move(h);
+    FillSnapshotLocked(counter_totals, hist_totals, &snap);
+    for (size_t i = 0; i < gauge_names_.size(); ++i) {
+      snap.gauges[gauge_names_[i]] =
+          gauge_slots_[i].load(std::memory_order_relaxed);
     }
     return snap;
   }
@@ -185,30 +237,106 @@ class Registry {
     std::lock_guard<std::mutex> lock(mu_);
     for (uint64_t& c : retired_counters_) c = 0;
     for (HistAccum& h : retired_hists_) h = HistAccum();
+    for (auto& [id, accum] : requests_) {
+      std::fill(accum.counters.begin(), accum.counters.end(), 0);
+      for (HistAccum& h : accum.hists) h = HistAccum();
+    }
     for (const std::shared_ptr<Shard>& shard : shards_) {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
-      for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
-      for (HistBlock& h : shard->hists) {
-        for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
-        h.count.store(0, std::memory_order_relaxed);
-        h.sum.store(0, std::memory_order_relaxed);
-        h.max.store(0, std::memory_order_relaxed);
+      ZeroShardLocked(shard.get());
+    }
+    // Gauges are intentionally left alone: they track live occupancy and
+    // their Add/Sub bookkeeping must stay balanced across resets.
+  }
+
+  RequestId OpenRequest(std::string label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const RequestId id = ++next_request_;
+    RequestAccum& accum = requests_[id];
+    accum.label = std::move(label);
+    accum.open_ns = MonotonicNowNs();
+    return id;
+  }
+
+  MetricsSnapshot SnapshotRequest(RequestId id) {
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint64_t> counter_totals(retired_counters_.size(), 0);
+    std::vector<HistAccum> hist_totals(retired_hists_.size());
+    auto it = requests_.find(id);
+    if (it != requests_.end()) {
+      const RequestAccum& accum = it->second;
+      const size_t nc = std::min(accum.counters.size(), counter_totals.size());
+      for (size_t i = 0; i < nc; ++i) counter_totals[i] += accum.counters[i];
+      const size_t nh = std::min(accum.hists.size(), hist_totals.size());
+      for (size_t i = 0; i < nh; ++i) {
+        AddAccum(accum.hists[i], &hist_totals[i]);
       }
     }
+    for (const std::shared_ptr<Shard>& shard : shards_) {
+      if (shard->request != id) continue;
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      AddShardLocked(*shard, &counter_totals, &hist_totals);
+    }
+    FillSnapshotLocked(counter_totals, hist_totals, &snap);
+    return snap;
+  }
+
+  void CloseRequest(RequestId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::shared_ptr<Shard>& shard : shards_) {
+      if (shard->request != id) continue;
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      FoldShardLocked(*shard);
+      ZeroShardLocked(shard.get());
+      shard->closed.store(true, std::memory_order_release);
+    }
+    auto it = requests_.find(id);
+    if (it != requests_.end()) it->second.closed = true;
+  }
+
+  void ReleaseRequest(RequestId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    requests_.erase(id);
+  }
+
+  std::vector<OpenRequestInfo> OpenRequests() {
+    std::vector<OpenRequestInfo> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, accum] : requests_) {
+      if (accum.closed) continue;
+      out.push_back(OpenRequestInfo{id, accum.label, accum.open_ns});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const OpenRequestInfo& a, const OpenRequestInfo& b) {
+                return a.id < b.id;
+              });
+    return out;
   }
 
  private:
-  struct ShardHandle {
-    explicit ShardHandle(Registry& registry)
-        : registry(registry), shard(std::make_shared<Shard>()) {
-      std::lock_guard<std::mutex> lock(registry.mu_);
-      registry.shards_.push_back(shard);
+  // All shards a thread has written through, one per request id it has
+  // served. Retired (folded into the registry) at thread exit; closed
+  // shards are additionally pruned whenever the thread switches request.
+  struct ThreadShards {
+    explicit ThreadShards(Registry& registry) : registry(registry) {}
+    ~ThreadShards() {
+      for (auto& [id, shard] : shards) registry.Retire(shard);
     }
-    // Thread exit: fold this shard into the retired totals so counts
-    // survive pool teardown, and stop tracking it.
-    ~ShardHandle() { registry.Retire(shard); }
     Registry& registry;
-    std::shared_ptr<Shard> shard;
+    std::vector<std::pair<RequestId, std::shared_ptr<Shard>>> shards;
+    RequestId cached_request = ~RequestId{0};  // no valid id: miss on first use
+    Shard* cached_shard = nullptr;
+  };
+
+  // Per-request folded totals, accumulated when the request's shards
+  // close or their threads exit.
+  struct RequestAccum {
+    std::string label;
+    uint64_t open_ns = 0;
+    bool closed = false;
+    std::vector<uint64_t> counters;
+    std::vector<HistAccum> hists;
   };
 
   static void FoldHist(const HistBlock& block, HistAccum* out) {
@@ -220,19 +348,124 @@ class Registry {
     out->max = std::max(out->max, block.max.load(std::memory_order_relaxed));
   }
 
+  static void AddAccum(const HistAccum& in, HistAccum* out) {
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      out->buckets[b] += in.buckets[b];
+    }
+    out->count += in.count;
+    out->sum += in.sum;
+    out->max = std::max(out->max, in.max);
+  }
+
+  // Adds a shard's live slots into running totals. Caller holds mu_ and
+  // the shard's mu.
+  static void AddShardLocked(const Shard& shard,
+                             std::vector<uint64_t>* counter_totals,
+                             std::vector<HistAccum>* hist_totals) {
+    const size_t nc = std::min(shard.counters.size(), counter_totals->size());
+    for (size_t i = 0; i < nc; ++i) {
+      (*counter_totals)[i] +=
+          shard.counters[i].load(std::memory_order_relaxed);
+    }
+    const size_t nh = std::min(shard.hists.size(), hist_totals->size());
+    for (size_t i = 0; i < nh; ++i) {
+      FoldHist(shard.hists[i], &(*hist_totals)[i]);
+    }
+  }
+
+  // Folds a shard into the global retired totals and, if its request is
+  // still tracked, into the request accumulator. Caller holds mu_ and
+  // the shard's mu; the shard is NOT zeroed (callers that keep it live
+  // must zero it to avoid double counting).
+  void FoldShardLocked(const Shard& shard) {
+    const size_t nc =
+        std::min(shard.counters.size(), retired_counters_.size());
+    for (size_t i = 0; i < nc; ++i) {
+      retired_counters_[i] +=
+          shard.counters[i].load(std::memory_order_relaxed);
+    }
+    const size_t nh = std::min(shard.hists.size(), retired_hists_.size());
+    for (size_t i = 0; i < nh; ++i) {
+      FoldHist(shard.hists[i], &retired_hists_[i]);
+    }
+    auto it = requests_.find(shard.request);
+    if (it == requests_.end()) return;
+    RequestAccum& accum = it->second;
+    if (accum.counters.size() < nc) accum.counters.resize(nc, 0);
+    for (size_t i = 0; i < nc; ++i) {
+      accum.counters[i] += shard.counters[i].load(std::memory_order_relaxed);
+    }
+    if (accum.hists.size() < nh) accum.hists.resize(nh);
+    for (size_t i = 0; i < nh; ++i) {
+      FoldHist(shard.hists[i], &accum.hists[i]);
+    }
+  }
+
+  static void ZeroShardLocked(Shard* shard) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (HistBlock& h : shard->hists) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.count.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+      h.max.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Caller holds mu_. Renders id-indexed totals into the named maps.
+  void FillSnapshotLocked(const std::vector<uint64_t>& counter_totals,
+                          const std::vector<HistAccum>& hist_totals,
+                          MetricsSnapshot* snap) const {
+    for (size_t i = 0; i < counter_totals.size(); ++i) {
+      snap->counters[counter_names_[i]] = counter_totals[i];
+    }
+    for (size_t i = 0; i < hist_totals.size(); ++i) {
+      HistogramSnapshot h;
+      h.count = hist_totals[i].count;
+      h.sum = hist_totals[i].sum;
+      h.max = hist_totals[i].max;
+      h.buckets.assign(hist_totals[i].buckets,
+                       hist_totals[i].buckets + kHistogramBuckets);
+      snap->histograms[hist_names_[i]] = std::move(h);
+    }
+  }
+
+  Shard* SwitchShard(ThreadShards& tls, RequestId rid) {
+    // Drop shards whose request accounting closed: their totals were
+    // folded at CloseRequest; Retire folds any residual writes made
+    // since, so every count lands exactly once. Only the owner thread
+    // may drop its own shards (the fast path reads them unlocked).
+    for (size_t i = tls.shards.size(); i-- > 0;) {
+      if (tls.shards[i].second->closed.load(std::memory_order_acquire)) {
+        Retire(tls.shards[i].second);
+        tls.shards.erase(tls.shards.begin() + static_cast<long>(i));
+      }
+    }
+    std::shared_ptr<Shard> shard;
+    for (auto& [id, s] : tls.shards) {
+      if (id == rid) {
+        shard = s;
+        break;
+      }
+    }
+    if (shard == nullptr) {
+      shard = std::make_shared<Shard>();
+      shard->request = rid;
+      std::lock_guard<std::mutex> lock(mu_);
+      shards_.push_back(shard);
+      tls.shards.emplace_back(rid, shard);
+    }
+    tls.cached_request = rid;
+    tls.cached_shard = shard.get();
+    return tls.cached_shard;
+  }
+
+  // Thread exit (or lazy prune of a closed shard): fold into the retired
+  // totals — and the request accumulator, if still tracked — so counts
+  // survive pool teardown, then stop tracking the shard.
   void Retire(const std::shared_ptr<Shard>& shard) {
     std::lock_guard<std::mutex> lock(mu_);
     std::lock_guard<std::mutex> shard_lock(shard->mu);
-    const size_t nc = std::min(shard->counters.size(),
-                               retired_counters_.size());
-    for (size_t i = 0; i < nc; ++i) {
-      retired_counters_[i] +=
-          shard->counters[i].load(std::memory_order_relaxed);
-    }
-    const size_t nh = std::min(shard->hists.size(), retired_hists_.size());
-    for (size_t i = 0; i < nh; ++i) {
-      FoldHist(shard->hists[i], &retired_hists_[i]);
-    }
+    FoldShardLocked(*shard);
     for (size_t i = 0; i < shards_.size(); ++i) {
       if (shards_[i] == shard) {
         shards_.erase(shards_.begin() + static_cast<long>(i));
@@ -250,7 +483,13 @@ class Registry {
   std::vector<std::string> hist_names_;
   std::deque<Histogram> hist_handles_;
   std::vector<HistAccum> retired_hists_;
+  std::unordered_map<std::string, uint32_t> gauge_ids_;
+  std::vector<std::string> gauge_names_;
+  std::deque<Gauge> gauge_handles_;
+  std::deque<std::atomic<int64_t>> gauge_slots_;  // stable addresses
   std::vector<std::shared_ptr<Shard>> shards_;
+  std::unordered_map<RequestId, RequestAccum> requests_;
+  RequestId next_request_ = kNoRequest;
 };
 
 void Counter::Add(uint64_t n) {
@@ -278,9 +517,41 @@ Histogram& GetHistogram(std::string_view name) {
   return Registry::Get().GetHistogram(name);
 }
 
+Gauge& GetGauge(std::string_view name) {
+  return Registry::Get().GetGauge(name);
+}
+
 MetricsSnapshot SnapshotMetrics() { return Registry::Get().Snapshot(); }
 
 void ResetMetrics() { Registry::Get().Reset(); }
+
+RequestId CurrentRequestId() { return t_current_request; }
+
+RequestId ExchangeCurrentRequestId(RequestId id) {
+  const RequestId prev = t_current_request;
+  t_current_request = id;
+  return prev;
+}
+
+RequestId OpenRequestAccounting(std::string label) {
+  return Registry::Get().OpenRequest(std::move(label));
+}
+
+MetricsSnapshot SnapshotRequestMetrics(RequestId id) {
+  return Registry::Get().SnapshotRequest(id);
+}
+
+void CloseRequestAccounting(RequestId id) {
+  Registry::Get().CloseRequest(id);
+}
+
+void ReleaseRequestAccounting(RequestId id) {
+  Registry::Get().ReleaseRequest(id);
+}
+
+std::vector<OpenRequestInfo> OpenRequests() {
+  return Registry::Get().OpenRequests();
+}
 
 }  // namespace obs
 }  // namespace wsv

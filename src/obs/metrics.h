@@ -1,5 +1,5 @@
-// The metrics registry: named monotonic counters and duration
-// histograms for the verification pipeline.
+// The metrics registry: named monotonic counters, duration histograms,
+// and occupancy gauges for the verification pipeline.
 //
 // The decision procedures hide enormous constant factors (database
 // enumeration, valuation fan-out, FO-leaf evaluation); wall-clock alone
@@ -9,14 +9,26 @@
 // front ends snapshot the totals on demand.
 //
 // Design: write paths are lock-cheap so `--jobs N` sweeps pay near-zero
-// overhead. Each thread owns a shard (a flat slot array); a counter
-// increment is one thread-local lookup plus one relaxed atomic add on a
-// slot no other thread writes. Aggregation (SnapshotMetrics) walks the
-// live shards plus the folded totals of exited threads, so counter
-// totals are exact and identical between serial and parallel runs of
-// the same work. Histograms are log2-bucketed (bit_width of the
-// nanosecond value), with exact count and sum for means and bucketed
-// upper bounds for percentiles.
+// overhead. Each thread owns one shard *per request id* (a flat slot
+// array); a counter increment is one thread-local lookup plus one
+// relaxed atomic add on a slot no other thread writes. Aggregation
+// (SnapshotMetrics) walks the live shards plus the folded totals of
+// exited threads, so counter totals are exact and identical between
+// serial and parallel runs of the same work.
+//
+// Request scoping: shards are tagged with the thread's current request
+// id (see obs/request.h for the RAII layer). A per-request snapshot
+// aggregates exactly the work performed under that id — on any thread —
+// so concurrent verifications sharing the pool stay attributable, and
+// the per-request deltas sum to the global totals. Closing a request
+// folds its shards into a per-request accumulator *under the registry
+// lock*, so a snapshot taken mid-retirement can never observe a
+// half-folded shard.
+//
+// Gauges are different: they track current occupancy (bytes held by the
+// value interner, program cache, graphs, VM arenas), go up *and* down,
+// and are process-global by nature — they appear only in global
+// snapshots, never in per-request deltas.
 //
 // Compile-time kill switch: building with -DWSV_OBS_DISABLED turns every
 // instrumentation macro into a no-op, so the instrumented code compiles
@@ -26,6 +38,7 @@
 #ifndef WSV_OBS_METRICS_H_
 #define WSV_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -38,6 +51,11 @@ namespace obs {
 /// Log2 histogram buckets: bucket b counts values v with bit_width(v) == b
 /// (bucket 0 holds only v == 0), so b ranges over [0, 64].
 inline constexpr size_t kHistogramBuckets = 65;
+
+/// Identifies one logical request (one verify/lint job) for metric
+/// attribution. 0 means "no request": ambient work outside any scope.
+using RequestId = uint64_t;
+inline constexpr RequestId kNoRequest = 0;
 
 /// Aggregated state of one histogram at snapshot time.
 struct HistogramSnapshot {
@@ -57,10 +75,21 @@ struct HistogramSnapshot {
 struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Occupancy gauges (global snapshots only; empty in request deltas).
+  std::map<std::string, int64_t> gauges;
 
   /// Value of a counter, 0 if never registered/bumped.
   uint64_t CounterValue(std::string_view name) const;
+  /// Value of a gauge, 0 if never registered.
+  int64_t GaugeValue(std::string_view name) const;
 };
+
+/// later − earlier, per metric. Counters and histogram counts/sums/buckets
+/// subtract (saturating at 0); a histogram's `max` is not subtractable, so
+/// the diff keeps `later`'s max (an upper bound for the interval). Gauges
+/// diff signed. Used for phase-window attribution.
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& later,
+                              const MetricsSnapshot& earlier);
 
 /// A monotonic counter handle. Handles are registry-owned, stable for the
 /// process lifetime, and safe to share across threads.
@@ -86,17 +115,77 @@ class Histogram {
   uint32_t id_;
 };
 
+/// An occupancy gauge handle: a signed level that rises and falls (bytes
+/// held, entries cached). Writes are single relaxed atomic ops on a
+/// process-global slot — gauges are not sharded because they track
+/// *current* occupancy, not attributable work.
+class Gauge {
+ public:
+  void Add(int64_t n) { slot_->fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { slot_->fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return slot_->load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::atomic<int64_t>* slot) : slot_(slot) {}
+  std::atomic<int64_t>* slot_;
+};
+
 /// Interns `name` and returns its process-wide counter. Call sites should
 /// cache the reference (the WSV_COUNT macro does, via a local static).
 Counter& GetCounter(std::string_view name);
 Histogram& GetHistogram(std::string_view name);
+Gauge& GetGauge(std::string_view name);
 
 /// Aggregates every registered metric across all shards.
 MetricsSnapshot SnapshotMetrics();
 
-/// Zeroes every counter and histogram (names stay registered). Intended
-/// for tests and benchmark iterations; do not race it against writers.
+/// Zeroes every counter and histogram (names stay registered), including
+/// open per-request accumulators. Gauges are deliberately *not* reset:
+/// they track live occupancy whose Add/Sub bookkeeping would desync.
+/// Intended for tests and benchmark iterations; do not race it against
+/// writers.
 void ResetMetrics();
+
+// --- Request accounting (low-level; prefer obs::RequestScope). ---------
+
+/// The request id writes on this thread currently attribute to.
+RequestId CurrentRequestId();
+
+/// Sets the thread's current request id, returning the previous one.
+/// Subsequent metric writes on this thread land in a shard tagged with
+/// the new id.
+RequestId ExchangeCurrentRequestId(RequestId id);
+
+/// Allocates a fresh request id (never 0) and starts tracking a
+/// per-request accumulator under it.
+RequestId OpenRequestAccounting(std::string label);
+
+/// Exact totals of the work attributed to `id` so far: the request's
+/// folded accumulator plus its still-live shards. Safe to call while the
+/// request is running on other threads.
+MetricsSnapshot SnapshotRequestMetrics(RequestId id);
+
+/// Folds every shard tagged `id` into the request accumulator (and the
+/// global retired totals) under the registry lock, zeroing the shards and
+/// marking them closed so owner threads lazily drop them. Totals remain
+/// exact: a snapshot during or after the fold sees each count exactly
+/// once. Idempotent.
+void CloseRequestAccounting(RequestId id);
+
+/// Drops the per-request accumulator. After this, SnapshotRequestMetrics
+/// for `id` returns only residual live-shard writes (normally none).
+void ReleaseRequestAccounting(RequestId id);
+
+/// One tracked, not-yet-closed request (for the watchdog).
+struct OpenRequestInfo {
+  RequestId id = kNoRequest;
+  std::string label;
+  uint64_t open_ns = 0;  // MonotonicNowNs at open
+};
+
+/// All tracked open requests, ascending by id.
+std::vector<OpenRequestInfo> OpenRequests();
 
 /// Monotonic timestamp in nanoseconds (steady clock).
 uint64_t MonotonicNowNs();
@@ -136,6 +225,12 @@ class ScopedTimer {
 #define WSV_TIMER(name) \
   do {                  \
   } while (0)
+#define WSV_GAUGE_ADD(name, n) \
+  do {                         \
+  } while (0)
+#define WSV_GAUGE_SUB(name, n) \
+  do {                         \
+  } while (0)
 #define WSV_OBS_NOW() uint64_t{0}
 
 #else  // !WSV_OBS_DISABLED
@@ -156,6 +251,18 @@ class ScopedTimer {
     static ::wsv::obs::Histogram& wsv_obs_hist =                            \
         ::wsv::obs::GetHistogram(name);                                     \
     wsv_obs_hist.Record(static_cast<uint64_t>(value));                      \
+  } while (0)
+
+/// Raises / lowers the named occupancy gauge by `n` bytes (or entries).
+#define WSV_GAUGE_ADD(name, n)                                              \
+  do {                                                                      \
+    static ::wsv::obs::Gauge& wsv_obs_gauge = ::wsv::obs::GetGauge(name);   \
+    wsv_obs_gauge.Add(static_cast<int64_t>(n));                             \
+  } while (0)
+#define WSV_GAUGE_SUB(name, n)                                              \
+  do {                                                                      \
+    static ::wsv::obs::Gauge& wsv_obs_gauge = ::wsv::obs::GetGauge(name);   \
+    wsv_obs_gauge.Sub(static_cast<int64_t>(n));                             \
   } while (0)
 
 /// Times the enclosing scope into the named duration histogram.

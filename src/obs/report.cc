@@ -55,6 +55,26 @@ std::string FormatDurationNs(uint64_t ns) {
   return buf;
 }
 
+std::string FormatByteCount(int64_t bytes) {
+  char buf[32];
+  const char* sign = bytes < 0 ? "-" : "";
+  const uint64_t b = bytes < 0 ? static_cast<uint64_t>(-bytes)
+                               : static_cast<uint64_t>(bytes);
+  if (b < 1024) {
+    std::snprintf(buf, sizeof(buf), "%s%lluB", sign,
+                  static_cast<unsigned long long>(b));
+  } else if (b < 1024ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fKB", sign, double(b) / 1024.0);
+  } else if (b < 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fMB", sign,
+                  double(b) / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.2fGB", sign,
+                  double(b) / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
 double LeafMemoHitRate(const MetricsSnapshot& snap) {
   const uint64_t hits = snap.CounterValue("ltl/leaf_memo_hits");
   const uint64_t misses = snap.CounterValue("ltl/leaf_memo_misses");
@@ -75,11 +95,19 @@ double BytecodeCompiledShare(const MetricsSnapshot& snap) {
   return double(compiled) / double(compiled + interp);
 }
 
+double ProgramCacheHitRate(const MetricsSnapshot& snap) {
+  const uint64_t hits = snap.CounterValue("fo/bytecode_cache_hits");
+  const uint64_t compiles = snap.CounterValue("fo/bytecode_compiles");
+  if (hits + compiles == 0) return -1.0;
+  return double(hits) / double(hits + compiles);
+}
+
 std::string FormatStatsTable(const MetricsSnapshot& snap) {
   std::string out;
   char line[256];
   out += "== verification telemetry ==\n";
-  if (snap.counters.empty() && snap.histograms.empty()) {
+  if (snap.counters.empty() && snap.histograms.empty() &&
+      snap.gauges.empty()) {
     out += "(no telemetry recorded)\n";
     return out;
   }
@@ -137,6 +165,41 @@ std::string FormatStatsTable(const MetricsSnapshot& snap) {
     }
   }
 
+  if (!snap.gauges.empty()) {
+    std::snprintf(line, sizeof(line), "%-34s %10s\n", "memory gauge",
+                  "live");
+    out += line;
+    for (const auto& [name, value] : snap.gauges) {
+      // The "_bytes" suffix marks byte gauges; everything else (entry
+      // counts) renders as a raw number.
+      const bool is_bytes =
+          name.size() >= 6 &&
+          name.compare(name.size() - 6, 6, "_bytes") == 0;
+      std::snprintf(line, sizeof(line), "%-34s %10s\n", name.c_str(),
+                    is_bytes ? FormatByteCount(value).c_str()
+                             : std::to_string(value).c_str());
+      out += line;
+    }
+  }
+
+  const double cache_rate = ProgramCacheHitRate(snap);
+  if (cache_rate >= 0.0) {
+    std::snprintf(
+        line, sizeof(line),
+        "fo program cache: %llu entries, %s pinned, hit rate %s "
+        "(%llu hits / %llu lookups)\n",
+        static_cast<unsigned long long>(
+            snap.GaugeValue("mem/fo_program_cache_entries")),
+        FormatByteCount(snap.GaugeValue("mem/fo_pinned_formula_bytes"))
+            .c_str(),
+        FormatRate(cache_rate).c_str(),
+        static_cast<unsigned long long>(
+            snap.CounterValue("fo/bytecode_cache_hits")),
+        static_cast<unsigned long long>(
+            snap.CounterValue("fo/bytecode_cache_hits") +
+            snap.CounterValue("fo/bytecode_compiles")));
+    out += line;
+  }
   const double memo_rate = LeafMemoHitRate(snap);
   if (memo_rate >= 0.0) {
     std::snprintf(
@@ -203,6 +266,15 @@ std::string StatsToJson(const MetricsSnapshot& snap) {
            ", \"p99_ns\": " + std::to_string(h.Percentile(0.99)) +
            ", \"max\": " + std::to_string(h.max) + "}";
   }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(name, &out);
+    out += "\": " + std::to_string(value);
+  }
   out += "\n  },\n  \"derived\": {";
   const double memo_rate = LeafMemoHitRate(snap);
   bool first_derived = true;
@@ -224,6 +296,14 @@ std::string StatsToJson(const MetricsSnapshot& snap) {
     std::snprintf(buf, sizeof(buf),
                   "%s    \"fo_bytecode_compiled_share\": %.4f",
                   first_derived ? "\n" : ",\n", compiled_share);
+    out += buf;
+    first_derived = false;
+  }
+  const double cache_rate = ProgramCacheHitRate(snap);
+  if (cache_rate >= 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s    \"fo_program_cache_hit_rate\": %.4f",
+                  first_derived ? "\n" : ",\n", cache_rate);
     out += buf;
   }
   out += "\n  }\n}\n";

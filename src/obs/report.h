@@ -15,13 +15,18 @@ namespace obs {
 /// Human-readable duration, e.g. "412ns", "3.1us", "24.7ms", "1.30s".
 std::string FormatDurationNs(uint64_t ns);
 
+/// Human-readable byte count, e.g. "812B", "3.1KB", "24.7MB", "1.30GB".
+std::string FormatByteCount(int64_t bytes);
+
 /// The phase table: one row per span histogram (count/total/mean/p90),
-/// then every other histogram, then all counters, then derived rates
-/// (FO-leaf memo hit rate). Multi-line, trailing newline.
+/// then every other histogram, then all counters, then the memory
+/// gauges (live bytes per subsystem), then derived rates (FO-leaf memo
+/// hit rate, program-cache occupancy). Multi-line, trailing newline.
 std::string FormatStatsTable(const MetricsSnapshot& snap);
 
 /// {"counters":{...},"histograms":{name:{count,sum_ns,mean_ns,p50_ns,
-/// p90_ns,p99_ns}},"derived":{...}} with a trailing newline.
+/// p90_ns,p99_ns}},"gauges":{...},"derived":{...}} with a trailing
+/// newline.
 std::string StatsToJson(const MetricsSnapshot& snap);
 
 /// hits / (hits + misses) of the FO-leaf truth memo, or -1 when there
@@ -37,6 +42,10 @@ double ValuationCollapseRate(const MetricsSnapshot& snap);
 /// evaluations served by the compiled bytecode engine instead of the
 /// tree-walking interpreter. -1 when no FO evaluation ran.
 double BytecodeCompiledShare(const MetricsSnapshot& snap);
+
+/// cache_hits / (cache_hits + compiles) of the FO program cache, or -1
+/// when no formula was ever looked up.
+double ProgramCacheHitRate(const MetricsSnapshot& snap);
 
 }  // namespace obs
 }  // namespace wsv

@@ -1,0 +1,39 @@
+#include "obs/request.h"
+
+#include <utility>
+
+namespace wsv {
+namespace obs {
+
+RequestScope::RequestScope(std::string label)
+    : id_(OpenRequestAccounting(label)),
+      prev_(ExchangeCurrentRequestId(id_)),
+      label_(std::move(label)),
+      start_ns_(MonotonicNowNs()) {}
+
+RequestScope::~RequestScope() {
+  Close();
+  ReleaseRequestAccounting(id_);
+}
+
+MetricsSnapshot RequestScope::Delta() const {
+  if (closed_) return final_;
+  return SnapshotRequestMetrics(id_);
+}
+
+const MetricsSnapshot& RequestScope::Close() {
+  if (closed_) return final_;
+  ExchangeCurrentRequestId(prev_);
+  CloseRequestAccounting(id_);
+  final_ = SnapshotRequestMetrics(id_);
+  close_ns_ = MonotonicNowNs();
+  closed_ = true;
+  return final_;
+}
+
+uint64_t RequestScope::ElapsedNs() const {
+  return (closed_ ? close_ns_ : MonotonicNowNs()) - start_ns_;
+}
+
+}  // namespace obs
+}  // namespace wsv

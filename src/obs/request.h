@@ -1,0 +1,93 @@
+// Request-scoped metric attribution.
+//
+// A RequestScope marks one logical job (a verify or lint request) for
+// the telemetry layer: every counter/histogram write made while the
+// scope's id is current — on this thread, or on a pool worker running a
+// task submitted under it (common/thread_pool captures the submitter's
+// id) — is attributed to the request. Concurrent requests sharing the
+// pool stay separable: Delta() is exact at any instant, and the sum of
+// all per-request deltas equals the global registry delta over the same
+// window.
+//
+// Lifecycle:
+//   obs::RequestScope scope("specs/login.wsv");
+//   ... run the verification (pool tasks inherit scope.id()) ...
+//   const obs::MetricsSnapshot& delta = scope.Close();  // fold + freeze
+//
+// Close() folds the request's per-thread shards into its accumulator
+// under the registry lock (the satellite fix for the retirement race:
+// attribution does not wait for pool teardown) and returns the final
+// delta. The destructor closes if the caller didn't and releases the
+// accumulator.
+//
+// Scopes are thread-affine RAII: construct and destroy on the same
+// thread; nesting restores the outer scope's id. To carry an id to
+// another thread by hand, use RequestBinding.
+
+#ifndef WSV_OBS_REQUEST_H_
+#define WSV_OBS_REQUEST_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace wsv {
+namespace obs {
+
+/// Installs a request id as the thread's current attribution target,
+/// restoring the previous one on destruction. The thread-pool worker
+/// loop wraps every task in one of these.
+class RequestBinding {
+ public:
+  explicit RequestBinding(RequestId id) : prev_(ExchangeCurrentRequestId(id)) {}
+  ~RequestBinding() { ExchangeCurrentRequestId(prev_); }
+
+  RequestBinding(const RequestBinding&) = delete;
+  RequestBinding& operator=(const RequestBinding&) = delete;
+
+ private:
+  RequestId prev_;
+};
+
+/// One logical request: allocates a fresh id, makes it current on the
+/// constructing thread, and owns the per-request accumulator.
+class RequestScope {
+ public:
+  /// `label` names the request in telemetry (spec path, job name).
+  explicit RequestScope(std::string label = "");
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  RequestId id() const { return id_; }
+  const std::string& label() const { return label_; }
+  uint64_t start_ns() const { return start_ns_; }
+  bool closed() const { return closed_; }
+
+  /// Exact work attributed to this request so far. Safe while pool
+  /// workers are still running tasks for it.
+  MetricsSnapshot Delta() const;
+
+  /// Ends attribution: restores the outer request id on this thread,
+  /// folds the request's shards under the registry lock, and freezes the
+  /// final delta (also returned by later calls — idempotent).
+  const MetricsSnapshot& Close();
+
+  /// Wall time since construction (until Close once closed).
+  uint64_t ElapsedNs() const;
+
+ private:
+  RequestId id_ = kNoRequest;
+  RequestId prev_ = kNoRequest;
+  std::string label_;
+  uint64_t start_ns_ = 0;
+  uint64_t close_ns_ = 0;
+  bool closed_ = false;
+  MetricsSnapshot final_;
+};
+
+}  // namespace obs
+}  // namespace wsv
+
+#endif  // WSV_OBS_REQUEST_H_

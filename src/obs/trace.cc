@@ -92,6 +92,85 @@ class TraceRegistry {
   std::atomic<uint32_t> next_tid_{0};
 };
 
+// Per-thread stack of in-flight spans, sampled by the watchdog. Single
+// writer (the owner thread) pushes/pops with release stores on `depth`;
+// the sampler reads depth with acquire then the slots relaxed. A sample
+// racing a pop+push can mix two spans' fields in one entry — tolerated:
+// both values are real span data and the next sample self-corrects.
+constexpr size_t kMaxOpenSpanDepth = 64;
+
+struct OpenSpanStack {
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<RequestId> request{kNoRequest};
+  };
+  Slot slots[kMaxOpenSpanDepth];
+  std::atomic<uint32_t> depth{0};
+  uint32_t tid = 0;
+};
+
+class OpenSpanRegistry {
+ public:
+  static OpenSpanRegistry& Get() {
+    static OpenSpanRegistry* r = new OpenSpanRegistry;
+    return *r;
+  }
+
+  OpenSpanStack* LocalStack(uint32_t tid) {
+    thread_local StackHandle handle(*this, tid);
+    return handle.stack.get();
+  }
+
+  std::vector<OpenSpan> Snapshot() {
+    std::vector<OpenSpan> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::shared_ptr<OpenSpanStack>& stack : stacks_) {
+      const uint32_t depth = std::min<uint32_t>(
+          stack->depth.load(std::memory_order_acquire), kMaxOpenSpanDepth);
+      for (uint32_t i = 0; i < depth; ++i) {
+        const char* name =
+            stack->slots[i].name.load(std::memory_order_relaxed);
+        if (name == nullptr) continue;
+        OpenSpan span;
+        span.name = name;
+        span.tid = stack->tid;
+        span.start_ns = stack->slots[i].start_ns.load(std::memory_order_relaxed);
+        span.request = stack->slots[i].request.load(std::memory_order_relaxed);
+        out.push_back(std::move(span));
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct StackHandle {
+    StackHandle(OpenSpanRegistry& registry, uint32_t tid)
+        : registry(registry), stack(std::make_shared<OpenSpanStack>()) {
+      stack->tid = tid;
+      std::lock_guard<std::mutex> lock(registry.mu_);
+      registry.stacks_.push_back(stack);
+    }
+    // Thread exit: every span on this thread has closed, so just drop
+    // the stack (nothing to fold, unlike trace buffers).
+    ~StackHandle() {
+      std::lock_guard<std::mutex> lock(registry.mu_);
+      for (size_t i = 0; i < registry.stacks_.size(); ++i) {
+        if (registry.stacks_[i] == stack) {
+          registry.stacks_.erase(registry.stacks_.begin() +
+                                 static_cast<long>(i));
+          break;
+        }
+      }
+    }
+    OpenSpanRegistry& registry;
+    std::shared_ptr<OpenSpanStack> stack;
+  };
+
+  std::mutex mu_;
+  std::vector<std::shared_ptr<OpenSpanStack>> stacks_;
+};
+
 void AppendJsonEscaped(const std::string& s, std::ostream& out) {
   for (char c : s) {
     switch (c) {
@@ -144,6 +223,32 @@ void RecordTraceEvent(const char* name, uint64_t start_ns, uint64_t end_ns) {
   TraceBuffer* buffer = registry.LocalBuffer();
   std::lock_guard<std::mutex> lock(buffer->mu);
   buffer->events.push_back(std::move(event));
+}
+
+void PushOpenSpan(const char* name, uint64_t start_ns) {
+  OpenSpanStack* stack =
+      OpenSpanRegistry::Get().LocalStack(TraceRegistry::Get().LocalTid());
+  const uint32_t d = stack->depth.load(std::memory_order_relaxed);
+  if (d < kMaxOpenSpanDepth) {
+    OpenSpanStack::Slot& slot = stack->slots[d];
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.start_ns.store(start_ns, std::memory_order_relaxed);
+    slot.request.store(CurrentRequestId(), std::memory_order_relaxed);
+  }
+  // Deeper-than-kMax spans keep counting depth so pops stay balanced;
+  // the sampler simply cannot see past the cap.
+  stack->depth.store(d + 1, std::memory_order_release);
+}
+
+void PopOpenSpan() {
+  OpenSpanStack* stack =
+      OpenSpanRegistry::Get().LocalStack(TraceRegistry::Get().LocalTid());
+  const uint32_t d = stack->depth.load(std::memory_order_relaxed);
+  if (d > 0) stack->depth.store(d - 1, std::memory_order_release);
+}
+
+std::vector<OpenSpan> SnapshotOpenSpans() {
+  return OpenSpanRegistry::Get().Snapshot();
 }
 
 std::vector<TraceEvent> CollectTraceEvents() {

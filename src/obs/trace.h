@@ -36,6 +36,25 @@ struct TraceEvent {
   uint64_t end_ns = 0;
 };
 
+/// A span that has started but not yet finished, observed by the
+/// watchdog's sampling thread (obs/watchdog.h).
+struct OpenSpan {
+  std::string name;
+  uint32_t tid = 0;
+  uint64_t start_ns = 0;
+  RequestId request = kNoRequest;
+};
+
+/// Point-in-time view of every open span across all threads, outermost
+/// first per thread. Lock-free single-writer slots: under concurrent
+/// push/pop a sampled entry can transiently mix two spans' fields, which
+/// is acceptable for monitoring (both values are real span data).
+std::vector<OpenSpan> SnapshotOpenSpans();
+
+/// ScopedSpan's open-span bookkeeping (exposed for hand-rolled phases).
+void PushOpenSpan(const char* name, uint64_t start_ns);
+void PopOpenSpan();
+
 /// Clears previously collected events and starts recording spans.
 void StartTracing();
 /// Stops recording (collected events remain available).
@@ -59,8 +78,11 @@ void WriteChromeTrace(std::ostream& out);
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, Histogram* hist)
-      : name_(name), hist_(hist), start_(MonotonicNowNs()) {}
+      : name_(name), hist_(hist), start_(MonotonicNowNs()) {
+    PushOpenSpan(name_, start_);
+  }
   ~ScopedSpan() {
+    PopOpenSpan();
     const uint64_t end = MonotonicNowNs();
     if (hist_ != nullptr) hist_->Record(end - start_);
     if (TracingEnabled()) RecordTraceEvent(name_, start_, end);

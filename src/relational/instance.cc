@@ -37,6 +37,20 @@ size_t Relation::Hash() const {
   return h;
 }
 
+namespace {
+// Approximate per-node overhead of an ordered container entry (three
+// child/parent pointers, color, allocator rounding).
+constexpr size_t kTreeNodeBytes = 4 * sizeof(void*);
+}  // namespace
+
+size_t Relation::ApproxBytes() const {
+  size_t bytes = sizeof(Relation);
+  for (const Tuple& t : tuples_) {
+    bytes += kTreeNodeBytes + sizeof(Tuple) + t.capacity() * sizeof(Value);
+  }
+  return bytes;
+}
+
 Status Instance::EnsureRelation(const std::string& name, int arity) {
   auto it = relations_.find(name);
   if (it != relations_.end()) {
@@ -93,6 +107,20 @@ size_t Instance::Hash() const {
     h = HashCombine(h, ValueHash()(v));
   }
   return HashRange(domain_.begin(), domain_.end(), h);
+}
+
+size_t Instance::ApproxBytes() const {
+  size_t bytes = sizeof(Instance);
+  for (const auto& [name, rel] : relations_) {
+    bytes += kTreeNodeBytes + sizeof(std::string) + name.capacity() +
+             rel.ApproxBytes();
+  }
+  for (const auto& [name, v] : constants_) {
+    bytes += kTreeNodeBytes + sizeof(std::string) + name.capacity() +
+             sizeof(Value);
+  }
+  bytes += domain_.size() * (kTreeNodeBytes + sizeof(Value));
+  return bytes;
 }
 
 std::string Instance::ToString() const {

@@ -56,6 +56,10 @@ class Relation {
   /// ordered, so iteration order is canonical).
   size_t Hash() const;
 
+  /// Estimated heap footprint (set nodes + tuple storage). Used by the
+  /// mem/* occupancy gauges; coarse by design.
+  size_t ApproxBytes() const;
+
   std::string ToString() const;
 
  private:
@@ -109,6 +113,9 @@ class Instance {
   /// Structural hash, consistent with operator== (all members are ordered
   /// containers, so iteration order is canonical).
   size_t Hash() const;
+
+  /// Estimated heap footprint across relations, constants, and domain.
+  size_t ApproxBytes() const;
 
   std::string ToString() const;
 

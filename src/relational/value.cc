@@ -1,8 +1,11 @@
 #include "relational/value.h"
 
+#include <algorithm>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
+
+#include "obs/metrics.h"
 
 namespace wsv {
 
@@ -28,6 +31,15 @@ struct Interner {
   // has checked that `name` is absent.
   int32_t InsertLocked(std::string name) {
     int32_t id = static_cast<int32_t>(names.size());
+    // Estimated footprint of one entry: key characters (or SSO buffer),
+    // the map node (key string header, hash, id, bucket chain pointer),
+    // and the names-vector back pointer. Entries are never removed, so
+    // the gauge only rises.
+    const size_t char_bytes = std::max(name.capacity(), sizeof(std::string));
+    WSV_GAUGE_ADD("mem/value_interner_bytes",
+                  char_bytes + sizeof(std::string) + 4 * sizeof(void*) +
+                      sizeof(const std::string*));
+    WSV_GAUGE_ADD("mem/value_interner_entries", 1);
     auto inserted = ids.emplace(std::move(name), id).first;
     names.push_back(&inserted->first);
     return id;

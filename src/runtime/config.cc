@@ -31,6 +31,17 @@ size_t Config::Hash() const {
   return h;
 }
 
+size_t Config::ApproxBytes() const {
+  size_t bytes = sizeof(Config) + page.capacity();
+  bytes += state.ApproxBytes() + prev_inputs.ApproxBytes() +
+           actions.ApproxBytes();
+  for (const auto& [name, v] : provided_constants) {
+    bytes += 4 * sizeof(void*) + sizeof(std::string) + name.capacity() +
+             sizeof(Value);
+  }
+  return bytes;
+}
+
 std::string Config::ToString() const {
   std::string out = "page " + page + "\n";
   out += "state:\n" + state.ToString();

@@ -35,6 +35,9 @@ struct Config {
   /// kappa_{i-1}: input constants provided strictly before this step.
   std::map<std::string, Value> provided_constants;
 
+  /// Estimated heap footprint, for the mem/config_graph_bytes gauge.
+  size_t ApproxBytes() const;
+
   friend bool operator==(const Config& a, const Config& b) {
     return a.page == b.page && a.state == b.state &&
            a.prev_inputs == b.prev_inputs && a.actions == b.actions &&

@@ -162,6 +162,10 @@ LazyConfigGraph::LazyConfigGraph(const Stepper* stepper,
   graph_.initial = InternNode(stepper_->InitialConfig());
 }
 
+LazyConfigGraph::~LazyConfigGraph() {
+  WSV_GAUGE_SUB("mem/config_graph_bytes", gauge_bytes_);
+}
+
 int LazyConfigGraph::InternNode(const Config& c) {
   auto it = node_index_.find(c);
   if (it != node_index_.end()) {
@@ -174,6 +178,10 @@ int LazyConfigGraph::InternNode(const Config& c) {
   graph_.nodes.push_back(c);
   graph_.out_edges.emplace_back();
   expanded_.push_back(0);
+  // Stored twice: once in the graph, once as the dedup-index key.
+  const uint64_t node_bytes = 2 * c.ApproxBytes() + 4 * sizeof(void*);
+  gauge_bytes_ += node_bytes;
+  WSV_GAUGE_ADD("mem/config_graph_bytes", node_bytes);
   return id;
 }
 
@@ -220,6 +228,11 @@ Status LazyConfigGraph::ExpandNode(int v) {
         edge.inputs = std::move(outcome.trace.inputs);
         edge.to_error = outcome.to_error;
         edge.error_reason = std::move(outcome.error_reason);
+        const uint64_t edge_bytes =
+            sizeof(ConfigGraph::Edge) + edge.inputs.ApproxBytes() +
+            edge.error_reason.capacity() + sizeof(int);
+        gauge_bytes_ += edge_bytes;
+        WSV_GAUGE_ADD("mem/config_graph_bytes", edge_bytes);
         graph_.out_edges[static_cast<size_t>(v)].push_back(
             static_cast<int>(graph_.edges.size()));
         graph_.edges.push_back(std::move(edge));

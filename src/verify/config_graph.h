@@ -94,6 +94,11 @@ class LazyConfigGraph {
   LazyConfigGraph(const LazyConfigGraph&) = delete;
   LazyConfigGraph& operator=(const LazyConfigGraph&) = delete;
 
+  /// Returns the expansion state's bytes to the mem/config_graph_bytes
+  /// gauge. The gauge tracks live lazy-graph state; a graph moved out via
+  /// TakeGraph (the eager pipeline) is no longer counted.
+  ~LazyConfigGraph();
+
   /// The graph built so far. out_edges[v] is complete iff Expanded(v);
   /// unexpanded nodes look like dead ends, which is exactly the prefix
   /// semantics of a truncated eager build.
@@ -127,6 +132,9 @@ class LazyConfigGraph {
   ConfigGraph graph_;
   std::unordered_map<Config, int, ConfigHash> node_index_;
   std::vector<char> expanded_;
+  // Bytes this instance has published to mem/config_graph_bytes
+  // (estimated node/edge footprints), returned on destruction.
+  uint64_t gauge_bytes_ = 0;
 };
 
 }  // namespace wsv

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wsv {
 
@@ -204,6 +205,7 @@ class DbEnumerator {
 StatusOr<bool> EnumerateDatabases(
     const WebService& service, const DbEnumOptions& options,
     const std::function<StatusOr<bool>(const Instance&)>& visit) {
+  WSV_SPAN("verify/db_enum");
   DbEnumerator en(service, options, visit);
   return en.Run();
 }

@@ -421,6 +421,7 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
       // First of its class (or naive mode): build the product — vertices
       // are (edge, automaton state) pairs where the state label matches
       // the edge's leaf truth — and run emptiness.
+      WSV_SPAN("ltl/product");
       verts.clear();
       vert_index.clear();
       for (size_t e = 0; e < num_edges; ++e) {
@@ -716,6 +717,7 @@ LtlDatabaseCheck::CheckValuationsOtf(
       WSV_COUNT1("ltl/products_skipped");
     } else {
       if (collapse) WSV_COUNT1("ltl/valuation_classes");
+      WSV_SPAN("ltl/product");
 
       // The on-the-fly product search. Vertices (edge, automaton state)
       // are interned as the nested DFS reaches them; asking for a

@@ -277,6 +277,7 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
           // Key the error by the chunk's first index (a lower bound on
           // where it occurred).
           if (board.Record(begin, true, found_or.status(), std::nullopt)) {
+            WSV_COUNT1("verify/cancellations_signalled");
             pool.CancelPending();
           }
         }
@@ -285,6 +286,7 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
       if (found_or->has_value()) {
         if (board.Record((**found_or).valuation_index, false, Status::OK(),
                          std::move((**found_or).cex))) {
+          WSV_COUNT1("verify/cancellations_signalled");
           pool.CancelPending();
         }
       }

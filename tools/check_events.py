@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Structural validator for the wide-event JSONL log (src/obs/events.h).
+
+Checks, for a file produced by `wsvcli verify --log-json`:
+
+  * every line is a self-contained JSON object;
+  * required keys are present per event kind ("event", "ts_ns",
+    "request"; phases carry "phase" and "duration_ns"; terminal
+    "request" events carry "verdict", "outcome", and "counters");
+  * "ts_ns" is non-decreasing over the whole file (the log stamps
+    timestamps under its mutex, so any regression is a real bug);
+  * every request id that appears has exactly one terminal "request"
+    event, and it is the id's last event;
+  * "outcome" values come from the documented vocabulary.
+
+Optional cross-file assertions for the ctest drivers:
+
+  --expect-outcome OUT     at least one terminal event has this outcome
+  --expect-stall-before-terminal
+                           at least one "stall" event exists, and one
+                           precedes (file order) the terminal event of
+                           the request it reports
+  --require-phase NAME     some "phase" event has this phase (repeat)
+
+Exit code 0 when the file validates, 1 with a reason otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+OUTCOMES = {
+    "completed",
+    "cancelled_early_exit",
+    "resource_exhausted",
+    "cancelled",
+    "error",
+}
+
+EVENT_KINDS = {"phase", "stall", "heartbeat", "request"}
+
+
+def fail(msg):
+    print(f"check_events: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("log", help="wide-event JSONL file")
+    ap.add_argument("--expect-outcome", action="append", default=[])
+    ap.add_argument("--expect-stall-before-terminal", action="store_true")
+    ap.add_argument("--require-phase", action="append", default=[])
+    args = ap.parse_args()
+
+    try:
+        with open(args.log, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return fail(f"cannot read {args.log}: {e}")
+    if not lines:
+        return fail(f"{args.log} is empty")
+
+    events = []
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            return fail(f"line {i}: blank line in JSONL stream")
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(f"line {i}: not valid JSON: {e}")
+        if not isinstance(ev, dict):
+            return fail(f"line {i}: not a JSON object")
+        events.append((i, ev))
+
+    last_ts = 0
+    terminal_line = {}  # request id -> line of its "request" event
+    last_line = {}      # request id -> line of its last event
+    outcomes = []
+    phases = set()
+    stalls = []  # (line, request id)
+
+    for i, ev in events:
+        for key in ("event", "ts_ns", "request"):
+            if key not in ev:
+                return fail(f"line {i}: missing required key '{key}'")
+        kind = ev["event"]
+        if kind not in EVENT_KINDS:
+            return fail(f"line {i}: unknown event kind '{kind}'")
+        ts = ev["ts_ns"]
+        if not isinstance(ts, int) or ts <= 0:
+            return fail(f"line {i}: ts_ns must be a positive integer")
+        if ts < last_ts:
+            return fail(
+                f"line {i}: ts_ns regressed ({ts} < {last_ts}); "
+                "timestamps must be non-decreasing file-wide")
+        last_ts = ts
+
+        rid = ev["request"]
+        if not isinstance(rid, int) or rid < 0:
+            return fail(f"line {i}: request must be a non-negative integer")
+
+        if kind == "phase":
+            for key in ("phase", "duration_ns"):
+                if key not in ev:
+                    return fail(f"line {i}: phase event missing '{key}'")
+            phases.add(ev["phase"])
+        elif kind == "stall":
+            if "phase" not in ev:
+                return fail(f"line {i}: stall event missing 'phase'")
+            stalls.append((i, rid))
+        elif kind == "request":
+            for key in ("verdict", "outcome", "counters", "duration_ns"):
+                if key not in ev:
+                    return fail(f"line {i}: terminal event missing '{key}'")
+            if ev["outcome"] not in OUTCOMES:
+                return fail(
+                    f"line {i}: unknown outcome '{ev['outcome']}' "
+                    f"(expected one of {sorted(OUTCOMES)})")
+            if not isinstance(ev["counters"], dict):
+                return fail(f"line {i}: 'counters' must be an object")
+            if rid in terminal_line:
+                return fail(
+                    f"line {i}: second terminal event for request {rid} "
+                    f"(first at line {terminal_line[rid]})")
+            terminal_line[rid] = i
+            outcomes.append(ev["outcome"])
+        # Heartbeats may report request 0 (no single open request) — any
+        # non-zero id they carry is bound by the terminal-event rule.
+        if rid != 0 or kind == "request":
+            last_line[rid] = i
+
+    for rid, line_no in last_line.items():
+        if rid not in terminal_line:
+            return fail(
+                f"request {rid} (last event at line {line_no}) has no "
+                "terminal 'request' event")
+        if terminal_line[rid] != line_no:
+            return fail(
+                f"request {rid}: terminal event at line "
+                f"{terminal_line[rid]} is not its last event "
+                f"(line {line_no})")
+
+    for want in args.expect_outcome:
+        if want not in outcomes:
+            return fail(
+                f"expected a terminal event with outcome '{want}'; "
+                f"saw {outcomes}")
+    for want in args.require_phase:
+        if want not in phases:
+            return fail(
+                f"expected a phase event '{want}'; saw {sorted(phases)}")
+    if args.expect_stall_before_terminal:
+        ok = any(
+            rid in terminal_line and line_no < terminal_line[rid]
+            for line_no, rid in stalls)
+        if not ok:
+            return fail(
+                "expected at least one stall event preceding its "
+                f"request's terminal event; stalls={stalls}, "
+                f"terminals={terminal_line}")
+
+    n_req = len(terminal_line)
+    print(f"check_events: OK ({len(events)} events, {n_req} request(s), "
+          f"{len(stalls)} stall(s), phases: {', '.join(sorted(phases))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

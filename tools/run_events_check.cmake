@@ -1,0 +1,54 @@
+# ctest driver for the wide-event JSONL log (label: events). Runs
+#
+#   wsvcli verify <SPEC> <PROP> <DB> --pool <POOL> --jobs 4 \
+#       --log-json <LOG_OUT> [VERIFY_ARGS...]
+#
+# expecting exit code EXPECT_RC, then validates the log with
+# tools/check_events.py passing CHECK_ARGS. Invoked as
+#   cmake -DWSVCLI=... -DSPEC=... -P run_events_check.cmake
+# (see tools/CMakeLists.txt). List-valued arguments (VERIFY_ARGS,
+# CHECK_ARGS) are ';'-separated cmake lists; either may be empty.
+
+foreach(var WSVCLI SPEC PROP DB POOL PYTHON CHECKER LOG_OUT EXPECT_RC)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_events_check: missing -D${var}=")
+  endif()
+endforeach()
+if(NOT DEFINED VERIFY_ARGS)
+  set(VERIFY_ARGS "")
+endif()
+if(NOT DEFINED CHECK_ARGS)
+  set(CHECK_ARGS "")
+endif()
+
+# A stale log from a previous run must not mask a run that failed to
+# publish one (the log lands by atomic rename at exit).
+file(REMOVE "${LOG_OUT}")
+
+execute_process(
+  COMMAND "${WSVCLI}" verify "${SPEC}" "${PROP}" "${DB}"
+          --pool "${POOL}" --jobs 4
+          --log-json "${LOG_OUT}" ${VERIFY_ARGS}
+  RESULT_VARIABLE verify_rc
+  OUTPUT_VARIABLE verify_out
+  ERROR_VARIABLE verify_err)
+if(NOT verify_rc EQUAL ${EXPECT_RC})
+  message(FATAL_ERROR
+      "wsvcli verify exited ${verify_rc}, expected ${EXPECT_RC}:\n"
+      "${verify_out}\n${verify_err}")
+endif()
+
+if(NOT EXISTS "${LOG_OUT}")
+  message(FATAL_ERROR "wsvcli verify did not publish ${LOG_OUT}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${LOG_OUT}" ${CHECK_ARGS}
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR
+      "check_events.py rejected ${LOG_OUT}:\n${check_out}\n${check_err}")
+endif()
+message(STATUS "${check_out}")

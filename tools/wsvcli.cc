@@ -15,7 +15,9 @@
 //   wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c]
 //                 [--fresh N] [--unchecked] [--eager] [--jobs N]
 //                 [--no-fo-bytecode] [--stats] [--stats-json FILE]
-//                 [--trace-out FILE] [--progress]
+//                 [--trace-out FILE] [--progress] [--log-json FILE]
+//                 [--heartbeat SECS] [--watchdog-deadline SECS]
+//                 [--step-budget N]
 //       Verify an LTL-FO property (Theorem 3.5); --unchecked skips the
 //       input-boundedness gate. By default the product is searched
 //       on-the-fly (configurations expanded only as the nested DFS
@@ -28,10 +30,23 @@
 //       --no-fo-bytecode evaluates FO formulas with the tree-walking
 //       interpreter instead of the compiled bytecode engine (same
 //       verdicts, slower; for debugging and A/B runs).
-//       Telemetry: --stats prints the phase/counter table to stderr,
-//       --stats-json writes the counter snapshot as JSON, --trace-out
-//       writes a Chrome/Perfetto trace-event file of the pipeline spans,
-//       and --progress prints a once-a-second heartbeat for long sweeps.
+//       Telemetry: --stats prints the phase/counter/memory table to
+//       stderr, --stats-json writes the counter snapshot as JSON,
+//       --trace-out writes a Chrome/Perfetto trace-event file of the
+//       pipeline spans, and --progress prints a once-a-second heartbeat
+//       for long sweeps. --log-json streams a wide-event JSONL log (one
+//       self-contained event per request phase — parse, lint, db_enum,
+//       product, emptiness, witness_check — plus a terminal "request"
+//       event with the verdict, outcome, and the exact counter delta
+//       attributed to this request; see src/obs/events.h). --heartbeat S
+//       prints watchdog progress lines every S seconds;
+//       --watchdog-deadline S reports any phase still open after S
+//       seconds as a "stall" event (0 flags everything, for tests).
+//       --step-budget N caps each bytecode-VM execution at N steps
+//       (kResourceExhausted beyond it; the default is effectively
+//       unlimited). JSON artifacts (--stats-json, --trace-out,
+//       --log-json) are written to a temp sibling and published by
+//       atomic rename, so a crashed run never leaves a truncated file.
 //       Telemetry is flushed on every outcome — PASS, counterexample,
 //       error, or cancellation — so partial sweeps are still measurable.
 //   wsvcli verify-ctl <spec.wsv> <property> <db.wsd> [--pool a,b,c]
@@ -50,6 +65,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <mutex>
@@ -61,18 +77,24 @@
 
 #include "analysis/lints.h"
 #include "analysis/render.h"
+#include "common/file_util.h"
 #include "common/str_util.h"
 #include "ctl/ctl_check.h"
 #include "ctl/ctl_star_check.h"
 #include "fo/bytecode/cache.h"
+#include "fo/bytecode/vm.h"
 #include "ltl/ltl_parser.h"
+#include "obs/events.h"
 #include "obs/report.h"
+#include "obs/request.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "runtime/interpreter.h"
 #include "verify/abstraction.h"
 #include "verify/error_free.h"
 #include "verify/ltl_verifier.h"
 #include "verify/parallel.h"
+#include "verify/witness_check.h"
 #include "ws/classify.h"
 #include "ws/data_parser.h"
 #include "ws/spec_parser.h"
@@ -94,7 +116,9 @@ int Usage() {
       "[--fresh N]\n"
       "  wsvcli verify <spec.wsv> <property> [db.wsd] [--pool a,b,c] "
       "[--fresh N] [--unchecked] [--eager] [--jobs N] [--no-fo-bytecode] "
-      "[--stats] [--stats-json FILE] [--trace-out FILE] [--progress]\n"
+      "[--stats] [--stats-json FILE] [--trace-out FILE] [--progress] "
+      "[--log-json FILE] [--heartbeat SECS] [--watchdog-deadline SECS] "
+      "[--step-budget N]\n"
       "  wsvcli verify-ctl <spec.wsv> <property> <db.wsd> "
       "[--pool a,b,c]\n"
       "  wsvcli lint <spec.wsv> [--format=text|json|sarif] [--werror]\n");
@@ -135,6 +159,15 @@ struct Flags {
   std::string stats_json;
   std::string trace_out;
   bool progress = false;
+  /// Wide-event JSONL log (obs/events.h); empty = disabled.
+  std::string log_json;
+  /// Watchdog progress-line interval in seconds; 0 = disabled.
+  double heartbeat_secs = 0.0;
+  /// Watchdog stall deadline in seconds; < 0 = disabled, 0 flags every
+  /// phase still open at the first sweep (deterministic for tests).
+  double watchdog_deadline_secs = -1.0;
+  /// Bytecode-VM step budget per execution; < 0 = keep the default.
+  long long step_budget = -1;
   /// Lint output format: "text", "json", or "sarif".
   std::string format = "text";
   /// Lint: treat warnings as errors (exit 1 when any warning fires).
@@ -177,6 +210,17 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       WSV_ASSIGN_OR_RETURN(flags.trace_out, next());
     } else if (arg == "--progress") {
       flags.progress = true;
+    } else if (arg == "--log-json") {
+      WSV_ASSIGN_OR_RETURN(flags.log_json, next());
+    } else if (arg == "--heartbeat") {
+      WSV_ASSIGN_OR_RETURN(std::string v, next());
+      flags.heartbeat_secs = std::atof(v.c_str());
+    } else if (arg == "--watchdog-deadline") {
+      WSV_ASSIGN_OR_RETURN(std::string v, next());
+      flags.watchdog_deadline_secs = std::atof(v.c_str());
+    } else if (arg == "--step-budget") {
+      WSV_ASSIGN_OR_RETURN(std::string v, next());
+      flags.step_budget = std::atoll(v.c_str());
     } else if (arg == "--werror") {
       flags.werror = true;
     } else if (arg == "--format") {
@@ -201,8 +245,10 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
 // diagnostic is rendered (annotated source) to stderr — the same engine
 // `lint` uses — and the error status is returned so all subcommands exit
 // non-zero consistently.
-StatusOr<WebService> LoadService(const std::string& path) {
+StatusOr<WebService> LoadService(const std::string& path,
+                                 std::string* text_out = nullptr) {
   WSV_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  if (text_out != nullptr) *text_out = text;
   StatusOr<WebService> service = ParseServiceSpec(text);
   if (!service.ok()) {
     analysis::DiagnosticSink sink;
@@ -370,35 +416,98 @@ void EmitVerifyTelemetry(const Flags& flags) {
       std::fflush(stderr);
     }
     if (!flags.stats_json.empty()) {
-      std::ofstream out(flags.stats_json);
-      if (!out) {
-        std::fprintf(stderr, "warning: cannot write %s\n",
-                     flags.stats_json.c_str());
-      } else {
-        out << obs::StatsToJson(snap);
-        out.flush();
+      Status st = WriteFileAtomic(flags.stats_json, obs::StatsToJson(snap));
+      if (!st.ok()) {
+        std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
       }
     }
   }
   if (!flags.trace_out.empty()) {
     obs::StopTracing();
-    std::ofstream out(flags.trace_out);
-    if (!out) {
-      std::fprintf(stderr, "warning: cannot write %s\n",
-                   flags.trace_out.c_str());
-    } else {
-      obs::WriteChromeTrace(out);
-      out.flush();
+    std::ostringstream trace;
+    obs::WriteChromeTrace(trace);
+    Status st = WriteFileAtomic(flags.trace_out, trace.str());
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
     }
   }
 }
 
 int CmdVerify(const Flags& flags) {
   if (flags.positional.size() < 2) return Usage();
-  auto service = LoadService(flags.positional[0]);
-  if (!service.ok()) return Fail(service.status());
+  const bool log_enabled = !flags.log_json.empty();
+  if (log_enabled) {
+    Status st = obs::EventLog::Get().Open(flags.log_json);
+    if (!st.ok()) return Fail(st);
+  }
+
+  // Everything from here runs under one request scope: counters and
+  // spans recorded by this verification — including on pool workers —
+  // are attributed to it, and the terminal wide event carries exactly
+  // that delta even when other requests share the process.
+  obs::RequestScope request(flags.positional[0]);
+  std::vector<std::pair<std::string, std::string>> text_fields;
+
+  // Closes the request and flushes every telemetry surface; called on
+  // all outcomes so partial sweeps still report. The watchdog must be
+  // stopped before this runs (its stall events precede the terminal
+  // event in the log).
+  auto finish = [&](const Status& status, std::string_view verdict) {
+    const obs::MetricsSnapshot& delta = request.Close();
+    EmitVerifyTelemetry(flags);
+    if (log_enabled) {
+      obs::EmitRequestSummary(request, delta, verdict,
+                              obs::DeriveOutcome(status, delta),
+                              text_fields);
+      Status st = obs::EventLog::Get().Close();
+      if (!st.ok()) {
+        std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
+      }
+    }
+  };
+  auto emit_phase =
+      [&](const char* phase, uint64_t start_ns,
+          std::vector<std::pair<std::string, uint64_t>> nums = {}) {
+        if (!log_enabled) return;
+        obs::WideEvent ev;
+        ev.phase = phase;
+        ev.request = request.id();
+        ev.label = request.label();
+        ev.duration_ns = obs::MonotonicNowNs() - start_ns;
+        ev.text = text_fields;
+        ev.nums = std::move(nums);
+        obs::EventLog::Get().Emit(ev);
+      };
+
+  const uint64_t parse_start = obs::MonotonicNowNs();
+  std::string spec_text;
+  auto service = LoadService(flags.positional[0], &spec_text);
+  if (!service.ok()) {
+    finish(service.status(), "ERROR");
+    return Fail(service.status());
+  }
+  text_fields.emplace_back("spec_hash", obs::ContentHashHex(spec_text));
   auto prop = ParseTemporalProperty(flags.positional[1], &service->vocab());
-  if (!prop.ok()) return Fail(prop.status());
+  if (!prop.ok()) {
+    finish(prop.status(), "ERROR");
+    return Fail(prop.status());
+  }
+  text_fields.emplace_back("property_hash",
+                           obs::ContentHashHex(flags.positional[1]));
+  emit_phase("parse", parse_start);
+
+  if (log_enabled) {
+    // Lint findings ride along in the request record (events only; the
+    // diagnostics themselves stay with `wsvcli lint`).
+    const uint64_t lint_start = obs::MonotonicNowNs();
+    analysis::DiagnosticSink sink;
+    analysis::LintSpecText(spec_text, &sink);
+    emit_phase("lint", lint_start,
+               {{"errors", sink.error_count()},
+                {"warnings", sink.warning_count()},
+                {"notes", sink.note_count()}});
+  }
+
   LtlVerifyOptions options;
   options.graph.constant_pool = flags.pool;
   options.db.fresh_values = flags.fresh;
@@ -410,18 +519,46 @@ int CmdVerify(const Flags& flags) {
   {
     std::optional<ProgressHeartbeat> heartbeat;
     if (flags.progress) heartbeat.emplace();
+    std::optional<obs::Watchdog> watchdog;
+    if (flags.heartbeat_secs > 0 || flags.watchdog_deadline_secs >= 0) {
+      obs::WatchdogOptions wopts;
+      wopts.heartbeat_secs = flags.heartbeat_secs;
+      if (flags.watchdog_deadline_secs >= 0) {
+        wopts.stall_deadline_ns = static_cast<uint64_t>(
+            flags.watchdog_deadline_secs * 1e9);
+      }
+      watchdog.emplace(wopts);
+    }
     if (flags.positional.size() >= 3) {
       auto db = LoadDatabase(flags.positional[2], service->vocab());
       if (!db.ok()) {
-        EmitVerifyTelemetry(flags);
+        if (watchdog.has_value()) watchdog->Stop();
+        finish(db.status(), "ERROR");
         return Fail(db.status());
       }
       result = verifier.VerifyOnDatabase(*prop, *db);
     } else {
       result = verifier.Verify(*prop);
     }
+  }  // watchdog final sweep + join: stall events land before the terminal
+  if (result.ok() && !result->holds) {
+    // Independently re-derive the witness through the runtime stepper
+    // before presenting it (the same validation the tests apply).
+    const uint64_t check_start = obs::MonotonicNowNs();
+    Status witness_ok = Status::OK();
+    {
+      WSV_SPAN("verify/witness_check");
+      witness_ok = ValidateWitness(*service, *prop, *result->counterexample);
+    }
+    emit_phase("witness_check", check_start,
+               {{"valid", witness_ok.ok() ? uint64_t{1} : uint64_t{0}}});
+    if (!witness_ok.ok()) {
+      std::fprintf(stderr, "warning: witness failed validation: %s\n",
+                   witness_ok.ToString().c_str());
+    }
   }
-  EmitVerifyTelemetry(flags);
+  finish(result.ok() ? Status::OK() : result.status(),
+         !result.ok() ? "ERROR" : (result->holds ? "HOLDS" : "VIOLATED"));
   if (!result.ok()) return Fail(result.status());
   if (result->holds) {
     std::printf("HOLDS within bounds (%llu database(s), %llu graph nodes, "
@@ -490,6 +627,9 @@ int Main(int argc, char** argv) {
   auto flags = ParseFlags(argc, argv);
   if (!flags.ok()) return Fail(flags.status());
   if (flags->no_fo_bytecode) fobc::SetBytecodeEnabled(false);
+  if (flags->step_budget >= 0) {
+    fobc::SetStepBudget(static_cast<uint64_t>(flags->step_budget));
+  }
   std::string cmd = argv[1];
   if (cmd == "validate") return CmdValidate(*flags);
   if (cmd == "print") return CmdPrint(*flags);
