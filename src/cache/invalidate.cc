@@ -1,0 +1,240 @@
+#include "cache/invalidate.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "common/fingerprint.h"
+
+namespace wsv {
+namespace cache {
+
+namespace {
+
+// Rule identity for diffing: kind tag + head + structural body
+// fingerprint. Spans are deliberately excluded (fingerprints are
+// span-ignoring), so reformatting a spec dirties nothing.
+std::string RuleId(const InputRule& r) {
+  std::string id = "i|" + r.input;
+  for (const std::string& v : r.head_vars) id += "," + v;
+  return id + "|" + FingerprintFormula(*r.body).ToHex();
+}
+
+std::string RuleId(const StateRule& r) {
+  std::string id = (r.insert ? "s+|" : "s-|") + r.state;
+  for (const std::string& v : r.head_vars) id += "," + v;
+  return id + "|" + FingerprintFormula(*r.body).ToHex();
+}
+
+std::string RuleId(const ActionRule& r) {
+  std::string id = "a|" + r.action;
+  for (const std::string& v : r.head_vars) id += "," + v;
+  return id + "|" + FingerprintFormula(*r.body).ToHex();
+}
+
+std::string DescribeRule(const std::string& page, const char* kind,
+                         const std::string& head, const Span& span) {
+  std::ostringstream out;
+  out << page << " " << kind << " " << head;
+  if (span.IsValid()) out << " @ " << span.ToString();
+  return out.str();
+}
+
+// Multiset difference in both directions: ids present in exactly one
+// version. Returns the count of differing rules.
+template <typename Rule>
+void DiffRuleVector(const std::vector<Rule>& old_rules,
+                    const std::vector<Rule>& new_rules,
+                    const std::string& page, const char* kind,
+                    const std::function<std::string(const Rule&)>& head_of,
+                    SpecDelta* delta) {
+  std::map<std::string, int> counts;
+  for (const Rule& r : old_rules) counts[RuleId(r)]++;
+  for (const Rule& r : new_rules) counts[RuleId(r)]--;
+  // Heads of rules on either side of the diff are dirty; spans cite the
+  // new source (removed-only rules have no new span to cite).
+  for (const Rule& r : new_rules) {
+    if (counts[RuleId(r)] < 0) {
+      delta->dirty_relations.insert(head_of(r));
+      delta->changed_rules.push_back(
+          DescribeRule(page, kind, head_of(r), r.span));
+    }
+  }
+  for (const Rule& r : old_rules) {
+    if (counts[RuleId(r)] > 0) {
+      delta->dirty_relations.insert(head_of(r));
+      delta->changed_rules.push_back(
+          DescribeRule(page, kind, head_of(r) + " (removed)", Span{}));
+    }
+  }
+}
+
+std::string VocabId(const Vocabulary& vocab) {
+  std::ostringstream out;
+  for (const RelationSymbol& rel : vocab.relations()) {
+    out << rel.name << "/" << rel.arity << "/"
+        << static_cast<int>(rel.kind) << ";";
+  }
+  out << "|";
+  for (const std::string& c : vocab.constants()) {
+    out << c << (vocab.IsInputConstant(c) ? "!" : "") << ";";
+  }
+  return out.str();
+}
+
+std::string PageShapeId(const PageSchema& page) {
+  std::ostringstream out;
+  auto list = [&out](const std::vector<std::string>& names) {
+    for (const std::string& n : names) out << n << ",";
+    out << "|";
+  };
+  list(page.inputs);
+  list(page.input_constants);
+  list(page.actions);
+  list(page.targets);
+  return out.str();
+}
+
+std::string TargetRulesId(const PageSchema& page) {
+  std::ostringstream out;
+  for (const TargetRule& r : page.target_rules) {
+    out << r.target << "|" << FingerprintFormula(*r.body).ToHex() << ";";
+  }
+  return out.str();
+}
+
+// The literal values appearing in rule bodies feed the resolved
+// constant pool (verify/ResolveConstantPool), so a changed literal set
+// reshapes every valuation space.
+std::set<Value> RuleLiterals(const WebService& service) {
+  std::set<Value> literals;
+  for (const PageSchema& page : service.pages()) {
+    auto absorb = [&literals](const FormulaPtr& body) {
+      std::set<Value> vals = body->Literals();
+      literals.insert(vals.begin(), vals.end());
+    };
+    for (const InputRule& r : page.input_rules) absorb(r.body);
+    for (const StateRule& r : page.state_rules) absorb(r.body);
+    for (const ActionRule& r : page.action_rules) absorb(r.body);
+    for (const TargetRule& r : page.target_rules) absorb(r.body);
+  }
+  return literals;
+}
+
+SpecDelta Global(std::string reason) {
+  SpecDelta delta;
+  delta.global = true;
+  delta.global_reason = std::move(reason);
+  return delta;
+}
+
+}  // namespace
+
+SpecDelta DiffServices(const WebService& older, const WebService& newer) {
+  if (VocabId(older.vocab()) != VocabId(newer.vocab())) {
+    return Global("vocabulary changed");
+  }
+  if (older.home_page() != newer.home_page()) return Global("home changed");
+  if (older.error_page() != newer.error_page()) {
+    return Global("error page changed");
+  }
+  if (older.pages().size() != newer.pages().size()) {
+    return Global("page added or removed");
+  }
+  for (const PageSchema& page : older.pages()) {
+    const PageSchema* other = newer.FindPage(page.name);
+    if (other == nullptr) return Global("page renamed: " + page.name);
+    if (PageShapeId(page) != PageShapeId(*other)) {
+      return Global("page shape changed: " + page.name);
+    }
+    if (TargetRulesId(page) != TargetRulesId(*other)) {
+      return Global("target rules changed: " + page.name);
+    }
+  }
+  if (RuleLiterals(older) != RuleLiterals(newer)) {
+    return Global("rule literal set changed (constant pool)");
+  }
+
+  SpecDelta delta;
+  for (const PageSchema& page : older.pages()) {
+    const PageSchema* other = newer.FindPage(page.name);
+    DiffRuleVector<InputRule>(
+        page.input_rules, other->input_rules, page.name, "input",
+        [](const InputRule& r) { return r.input; }, &delta);
+    DiffRuleVector<StateRule>(
+        page.state_rules, other->state_rules, page.name, "state",
+        [](const StateRule& r) { return r.state; }, &delta);
+    DiffRuleVector<ActionRule>(
+        page.action_rules, other->action_rules, page.name, "action",
+        [](const ActionRule& r) { return r.action; }, &delta);
+  }
+
+  // Close the dirty set over the new service's rule dependencies: a
+  // rule whose body reads a dirty relation (prev-atoms report the base
+  // input name) produces dirty contents under its head.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const PageSchema& page : newer.pages()) {
+      auto propagate = [&](const FormulaPtr& body, const std::string& head) {
+        if (delta.dirty_relations.count(head)) return;
+        for (const std::string& rel : body->RelationNames()) {
+          if (delta.dirty_relations.count(rel)) {
+            delta.dirty_relations.insert(head);
+            changed = true;
+            return;
+          }
+        }
+      };
+      for (const InputRule& r : page.input_rules) propagate(r.body, r.input);
+      for (const StateRule& r : page.state_rules) propagate(r.body, r.state);
+      for (const ActionRule& r : page.action_rules) {
+        propagate(r.body, r.action);
+      }
+    }
+  }
+
+  // A dirty relation feeding a target rule changes which transitions
+  // fire — the graph itself, not just labelling. Nothing survives that.
+  for (const PageSchema& page : newer.pages()) {
+    for (const TargetRule& r : page.target_rules) {
+      for (const std::string& rel : r.body->RelationNames()) {
+        if (delta.dirty_relations.count(rel)) {
+          return Global("dirty relation " + rel + " reaches target rule " +
+                        page.name + " -> " + r.target);
+        }
+      }
+    }
+  }
+  return delta;
+}
+
+SpecDelta ComposeDeltas(const SpecDelta& a, const SpecDelta& b) {
+  if (a.global) return a;
+  if (b.global) return b;
+  SpecDelta out = a;
+  out.dirty_relations.insert(b.dirty_relations.begin(),
+                             b.dirty_relations.end());
+  out.changed_rules.insert(out.changed_rules.end(), b.changed_rules.begin(),
+                           b.changed_rules.end());
+  return out;
+}
+
+bool PropertyAffected(const SpecDelta& delta,
+                      const TemporalProperty& property) {
+  if (delta.global) return true;
+  if (delta.dirty_relations.empty()) return false;
+  for (const FormulaPtr& leaf : property.formula->FoLeaves()) {
+    // Quantified leaves range over the active domain, which every
+    // relation's contents feed — treat them as touching everything.
+    if (!leaf->IsQuantifierFree()) return true;
+    for (const std::string& rel : leaf->RelationNames()) {
+      if (delta.dirty_relations.count(rel)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cache
+}  // namespace wsv

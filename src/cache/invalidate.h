@@ -1,0 +1,77 @@
+// Incremental invalidation: which cached verdicts survive a spec edit.
+//
+// When a request arrives under an edited spec (same --label, new
+// fingerprint), re-verifying every cached property throws away exactly
+// the locality the cache exists to exploit. DiffServices compares the
+// old and new services rule-by-rule and classifies the edit:
+//
+//   global          — anything that reshapes the configuration graph or
+//                     the constant pool: vocabulary/constant changes,
+//                     page add/remove/rename, target lists, home/error,
+//                     any target-rule change, or a dirty relation
+//                     reaching a target rule's body. Every entry under
+//                     the old spec is invalidated.
+//   dirty relations — otherwise, the heads of changed input/state/
+//                     action rules, closed under "rule body reads a
+//                     dirty relation => its head is dirty" over the new
+//                     service's rules (prev-atoms read the base input
+//                     relation, so they propagate too).
+//
+// PropertyAffected then decides per cached property: affected iff the
+// delta is global, any FO leaf is quantified (quantifiers range over
+// the active domain, which every relation feeds — conservative), or a
+// quantifier-free leaf mentions a dirty relation. Unaffected HOLDS
+// verdicts migrate to the new spec ("warm" outcome); affected ones are
+// evicted and re-verified. The differential fuzz suite
+// (tests/cache_test.cc) is the soundness backstop for this algebra.
+
+#ifndef WSV_CACHE_INVALIDATE_H_
+#define WSV_CACHE_INVALIDATE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ltl/ltl.h"
+#include "ws/service.h"
+
+namespace wsv {
+namespace cache {
+
+/// The classified difference between two versions of a service.
+struct SpecDelta {
+  /// True when the edit invalidates every entry (see header comment).
+  bool global = false;
+  /// Why the delta went global (empty otherwise) — surfaced in wide
+  /// events so a replay log explains its own invalidations.
+  std::string global_reason;
+  /// Dirty relation names, closed under rule dependencies. Meaningful
+  /// only when !global.
+  std::set<std::string> dirty_relations;
+  /// Human-readable locations of the changed rules in the *new* source
+  /// ("HP input[0] @ 4:3"), for telemetry. Best-effort.
+  std::vector<std::string> changed_rules;
+
+  /// True when nothing changed at all (identical fingerprints).
+  bool Empty() const {
+    return !global && dirty_relations.empty() && changed_rules.empty();
+  }
+};
+
+/// Diffs `older` -> `newer`. Symmetric in what it dirties (a rule
+/// removed from `older` dirties its head just like one added to
+/// `newer`), asymmetric in span reporting (spans cite `newer`).
+SpecDelta DiffServices(const WebService& older, const WebService& newer);
+
+/// Composes `a` then `b` (two consecutive edits): global wins, dirty
+/// sets union, changed-rule lists concatenate.
+SpecDelta ComposeDeltas(const SpecDelta& a, const SpecDelta& b);
+
+/// Whether a cached verdict for `property` can survive `delta`.
+bool PropertyAffected(const SpecDelta& delta,
+                      const TemporalProperty& property);
+
+}  // namespace cache
+}  // namespace wsv
+
+#endif  // WSV_CACHE_INVALIDATE_H_

@@ -6,6 +6,7 @@
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "common/fingerprint.h"
 #include "fo/bytecode/compiler.h"
 #include "fo/bytecode/vm.h"
 #include "obs/metrics.h"
@@ -25,18 +26,63 @@ bool DisabledByEnv() {
   return disabled;
 }
 
+std::atomic<bool> g_force_fp_collisions{false};
+
+// A structurally keyed cache slot: the compiled program plus the
+// exemplar formula it was compiled from, kept so fingerprint hits can
+// be confirmed by deep comparison before aliasing code.
+struct FpEntry {
+  std::shared_ptr<const Program> prog;
+  FormulaPtr exemplar;
+  // Query programs only: the head-variable list baked into the code
+  // (part of the key, but re-checked here so the forced-collision test
+  // mode cannot alias across head lists either).
+  std::vector<std::string> head_vars;
+};
+
 // Cached programs pin their source FormulaPtr (Program::source), so a
-// Formula* key can never be reused by a different live formula.
+// Formula* key can never be reused by a different live formula. Entries
+// whose key formula is NOT the program's source — fingerprint aliases
+// (the shared program's source is the exemplar) and failure tombstones
+// (no program at all) — must be pinned explicitly in `pins`, or their
+// key address could be recycled by a structurally different formula
+// that would then falsely address-hit a stale program.
 struct Cache {
   std::shared_mutex mu;
   std::unordered_map<const Formula*, std::shared_ptr<const Program>> bool_progs;
   std::unordered_map<const Formula*, std::shared_ptr<const Program>>
       query_progs;
+  // Secondary structural index: formula fingerprint -> compiled program.
+  // Lets re-parsed copies of a formula (new addresses, same structure)
+  // alias the existing program instead of recompiling.
+  std::unordered_map<Fingerprint, FpEntry, FingerprintHash> bool_by_fp;
+  std::unordered_map<Fingerprint, FpEntry, FingerprintHash> query_by_fp;
+  // Keeps alive every key formula not already pinned through its
+  // program (aliases, tombstones). Grow-only, like the cache.
+  std::vector<FormulaPtr> pins;
   // Occupancy (under mu): entries never evict, so these only grow.
   uint64_t entries = 0;
   uint64_t program_bytes = 0;
   uint64_t formula_bytes = 0;
 };
+
+Fingerprint FormulaFp(const Formula& f) {
+  if (g_force_fp_collisions.load(std::memory_order_relaxed)) {
+    return Fingerprint{1, 1};
+  }
+  return FingerprintFormula(f);
+}
+
+Fingerprint QueryFp(const Formula& f,
+                    const std::vector<std::string>& head_vars) {
+  if (g_force_fp_collisions.load(std::memory_order_relaxed)) {
+    return Fingerprint{1, 2};
+  }
+  FingerprintBuilder b;
+  b.AbsorbFingerprint(FingerprintFormula(f));
+  for (const std::string& v : head_vars) b.AbsorbString(v);
+  return b.Finish();
+}
 
 // Estimated heap footprint of a compiled program: the flat arrays plus
 // per-slot string storage. Deliberately coarse (no allocator rounding).
@@ -88,6 +134,17 @@ void AccountInsertLocked(Cache& cache, const FormulaPtr& f,
   WSV_GAUGE_ADD("mem/fo_pinned_formula_bytes", formula_bytes);
 }
 
+// Caller holds the cache lock and has aliased `f`'s address to a
+// program that already exists under another formula object: the new
+// entry pins `f` but shares the code, so only the formula tree counts.
+void AccountAliasLocked(Cache& cache, const FormulaPtr& f) {
+  const uint64_t formula_bytes = ApproxFormulaBytes(*f);
+  cache.entries += 1;
+  cache.formula_bytes += formula_bytes;
+  WSV_GAUGE_ADD("mem/fo_program_cache_entries", 1);
+  WSV_GAUGE_ADD("mem/fo_pinned_formula_bytes", formula_bytes);
+}
+
 Cache& GetCache() {
   static Cache* cache = new Cache();
   return *cache;
@@ -122,6 +179,10 @@ void SetBytecodeEnabled(bool enabled) {
 ScopedDisable::ScopedDisable() { ++t_disable_depth; }
 ScopedDisable::~ScopedDisable() { --t_disable_depth; }
 
+void ForceFingerprintCollisionsForTest(bool force) {
+  g_force_fp_collisions.store(force, std::memory_order_relaxed);
+}
+
 std::shared_ptr<const Program> GetOrCompileBool(const FormulaPtr& f) {
   if (f == nullptr) return nullptr;
   Cache& cache = GetCache();
@@ -132,13 +193,43 @@ std::shared_ptr<const Program> GetOrCompileBool(const FormulaPtr& f) {
     WSV_COUNT1("fo/bytecode_cache_hits");
     return prog;
   }
+  // Address miss: a structurally identical formula may already be
+  // compiled under a different object (same spec re-parsed). The
+  // fingerprint finds the candidate; StructurallyEqual confirms it
+  // before any code is aliased.
+  const Fingerprint fp = FormulaFp(*f);
+  {
+    std::unique_lock<std::shared_mutex> lock(cache.mu);
+    auto addr_it = cache.bool_progs.find(f.get());
+    if (addr_it != cache.bool_progs.end()) {
+      WSV_COUNT1("fo/bytecode_cache_hits");
+      return addr_it->second;
+    }
+    auto fp_it = cache.bool_by_fp.find(fp);
+    if (fp_it != cache.bool_by_fp.end()) {
+      if (StructurallyEqual(*f, *fp_it->second.exemplar)) {
+        WSV_COUNT1("fo/bytecode_xspec_hits");
+        cache.bool_progs.emplace(f.get(), fp_it->second.prog);
+        cache.pins.push_back(f);
+        AccountAliasLocked(cache, f);
+        return fp_it->second.prog;
+      }
+      WSV_COUNT1("fo/bytecode_fp_collisions");
+    }
+  }
   WSV_COUNT1("fo/bytecode_compiles");
   auto compiled = CompileBool(f);
   // Failures are cached as nullptr so a bad formula compiles only once.
   prog = compiled.ok() ? std::move(compiled).value() : nullptr;
   std::unique_lock<std::shared_mutex> lock(cache.mu);
   auto [it, inserted] = cache.bool_progs.emplace(f.get(), prog);
-  if (inserted) AccountInsertLocked(cache, f, prog);
+  if (inserted) {
+    if (prog == nullptr) cache.pins.push_back(f);
+    AccountInsertLocked(cache, f, prog);
+    // First structural exemplar wins; colliding formulas stay
+    // address-cached only.
+    cache.bool_by_fp.emplace(fp, FpEntry{prog, f, {}});
+  }
   return inserted ? prog : it->second;
 }
 
@@ -153,6 +244,33 @@ std::shared_ptr<const Program> GetOrCompileQuery(
     WSV_COUNT1("fo/bytecode_cache_hits");
     return prog;
   }
+  const Fingerprint fp = QueryFp(*f, head_vars);
+  if (!found) {
+    // Address miss: try the structural index (fingerprint covers the
+    // head list; the guard re-checks both structure and heads).
+    std::unique_lock<std::shared_mutex> lock(cache.mu);
+    auto addr_it = cache.query_progs.find(f.get());
+    if (addr_it != cache.query_progs.end() &&
+        (addr_it->second == nullptr ||
+         addr_it->second->head_vars == head_vars)) {
+      WSV_COUNT1("fo/bytecode_cache_hits");
+      return addr_it->second;
+    }
+    if (addr_it == cache.query_progs.end()) {
+      auto fp_it = cache.query_by_fp.find(fp);
+      if (fp_it != cache.query_by_fp.end()) {
+        if (fp_it->second.head_vars == head_vars &&
+            StructurallyEqual(*f, *fp_it->second.exemplar)) {
+          WSV_COUNT1("fo/bytecode_xspec_hits");
+          cache.query_progs.emplace(f.get(), fp_it->second.prog);
+          cache.pins.push_back(f);
+          AccountAliasLocked(cache, f);
+          return fp_it->second.prog;
+        }
+        WSV_COUNT1("fo/bytecode_fp_collisions");
+      }
+    }
+  }
   WSV_COUNT1("fo/bytecode_compiles");
   auto compiled = CompileQuery(f, head_vars);
   std::shared_ptr<const Program> fresh =
@@ -160,7 +278,11 @@ std::shared_ptr<const Program> GetOrCompileQuery(
   if (found) return fresh;  // head mismatch: usable, but not cacheable
   std::unique_lock<std::shared_mutex> lock(cache.mu);
   auto [it, inserted] = cache.query_progs.emplace(f.get(), fresh);
-  if (inserted) AccountInsertLocked(cache, f, fresh);
+  if (inserted) {
+    if (fresh == nullptr) cache.pins.push_back(f);
+    AccountInsertLocked(cache, f, fresh);
+    cache.query_by_fp.emplace(fp, FpEntry{fresh, f, head_vars});
+  }
   return inserted ? fresh : it->second;
 }
 

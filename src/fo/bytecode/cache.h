@@ -2,9 +2,18 @@
 //
 // Each FO leaf, input-option formula, and update rule is compiled once
 // per process and cached by formula address (entries pin the FormulaPtr,
-// so an address is never reused while cached). The engine is on by
-// default and can be disabled three ways, all of which fall back to the
-// tree-walking interpreter:
+// so an address is never reused while cached). A secondary index keyed
+// by structural fingerprint (common/fingerprint.h) lets a *different*
+// formula object with identical structure — the same spec re-parsed, a
+// re-verified request in a replay — reuse the compiled program instead
+// of recompiling: on an address miss the fingerprint is consulted, the
+// candidate is confirmed with a deep structural comparison (the
+// collision guard), and the address is aliased to the existing program
+// (counter fo/bytecode_xspec_hits; a guard rejection counts
+// fo/bytecode_fp_collisions and compiles separately).
+//
+// The engine is on by default and can be disabled three ways, all of
+// which fall back to the tree-walking interpreter:
 //
 //   * environment: WSV_DISABLE_FO_BYTECODE=1 (read once per process),
 //   * process-wide: SetBytecodeEnabled(false) (the CLI's
@@ -76,6 +85,11 @@ StatusOr<bool> EvaluateFast(const FormulaPtr& f, const EvalContext& ctx,
 StatusOr<std::set<Tuple>> EvaluateQueryFast(
     const FormulaPtr& f, const std::vector<std::string>& vars,
     const EvalContext& ctx, const Valuation& valuation = {});
+
+/// Test hook: when forced, every formula reports the same fingerprint,
+/// so the structural collision guard must carry the entire load —
+/// verdicts stay correct and fo/bytecode_fp_collisions counts up.
+void ForceFingerprintCollisionsForTest(bool force);
 
 }  // namespace fobc
 }  // namespace wsv

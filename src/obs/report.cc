@@ -102,6 +102,14 @@ double ProgramCacheHitRate(const MetricsSnapshot& snap) {
   return double(hits) / double(hits + compiles);
 }
 
+double VerifyCacheHitRate(const MetricsSnapshot& snap) {
+  const uint64_t requests = snap.CounterValue("cache/requests");
+  if (requests == 0) return -1.0;
+  return double(snap.CounterValue("cache/hits") +
+                snap.CounterValue("cache/warm_hits")) /
+         double(requests);
+}
+
 std::string FormatStatsTable(const MetricsSnapshot& snap) {
   std::string out;
   char line[256];
@@ -236,6 +244,22 @@ std::string FormatStatsTable(const MetricsSnapshot& snap) {
             snap.CounterValue("fo/interp_evals")));
     out += line;
   }
+  const double verify_cache_rate = VerifyCacheHitRate(snap);
+  if (verify_cache_rate >= 0.0) {
+    std::snprintf(
+        line, sizeof(line),
+        "verify cache hit rate: %s (%llu hit + %llu warm / %llu requests, "
+        "%llu entries, %s)\n",
+        FormatRate(verify_cache_rate).c_str(),
+        static_cast<unsigned long long>(snap.CounterValue("cache/hits")),
+        static_cast<unsigned long long>(
+            snap.CounterValue("cache/warm_hits")),
+        static_cast<unsigned long long>(snap.CounterValue("cache/requests")),
+        static_cast<unsigned long long>(
+            snap.GaugeValue("mem/verify_cache_entries")),
+        FormatByteCount(snap.GaugeValue("mem/verify_cache_bytes")).c_str());
+    out += line;
+  }
   return out;
 }
 
@@ -304,6 +328,13 @@ std::string StatsToJson(const MetricsSnapshot& snap) {
     std::snprintf(buf, sizeof(buf),
                   "%s    \"fo_program_cache_hit_rate\": %.4f",
                   first_derived ? "\n" : ",\n", cache_rate);
+    out += buf;
+    first_derived = false;
+  }
+  const double verify_cache_rate = VerifyCacheHitRate(snap);
+  if (verify_cache_rate >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "%s    \"cache_hit_rate\": %.4f",
+                  first_derived ? "\n" : ",\n", verify_cache_rate);
     out += buf;
   }
   out += "\n  }\n}\n";

@@ -47,6 +47,11 @@ double BytecodeCompiledShare(const MetricsSnapshot& snap);
 /// when no formula was ever looked up.
 double ProgramCacheHitRate(const MetricsSnapshot& snap);
 
+/// (cache/hits + cache/warm_hits) / cache/requests — the fraction of
+/// verification requests served by the cross-request verification
+/// cache. -1 when no request went through a cache.
+double VerifyCacheHitRate(const MetricsSnapshot& snap);
+
 }  // namespace obs
 }  // namespace wsv
 

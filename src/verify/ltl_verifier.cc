@@ -9,9 +9,11 @@
 
 #include "automata/emptiness.h"
 #include "automata/ltl_to_buchi.h"
+#include "common/fingerprint.h"
 #include "common/hash.h"
 #include "fo/input_bounded.h"
 #include "obs/trace.h"
+#include "verify/leaf_store.h"
 #include "ws/classify.h"
 
 namespace wsv {
@@ -60,6 +62,67 @@ struct VectorKeyHash {
 // Matching-state list for edge labels no automaton state carries.
 const std::vector<int> kNoMatchingStates;
 
+// Rebuilds a truth column from its stored set-bit representation.
+void ColumnFromSetBits(const std::vector<uint64_t>& set_bits, uint64_t upto,
+                       Bitset* col) {
+  col->Resize(static_cast<size_t>(upto));
+  for (uint64_t e : set_bits) {
+    if (e < upto) col->Set(static_cast<size_t>(e), true);
+  }
+}
+
+std::vector<uint64_t> SetBitsOf(const Bitset& col, uint64_t upto) {
+  std::vector<uint64_t> out;
+  for (uint64_t e = 0; e < upto; ++e) {
+    if (col.Test(static_cast<size_t>(e))) out.push_back(e);
+  }
+  return out;
+}
+
+std::string LeafStoreKey(const std::string& ctx, const std::string& leaf_fp,
+                         const std::string& binding) {
+  std::string key = ctx;
+  key += "|leaf:";
+  key += leaf_fp;
+  key += '|';
+  key += binding;
+  return key;
+}
+
+// Canonical, process-portable rendering of the binding a dynamic leaf
+// column is evaluated under: the closure values projected onto the
+// leaf's free variables (in variable order) plus the sorted set of
+// domain-relevant extension values — the exact key the in-call memo
+// uses, but by value *name* instead of candidate digit, so two
+// processes with different interning orders agree.
+std::string LeafBinding(const std::vector<size_t>& leaf_vars,
+                        const std::vector<int32_t>& digits,
+                        const std::vector<Value>& cand,
+                        const std::vector<char>& domain_relevant,
+                        bool qfree) {
+  std::string b = "b:";
+  for (size_t p : leaf_vars) {
+    b += cand[static_cast<size_t>(digits[p])].name();
+    b += ',';
+  }
+  b += "|e:";
+  if (!qfree) {
+    std::vector<std::string> ext;
+    for (int32_t d : digits) {
+      if (domain_relevant[static_cast<size_t>(d)]) {
+        ext.push_back(cand[static_cast<size_t>(d)].name());
+      }
+    }
+    std::sort(ext.begin(), ext.end());
+    ext.erase(std::unique(ext.begin(), ext.end()), ext.end());
+    for (const std::string& n : ext) {
+      b += n;
+      b += ',';
+    }
+  }
+  return b;
+}
+
 }  // namespace
 
 bool ClassCollapseEnabled() {
@@ -68,6 +131,22 @@ bool ClassCollapseEnabled() {
 
 bool OnTheFlyEnabled() {
   return std::getenv("WSV_DISABLE_ONTHEFLY") == nullptr;
+}
+
+std::vector<Value> ResolveConstantPool(const WebService& service,
+                                       const TemporalProperty& property,
+                                       const Instance& database,
+                                       const LtlVerifyOptions& options) {
+  if (!options.graph.constant_pool.empty()) {
+    return options.graph.constant_pool;
+  }
+  std::set<Value> pool(database.domain().begin(), database.domain().end());
+  for (Value v : ServiceRuleLiterals(service)) pool.insert(v);
+  for (Value v : property.formula->Literals()) pool.insert(v);
+  for (int i = 0; i < options.extra_constant_values; ++i) {
+    pool.insert(Value::Intern("u" + std::to_string(i)));
+  }
+  return std::vector<Value>(pool.begin(), pool.end());
 }
 
 std::set<std::string> TrackedPrevRelations(const WebService& service,
@@ -126,21 +205,23 @@ StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
   // Candidate values for input constants: the database's active domain,
   // the rule/property literals, plus fresh "typed by the user" values.
   ConfigGraphOptions graph_options = options.graph;
-  if (graph_options.constant_pool.empty()) {
-    std::set<Value> pool(db.domain().begin(), db.domain().end());
-    for (Value v : ServiceRuleLiterals(*service)) pool.insert(v);
-    for (Value v : property->formula->Literals()) pool.insert(v);
-    for (int i = 0; i < options.extra_constant_values; ++i) {
-      pool.insert(Value::Intern("u" + std::to_string(i)));
-    }
-    graph_options.constant_pool.assign(pool.begin(), pool.end());
-  }
+  graph_options.constant_pool =
+      ResolveConstantPool(*service, *property, db, options);
   check.graph_options_ = graph_options;
 
   check.on_the_fly_ = OnTheFlyEnabled() && !options.force_eager;
   if (!check.on_the_fly_) {
     WSV_ASSIGN_OR_RETURN(check.graph_,
                          BuildConfigGraph(stepper, graph_options));
+  }
+
+  check.leaf_store_ = options.leaf_store;
+  check.leaf_ctx_ = options.leaf_store_context;
+  if (check.leaf_store_ != nullptr) {
+    check.leaf_fp_.reserve(automaton->leaves.size());
+    for (const FormulaPtr& leaf : automaton->leaves) {
+      check.leaf_fp_.push_back(FingerprintFormula(*leaf).ToHex());
+    }
   }
 
   // Valuation candidates for the universal closure variables: everything
@@ -201,19 +282,41 @@ StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
     }
     check.leaf_qfree_[k] = automaton->leaves[k]->IsQuantifierFree() ? 1 : 0;
     if (check.leaf_vars_[k].empty() && !check.on_the_fly_) {
-      [[maybe_unused]] const uint64_t eval_start = WSV_OBS_NOW();
       Bitset& col = check.static_cols_[k];
-      col.Resize(num_edges);
-      for (size_t e = 0; e < num_edges; ++e) {
-        TraceView view = check.graph_.View(static_cast<int>(e));
-        WSV_ASSIGN_OR_RETURN(bool b,
-                             EvalFoAtStep(automaton->leaves[k], view, db,
-                                          *service, {}));
-        col.Set(e, b);
+      bool loaded = false;
+      if (check.leaf_store_ != nullptr) {
+        std::vector<uint64_t> set_bits;
+        uint64_t upto = 0;
+        if (check.leaf_store_->Lookup(
+                LeafStoreKey(check.leaf_ctx_, check.leaf_fp_[k], "static"),
+                &set_bits, &upto) &&
+            upto == num_edges) {
+          ColumnFromSetBits(set_bits, upto, &col);
+          loaded = true;
+          WSV_COUNT1("cache/leaf_cols_loaded");
+          WSV_COUNT("cache/leaf_evals_saved", num_edges);
+        }
       }
-      WSV_COUNT("ltl/fo_leaf_evals", num_edges);
+      if (!loaded) {
+        [[maybe_unused]] const uint64_t eval_start = WSV_OBS_NOW();
+        col.Resize(num_edges);
+        for (size_t e = 0; e < num_edges; ++e) {
+          TraceView view = check.graph_.View(static_cast<int>(e));
+          WSV_ASSIGN_OR_RETURN(bool b,
+                               EvalFoAtStep(automaton->leaves[k], view, db,
+                                            *service, {}));
+          col.Set(e, b);
+        }
+        WSV_COUNT("ltl/fo_leaf_evals", num_edges);
+        WSV_HIST("ltl/leaf_col_eval_ns", WSV_OBS_NOW() - eval_start);
+        if (check.leaf_store_ != nullptr) {
+          check.leaf_store_->Publish(
+              LeafStoreKey(check.leaf_ctx_, check.leaf_fp_[k], "static"),
+              SetBitsOf(col, num_edges), num_edges);
+          WSV_COUNT1("cache/leaf_cols_published");
+        }
+      }
       WSV_COUNT1("ltl/static_leaf_cols");
-      WSV_HIST("ltl/leaf_col_eval_ns", WSV_OBS_NOW() - eval_start);
     }
     // A candidate value can influence this leaf through the active
     // domain only if neither the database nor the leaf's own literals
@@ -376,19 +479,43 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
       auto it = memo[k].find(memo_key);
       if (it == memo[k].end()) {
         WSV_COUNT1("ltl/leaf_memo_misses");
-        [[maybe_unused]] const uint64_t eval_start = WSV_OBS_NOW();
-        ensure_valuation();
-        col_scratch.Resize(num_edges);
-        for (size_t e = 0; e < num_edges; ++e) {
-          TraceView view = graph_.View(static_cast<int>(e));
-          WSV_ASSIGN_OR_RETURN(bool b,
-                               EvalFoAtStep(automaton_->leaves[k], view,
-                                            *database_, *service_,
-                                            valuation));
-          col_scratch.Set(e, b);
+        std::string store_key;
+        bool loaded = false;
+        if (leaf_store_ != nullptr) {
+          store_key = LeafStoreKey(
+              leaf_ctx_, leaf_fp_[k],
+              LeafBinding(leaf_vars_[k], digits, cand_, domain_relevant_[k],
+                          leaf_qfree_[k] != 0));
+          std::vector<uint64_t> set_bits;
+          uint64_t upto = 0;
+          if (leaf_store_->Lookup(store_key, &set_bits, &upto) &&
+              upto == num_edges) {
+            ColumnFromSetBits(set_bits, upto, &col_scratch);
+            loaded = true;
+            WSV_COUNT1("cache/leaf_cols_loaded");
+            WSV_COUNT("cache/leaf_evals_saved", num_edges);
+          }
         }
-        WSV_COUNT("ltl/fo_leaf_evals", num_edges);
-        WSV_HIST("ltl/leaf_col_eval_ns", WSV_OBS_NOW() - eval_start);
+        if (!loaded) {
+          [[maybe_unused]] const uint64_t eval_start = WSV_OBS_NOW();
+          ensure_valuation();
+          col_scratch.Resize(num_edges);
+          for (size_t e = 0; e < num_edges; ++e) {
+            TraceView view = graph_.View(static_cast<int>(e));
+            WSV_ASSIGN_OR_RETURN(bool b,
+                                 EvalFoAtStep(automaton_->leaves[k], view,
+                                              *database_, *service_,
+                                              valuation));
+            col_scratch.Set(e, b);
+          }
+          WSV_COUNT("ltl/fo_leaf_evals", num_edges);
+          WSV_HIST("ltl/leaf_col_eval_ns", WSV_OBS_NOW() - eval_start);
+          if (leaf_store_ != nullptr) {
+            leaf_store_->Publish(store_key, SetBitsOf(col_scratch, num_edges),
+                                 num_edges);
+            WSV_COUNT1("cache/leaf_cols_published");
+          }
+        }
         it = memo[k].emplace(memo_key, intern_col(col_scratch)).first;
         WSV_COUNT1("ltl/leaf_memo_entries");
       } else {
@@ -572,12 +699,51 @@ LtlDatabaseCheck::CheckValuationsOtf(
     /// the memo key) can influence the truth, so sharing the column
     /// across valuations with the same key is exact.
     Valuation val;
+    /// Cross-request persistence (empty key = not persisted): the bound
+    /// the column was loaded at, so only net-new prefix is republished.
+    std::string store_key;
+    size_t loaded_upto = 0;
   };
   std::deque<LeafCol> col_store;
   std::vector<LeafCol*> static_col(num_leaves, nullptr);
   std::vector<std::unordered_map<std::vector<int32_t>, LeafCol*,
                                  VectorKeyHash<int32_t>>>
       memo(num_leaves);
+
+  // The column store is only sound on full serial sweeps: a chunked
+  // parallel sweep expands a chunk-local lazy graph whose edge
+  // discovery order depends on the chunk's valuation range, so its
+  // column indices are not comparable across requests. (The eager
+  // engine has no such restriction — its columns cover the one full
+  // graph regardless of range.)
+  const bool use_store = leaf_store_ != nullptr && begin == 0 &&
+                         end >= num_valuations_ && !stop;
+  auto attach_store = [&](size_t k, LeafCol* col,
+                          const std::string& binding) {
+    col->store_key = LeafStoreKey(leaf_ctx_, leaf_fp_[k], binding);
+    std::vector<uint64_t> set_bits;
+    uint64_t upto = 0;
+    if (leaf_store_->Lookup(col->store_key, &set_bits, &upto) && upto > 0) {
+      col->bits.GrowTo(static_cast<size_t>(upto));
+      for (uint64_t e : set_bits) {
+        if (e < upto) col->bits.Set(static_cast<size_t>(e));
+      }
+      col->upto = static_cast<size_t>(upto);
+      col->loaded_upto = col->upto;
+      WSV_COUNT1("cache/leaf_cols_loaded");
+      WSV_COUNT("cache/leaf_evals_saved", upto);
+    }
+  };
+  auto publish_cols = [&] {
+    if (!use_store) return;
+    for (LeafCol& col : col_store) {
+      if (col.store_key.empty() || col.upto <= col.loaded_upto) continue;
+      leaf_store_->Publish(col.store_key, SetBitsOf(col.bits, col.upto),
+                           col.upto);
+      col.loaded_upto = col.upto;
+      WSV_COUNT1("cache/leaf_cols_published");
+    }
+  };
 
   auto extend_col = [&](size_t k, LeafCol* col, size_t n) -> Status {
     if (col->upto >= n) return Status::OK();
@@ -653,6 +819,7 @@ LtlDatabaseCheck::CheckValuationsOtf(
         if (static_col[k] == nullptr) {
           col_store.emplace_back();
           static_col[k] = &col_store.back();
+          if (use_store) attach_store(k, static_col[k], "static");
           WSV_COUNT1("ltl/static_leaf_cols");
         }
         leaf_cols[k] = static_col[k];
@@ -679,6 +846,12 @@ LtlDatabaseCheck::CheckValuationsOtf(
         ensure_valuation();
         col_store.emplace_back();
         col_store.back().val = valuation;
+        if (use_store) {
+          attach_store(k, &col_store.back(),
+                       LeafBinding(leaf_vars_[k], digits, cand_,
+                                   domain_relevant_[k],
+                                   leaf_qfree_[k] != 0));
+        }
         it = memo[k].emplace(memo_key, &col_store.back()).first;
         WSV_COUNT1("ltl/leaf_memo_entries");
       } else {
@@ -890,8 +1063,10 @@ LtlDatabaseCheck::CheckValuationsOtf(
     found.cex.database = *database_;
     found.cex.run = outcome->run;
     found.cex.valuation = std::move(valuation);
+    publish_cols();
     return std::optional<IndexedCounterExample>(std::move(found));
   }
+  publish_cols();
   return std::optional<IndexedCounterExample>(std::nullopt);
 }
 

@@ -47,6 +47,8 @@
 
 namespace wsv {
 
+class LeafColumnStore;
+
 struct LtlVerifyOptions {
   DbEnumOptions db;
   ConfigGraphOptions graph;
@@ -68,6 +70,18 @@ struct LtlVerifyOptions {
   /// `verify --eager`; equivalent to the WSV_DISABLE_ONTHEFLY=1
   /// environment toggle but scoped to this verifier.
   bool force_eager = false;
+  /// Optional cross-request persistence for FO-leaf truth columns
+  /// (verify/leaf_store.h; the verification cache's disk tier plugs in
+  /// here). Null disables persistence. Verdicts and witnesses are
+  /// identical with or without a store — only FO re-evaluation is
+  /// skipped.
+  LeafColumnStore* leaf_store = nullptr;
+  /// Opaque key prefix for leaf-store entries. Callers must fingerprint
+  /// everything that fixes the configuration graph and its edge order:
+  /// spec, database, resolved constant pool, tracked prev-relations,
+  /// engine mode — and, for the on-the-fly engine, the property (its
+  /// nested DFS drives edge discovery order).
+  std::string leaf_store_context;
 };
 
 /// A violation witness: the database and the ultimately periodic run.
@@ -233,6 +247,17 @@ class LtlDatabaseCheck {
   /// Lets the memo key include exactly the domain-relevant values, so
   /// memoized and direct evaluation agree bit-for-bit.
   std::vector<std::vector<char>> domain_relevant_;
+  /// Cross-request column persistence (null = disabled; see
+  /// LtlVerifyOptions::leaf_store). The eager sweep consults it for
+  /// static and memoized dynamic columns; the on-the-fly sweep only on
+  /// full uncancellable ranges, where edge discovery order is
+  /// deterministic (chunked parallel sweeps expand chunk-local graphs
+  /// whose edge orders differ).
+  LeafColumnStore* leaf_store_ = nullptr;
+  std::string leaf_ctx_;
+  /// Per leaf: hex structural fingerprint — the leaf component of store
+  /// keys. Populated only when leaf_store_ is set.
+  std::vector<std::string> leaf_fp_;
 };
 
 class LtlVerifier {
@@ -272,6 +297,18 @@ bool ClassCollapseEnabled();
 /// does LtlVerifyOptions::force_eager per verifier. Verdicts and
 /// counterexamples are identical either way.
 bool OnTheFlyEnabled();
+
+/// The resolved input-constant candidate pool for one (service,
+/// property, database) context: the database's active domain, the rule
+/// and property literals, plus `extra_constant_values` fresh values —
+/// unless `options.graph.constant_pool` already pins the pool, in which
+/// case that is returned unchanged. This is exactly the pool
+/// LtlDatabaseCheck::Create resolves; exposed so cache keys and leaf
+/// store contexts can fingerprint what the sweep will actually see.
+std::vector<Value> ResolveConstantPool(const WebService& service,
+                                       const TemporalProperty& property,
+                                       const Instance& database,
+                                       const LtlVerifyOptions& options);
 
 /// The prev-relation names a run of `service` must track so that both
 /// the service's rules and the property's `prev` atoms can be evaluated.

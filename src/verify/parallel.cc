@@ -140,6 +140,12 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::Verify(
           if (cancelled_below(d)) return;
 
           LtlVerifyOptions opts = options_;
+          // The leaf-column store context cannot bind an enumerated
+          // database's identity (the caller fingerprints one concrete
+          // database), so persisted columns would alias across the
+          // sweep. Drop the store here; enumerated verifies always
+          // evaluate leaves fresh.
+          opts.leaf_store = nullptr;
           opts.graph.cancel_check = [&board, d] {
             return board.best_index.load(std::memory_order_relaxed) < d;
           };
@@ -223,9 +229,17 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
       BuchiAutomaton automaton,
       BuildNegatedAutomaton(*service_, property,
                             options_.require_input_bounded));
+  LtlVerifyOptions opts = options_;
+  // Chunked on-the-fly sweeps expand chunk-local lazy graphs whose edge
+  // order depends on the visited range, so persisted columns from one
+  // cut would be garbage under another. The sweep itself refuses
+  // partial-range stores, but gate here too so the intent is explicit:
+  // only the eager engine (fixed edge order from Create) shares columns
+  // across chunked sweeps.
+  if (OnTheFlyEnabled() && !opts.force_eager) opts.leaf_store = nullptr;
   WSV_ASSIGN_OR_RETURN(
       LtlDatabaseCheck check,
-      LtlDatabaseCheck::Create(service_, options_, &property, &automaton,
+      LtlDatabaseCheck::Create(service_, opts, &property, &automaton,
                                database));
 
   LtlVerifyResult result;

@@ -35,7 +35,13 @@ regression in the on-the-fly early exit would push the Property-1 ratio
 toward 1.
 
 Usage: bench_guard.py BENCH_BINARY BUDGETS_JSON [--min-time SECS]
+       bench_guard.py REPORT_JSON BUDGETS_JSON --json-report
 Exit status: 0 = all budgets hold, 1 = violation or missing benchmark.
+
+With --json-report the first argument is a pre-produced report in the
+same JSON schema (e.g. BENCH_replay.json from `wsvcli replay
+--bench-json`) and nothing is executed — the budgets are checked
+against the file as-is.
 """
 
 import argparse
@@ -77,6 +83,9 @@ def main():
     ap.add_argument("budgets", help="budgets JSON file")
     ap.add_argument("--min-time", default="0.01",
                     help="--benchmark_min_time value (default 0.01)")
+    ap.add_argument("--json-report", action="store_true",
+                    help="treat BENCH_BINARY as a pre-produced JSON "
+                         "report instead of an executable to run")
     args = ap.parse_args()
 
     with open(args.budgets) as f:
@@ -87,25 +96,31 @@ def main():
 
     compares = budgets.pop("__compare__", [])
 
-    # Only run the budgeted benchmarks: anchored alternation on the
-    # base names (the part before any "/arg" suffix).
-    names = set(budgets)
-    for rule in compares:
-        names.add(rule["numerator"][0])
-        names.add(rule["denominator"][0])
-    bases = sorted({name.split("/")[0] for name in names})
-    bench_filter = "^(" + "|".join(bases) + ")(/.*)?$"
-    cmd = [
-        args.binary,
-        "--benchmark_format=json",
-        "--benchmark_min_time=" + args.min_time,
-        "--benchmark_filter=" + bench_filter,
-    ]
-    proc = subprocess.run(cmd, stdout=subprocess.PIPE, text=True)
-    if proc.returncode != 0:
-        print("bench_guard: %s exited with %d" % (cmd[0], proc.returncode))
-        return 1
-    report = json.loads(proc.stdout)
+    if args.json_report:
+        bench_filter = "(pre-produced report %s)" % args.binary
+        with open(args.binary) as f:
+            report = json.load(f)
+    else:
+        # Only run the budgeted benchmarks: anchored alternation on the
+        # base names (the part before any "/arg" suffix).
+        names = set(budgets)
+        for rule in compares:
+            names.add(rule["numerator"][0])
+            names.add(rule["denominator"][0])
+        bases = sorted({name.split("/")[0] for name in names})
+        bench_filter = "^(" + "|".join(bases) + ")(/.*)?$"
+        cmd = [
+            args.binary,
+            "--benchmark_format=json",
+            "--benchmark_min_time=" + args.min_time,
+            "--benchmark_filter=" + bench_filter,
+        ]
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE, text=True)
+        if proc.returncode != 0:
+            print("bench_guard: %s exited with %d"
+                  % (cmd[0], proc.returncode))
+            return 1
+        report = json.loads(proc.stdout)
 
     by_name = {}
     for entry in report.get("benchmarks", []):

@@ -49,6 +49,22 @@
 //       atomic rename, so a crashed run never leaves a truncated file.
 //       Telemetry is flushed on every outcome — PASS, counterexample,
 //       error, or cancellation — so partial sweeps are still measurable.
+//       --cache-dir DIR consults the cross-request verification cache
+//       (src/cache/) before running the verifier: an exact-fingerprint
+//       hit or an edit-migrated warm entry is served verbatim (the
+//       printed verdict is byte-identical to the cold run), a miss
+//       verifies and publishes the verdict to DIR. --label NAME sets the
+//       edit-chain identity used for incremental invalidation (default:
+//       the spec path). WSV_DISABLE_VERIFY_CACHE=1 bypasses the cache.
+//   wsvcli replay <jobs.jsonl> [--cache-dir DIR] [--jobs N] [--eager]
+//                 [--quiet] [--bench-json FILE] [--stats]
+//                 [--stats-json FILE] [--log-json FILE] [--trace-out F]
+//       Feed a JSONL request stream (one {"spec": ..., "property": ...}
+//       object per line; see src/cache/replay.h for the schema) through
+//       the verification cache and report hit rates, per-outcome counts,
+//       and hit-latency percentiles. --bench-json writes the report in
+//       google-benchmark JSON schema for tools/bench_guard.py budgets;
+//       --quiet suppresses the per-request progress lines.
 //   wsvcli verify-ctl <spec.wsv> <property> <db.wsd> [--pool a,b,c]
 //       Verify a propositional CTL / CTL* property on the service's
 //       Kripke structure over the given database (Theorem 4.4).
@@ -77,6 +93,8 @@
 
 #include "analysis/lints.h"
 #include "analysis/render.h"
+#include "cache/replay.h"
+#include "cache/verify_cache.h"
 #include "common/file_util.h"
 #include "common/str_util.h"
 #include "ctl/ctl_check.h"
@@ -118,7 +136,10 @@ int Usage() {
       "[--fresh N] [--unchecked] [--eager] [--jobs N] [--no-fo-bytecode] "
       "[--stats] [--stats-json FILE] [--trace-out FILE] [--progress] "
       "[--log-json FILE] [--heartbeat SECS] [--watchdog-deadline SECS] "
-      "[--step-budget N]\n"
+      "[--step-budget N] [--cache-dir DIR] [--label NAME]\n"
+      "  wsvcli replay <jobs.jsonl> [--cache-dir DIR] [--jobs N] "
+      "[--eager] [--quiet] [--bench-json FILE] [--stats] "
+      "[--stats-json FILE] [--log-json FILE] [--trace-out FILE]\n"
       "  wsvcli verify-ctl <spec.wsv> <property> <db.wsd> "
       "[--pool a,b,c]\n"
       "  wsvcli lint <spec.wsv> [--format=text|json|sarif] [--werror]\n");
@@ -168,6 +189,15 @@ struct Flags {
   double watchdog_deadline_secs = -1.0;
   /// Bytecode-VM step budget per execution; < 0 = keep the default.
   long long step_budget = -1;
+  /// Cross-request verification cache root (verify/replay); empty =
+  /// no cache for `verify`, memory-only for `replay`.
+  std::string cache_dir;
+  /// Edit-chain identity for the cache (default: the spec path).
+  std::string label;
+  /// Replay: write the report as google-benchmark JSON to this path.
+  std::string bench_json;
+  /// Replay: suppress per-request progress lines.
+  bool quiet = false;
   /// Lint output format: "text", "json", or "sarif".
   std::string format = "text";
   /// Lint: treat warnings as errors (exit 1 when any warning fires).
@@ -221,6 +251,14 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
     } else if (arg == "--step-budget") {
       WSV_ASSIGN_OR_RETURN(std::string v, next());
       flags.step_budget = std::atoll(v.c_str());
+    } else if (arg == "--cache-dir") {
+      WSV_ASSIGN_OR_RETURN(flags.cache_dir, next());
+    } else if (arg == "--label") {
+      WSV_ASSIGN_OR_RETURN(flags.label, next());
+    } else if (arg == "--bench-json") {
+      WSV_ASSIGN_OR_RETURN(flags.bench_json, next());
+    } else if (arg == "--quiet") {
+      flags.quiet = true;
     } else if (arg == "--werror") {
       flags.werror = true;
     } else if (arg == "--format") {
@@ -513,6 +551,61 @@ int CmdVerify(const Flags& flags) {
   options.db.fresh_values = flags.fresh;
   options.require_input_bounded = !flags.unchecked;
   options.force_eager = flags.eager;
+
+  std::optional<Instance> db;
+  if (flags.positional.size() >= 3) {
+    auto loaded = LoadDatabase(flags.positional[2], service->vocab());
+    if (!loaded.ok()) {
+      finish(loaded.status(), "ERROR");
+      return Fail(loaded.status());
+    }
+    db = std::move(*loaded);
+  }
+
+  // Cross-request verification cache (--cache-dir): consult before
+  // running the verifier. A hit or warm entry is served verbatim — the
+  // printed verdict is the byte-identical text the populating cold run
+  // produced — and no product is built.
+  std::optional<cache::VerifyCache> vcache;
+  cache::RequestKey cache_key;
+  if (!flags.cache_dir.empty()) {
+    cache::VerifyCache::Config cfg;
+    cfg.dir = flags.cache_dir;
+    vcache.emplace(std::move(cfg));
+    cache_key = cache::MakeRequestKey(*service, *prop,
+                                      db.has_value() ? &*db : nullptr,
+                                      options, flags.jobs);
+    const std::string cache_label =
+        flags.label.empty() ? flags.positional[0] : flags.label;
+    vcache->RegisterSpec(cache_key.spec, spec_text);
+    cache::VerifyCache::LookupResult looked =
+        vcache->Lookup(cache_key, cache_label, *service, *prop);
+    text_fields.emplace_back("cache_outcome",
+                             cache::OutcomeName(looked.outcome));
+    if (looked.outcome == cache::Outcome::kHit ||
+        looked.outcome == cache::Outcome::kWarm) {
+      const cache::CachedVerdict& v = looked.verdict;
+      finish(Status::OK(), v.holds ? "HOLDS" : "VIOLATED");
+      if (v.holds) {
+        std::printf("HOLDS within bounds (%llu database(s), "
+                    "%llu graph nodes, %llu product states)%s\n",
+                    static_cast<unsigned long long>(v.databases_checked),
+                    static_cast<unsigned long long>(v.total_graph_nodes),
+                    static_cast<unsigned long long>(v.total_product_states),
+                    v.complete_within_bounds ? "" : " [truncated]");
+        return 0;
+      }
+      std::printf("VIOLATED; counterexample:\n%s", v.witness_text.c_str());
+      return 3;
+    }
+    if (db.has_value() && cache::VerifyCache::Enabled()) {
+      options.leaf_store_context = cache::VerifyCache::LeafContext(
+          cache_key, *service, *prop, *db, options,
+          /*on_the_fly=*/!options.force_eager && OnTheFlyEnabled());
+      options.leaf_store = vcache->leaf_store();
+    }
+  }
+
   ParallelLtlVerifier verifier(&*service, options, flags.jobs);
   if (!flags.trace_out.empty()) obs::StartTracing();
   StatusOr<LtlVerifyResult> result = Status::OK();
@@ -529,18 +622,22 @@ int CmdVerify(const Flags& flags) {
       }
       watchdog.emplace(wopts);
     }
-    if (flags.positional.size() >= 3) {
-      auto db = LoadDatabase(flags.positional[2], service->vocab());
-      if (!db.ok()) {
-        if (watchdog.has_value()) watchdog->Stop();
-        finish(db.status(), "ERROR");
-        return Fail(db.status());
-      }
+    if (db.has_value()) {
       result = verifier.VerifyOnDatabase(*prop, *db);
     } else {
       result = verifier.Verify(*prop);
     }
   }  // watchdog final sweep + join: stall events land before the terminal
+  if (vcache.has_value() && result.ok()) {
+    cache::CachedVerdict v;
+    v.holds = result->holds;
+    if (!result->holds) v.witness_text = result->counterexample->ToString();
+    v.databases_checked = result->databases_checked;
+    v.total_graph_nodes = result->total_graph_nodes;
+    v.total_product_states = result->total_product_states;
+    v.complete_within_bounds = result->complete_within_bounds;
+    vcache->Insert(cache_key, v);
+  }
   if (result.ok() && !result->holds) {
     // Independently re-derive the witness through the runtime stepper
     // before presenting it (the same validation the tests apply).
@@ -573,6 +670,50 @@ int CmdVerify(const Flags& flags) {
   std::printf("VIOLATED; counterexample:\n%s",
               result->counterexample->ToString().c_str());
   return 3;
+}
+
+// Batch replay: a JSONL request stream through the verification cache
+// (src/cache/replay.h). Shares the verify telemetry surfaces — --stats,
+// --stats-json, --trace-out, --log-json (per-request wide events).
+int CmdReplay(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  auto jobs_text = ReadFile(flags.positional[0]);
+  if (!jobs_text.ok()) return Fail(jobs_text.status());
+  auto jobs = cache::ParseReplayJobs(*jobs_text);
+  if (!jobs.ok()) return Fail(jobs.status());
+
+  const bool log_enabled = !flags.log_json.empty();
+  if (log_enabled) {
+    Status st = obs::EventLog::Get().Open(flags.log_json);
+    if (!st.ok()) return Fail(st);
+  }
+  if (!flags.trace_out.empty()) obs::StartTracing();
+
+  cache::VerifyCache::Config cfg;
+  cfg.dir = flags.cache_dir;
+  cache::VerifyCache vcache(std::move(cfg));
+  cache::ReplayOptions options;
+  options.cache_dir = flags.cache_dir;
+  options.jobs = flags.jobs > 0 ? flags.jobs : 1;
+  options.eager = flags.eager;
+  options.quiet = flags.quiet;
+  options.log_events = log_enabled;
+  auto report = cache::RunReplay(*jobs, options, &vcache);
+
+  EmitVerifyTelemetry(flags);
+  if (log_enabled) {
+    Status st = obs::EventLog::Get().Close();
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
+    }
+  }
+  if (!report.ok()) return Fail(report.status());
+  std::fputs(report->ToText().c_str(), stdout);
+  if (!flags.bench_json.empty()) {
+    Status st = WriteFileAtomic(flags.bench_json, report->ToBenchJson());
+    if (!st.ok()) return Fail(st);
+  }
+  return 0;
 }
 
 int CmdLint(const Flags& flags) {
@@ -637,6 +778,7 @@ int Main(int argc, char** argv) {
   if (cmd == "run") return CmdRun(*flags);
   if (cmd == "check-errors") return CmdCheckErrors(*flags);
   if (cmd == "verify") return CmdVerify(*flags);
+  if (cmd == "replay") return CmdReplay(*flags);
   if (cmd == "verify-ctl") return CmdVerifyCtl(*flags);
   if (cmd == "lint") return CmdLint(*flags);
   return Usage();
