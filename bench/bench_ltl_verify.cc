@@ -11,6 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
+#include "analysis/slice.h"
 #include "gallery/gallery.h"
 #include "ltl/ltl_parser.h"
 #include "obs/report.h"
@@ -51,6 +54,23 @@ void MergeObsCounters(benchmark::State& state) {
   put("obs_bytecode_steps", "fo/bytecode_steps");
   put("obs_bytecode_execs", "fo/bytecode_execs");
   put("obs_interp_evals", "fo/interp_evals");
+  // Cone-of-influence slicing: dependence-graph size, what the slicer
+  // dropped, and how often the sliced probe bailed at a lasso. The
+  // ratio row makes the reduction visible at a glance.
+  put("obs_depgraph_nodes", "depgraph/nodes");
+  put("obs_depgraph_edges", "depgraph/edges");
+  put("obs_slice_cone_size", "slice/cone_size");
+  put("obs_slice_rules_dropped", "slice/rules_dropped");
+  put("obs_slice_relations_dropped", "slice/relations_dropped");
+  put("obs_slice_inputs_dropped", "slice/inputs_dropped");
+  put("obs_slice_sliced", "slice/sliced");
+  put("obs_slice_lasso_bailouts", "slice/lasso_bailouts");
+  uint64_t cone = snap.CounterValue("slice/cone_size");
+  uint64_t dropped = snap.CounterValue("slice/relations_dropped");
+  if (cone + dropped > 0) {
+    state.counters["obs_slice_cone_ratio"] =
+        static_cast<double>(cone) / static_cast<double>(cone + dropped);
+  }
   // Peak product size: the max of the per-search state-count histogram
   // (not averaged — it is already a max over the snapshot window).
   auto hist = snap.histograms.find("ltl/peak_product_states");
@@ -83,7 +103,12 @@ void MergeObsCounters(benchmark::State& state) {
 
 // Property 1 runs in both modes so the _Eager row is the A/B baseline
 // for the on-the-fly early exit (tools/bench_guard.py compares them).
-void RunProperty1(benchmark::State& state, bool eager) {
+// The _NoSlice row is the baseline for the cone-of-influence slicer: on
+// this VIOLATED property the sliced probe is pure overhead (the first
+// valuation already has a lasso), so the row bounds that overhead.
+void RunProperty1(benchmark::State& state, bool eager, bool slice = true) {
+  std::optional<analysis::ScopedDisableSlice> no_slice;
+  if (!slice) no_slice.emplace();
   WebService service = std::move(BuildEcommerceService()).value();
   Instance db = EcommerceSmallDatabase();
   LtlVerifyOptions options;
@@ -117,7 +142,18 @@ void BM_Property1_Ecommerce_Eager(benchmark::State& state) {
 }
 BENCHMARK(BM_Property1_Ecommerce_Eager)->Unit(benchmark::kMillisecond);
 
-void RunProperty4(benchmark::State& state, bool eager) {
+void BM_Property1_Ecommerce_NoSlice(benchmark::State& state) {
+  RunProperty1(state, /*eager=*/false, /*slice=*/false);
+}
+BENCHMARK(BM_Property1_Ecommerce_NoSlice)->Unit(benchmark::kMillisecond);
+
+// Property 4 holds, so slicing pays off in full: the sliced graph alone
+// proves the absence of accepting lassos and the unsliced product is
+// never built. The _NoSlice row is the A/B baseline for the guard's
+// cone-reduction compare rules.
+void RunProperty4(benchmark::State& state, bool eager, bool slice = true) {
+  std::optional<analysis::ScopedDisableSlice> no_slice;
+  if (!slice) no_slice.emplace();
   WebService service = std::move(BuildEcommerceService()).value();
   Instance db = EcommerceSmallDatabase();
   LtlVerifyOptions options;
@@ -156,6 +192,11 @@ void BM_Property4_PayBeforeShip_Eager(benchmark::State& state) {
   RunProperty4(state, /*eager=*/true);
 }
 BENCHMARK(BM_Property4_PayBeforeShip_Eager)->Unit(benchmark::kMillisecond);
+
+void BM_Property4_PayBeforeShip_NoSlice(benchmark::State& state) {
+  RunProperty4(state, /*eager=*/false, /*slice=*/false);
+}
+BENCHMARK(BM_Property4_PayBeforeShip_NoSlice)->Unit(benchmark::kMillisecond);
 
 // --- E2b: the parallel engine, /jobs:1 vs /jobs:N. ---------------------
 //
@@ -315,7 +356,10 @@ BENCHMARK(BM_ScaleClosureArity)->DenseRange(1, 3, 1)
 // on-the-fly and eager rows must agree on verdicts; the guard asserts
 // the lazy path never *creates* more product states than the eager one
 // materializes (no state-count inversion on HOLDS).
-void RunLoginHoldsSweep(benchmark::State& state, bool eager) {
+void RunLoginHoldsSweep(benchmark::State& state, bool eager,
+                        bool slice = true) {
+  std::optional<analysis::ScopedDisableSlice> no_slice;
+  if (!slice) no_slice.emplace();
   WebService service = std::move(BuildLoginService()).value();
   LtlVerifyOptions options;
   options.db.fresh_values = 1;
@@ -349,6 +393,12 @@ void BM_LoginHoldsBound_Eager(benchmark::State& state) {
   RunLoginHoldsSweep(state, /*eager=*/true);
 }
 BENCHMARK(BM_LoginHoldsBound_Eager)->ArgName("bound")->DenseRange(1, 2, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LoginHoldsBound_NoSlice(benchmark::State& state) {
+  RunLoginHoldsSweep(state, /*eager=*/false, /*slice=*/false);
+}
+BENCHMARK(BM_LoginHoldsBound_NoSlice)->ArgName("bound")->DenseRange(1, 2, 1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

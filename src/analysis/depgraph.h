@@ -1,0 +1,126 @@
+// Whole-spec dependence graph and property cone queries.
+//
+// Nodes are the spec's relation symbols (database, state, input, action,
+// and page propositions), its declared constants, and every rule
+// (options/state/action/target), each carrying the source span of its
+// declaration. Edges point from a node to the nodes it *reads*:
+//
+//   rule        -> every relation named in its body (prev atoms resolve
+//                  to the base relation), every constant symbol it uses,
+//                  and the page it belongs to (a rule only fires while
+//                  the run sits on its page);
+//   state/action relation -> the rules whose head writes it;
+//   input relation        -> its options rules (the user picks from the
+//                            computed option set);
+//   page        -> the target rules that navigate *into* it.
+//
+// The backward closure of a property's FO atoms over these edges is the
+// property's cone of influence: everything outside it can be dropped
+// from the spec without changing what the property can observe (see
+// slice.h and DESIGN.md §10). The forward closure powers the
+// WSV-DEP-00x lints (symbols that can never influence navigation or an
+// action) and cache invalidation (cache/invalidate.cc).
+#ifndef WSV_ANALYSIS_DEPGRAPH_H_
+#define WSV_ANALYSIS_DEPGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/span.h"
+#include "fo/formula.h"
+#include "ltl/ltl.h"
+#include "ws/service.h"
+
+namespace wsv {
+namespace analysis {
+
+enum class DepNodeKind { kRelation, kConstant, kRule };
+
+struct DepNode {
+  enum class RuleKind { kNone, kOptions, kState, kAction, kTarget };
+
+  DepNodeKind kind = DepNodeKind::kRelation;
+  /// Valid for kRelation nodes (page propositions report kPage).
+  SymbolKind symbol_kind = SymbolKind::kDatabase;
+  /// Relation/constant name; for rules, a stable display label like
+  /// "CP/+cart" or "PP/target:CCP".
+  std::string name;
+  /// Owning page name for rule nodes; empty otherwise.
+  std::string page;
+  /// Declaration span (relation decl, constant decl, or rule head).
+  Span span;
+  /// Rule locator: kind + index into the owning page's rule vector.
+  RuleKind rule_kind = RuleKind::kNone;
+  int rule_index = -1;
+  /// For rule nodes: the head relation written ("" for target rules,
+  /// whose observable effect is the page transition itself).
+  std::string head;
+  /// For rule nodes: whether the body passed the domain-independence
+  /// analysis (IsDomainIndependent). A domain-dependent body reads the
+  /// whole active domain, so its cone is the entire spec.
+  bool domain_independent = true;
+
+  /// Edges: nodes this node depends on / nodes depending on this node.
+  std::vector<int> reads;
+  std::vector<int> readers;
+};
+
+class DepGraph {
+ public:
+  /// Builds the dependence graph for `service`. The service must outlive
+  /// the graph.
+  static DepGraph Build(const WebService& service);
+
+  const WebService& service() const { return *service_; }
+  const std::vector<DepNode>& nodes() const { return nodes_; }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Node id of a relation / constant, or -1 when not declared.
+  int FindRelation(const std::string& name) const;
+  int FindConstant(const std::string& name) const;
+
+  /// Backward closure over `reads` edges; returns one flag per node.
+  std::vector<char> BackwardCone(const std::vector<int>& seeds) const;
+  /// Forward closure over `readers` edges.
+  std::vector<char> ForwardReach(const std::vector<int>& seeds) const;
+
+  /// Seed nodes for a property: the relation, page, and constant
+  /// symbols named by its FO leaves (prev atoms resolve to the base
+  /// relation). Names not declared in the vocabulary are ignored.
+  std::vector<int> PropertySeeds(const TemporalProperty& property) const;
+  /// Seed nodes for the navigation frame: every target-rule node. The
+  /// page sequence of a run is always observable (error-page routing,
+  /// property page atoms), so target rules and everything they read are
+  /// in every property's cone.
+  std::vector<int> TargetSeeds() const;
+
+  /// True iff every FO leaf of `property` is domain-independent (its
+  /// truth depends only on the relations it names, never on the ambient
+  /// active domain). A domain-dependent leaf voids cone reasoning: its
+  /// quantifiers range over values contributed by *every* relation.
+  bool PropertyDomainIndependent(const TemporalProperty& property) const;
+
+  /// Renders the graph for `wsvcli deps`. `in_cone` may be empty (no
+  /// cone highlighting) or one flag per node.
+  std::string ToDot(const std::vector<char>& in_cone) const;
+  std::string ToJson(const std::vector<char>& in_cone) const;
+
+ private:
+  const WebService* service_ = nullptr;
+  std::vector<DepNode> nodes_;
+  uint64_t num_edges_ = 0;
+};
+
+/// Domain-independence of one FO formula: under the evaluator's
+/// guard-driven quantifier strategy, a formula is domain-independent
+/// when every quantified variable is either bound by a top-level
+/// positive atom conjunct (witnesses come from relation contents) or
+/// pinned by an equality against a literal or constant symbol, in every
+/// disjunct; ∀ is analyzed through the evaluator's own rewrite
+/// ∀x.φ ≡ ¬∃x.¬φ (NNF). Conservative: returns false when unsure.
+bool IsDomainIndependent(const Formula& f);
+
+}  // namespace analysis
+}  // namespace wsv
+
+#endif  // WSV_ANALYSIS_DEPGRAPH_H_

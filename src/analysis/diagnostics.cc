@@ -54,64 +54,80 @@ size_t DiagnosticSink::Count(Severity severity) const {
 const std::vector<RuleInfo>& RuleRegistry() {
   static const std::vector<RuleInfo>* kRules = new std::vector<RuleInfo>{
       {"WSV-PARSE-001", Severity::kError,
-       "specification does not parse", ""},
+       "specification does not parse", "", "LintSpecText"},
       {"WSV-VAL-001", Severity::kError,
-       "unknown or undeclared symbol", "Definition 2.1"},
+       "unknown or undeclared symbol", "Definition 2.1",
+       "ValidateServiceDiagnostics"},
       {"WSV-VAL-002", Severity::kError, "rule head arity mismatch",
-       "Definition 2.1"},
+       "Definition 2.1", "ValidateServiceDiagnostics"},
       {"WSV-VAL-003", Severity::kError,
-       "free body variable not bound by the rule head", "Definition 2.1"},
+       "free body variable not bound by the rule head", "Definition 2.1",
+       "ValidateServiceDiagnostics"},
       {"WSV-VAL-004", Severity::kError, "duplicate or miscounted rules",
-       "Definition 2.1"},
+       "Definition 2.1", "ValidateServiceDiagnostics"},
       {"WSV-VAL-005", Severity::kError,
-       "atom kind not permitted in this rule body", "Definition 2.1"},
+       "atom kind not permitted in this rule body", "Definition 2.1",
+       "ValidateServiceDiagnostics"},
       {"WSV-VAL-006", Severity::kError,
        "home/error/page structure violates the service definition",
-       "Definition 2.1"},
+       "Definition 2.1", "ValidateServiceDiagnostics"},
       {"WSV-VAL-007", Severity::kError,
-       "target rule body is not a sentence", "Definition 2.1"},
+       "target rule body is not a sentence", "Definition 2.1",
+       "ValidateServiceDiagnostics"},
       {"WSV-VAL-008", Severity::kError, "repeated head variable",
-       "Definition 2.1"},
+       "Definition 2.1", "ValidateServiceDiagnostics"},
       {"WSV-IB-001", Severity::kNote,
-       "quantification is not input-guarded", "Theorem 3.5"},
+       "quantification is not input-guarded", "Theorem 3.5",
+       "CollectInputBoundedDiagnostics"},
       {"WSV-IB-002", Severity::kNote,
-       "non-ground state atom in an options rule", "Theorem 3.7"},
+       "non-ground state atom in an options rule", "Theorem 3.7",
+       "CollectInputBoundedDiagnostics"},
       {"WSV-IB-003", Severity::kNote,
        "quantified variable occurs in a state/action atom (state projection)",
-       "Theorem 3.8"},
+       "Theorem 3.8", "CollectInputBoundedDiagnostics"},
       {"WSV-IB-004", Severity::kWarning,
        "prev input atom never fed by a predecessor page (assumes lossless "
        "prev_I)",
-       "Theorem 3.9"},
+       "Theorem 3.9", "LintLosslessPrev"},
       {"WSV-CLS-001", Severity::kNote,
-       "state/action relation is not propositional", "Theorem 4.4"},
+       "state/action relation is not propositional", "Theorem 4.4",
+       "CollectPropositionalDiagnostics"},
       {"WSV-CLS-002", Severity::kNote,
        "Prev_I atom not permitted in propositional services",
-       "Theorem 4.4"},
+       "Theorem 4.4", "CollectPropositionalDiagnostics"},
       {"WSV-CLS-003", Severity::kNote,
        "parameterized input or input constant in a fully propositional "
        "service",
-       "Theorem 4.6"},
+       "Theorem 4.6", "CollectFullyPropositionalDiagnostics"},
       {"WSV-CLS-004", Severity::kNote,
-       "database atom in a fully propositional service", "Theorem 4.6"},
+       "database atom in a fully propositional service", "Theorem 4.6",
+       "CollectFullyPropositionalDiagnostics"},
       {"WSV-NAV-001", Severity::kWarning,
-       "page unreachable from the home page", ""},
+       "page unreachable from the home page", "", "LintUnreachablePages"},
       {"WSV-NAV-002", Severity::kWarning,
        "syntactically overlapping target rules (nondeterministic "
        "navigation)",
-       ""},
+       "", "LintOverlappingTargets"},
       {"WSV-DEAD-001", Severity::kWarning,
-       "state relation read but never written", ""},
+       "state relation read but never written", "", "LintDeadSymbols"},
       {"WSV-DEAD-002", Severity::kNote,
-       "state relation written but never read", ""},
+       "state relation written but never read", "", "LintDeadSymbols"},
       {"WSV-DEAD-003", Severity::kWarning,
-       "declared input or constant never used", ""},
+       "declared input or constant never used", "", "LintDeadSymbols"},
       {"WSV-DEAD-004", Severity::kWarning,
-       "action relation has no action rule", ""},
+       "action relation has no action rule", "", "LintDeadSymbols"},
       {"WSV-DEAD-005", Severity::kNote,
-       "database relation never referenced", ""},
+       "database relation never referenced", "", "LintDeadSymbols"},
+      {"WSV-DEP-001", Severity::kNote,
+       "input can never influence navigation or actions (dependence cone)",
+       "", "LintDepGraph"},
+      {"WSV-DEP-002", Severity::kNote,
+       "state relation written but transitively unread by any target or "
+       "action",
+       "", "LintDepGraph"},
       {"WSV-DOM-001", Severity::kWarning,
-       "literal input atom outside the page's options domain", ""},
+       "literal input atom outside the page's options domain", "",
+       "LintOptionsDomain"},
   };
   return *kRules;
 }

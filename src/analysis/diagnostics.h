@@ -72,13 +72,19 @@ class DiagnosticSink {
 };
 
 /// Static metadata for one lint/validation rule. The registry is the
-/// single source of truth for severities and paper anchors; SARIF output
-/// lists it under tool.driver.rules and DESIGN.md §7 documents it.
+/// single source of truth for severities, paper anchors, and which pass
+/// emits each rule; SARIF output lists it under tool.driver.rules and
+/// DESIGN.md §7 documents it. Do not maintain rule lists elsewhere —
+/// tests/analysis_test.cc enforces that every entry names exactly one
+/// known emitting pass (or is explicitly marked "reserved") and that the
+/// corpus actually triggers it.
 struct RuleInfo {
   const char* id;        // "WSV-IB-002"
   Severity severity;     // default severity for findings of this rule
   const char* summary;   // one-line description
   const char* anchor;    // paper anchor ("Theorem 3.7") or ""
+  const char* pass;      // emitting pass, e.g. "LintDeadSymbols", or
+                         // "reserved" for IDs held but not yet emitted
 };
 
 /// All registered rules, in ID order.

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/depgraph.h"
 #include "ws/classify.h"
 #include "ws/spec_parser.h"
 #include "ws/validate.h"
@@ -485,6 +486,73 @@ void LintOptionsDomain(const WebService& service, DiagnosticSink* sink) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// WSV-DEP-001/002: symbols whose dependence-graph forward closure never
+// reaches a target rule or an action relation. Navigation and actions
+// are what every run observably does; a relation outside their combined
+// backward cone can only matter to a property that names it (or one of
+// its dependents) directly. Notes, not warnings: the paper's own
+// e-commerce demo ships such relations (the cart subsystem).
+
+void LintDepGraph(const WebService& service, DiagnosticSink* sink) {
+  const DepGraph graph = DepGraph::Build(service);
+  const std::vector<DepNode>& nodes = graph.nodes();
+  auto observable = [&](int start) {
+    std::vector<char> reach = graph.ForwardReach({start});
+    for (size_t j = 0; j < nodes.size(); ++j) {
+      if (!reach[j] || static_cast<int>(j) == start) continue;
+      if (nodes[j].kind == DepNodeKind::kRule &&
+          nodes[j].rule_kind == DepNode::RuleKind::kTarget) {
+        return true;
+      }
+      if (nodes[j].kind == DepNodeKind::kRelation &&
+          nodes[j].symbol_kind == SymbolKind::kAction) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const DepNode& node = nodes[i];
+    if (node.kind != DepNodeKind::kRelation) continue;
+    const int id = static_cast<int>(i);
+    if (node.symbol_kind == SymbolKind::kInput) {
+      // Inputs with no options rule and no reader at all are
+      // WSV-DEAD-003 territory; DEP-001 is for inputs that *are* wired
+      // up yet still cannot influence navigation or actions.
+      if (node.reads.empty() && node.readers.empty()) continue;
+      if (!observable(id)) {
+        ReportLint(sink, "WSV-DEP-001", node.span,
+                   "input " + node.name +
+                       " can never influence navigation or actions: no "
+                       "target rule or action depends on it, directly or "
+                       "transitively",
+                   "only a property naming " + node.name +
+                       " (or a relation it feeds) can observe it; wire it "
+                       "into a state, action, or target rule, or drop it");
+      }
+    } else if (node.symbol_kind == SymbolKind::kState) {
+      // Written-never-read is WSV-DEAD-002; DEP-002 is the transitive
+      // variant: the relation is read, but every chain of readers dead-
+      // ends before a target rule or action relation.
+      bool written = false;
+      for (int r : node.reads) {
+        if (nodes[r].kind == DepNodeKind::kRule) written = true;
+      }
+      if (!written || node.readers.empty()) continue;
+      if (!observable(id)) {
+        ReportLint(sink, "WSV-DEP-002", node.span,
+                   "state " + node.name +
+                       " is written and read, but no target rule or "
+                       "action transitively depends on it",
+                   "the " + node.name +
+                       " subsystem cannot steer the run; only a property "
+                       "naming it (or a relation it feeds) can observe it");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void RunAllLints(const WebService& service, DiagnosticSink* sink) {
@@ -493,6 +561,7 @@ void RunAllLints(const WebService& service, DiagnosticSink* sink) {
   LintUnreachablePages(service, sink);            // WSV-NAV-001
   LintOverlappingTargets(service, sink);          // WSV-NAV-002
   LintDeadSymbols(service, sink);                 // WSV-DEAD-*
+  LintDepGraph(service, sink);                    // WSV-DEP-001/002
   LintOptionsDomain(service, sink);               // WSV-DOM-001
 }
 

@@ -3,19 +3,14 @@
 // Beyond well-formedness (ws/validate.h) and fragment membership
 // (ws/classify.h), these passes flag specifications that are legal but
 // almost certainly wrong, and explain — with theorem anchors — where a
-// specification crosses the decidability frontier of Section 3:
+// specification crosses the decidability frontier of Section 3.
 //
-//   WSV-IB-001..003  undecidability traps (Theorems 3.5/3.7/3.8)
-//   WSV-IB-004       reliance on lossless prev_I (Theorem 3.9): a prev.I
-//                    atom on a page none of whose predecessors offers I
-//   WSV-NAV-001      page unreachable from the home page
-//   WSV-NAV-002      target rules not provably disjoint (nondeterministic
-//                    navigation)
-//   WSV-DEAD-001/002 state relations read-never-written / written-never-read
-//   WSV-DEAD-003     declared inputs and constants never used
-//   WSV-DEAD-004     action relations without action rules
-//   WSV-DEAD-005     database relations never referenced
-//   WSV-DOM-001      literal input atom outside the page's options domain
+// The authoritative rule list lives in ONE place: RuleRegistry() in
+// analysis/diagnostics.cc, which records each rule's ID, severity,
+// paper anchor, and emitting pass. Do not restate rule IDs here —
+// earlier revisions of this comment drifted from the registry, and
+// tests/analysis_test.cc now checks the registry against the passes
+// instead. DESIGN.md §7 renders the same registry for humans.
 //
 // RunAllLints assumes a structurally complete service (parsed, possibly
 // invalid); every pass is defensive about missing symbols so it can run
@@ -32,7 +27,8 @@
 namespace wsv {
 namespace analysis {
 
-/// Runs every lint pass (WSV-IB-*, WSV-NAV-*, WSV-DEAD-*, WSV-DOM-*).
+/// Runs every lint pass (WSV-IB-*, WSV-NAV-*, WSV-DEAD-*, WSV-DEP-*,
+/// WSV-DOM-*; see RuleRegistry() for the full list).
 void RunAllLints(const WebService& service, DiagnosticSink* sink);
 
 /// One-stop linting of specification text: parses (WSV-PARSE-001 on

@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/depgraph.h"
 #include "common/fingerprint.h"
 
 namespace wsv {
@@ -222,16 +223,24 @@ SpecDelta ComposeDeltas(const SpecDelta& a, const SpecDelta& b) {
 }
 
 bool PropertyAffected(const SpecDelta& delta,
-                      const TemporalProperty& property) {
+                      const TemporalProperty& property,
+                      const WebService& newer) {
   if (delta.global) return true;
   if (delta.dirty_relations.empty()) return false;
-  for (const FormulaPtr& leaf : property.formula->FoLeaves()) {
-    // Quantified leaves range over the active domain, which every
-    // relation's contents feed — treat them as touching everything.
-    if (!leaf->IsQuantifierFree()) return true;
-    for (const std::string& rel : leaf->RelationNames()) {
-      if (delta.dirty_relations.count(rel)) return true;
-    }
+  analysis::DepGraph graph = analysis::DepGraph::Build(newer);
+  // Quantified leaves that are not syntactically domain-independent
+  // range over the active domain, which every relation's contents feed
+  // — treat them as touching everything, exactly as before.
+  if (!graph.PropertyDomainIndependent(property)) return true;
+  // Otherwise a dirty relation matters iff the property transitively
+  // reads it: membership in the backward cone of the property's FO
+  // leaves. (Target rules are clean here — a dirty relation reaching
+  // one sends DiffServices global — so the cone needs no target seeds.)
+  std::vector<int> seeds = graph.PropertySeeds(property);
+  std::vector<char> cone = graph.BackwardCone(seeds);
+  for (const std::string& rel : delta.dirty_relations) {
+    int node = graph.FindRelation(rel);
+    if (node >= 0 && cone[static_cast<size_t>(node)]) return true;
   }
   return false;
 }

@@ -17,13 +17,18 @@
 //                     service's rules (prev-atoms read the base input
 //                     relation, so they propagate too).
 //
-// PropertyAffected then decides per cached property: affected iff the
-// delta is global, any FO leaf is quantified (quantifiers range over
-// the active domain, which every relation feeds — conservative), or a
-// quantifier-free leaf mentions a dirty relation. Unaffected HOLDS
-// verdicts migrate to the new spec ("warm" outcome); affected ones are
-// evicted and re-verified. The differential fuzz suite
-// (tests/cache_test.cc) is the soundness backstop for this algebra.
+// PropertyAffected then decides per cached property with a dependence-
+// graph cone query (analysis/depgraph.h) over the *new* service:
+// affected iff the delta is global, some dirty relation lies inside the
+// backward cone of the property's FO leaves, or the property is not
+// syntactically domain-independent (quantifiers then range over the
+// active domain, which every relation feeds — conservative, as before).
+// Out-of-cone edits migrate warm even when the property quantifies,
+// which is the payoff over the old leaf-mentions-dirty check.
+// Unaffected HOLDS verdicts migrate to the new spec ("warm" outcome);
+// affected ones are evicted and re-verified. The differential fuzz
+// suite (tests/cache_test.cc) is the soundness backstop for this
+// algebra.
 
 #ifndef WSV_CACHE_INVALIDATE_H_
 #define WSV_CACHE_INVALIDATE_H_
@@ -68,8 +73,12 @@ SpecDelta DiffServices(const WebService& older, const WebService& newer);
 SpecDelta ComposeDeltas(const SpecDelta& a, const SpecDelta& b);
 
 /// Whether a cached verdict for `property` can survive `delta`.
+/// `newer` is the post-edit service the delta's dirty set refers to;
+/// the decision is a backward-cone membership test on its dependence
+/// graph (see header comment).
 bool PropertyAffected(const SpecDelta& delta,
-                      const TemporalProperty& property);
+                      const TemporalProperty& property,
+                      const WebService& newer);
 
 }  // namespace cache
 }  // namespace wsv

@@ -533,7 +533,7 @@ VerifyCache::LookupResult VerifyCache::Lookup(
     // Only complete HOLDS verdicts migrate: a VIOLATED witness cites
     // concrete run content any edit may perturb, and a truncated search
     // may explore differently post-edit.
-    if (PropertyAffected(delta, property) || !old_verdict.holds ||
+    if (PropertyAffected(delta, property, service) || !old_verdict.holds ||
         !old_verdict.complete_within_bounds) {
       EvictLocked(old_combined);
       WSV_COUNT1("cache/invalidated");

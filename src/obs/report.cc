@@ -102,6 +102,15 @@ double ProgramCacheHitRate(const MetricsSnapshot& snap) {
   return double(hits) / double(hits + compiles);
 }
 
+double SliceConeRatio(const MetricsSnapshot& snap) {
+  const uint64_t cone = snap.CounterValue("slice/cone_size");
+  const uint64_t dropped = snap.CounterValue("slice/relations_dropped");
+  if (snap.CounterValue("slice/sliced") == 0 || cone + dropped == 0) {
+    return -1.0;
+  }
+  return double(cone) / double(cone + dropped);
+}
+
 double VerifyCacheHitRate(const MetricsSnapshot& snap) {
   const uint64_t requests = snap.CounterValue("cache/requests");
   if (requests == 0) return -1.0;
@@ -244,6 +253,21 @@ std::string FormatStatsTable(const MetricsSnapshot& snap) {
             snap.CounterValue("fo/interp_evals")));
     out += line;
   }
+  const double cone_ratio = SliceConeRatio(snap);
+  if (cone_ratio >= 0.0) {
+    std::snprintf(
+        line, sizeof(line),
+        "slice cone ratio: %s (%llu relations kept / %llu dropped, "
+        "%llu rules dropped)\n",
+        FormatRate(cone_ratio).c_str(),
+        static_cast<unsigned long long>(
+            snap.CounterValue("slice/cone_size")),
+        static_cast<unsigned long long>(
+            snap.CounterValue("slice/relations_dropped")),
+        static_cast<unsigned long long>(
+            snap.CounterValue("slice/rules_dropped")));
+    out += line;
+  }
   const double verify_cache_rate = VerifyCacheHitRate(snap);
   if (verify_cache_rate >= 0.0) {
     std::snprintf(
@@ -328,6 +352,13 @@ std::string StatsToJson(const MetricsSnapshot& snap) {
     std::snprintf(buf, sizeof(buf),
                   "%s    \"fo_program_cache_hit_rate\": %.4f",
                   first_derived ? "\n" : ",\n", cache_rate);
+    out += buf;
+    first_derived = false;
+  }
+  const double cone_ratio = SliceConeRatio(snap);
+  if (cone_ratio >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "%s    \"slice_cone_ratio\": %.4f",
+                  first_derived ? "\n" : ",\n", cone_ratio);
     out += buf;
     first_derived = false;
   }

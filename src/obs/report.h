@@ -52,6 +52,11 @@ double ProgramCacheHitRate(const MetricsSnapshot& snap);
 /// cache. -1 when no request went through a cache.
 double VerifyCacheHitRate(const MetricsSnapshot& snap);
 
+/// slice/cone_size / (slice/cone_size + slice/relations_dropped) — the
+/// share of relation symbols the property cones retained, summed over
+/// every sliced request. -1 when the slicer never produced a slice.
+double SliceConeRatio(const MetricsSnapshot& snap);
+
 }  // namespace obs
 }  // namespace wsv
 

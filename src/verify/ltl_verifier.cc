@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/slice.h"
 #include "automata/emptiness.h"
 #include "automata/ltl_to_buchi.h"
 #include "common/fingerprint.h"
@@ -149,6 +150,57 @@ std::vector<Value> ResolveConstantPool(const WebService& service,
   return std::vector<Value>(pool.begin(), pool.end());
 }
 
+std::vector<Value> ResolveClosureCandidates(const WebService& service,
+                                            const TemporalProperty& property,
+                                            const Instance& database,
+                                            const LtlVerifyOptions& options) {
+  if (!options.closure_candidates.empty()) {
+    return options.closure_candidates;
+  }
+  std::vector<Value> pool =
+      ResolveConstantPool(service, property, database, options);
+  std::set<Value> candidates(pool.begin(), pool.end());
+  candidates.insert(database.domain().begin(), database.domain().end());
+  for (Value v : ServiceRuleLiterals(service)) candidates.insert(v);
+  for (Value v : property.formula->Literals()) candidates.insert(v);
+  return std::vector<Value>(candidates.begin(), candidates.end());
+}
+
+LtlVerifyOptions SlicedCheckOptions(const LtlVerifyOptions& base,
+                                    const WebService& original,
+                                    const TemporalProperty& property,
+                                    const Instance& database) {
+  LtlVerifyOptions opts = base;
+  // Pin the pool and the candidate list to what the *original* service
+  // resolves: the sliced service has fewer rule literals, and a
+  // different candidate list would renumber the valuation index space.
+  opts.graph.constant_pool =
+      ResolveConstantPool(original, property, database, base);
+  opts.closure_candidates =
+      ResolveClosureCandidates(original, property, database, base);
+  // The sliced phase only decides lasso existence, so it always runs
+  // the early-exiting on-the-fly engine (unless the environment forces
+  // eager): under --eager the canonical phase stays eager while the
+  // probe's cost is one nested DFS on the reduced graph.
+  opts.force_eager = false;
+  // Sliced truth columns differ from full-spec ones, so they live in
+  // their own store keyspace: the sliced graph is a pure function of
+  // (spec, database, pool — all in the caller's context) plus the
+  // property (which the eager context omits) and the probe engine —
+  // add both explicitly, plus a slicer version tag so algorithm changes
+  // invalidate cleanly.
+  if (base.leaf_store != nullptr && !base.leaf_store_context.empty()) {
+    opts.leaf_store_context += std::string("|sliced-v1|") +
+                               (OnTheFlyEnabled() ? "otf|" : "eager|") +
+                               FingerprintProperty(property).ToHex();
+  } else {
+    opts.leaf_store = nullptr;
+    opts.leaf_store_context.clear();
+  }
+  opts.abort_on_lasso = true;
+  return opts;
+}
+
 std::set<std::string> TrackedPrevRelations(const WebService& service,
                                            const TemporalProperty& property) {
   // Track only the Prev_I relations the rules or the property observe.
@@ -224,20 +276,13 @@ StatusOr<LtlDatabaseCheck> LtlDatabaseCheck::Create(
     }
   }
 
+  check.abort_on_lasso_ = options.abort_on_lasso;
+
   // Valuation candidates for the universal closure variables: everything
   // that can occur in a run's active domain — the database, rule and
   // property literals, and the input-constant pool — unless the caller
   // restricted them.
-  if (!options.closure_candidates.empty()) {
-    check.cand_ = options.closure_candidates;
-  } else {
-    std::set<Value> candidates(graph_options.constant_pool.begin(),
-                               graph_options.constant_pool.end());
-    candidates.insert(db.domain().begin(), db.domain().end());
-    for (Value v : ServiceRuleLiterals(*service)) candidates.insert(v);
-    for (Value v : property->formula->Literals()) candidates.insert(v);
-    check.cand_.assign(candidates.begin(), candidates.end());
-  }
+  check.cand_ = ResolveClosureCandidates(*service, *property, db, options);
 
   const std::vector<std::string>& vars = property->universal_vars;
   const uint64_t c = check.cand_.size();
@@ -618,6 +663,17 @@ LtlDatabaseCheck::CheckValuations(uint64_t begin, uint64_t end,
       }
     }
     if (!outcome->violating) continue;
+
+    if (abort_on_lasso_) {
+      // Sliced first phase: an accepting lasso exists here, but its
+      // faithfulness is not slicing-invariant — report the index and
+      // let the caller re-check the full spec from it.
+      WSV_COUNT1("slice/lasso_bailouts");
+      IndexedCounterExample found;
+      found.valuation_index = i;
+      found.lasso_only = true;
+      return std::optional<IndexedCounterExample>(std::move(found));
+    }
 
     // Faithfulness check: the closure valuation must range over
     // Dom(rho); discard spurious witnesses using pool values that never
@@ -1043,6 +1099,17 @@ LtlDatabaseCheck::CheckValuationsOtf(
 
     if (!outcome->violating) continue;
 
+    if (abort_on_lasso_) {
+      // Sliced first phase (see the eager sweep): lasso existence is
+      // slicing-invariant, faithfulness is not — hand the index back.
+      WSV_COUNT1("slice/lasso_bailouts");
+      IndexedCounterExample found;
+      found.valuation_index = i;
+      found.lasso_only = true;
+      publish_cols();
+      return std::optional<IndexedCounterExample>(std::move(found));
+    }
+
     // Faithfulness: identical to the eager sweep — the valuation must
     // range over Dom(rho) ∪ property literals or the witness is spurious
     // for this particular binding.
@@ -1073,15 +1140,41 @@ LtlDatabaseCheck::CheckValuationsOtf(
 StatusOr<bool> LtlVerifier::CheckDatabase(const TemporalProperty& property,
                                           const BuchiAutomaton& automaton,
                                           const Instance& database,
+                                          const WebService* sliced_service,
                                           LtlVerifyResult* result) {
+  uint64_t sweep_begin = 0;
+  if (sliced_service != nullptr) {
+    // Phase 1: sweep the sliced spec in abort-on-lasso mode. A range
+    // with no accepting lasso on the sliced graph has none on the full
+    // graph either (the sliced graph is its quotient), so a lasso-free
+    // sweep decides HOLDS for this database outright; otherwise the
+    // full-spec sweep resumes at the first lasso index.
+    LtlVerifyOptions sliced_opts =
+        SlicedCheckOptions(options_, *service_, property, database);
+    WSV_ASSIGN_OR_RETURN(
+        LtlDatabaseCheck sliced_check,
+        LtlDatabaseCheck::Create(sliced_service, sliced_opts, &property,
+                                 &automaton, database));
+    uint64_t sliced_product_states = 0;
+    auto marker =
+        sliced_check.CheckValuations(0, sliced_check.NumValuations(), nullptr,
+                                     &sliced_product_states);
+    if (sliced_check.truncated()) result->complete_within_bounds = false;
+    result->total_graph_nodes += sliced_check.graph_nodes();
+    result->total_product_states += sliced_product_states;
+    if (!marker.ok()) return marker.status();
+    if (!marker->has_value()) return false;  // no lasso anywhere: holds
+    sweep_begin = (**marker).valuation_index;
+  }
+
   WSV_ASSIGN_OR_RETURN(
       LtlDatabaseCheck check,
       LtlDatabaseCheck::Create(service_, options_, &property, &automaton,
                                database));
 
   uint64_t product_states = 0;
-  auto found = check.CheckValuations(0, check.NumValuations(), nullptr,
-                                     &product_states);
+  auto found = check.CheckValuations(sweep_begin, check.NumValuations(),
+                                     nullptr, &product_states);
   // Graph accounting after the sweep: in on-the-fly mode the graph is
   // expanded (and possibly truncated) by the sweep itself.
   if (check.truncated()) result->complete_within_bounds = false;
@@ -1102,10 +1195,15 @@ StatusOr<LtlVerifyResult> LtlVerifier::VerifyOnDatabase(
       BuchiAutomaton automaton,
       BuildNegatedAutomaton(*service_, property,
                             options_.require_input_bounded));
+  std::unique_ptr<WebService> sliced;
+  if (analysis::SliceEnabled() && options_.enable_slice) {
+    sliced = analysis::SlicePropertyCone(*service_, property).service;
+  }
   LtlVerifyResult result;
   result.databases_checked = 1;
   WSV_RETURN_IF_ERROR(
-      CheckDatabase(property, automaton, database, &result).status());
+      CheckDatabase(property, automaton, database, sliced.get(), &result)
+          .status());
   return result;
 }
 
@@ -1115,6 +1213,10 @@ StatusOr<LtlVerifyResult> LtlVerifier::Verify(
       BuchiAutomaton automaton,
       BuildNegatedAutomaton(*service_, property,
                             options_.require_input_bounded));
+  std::unique_ptr<WebService> sliced;
+  if (analysis::SliceEnabled() && options_.enable_slice) {
+    sliced = analysis::SlicePropertyCone(*service_, property).service;
+  }
 
   DbEnumOptions db_options = options_.db;
   for (Value v : property.formula->Literals()) {
@@ -1128,7 +1230,8 @@ StatusOr<LtlVerifyResult> LtlVerifier::Verify(
           *service_, db_options,
           [&](const Instance& db) -> StatusOr<bool> {
             ++result.databases_checked;
-            return CheckDatabase(property, automaton, db, &result);
+            return CheckDatabase(property, automaton, db, sliced.get(),
+                                 &result);
           }));
   (void)stopped;
   return result;

@@ -70,6 +70,19 @@ struct LtlVerifyOptions {
   /// `verify --eager`; equivalent to the WSV_DISABLE_ONTHEFLY=1
   /// environment toggle but scoped to this verifier.
   bool force_eager = false;
+  /// Slice the spec against the property before building any
+  /// configuration graph (analysis/slice.h): rules outside the
+  /// property's cone of influence are dropped, configurations merge,
+  /// and a full-spec re-check from the first sliced lasso keeps
+  /// verdicts and witnesses bit-identical. The CLI's `--no-slice`;
+  /// equivalent to WSV_DISABLE_SLICE=1 but scoped to this verifier.
+  bool enable_slice = true;
+  /// Internal (the sliced first phase): return at the first accepting
+  /// lasso — faithful or spurious — as a `lasso_only` marker instead of
+  /// running the Dom(rho) faithfulness check. Lasso existence is
+  /// slicing-invariant; faithfulness is not, so the marker index is
+  /// where the full-spec re-check resumes.
+  bool abort_on_lasso = false;
   /// Optional cross-request persistence for FO-leaf truth columns
   /// (verify/leaf_store.h; the verification cache's disk tier plugs in
   /// here). Null disables persistence. Verdicts and witnesses are
@@ -111,6 +124,10 @@ struct LtlVerifyResult {
 struct IndexedCounterExample {
   uint64_t valuation_index = 0;
   CounterExample cex;
+  /// Set by abort-on-lasso sweeps (LtlVerifyOptions::abort_on_lasso):
+  /// an accepting lasso exists at this index, but `cex` is empty — the
+  /// caller re-checks the full spec from `valuation_index` on.
+  bool lasso_only = false;
 };
 
 /// The per-database half of the Theorem 3.5 procedure: the configuration
@@ -253,6 +270,10 @@ class LtlDatabaseCheck {
   /// full uncancellable ranges, where edge discovery order is
   /// deterministic (chunked parallel sweeps expand chunk-local graphs
   /// whose edge orders differ).
+  /// Copied from LtlVerifyOptions::abort_on_lasso: both sweeps return a
+  /// lasso_only marker at the first accepting lasso instead of running
+  /// the faithfulness check.
+  bool abort_on_lasso_ = false;
   LeafColumnStore* leaf_store_ = nullptr;
   std::string leaf_ctx_;
   /// Per leaf: hex structural fingerprint — the leaf component of store
@@ -272,9 +293,13 @@ class LtlVerifier {
                                              const Instance& database);
 
  private:
+  /// `sliced_service` (optional) is the property cone reduction of
+  /// service_: the check first sweeps the sliced spec in abort-on-lasso
+  /// mode and re-checks the full spec only from the first lasso index.
   StatusOr<bool> CheckDatabase(const TemporalProperty& property,
                                const BuchiAutomaton& automaton,
                                const Instance& database,
+                               const WebService* sliced_service,
                                LtlVerifyResult* result);
 
   const WebService* service_;
@@ -309,6 +334,29 @@ std::vector<Value> ResolveConstantPool(const WebService& service,
                                        const TemporalProperty& property,
                                        const Instance& database,
                                        const LtlVerifyOptions& options);
+
+/// The closure-valuation candidate list LtlDatabaseCheck::Create
+/// resolves for one (service, property, database) context:
+/// options.closure_candidates when non-empty, else the sorted set of
+/// the resolved constant pool, the database's active domain, the
+/// service's rule literals, and the property's literals. Exposed so a
+/// sliced check can pin its candidate list (and hence its valuation
+/// index space) to the *original* service's.
+std::vector<Value> ResolveClosureCandidates(const WebService& service,
+                                            const TemporalProperty& property,
+                                            const Instance& database,
+                                            const LtlVerifyOptions& options);
+
+/// Options for the sliced first phase of a two-phase check: `base` with
+/// the constant pool and closure candidates pinned to what the
+/// *original* service resolves (identical valuation indexing), the leaf
+/// store re-keyed into a sliced-column keyspace (sliced truth columns
+/// differ from full-spec ones; disabled when the caller set no
+/// context), and abort_on_lasso set.
+LtlVerifyOptions SlicedCheckOptions(const LtlVerifyOptions& base,
+                                    const WebService& original,
+                                    const TemporalProperty& property,
+                                    const Instance& database);
 
 /// The prev-relation names a run of `service` must track so that both
 /// the service's rules and the property's `prev` atoms can be evaluated.

@@ -8,6 +8,7 @@
 #include <optional>
 #include <utility>
 
+#include "analysis/slice.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
 
@@ -64,6 +65,14 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::Verify(
       BuchiAutomaton automaton,
       BuildNegatedAutomaton(*service_, property,
                             options_.require_input_bounded));
+
+  // Property cone reduction, shared by every per-database task: each
+  // task sweeps the sliced spec first (abort-on-lasso) and re-checks
+  // the full spec only from the first lasso index (see ltl_verifier.h).
+  std::unique_ptr<WebService> sliced;
+  if (analysis::SliceEnabled() && options_.enable_slice) {
+    sliced = analysis::SlicePropertyCone(*service_, property).service;
+  }
 
   DbEnumOptions db_options = options_.db;
   for (Value v : property.formula->Literals()) {
@@ -149,6 +158,46 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::Verify(
           opts.graph.cancel_check = [&board, d] {
             return board.best_index.load(std::memory_order_relaxed) < d;
           };
+
+          uint64_t sweep_begin = 0;
+          if (sliced != nullptr) {
+            // Phase 1: the sliced spec in abort-on-lasso mode. Lasso-
+            // free means this database holds (the sliced graph is a
+            // quotient of the full one); otherwise the full sweep
+            // resumes at the marker index.
+            LtlVerifyOptions sliced_opts =
+                SlicedCheckOptions(opts, *service_, property, *db_copy);
+            auto sliced_or = LtlDatabaseCheck::Create(
+                sliced.get(), sliced_opts, &property, &automaton, *db_copy);
+            if (!sliced_or.ok()) {
+              if (sliced_or.status().code() != StatusCode::kCancelled) {
+                record(d, true, sliced_or.status(), std::nullopt);
+              }
+              return;
+            }
+            uint64_t sliced_product_states = 0;
+            auto marker_or = sliced_or->CheckValuations(
+                0, sliced_or->NumValuations(),
+                [&board, d](uint64_t) {
+                  return board.best_index.load(std::memory_order_relaxed) < d;
+                },
+                &sliced_product_states);
+            {
+              std::lock_guard<std::mutex> lock(stats_mu);
+              total_graph_nodes += sliced_or->graph_nodes();
+              total_product_states += sliced_product_states;
+              if (sliced_or->truncated()) complete = false;
+            }
+            if (!marker_or.ok()) {
+              if (marker_or.status().code() != StatusCode::kCancelled) {
+                record(d, true, marker_or.status(), std::nullopt);
+              }
+              return;
+            }
+            if (!marker_or->has_value()) return;  // holds on this database
+            sweep_begin = (**marker_or).valuation_index;
+          }
+
           auto check_or = LtlDatabaseCheck::Create(service_, opts, &property,
                                                    &automaton, *db_copy);
           if (!check_or.ok()) {
@@ -159,7 +208,7 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::Verify(
           }
           uint64_t product_states = 0;
           auto found_or = check_or->CheckValuations(
-              0, check_or->NumValuations(),
+              sweep_begin, check_or->NumValuations(),
               [&board, d](uint64_t) {
                 return board.best_index.load(std::memory_order_relaxed) < d;
               },
@@ -237,76 +286,116 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
   // only the eager engine (fixed edge order from Create) shares columns
   // across chunked sweeps.
   if (OnTheFlyEnabled() && !opts.force_eager) opts.leaf_store = nullptr;
+
+  LtlVerifyResult result;
+  result.databases_checked = 1;
+  std::mutex stats_mu;
+  uint64_t total_product_states = 0;
+
+  // One chunked sweep of [from, n) over `chk`, lowest-index-wins on
+  // `board`. The context is immutable; chunks share it freely. Each
+  // chunk's sweep keeps its own FO-leaf memo and valuation-class table
+  // (call-local state in CheckValuations), so chunking trades collapse
+  // for balance: with class collapsing on, one contiguous shard per
+  // worker maximizes the per-shard collapse rate (and repeats cost next
+  // to nothing, so imbalance matters little); with the naive sweep
+  // forced, oversubscribe 4x so uneven valuation costs load-balance.
+  // Work counters sum exactly across shards either way — only the
+  // per-shard split (memo hits vs misses, classes vs hits) depends on
+  // the cut.
+  auto run_chunked = [&](const LtlDatabaseCheck& chk, uint64_t from,
+                         EventBoard& board) {
+    const uint64_t n = chk.NumValuations();
+    if (from >= n) return;
+    const uint64_t range = n - from;
+    const uint64_t num_chunks = std::min<uint64_t>(
+        range,
+        static_cast<uint64_t>(jobs_) * (ClassCollapseEnabled() ? 1 : 4));
+    const uint64_t chunk = (range + num_chunks - 1) / num_chunks;
+    ThreadPool pool(jobs_);
+    for (uint64_t begin = from; begin < n; begin += chunk) {
+      WSV_COUNT1("verify/valuation_chunks");
+      const uint64_t end = std::min(n, begin + chunk);
+      pool.Submit([&, begin, end] {
+        if (board.best_index.load(std::memory_order_relaxed) <= begin) return;
+        uint64_t product_states = 0;
+        auto found_or = chk.CheckValuations(
+            begin, end,
+            [&board](uint64_t i) {
+              return board.best_index.load(std::memory_order_relaxed) <= i;
+            },
+            &product_states);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu);
+          total_product_states += product_states;
+        }
+        if (!found_or.ok()) {
+          if (found_or.status().code() != StatusCode::kCancelled) {
+            // Key the error by the chunk's first index (a lower bound
+            // on where it occurred).
+            if (board.Record(begin, true, found_or.status(), std::nullopt)) {
+              WSV_COUNT1("verify/cancellations_signalled");
+              pool.CancelPending();
+            }
+          }
+          return;
+        }
+        if (found_or->has_value()) {
+          if (board.Record((**found_or).valuation_index, false, Status::OK(),
+                           std::move((**found_or).cex))) {
+            WSV_COUNT1("verify/cancellations_signalled");
+            pool.CancelPending();
+          }
+        }
+      });
+    }
+    pool.Wait();
+  };
+
+  // Phase 1 (when slicing applies): chunked abort-on-lasso sweep of the
+  // sliced spec. The lowest marker index is exactly the first index
+  // with an accepting lasso — chunks below it ran to completion without
+  // one — so the full-spec phase resumes there; no marker anywhere
+  // decides HOLDS outright.
+  uint64_t sweep_begin = 0;
+  std::unique_ptr<WebService> sliced;
+  if (analysis::SliceEnabled() && options_.enable_slice) {
+    sliced = analysis::SlicePropertyCone(*service_, property).service;
+  }
+  if (sliced != nullptr) {
+    LtlVerifyOptions sliced_opts =
+        SlicedCheckOptions(opts, *service_, property, database);
+    WSV_ASSIGN_OR_RETURN(
+        LtlDatabaseCheck sliced_check,
+        LtlDatabaseCheck::Create(sliced.get(), sliced_opts, &property,
+                                 &automaton, database));
+    EventBoard marker_board;
+    run_chunked(sliced_check, 0, marker_board);
+    result.total_graph_nodes += sliced_check.graph_nodes();
+    if (sliced_check.truncated()) result.complete_within_bounds = false;
+    if (marker_board.best_index.load() != UINT64_MAX) {
+      if (marker_board.is_error) return marker_board.error;
+      sweep_begin = marker_board.best_index.load();
+    } else {
+      result.total_product_states = total_product_states;
+      return result;  // lasso-free everywhere: holds
+    }
+  }
+
   WSV_ASSIGN_OR_RETURN(
       LtlDatabaseCheck check,
       LtlDatabaseCheck::Create(service_, opts, &property, &automaton,
                                database));
 
-  LtlVerifyResult result;
-  result.databases_checked = 1;
-
   const uint64_t n = check.NumValuations();
   if (n == 0) {
-    result.total_graph_nodes = check.graph_nodes();
+    result.total_graph_nodes += check.graph_nodes();
     if (check.truncated()) result.complete_within_bounds = false;
     return result;
   }
 
-  // The context is immutable; chunks share it freely. Each chunk's
-  // sweep keeps its own FO-leaf memo and valuation-class table (call-
-  // local state in CheckValuations), so chunking trades collapse for
-  // balance: with class collapsing on, one contiguous shard per worker
-  // maximizes the per-shard collapse rate (and repeats cost next to
-  // nothing, so imbalance matters little); with the naive sweep forced,
-  // oversubscribe 4x so uneven valuation costs load-balance. Work
-  // counters sum exactly across shards either way — only the per-shard
-  // split (memo hits vs misses, classes vs hits) depends on the cut.
-  const uint64_t num_chunks = std::min<uint64_t>(
-      n, static_cast<uint64_t>(jobs_) * (ClassCollapseEnabled() ? 1 : 4));
-  const uint64_t chunk = (n + num_chunks - 1) / num_chunks;
-
   EventBoard board;
-  std::mutex stats_mu;
-  uint64_t total_product_states = 0;
-
-  ThreadPool pool(jobs_);
-  for (uint64_t begin = 0; begin < n; begin += chunk) {
-    WSV_COUNT1("verify/valuation_chunks");
-    const uint64_t end = std::min(n, begin + chunk);
-    pool.Submit([&, begin, end] {
-      if (board.best_index.load(std::memory_order_relaxed) <= begin) return;
-      uint64_t product_states = 0;
-      auto found_or = check.CheckValuations(
-          begin, end,
-          [&board](uint64_t i) {
-            return board.best_index.load(std::memory_order_relaxed) <= i;
-          },
-          &product_states);
-      {
-        std::lock_guard<std::mutex> lock(stats_mu);
-        total_product_states += product_states;
-      }
-      if (!found_or.ok()) {
-        if (found_or.status().code() != StatusCode::kCancelled) {
-          // Key the error by the chunk's first index (a lower bound on
-          // where it occurred).
-          if (board.Record(begin, true, found_or.status(), std::nullopt)) {
-            WSV_COUNT1("verify/cancellations_signalled");
-            pool.CancelPending();
-          }
-        }
-        return;
-      }
-      if (found_or->has_value()) {
-        if (board.Record((**found_or).valuation_index, false, Status::OK(),
-                         std::move((**found_or).cex))) {
-          WSV_COUNT1("verify/cancellations_signalled");
-          pool.CancelPending();
-        }
-      }
-    });
-  }
-  pool.Wait();
+  run_chunked(check, sweep_begin, board);
   if (board.first_event_ns != 0) {
     if (!board.is_error) {
       WSV_HIST("verify/time_to_first_cex_ns",
@@ -317,7 +406,7 @@ StatusOr<LtlVerifyResult> ParallelLtlVerifier::VerifyOnDatabase(
 
   // Graph accounting after the sweeps: in on-the-fly mode the graphs are
   // expanded (and possibly truncated) by the per-shard sweeps.
-  result.total_graph_nodes = check.graph_nodes();
+  result.total_graph_nodes += check.graph_nodes();
   if (check.truncated()) result.complete_within_bounds = false;
   result.total_product_states = total_product_states;
   if (board.best_index.load() != UINT64_MAX) {

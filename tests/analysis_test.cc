@@ -579,5 +579,195 @@ TEST(Registry, EveryRuleHasUniqueIdAndSummary) {
   EXPECT_EQ(analysis::FindRule("WSV-NOPE-999"), nullptr);
 }
 
+// The registry is the single source of truth for which pass owns each
+// rule: every entry names exactly one known emitting pass (or is
+// explicitly "reserved"). A new rule with a novel pass name must be
+// added to this list — that is the point: the registry and the code
+// cannot drift apart silently again.
+TEST(Registry, EveryRuleNamesExactlyOneEmittingPass) {
+  const std::set<std::string> known_passes = {
+      "LintSpecText",
+      "ValidateServiceDiagnostics",
+      "CollectInputBoundedDiagnostics",
+      "CollectPropositionalDiagnostics",
+      "CollectFullyPropositionalDiagnostics",
+      "LintLosslessPrev",
+      "LintUnreachablePages",
+      "LintOverlappingTargets",
+      "LintDeadSymbols",
+      "LintDepGraph",
+      "LintOptionsDomain",
+      "reserved",
+  };
+  for (const analysis::RuleInfo& rule : analysis::RuleRegistry()) {
+    ASSERT_NE(rule.pass, nullptr) << rule.id;
+    EXPECT_EQ(known_passes.count(rule.pass), 1u)
+        << rule.id << " names unknown pass '" << rule.pass << "'";
+  }
+}
+
+// And the passes actually emit what the registry promises: a small
+// corpus of deliberately bad specs (plus the gallery e-commerce service
+// for the classification rules) must trigger every non-reserved ID, and
+// every emitted diagnostic must carry its registered default severity.
+TEST(Registry, CorpusTriggersEveryRegisteredRule) {
+  const std::vector<std::string> corpus = {
+      // WSV-PARSE-001.
+      "service X;\ninput button(label;\n",
+      // Validation: VAL-001 (ghost), VAL-002 (arity), VAL-003 (loose),
+      // VAL-004 (duplicate state rule), VAL-005 (action atom in a rule
+      // body), VAL-007 (free z in a target). VAL-008 is unreachable from
+      // text — the parser desugars repeated head variables — so it gets
+      // a programmatically mutated service below.
+      R"(service Val;
+state seen(x);
+state pair(a, b);
+input button(label);
+action act(v);
+page HP {
+  options button(b) :- b = "go";
+  state +seen("k") :- button("go") & loose = "x";
+  state +seen("a", "b") :- button("go");
+  state +pair(y, y) :- seen(y) & button("go");
+  state +ghost("x") :- button("go");
+  state +seen("m") :- act("a") & button("go");
+  state +seen("d") :- button("go");
+  state +seen("d") :- button("go");
+  action act(v) :- v = "x" & button("go");
+  target BYE :- button(z);
+}
+page BYE {
+}
+home HP;
+error ERR;
+)",
+      // VAL-006: no home page declared. (The other VAL-006 shapes —
+      // error page inside the page set, no pages — are unreachable from
+      // text: the parser rejects `error HP;` as a duplicate symbol.)
+      R"(service Err;
+input button(label);
+page HP {
+  options button(b) :- b = "go";
+  target HP :- button("go");
+}
+error ERR;
+)",
+      // Lints: IB-001 (unguarded exists), IB-002 (state atom with
+      // variables in an options rule), IB-003 (quantified w in the
+      // state atom s1(w)), IB-004 (prev.amount never offered by BYE's
+      // predecessor), NAV-001 (ORPHAN), NAV-002 (targets to BYE and PG2
+      // not provably disjoint), DEAD-001 (never written), DEAD-002
+      // (written never read), DEAD-003 (unused), DEAD-004 (action
+      // without rule), DEAD-005 (unreferenced db), DEP-001 (junk and
+      // amount feed only s1), DEP-002 (s1 feeds only junk), DOM-001
+      // (button("zzz") outside the options domain).
+      R"(service Bad;
+database db1(v), dbunused(v);
+state s1(x);
+state never_written(x);
+state write_only(x);
+input button(label);
+input unused_input(u);
+input junk(j);
+input amount(a);
+input flag(x);
+action act(v);
+page HP {
+  options button(b) :- b = "go" | b = "stop";
+  options junk(j) :- s1(j);
+  options flag(x) :- x = "on";
+  state +s1("a") :- button("go");
+  state +write_only("w") :- button("go");
+  state +s1("q") :- (exists v . db1(v) & true) & button("go");
+  state +s1("e") :- (exists w . button(w) & s1(w)) & button("go");
+  target BYE :- button("go") & !never_written("x") & button("zzz");
+  target PG2 :- flag("on");
+}
+page BYE {
+  options button(b) :- b = "back";
+  state +s1("b") :- prev.junk("j") & button("back");
+  state +s1("c") :- prev.amount("1") & button("back");
+}
+page PG2 {
+}
+page ORPHAN {
+}
+home HP;
+error ERR;
+)",
+  };
+  std::set<std::string> emitted;
+  for (const std::string& spec : corpus) {
+    for (const Diagnostic& d : Lint(spec)) {
+      const analysis::RuleInfo* info = analysis::FindRule(d.rule_id);
+      ASSERT_NE(info, nullptr) << "unregistered rule " << d.rule_id;
+      EXPECT_EQ(d.severity, info->severity) << d.rule_id;
+      emitted.insert(d.rule_id);
+    }
+  }
+  // VAL-008 cannot be produced from source text (the parser desugars
+  // repeated head variables into fresh-variable equalities), so mutate a
+  // parsed service's rule head directly and validate the result.
+  {
+    StatusOr<WebService> parsed = ParseServiceSpecWithoutValidation(
+        R"(service V8;
+state pair(a, b);
+input button(label);
+page HP {
+  options button(b) :- b = "go";
+  state +pair(y, z) :- button("go") & y = "1" & z = "2";
+  target BYE :- button("go");
+}
+page BYE {
+}
+home HP;
+error ERR;
+)");
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    WebService mutated;
+    mutated.set_name(parsed->name());
+    mutated.mutable_vocab() = parsed->vocab();
+    for (const PageSchema& page : parsed->pages()) {
+      PageSchema copy = page;
+      if (copy.name == "HP") {
+        ASSERT_EQ(copy.state_rules.size(), 1u);
+        copy.state_rules[0].head_vars = {"y", "y"};
+      }
+      ASSERT_TRUE(mutated.AddPage(std::move(copy)).ok());
+    }
+    mutated.set_home_page(parsed->home_page());
+    mutated.set_error_page(parsed->error_page());
+    DiagnosticSink sink;
+    ValidateServiceDiagnostics(mutated, &sink);
+    EXPECT_TRUE(HasRule(sink.diagnostics(), "WSV-VAL-008"));
+    for (const Diagnostic& d : sink.diagnostics()) {
+      const analysis::RuleInfo* info = analysis::FindRule(d.rule_id);
+      ASSERT_NE(info, nullptr) << "unregistered rule " << d.rule_id;
+      emitted.insert(d.rule_id);
+    }
+  }
+  // The classification passes run outside LintSpecText; the gallery
+  // e-commerce service leaves the propositional fragments in every way
+  // the CLS rules describe.
+  {
+    StatusOr<WebService> service = BuildEcommerceService();
+    ASSERT_TRUE(service.ok());
+    DiagnosticSink sink;
+    CollectPropositionalDiagnostics(*service, &sink);
+    CollectFullyPropositionalDiagnostics(*service, &sink);
+    for (const Diagnostic& d : sink.diagnostics()) {
+      const analysis::RuleInfo* info = analysis::FindRule(d.rule_id);
+      ASSERT_NE(info, nullptr) << "unregistered rule " << d.rule_id;
+      emitted.insert(d.rule_id);
+    }
+  }
+  for (const analysis::RuleInfo& rule : analysis::RuleRegistry()) {
+    if (std::string(rule.pass) == "reserved") continue;
+    EXPECT_EQ(emitted.count(rule.id), 1u)
+        << rule.id << " is registered for pass " << rule.pass
+        << " but the corpus never triggered it";
+  }
+}
+
 }  // namespace
 }  // namespace wsv

@@ -305,8 +305,8 @@ TEST(InvalidateTest, RuleEditDirtiesOnlyItsRelation) {
   TemporalProperty unaffected = MustProp(newer, "G(!CP | logged_in)");
   TemporalProperty affected =
       MustProp(newer, "G(!BYE | !error(\"failed login\"))");
-  EXPECT_FALSE(PropertyAffected(delta, unaffected));
-  EXPECT_TRUE(PropertyAffected(delta, affected));
+  EXPECT_FALSE(PropertyAffected(delta, unaffected, newer));
+  EXPECT_TRUE(PropertyAffected(delta, affected, newer));
 }
 
 TEST(InvalidateTest, IdenticalServicesDiffEmpty) {
@@ -324,7 +324,7 @@ TEST(InvalidateTest, LiteralSetChangeIsGlobal) {
   EXPECT_TRUE(delta.global);
   // Global deltas affect every property, whatever its leaves read.
   TemporalProperty prop = MustProp(newer, "G(!CP | logged_in)");
-  EXPECT_TRUE(PropertyAffected(delta, prop));
+  EXPECT_TRUE(PropertyAffected(delta, prop, newer));
 }
 
 // ---------------------------------------------------------------------
@@ -520,6 +520,50 @@ TEST(VerifyCacheTest, EditMigratesUnaffectedAndEvictsAffected) {
   EXPECT_EQ(cache.Lookup(un1.key, "login", un1.service, un1.property)
                 .outcome,
             Outcome::kHit);
+}
+
+// The payoff of the dependence-graph cone query over the old
+// leaf-mentions-dirty check: a *quantified* property survives an edit
+// outside its cone. `exists u . user(u, password)` is syntactically
+// domain-independent, so dirtying `error` (which the property's
+// backward cone never reaches) migrates the verdict warm — the old
+// algebra evicted every quantified property on any edit.
+TEST(VerifyCacheTest, OutsideConeEditMigratesQuantifiedProperty) {
+  const std::string prop_text =
+      "G(!CP | (exists u . user(u, password)))";
+  // The existential quantifies over a database relation, not an input
+  // atom — allowed only outside the input-bounded fragment.
+  auto unbounded = [](Request r) {
+    r.options.require_input_bounded = false;
+    r.key = MakeRequestKey(r.service, r.property, &r.db, r.options,
+                           /*jobs=*/1);
+    return r;
+  };
+  VerifyCache cache(VerifyCache::Config{});
+  Request r0 = unbounded(MakeRequest(kSpec, prop_text));
+  cache.RegisterSpec(r0.key.spec, kSpec);
+  cache.Lookup(r0.key, "login", r0.service, r0.property);
+  CachedVerdict cold = ColdVerdict(r0);
+  ASSERT_TRUE(cold.holds);
+  cache.Insert(r0.key, cold);
+
+  const std::string edited = EditedSpec();  // dirties only `error`
+  Request r1 = unbounded(MakeRequest(edited, prop_text));
+  cache.RegisterSpec(r1.key.spec, edited);
+
+  SpecDelta delta = DiffServices(r0.service, r1.service);
+  ASSERT_FALSE(delta.global) << delta.global_reason;
+  ASSERT_EQ(delta.dirty_relations.count("error"), 1u);
+  EXPECT_FALSE(PropertyAffected(delta, r1.property, r1.service));
+
+  auto warm = cache.Lookup(r1.key, "login", r1.service, r1.property);
+  ASSERT_EQ(warm.outcome, Outcome::kWarm);
+  EXPECT_TRUE(warm.verdict.migrated);
+  // And the migrated verdict still agrees with a cold run on the new
+  // spec — the cone query must not have let a real change through.
+  CachedVerdict recheck = ColdVerdict(r1);
+  EXPECT_EQ(warm.verdict.holds, recheck.holds);
+  EXPECT_EQ(warm.verdict.databases_checked, recheck.databases_checked);
 }
 
 TEST(VerifyCacheTest, GlobalEditEvictsEverything) {

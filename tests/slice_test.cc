@@ -1,0 +1,231 @@
+// Differential fuzz for the property-directed spec slicer.
+//
+// The slicer's contract (analysis/slice.h, DESIGN.md §10) is that
+// verification of a sliced service is *observationally identical* to
+// verification of the full one: same verdict, same lowest-index witness,
+// same databases_checked — for every property, not just the gallery
+// ones. This suite hammers that contract with seeded random temporal
+// properties over three gallery services, comparing a normal (sliced)
+// run against a ScopedDisableSlice run of the same request, and runs
+// every violated sliced verdict through the independent witness checker.
+//
+// The generator is deliberately ground (no closure variables): quantified
+// sweeps multiply runtime without exercising any new slicer code path —
+// the cone depends only on which relation symbols the leaves mention,
+// which the ground pool already varies.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/slice.h"
+#include "gallery/gallery.h"
+#include "ltl/ltl_parser.h"
+#include "verify/ltl_verifier.h"
+#include "verify/witness_check.h"
+
+namespace wsv {
+namespace {
+
+// Literal values the random atoms draw arguments from: a mix of values
+// that occur in the gallery databases (so some leaves are sometimes
+// true) and values that occur nowhere (leaves that are always false).
+const char* const kValues[] = {"alice", "pw", "laptop", "p1",
+                               "100",   "go", "nosuch"};
+
+// One random ground atom: a page proposition, or a state/database
+// relation applied to random literals.
+std::string RandomAtom(std::mt19937_64& rng, const Vocabulary& vocab) {
+  std::vector<const RelationSymbol*> pool;
+  for (const RelationSymbol& r : vocab.relations()) {
+    if (r.kind == SymbolKind::kPage || r.kind == SymbolKind::kState ||
+        r.kind == SymbolKind::kDatabase) {
+      pool.push_back(&r);
+    }
+  }
+  const RelationSymbol& r = *pool[rng() % pool.size()];
+  if (r.arity == 0) return r.name;
+  std::string atom = r.name + "(";
+  for (int i = 0; i < r.arity; ++i) {
+    if (i > 0) atom += ", ";
+    atom += "\"";
+    atom += kValues[rng() % (sizeof(kValues) / sizeof(kValues[0]))];
+    atom += "\"";
+  }
+  atom += ")";
+  return atom;
+}
+
+// Depth-bounded random LTL formula over ground atoms.
+std::string RandomProperty(std::mt19937_64& rng, const Vocabulary& vocab,
+                           int depth) {
+  if (depth <= 0) return RandomAtom(rng, vocab);
+  switch (rng() % 8) {
+    case 0:
+      return "!(" + RandomProperty(rng, vocab, depth - 1) + ")";
+    case 1:
+      return "G(" + RandomProperty(rng, vocab, depth - 1) + ")";
+    case 2:
+      return "F(" + RandomProperty(rng, vocab, depth - 1) + ")";
+    case 3:
+      return "X(" + RandomProperty(rng, vocab, depth - 1) + ")";
+    case 4:
+      return "(" + RandomProperty(rng, vocab, depth - 1) + " & " +
+             RandomProperty(rng, vocab, depth - 1) + ")";
+    case 5:
+      return "(" + RandomProperty(rng, vocab, depth - 1) + " | " +
+             RandomProperty(rng, vocab, depth - 1) + ")";
+    case 6:
+      return "(" + RandomProperty(rng, vocab, depth - 1) + " U " +
+             RandomProperty(rng, vocab, depth - 1) + ")";
+    default:
+      return RandomAtom(rng, vocab);
+  }
+}
+
+struct Fixture {
+  const char* name;
+  WebService service;
+  Instance db;
+  LtlVerifyOptions options;
+};
+
+std::vector<Fixture> BuildFixtures() {
+  std::vector<Fixture> fixtures;
+  {
+    Fixture f;
+    f.name = "ecommerce";
+    f.service = std::move(BuildEcommerceService()).value();
+    f.db = EcommerceSmallDatabase();
+    f.options.graph.constant_pool = {Value::Intern("alice"),
+                                     Value::Intern("pw")};
+    fixtures.push_back(std::move(f));
+  }
+  {
+    Fixture f;
+    f.name = "login";
+    f.service = std::move(BuildLoginService()).value();
+    f.db = LoginDatabase();
+    fixtures.push_back(std::move(f));
+  }
+  {
+    Fixture f;
+    f.name = "paper-clear-loop";
+    f.service = std::move(BuildPaperClearLoopService()).value();
+    f.db = LoginDatabase();
+    fixtures.push_back(std::move(f));
+  }
+  for (Fixture& f : fixtures) {
+    // Random ground properties are rarely input-bounded; the bounded
+    // search is run regardless, and verdict identity is what's under
+    // test.
+    f.options.require_input_bounded = false;
+  }
+  return fixtures;
+}
+
+// The core oracle: one property, one service, sliced vs unsliced.
+void ExpectSlicedRunIdentical(const Fixture& f,
+                              const TemporalProperty& property,
+                              const std::string& text) {
+  LtlVerifier verifier(&f.service, f.options);
+  auto sliced = verifier.VerifyOnDatabase(property, f.db);
+  ASSERT_TRUE(sliced.ok()) << text << ": " << sliced.status().message();
+
+  StatusOr<LtlVerifyResult> unsliced = Status::Internal("unset");
+  {
+    analysis::ScopedDisableSlice off;
+    LtlVerifier plain(&f.service, f.options);
+    unsliced = plain.VerifyOnDatabase(property, f.db);
+  }
+  ASSERT_TRUE(unsliced.ok()) << text << ": " << unsliced.status().message();
+
+  EXPECT_EQ(sliced->holds, unsliced->holds) << f.name << ": " << text;
+  EXPECT_EQ(sliced->databases_checked, unsliced->databases_checked)
+      << f.name << ": " << text;
+  EXPECT_EQ(sliced->complete_within_bounds, unsliced->complete_within_bounds)
+      << f.name << ": " << text;
+  ASSERT_EQ(sliced->counterexample.has_value(),
+            unsliced->counterexample.has_value())
+      << f.name << ": " << text;
+  if (sliced->counterexample.has_value()) {
+    // Lowest-index-wins witness selection must be slicing-invariant:
+    // the full-spec re-check resumes from the sliced lasso marker, so
+    // the two runs must surface the byte-identical counterexample.
+    EXPECT_EQ(sliced->counterexample->ToString(),
+              unsliced->counterexample->ToString())
+        << f.name << ": " << text;
+    EXPECT_TRUE(
+        ValidateWitness(f.service, property, *sliced->counterexample).ok())
+        << f.name << ": " << text;
+  }
+}
+
+TEST(SliceFuzz, RandomPropertiesVerdictAndWitnessIdentical) {
+  constexpr int kPropertiesPerService = 40;
+  std::vector<Fixture> fixtures = BuildFixtures();
+  int violated = 0;
+  int holds = 0;
+  for (size_t s = 0; s < fixtures.size(); ++s) {
+    const Fixture& f = fixtures[s];
+    for (int i = 0; i < kPropertiesPerService; ++i) {
+      std::mt19937_64 rng(0x51CE0000u + 1000 * s + i);
+      const std::string text =
+          RandomProperty(rng, f.service.vocab(), /*depth=*/3);
+      auto prop = ParseTemporalProperty(text, &f.service.vocab());
+      ASSERT_TRUE(prop.ok()) << text << ": " << prop.status().message();
+      SCOPED_TRACE(std::string(f.name) + ": " + text);
+      ExpectSlicedRunIdentical(f, *prop, text);
+      LtlVerifier verifier(&f.service, f.options);
+      auto r = verifier.VerifyOnDatabase(*prop, f.db);
+      if (r.ok()) (r->holds ? holds : violated)++;
+    }
+  }
+  // The generator must exercise both phases of the two-phase check: the
+  // sliced probe alone (HOLDS) and the full-spec re-run from the lasso
+  // marker (VIOLATED). A degenerate corpus would vacuously pass.
+  EXPECT_GE(violated, 5);
+  EXPECT_GE(holds, 5);
+}
+
+// The gallery properties the benchmarks track, pinned here as
+// deterministic regression anchors (the fuzz corpus drifts whenever the
+// generator changes; these never do).
+TEST(SliceFuzz, GalleryPropertiesVerdictIdentical) {
+  std::vector<Fixture> fixtures = BuildFixtures();
+  const Fixture& ecommerce = fixtures[0];
+  const Fixture& login = fixtures[1];
+  for (const char* text :
+       {"G(!PIP) | F(PIP & F(CC))", "G(!error(\"no such page\"))"}) {
+    auto prop = ParseTemporalProperty(text, &ecommerce.service.vocab());
+    ASSERT_TRUE(prop.ok()) << text;
+    ExpectSlicedRunIdentical(ecommerce, *prop, text);
+  }
+  for (const char* text : {"G(!CP | logged_in)", "F(BYE) | G(!BYE)"}) {
+    auto prop = ParseTemporalProperty(text, &login.service.vocab());
+    ASSERT_TRUE(prop.ok()) << text;
+    ExpectSlicedRunIdentical(login, *prop, text);
+  }
+}
+
+// Quantified sweep: one universally closed property per service keeps
+// the multi-valuation path (per-valuation probe markers, lowest-index
+// selection across valuations) under differential coverage.
+TEST(SliceFuzz, QuantifiedClosureSweepIdentical) {
+  std::vector<Fixture> fixtures = BuildFixtures();
+  Fixture& ecommerce = fixtures[0];
+  ecommerce.options.closure_candidates = {Value::Intern("p1"),
+                                          Value::Intern("100"),
+                                          Value::Intern("alice")};
+  const char* text =
+      "forall pid . (G(!cart(pid, \"100\")) | F(prod_prices(pid, \"100\")))";
+  auto prop = ParseTemporalProperty(text, &ecommerce.service.vocab());
+  ASSERT_TRUE(prop.ok()) << prop.status().message();
+  ExpectSlicedRunIdentical(ecommerce, *prop, text);
+}
+
+}  // namespace
+}  // namespace wsv

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Structural check of ``wsvcli deps --format=json``.
+
+Runs the dependence-graph export on a specification (optionally with a
+property, which adds cone-of-influence flags) and asserts the invariants
+a consumer relies on:
+
+  * node ids are dense and in order, edges reference declared nodes,
+    and the summary counts match the arrays;
+  * every non-null span resolves into the spec source (line within the
+    file, column within that line);
+  * the SCC condensation of the edge relation is acyclic (i.e. a
+    topological order of the condensed graph exists) — cycles are fine
+    *inside* a component (state feedback), but the condensation the
+    slicer reasons over must be a DAG;
+  * with ``--property``: every node carries an ``in_cone`` flag, the
+    flagged set is closed under reads-edges (a cone member never reads a
+    non-member — the defining property of a backward closure), and
+    ``summary.cone_nodes`` matches.
+
+Usage:
+    check_deps_graph.py --wsvcli PATH --spec specs/ecommerce.wsv \
+        [--property "G(!CP | logged_in)"]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def fail(msg):
+    print(f"deps graph check failed: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def sccs(n, adj):
+    """Tarjan's algorithm, iterative (corpus graphs are small but the
+    recursion limit is not worth trusting)."""
+    index = [None] * n
+    low = [0] * n
+    on_stack = [False] * n
+    stack = []
+    comp = [None] * n
+    counter = [0]
+    ncomp = [0]
+    for root in range(n):
+        if index[root] is not None:
+            continue
+        work = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                index[v] = low[v] = counter[0]
+                counter[0] += 1
+                stack.append(v)
+                on_stack[v] = True
+            recurse = False
+            for i in range(pi, len(adj[v])):
+                w = adj[v][i]
+                if index[w] is None:
+                    work[-1] = (v, i + 1)
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            if recurse:
+                continue
+            if low[v] == index[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp[w] = ncomp[0]
+                    if w == v:
+                        break
+                ncomp[0] += 1
+            work.pop()
+            if work:
+                u, _ = work[-1]
+                low[u] = min(low[u], low[v])
+    return comp, ncomp[0]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--wsvcli", required=True)
+    parser.add_argument("--spec", required=True)
+    parser.add_argument("--property", default="")
+    args = parser.parse_args()
+
+    cmd = [args.wsvcli, "deps", args.spec, "--format=json"]
+    if args.property:
+        cmd += ["--property", args.property]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, text=True)
+    if proc.returncode != 0:
+        fail(f"wsvcli deps exited {proc.returncode}")
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"output is not valid JSON: {e}")
+
+    nodes = doc.get("nodes")
+    edges = doc.get("edges")
+    summary = doc.get("summary")
+    if not isinstance(nodes, list) or not nodes:
+        fail("nodes must be a non-empty list")
+    if not isinstance(edges, list):
+        fail("edges must be a list")
+    if not isinstance(summary, dict):
+        fail("summary must be an object")
+
+    n = len(nodes)
+    for i, node in enumerate(nodes):
+        if node.get("id") != i:
+            fail(f"node {i} has id {node.get('id')} (ids must be dense)")
+        if node.get("kind") not in {"relation", "constant", "rule"}:
+            fail(f"node {i} has unknown kind {node.get('kind')!r}")
+        if not node.get("name"):
+            fail(f"node {i} has no name")
+    if summary.get("nodes") != n:
+        fail(f"summary.nodes={summary.get('nodes')}, want {n}")
+    if summary.get("edges") != len(edges):
+        fail(f"summary.edges={summary.get('edges')}, want {len(edges)}")
+
+    adj = [[] for _ in range(n)]
+    for e in edges:
+        src, dst = e.get("from"), e.get("to")
+        if not isinstance(src, int) or not 0 <= src < n:
+            fail(f"edge source {src!r} out of range")
+        if not isinstance(dst, int) or not 0 <= dst < n:
+            fail(f"edge target {dst!r} out of range")
+        adj[src].append(dst)
+
+    # Spans must resolve into the spec source.
+    with open(args.spec, encoding="utf-8") as f:
+        lines = f.read().split("\n")
+    for node in nodes:
+        span = node.get("span")
+        if span is None:
+            continue
+        line, col = span.get("line"), span.get("column")
+        if not 1 <= line <= len(lines):
+            fail(f"node {node['id']} span line {line} outside the spec")
+        if not 1 <= col <= len(lines[line - 1]) + 1:
+            fail(f"node {node['id']} span column {col} outside line {line}")
+
+    # SCC condensation must be a DAG: Kahn over the condensed edges.
+    comp, ncomp = sccs(n, adj)
+    cadj = [set() for _ in range(ncomp)]
+    for src in range(n):
+        for dst in adj[src]:
+            if comp[src] != comp[dst]:
+                cadj[comp[src]].add(comp[dst])
+    indeg = [0] * ncomp
+    for src in range(ncomp):
+        for dst in cadj[src]:
+            indeg[dst] += 1
+    ready = [c for c in range(ncomp) if indeg[c] == 0]
+    seen = 0
+    while ready:
+        c = ready.pop()
+        seen += 1
+        for dst in cadj[c]:
+            indeg[dst] -= 1
+            if indeg[dst] == 0:
+                ready.append(dst)
+    if seen != ncomp:
+        fail("SCC condensation has a cycle")
+
+    if args.property:
+        cone = []
+        for node in nodes:
+            if "in_cone" not in node:
+                fail(f"node {node['id']} lacks in_cone under --property")
+            cone.append(bool(node["in_cone"]))
+        for src in range(n):
+            for dst in adj[src]:
+                if cone[src] and not cone[dst]:
+                    fail(
+                        f"cone not backward-closed: {src} in cone reads "
+                        f"{dst} outside it"
+                    )
+        if summary.get("cone_nodes") != sum(cone):
+            fail(
+                f"summary.cone_nodes={summary.get('cone_nodes')}, "
+                f"want {sum(cone)}"
+            )
+        if not any(cone):
+            fail("cone is empty (target rules are always in the cone)")
+
+    print(
+        f"deps graph OK: {n} nodes, {len(edges)} edges, "
+        f"{ncomp} SCCs" + (f", cone {sum(cone)}" if args.property else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,19 @@
 //       verifies and publishes the verdict to DIR. --label NAME sets the
 //       edit-chain identity used for incremental invalidation (default:
 //       the spec path). WSV_DISABLE_VERIFY_CACHE=1 bypasses the cache.
+//       --no-slice disables the property-directed cone slicer (see
+//       `deps` below and DESIGN.md §10): every sweep then runs the full
+//       spec directly instead of probing the reduced one first. Verdict
+//       and witness are identical either way; the flag exists for A/B
+//       runs and debugging. WSV_DISABLE_SLICE=1 is the env equivalent.
+//   wsvcli deps <spec.wsv> [--property P] [--format=dot|json]
+//       Dump the whole-spec dependence graph (src/analysis/depgraph.h):
+//       relations, constants, and rules as nodes, reads-edges between
+//       them. With --property, additionally mark each node as inside or
+//       outside the property's cone of influence — exactly the cone the
+//       verifier slices against — and print a summary to stderr. dot
+//       renders for graphviz; json is machine-checkable (see
+//       tools/check_deps_graph.py).
 //   wsvcli replay <jobs.jsonl> [--cache-dir DIR] [--jobs N] [--eager]
 //                 [--quiet] [--bench-json FILE] [--stats]
 //                 [--stats-json FILE] [--log-json FILE] [--trace-out F]
@@ -91,8 +104,10 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/depgraph.h"
 #include "analysis/lints.h"
 #include "analysis/render.h"
+#include "analysis/slice.h"
 #include "cache/replay.h"
 #include "cache/verify_cache.h"
 #include "common/file_util.h"
@@ -136,7 +151,8 @@ int Usage() {
       "[--fresh N] [--unchecked] [--eager] [--jobs N] [--no-fo-bytecode] "
       "[--stats] [--stats-json FILE] [--trace-out FILE] [--progress] "
       "[--log-json FILE] [--heartbeat SECS] [--watchdog-deadline SECS] "
-      "[--step-budget N] [--cache-dir DIR] [--label NAME]\n"
+      "[--step-budget N] [--cache-dir DIR] [--label NAME] [--no-slice]\n"
+      "  wsvcli deps <spec.wsv> [--property P] [--format=dot|json]\n"
       "  wsvcli replay <jobs.jsonl> [--cache-dir DIR] [--jobs N] "
       "[--eager] [--quiet] [--bench-json FILE] [--stats] "
       "[--stats-json FILE] [--log-json FILE] [--trace-out FILE]\n"
@@ -202,6 +218,10 @@ struct Flags {
   std::string format = "text";
   /// Lint: treat warnings as errors (exit 1 when any warning fires).
   bool werror = false;
+  /// Verify: disable the property-directed cone slicer for the process.
+  bool no_slice = false;
+  /// Deps: property whose cone of influence to highlight; empty = none.
+  std::string property;
 };
 
 StatusOr<Flags> ParseFlags(int argc, char** argv) {
@@ -261,6 +281,10 @@ StatusOr<Flags> ParseFlags(int argc, char** argv) {
       flags.quiet = true;
     } else if (arg == "--werror") {
       flags.werror = true;
+    } else if (arg == "--no-slice") {
+      flags.no_slice = true;
+    } else if (arg == "--property") {
+      WSV_ASSIGN_OR_RETURN(flags.property, next());
     } else if (arg == "--format") {
       WSV_ASSIGN_OR_RETURN(flags.format, next());
     } else if (StartsWith(arg, "--format=")) {
@@ -741,6 +765,47 @@ int CmdLint(const Flags& flags) {
   return 0;
 }
 
+// `wsvcli deps` — dump the dependence graph, optionally with one
+// property's cone of influence marked. The cone is computed exactly the
+// way the slicer computes it (property seeds + the always-observable
+// navigation frame), so `deps --property P` explains what `verify`
+// would keep.
+int CmdDeps(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  if (flags.format != "text" && flags.format != "dot" &&
+      flags.format != "json") {
+    return Fail(Status::InvalidArgument("unknown --format: " + flags.format));
+  }
+  auto service = LoadService(flags.positional[0]);
+  if (!service.ok()) return Fail(service.status());
+  analysis::DepGraph graph = analysis::DepGraph::Build(*service);
+
+  std::vector<char> in_cone;
+  if (!flags.property.empty()) {
+    auto prop = ParseTemporalProperty(flags.property, &service->vocab());
+    if (!prop.ok()) return Fail(prop.status());
+    std::vector<int> seeds = graph.PropertySeeds(*prop);
+    std::vector<int> targets = graph.TargetSeeds();
+    seeds.insert(seeds.end(), targets.begin(), targets.end());
+    in_cone = graph.BackwardCone(seeds);
+    size_t kept = 0;
+    for (char c : in_cone) kept += (c != 0);
+    std::fprintf(stderr,
+                 "cone of influence: %zu of %zu nodes (%llu edges)%s\n",
+                 kept, graph.nodes().size(),
+                 static_cast<unsigned long long>(graph.num_edges()),
+                 graph.PropertyDomainIndependent(*prop)
+                     ? ""
+                     : " [property not domain-independent; the verifier "
+                       "would not slice]");
+  }
+
+  const std::string out = flags.format == "json" ? graph.ToJson(in_cone)
+                                                 : graph.ToDot(in_cone);
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
 int CmdVerifyCtl(const Flags& flags) {
   if (flags.positional.size() < 3) return Usage();
   auto service = LoadService(flags.positional[0]);
@@ -768,6 +833,7 @@ int Main(int argc, char** argv) {
   auto flags = ParseFlags(argc, argv);
   if (!flags.ok()) return Fail(flags.status());
   if (flags->no_fo_bytecode) fobc::SetBytecodeEnabled(false);
+  if (flags->no_slice) analysis::SetSliceEnabled(false);
   if (flags->step_budget >= 0) {
     fobc::SetStepBudget(static_cast<uint64_t>(flags->step_budget));
   }
@@ -778,6 +844,7 @@ int Main(int argc, char** argv) {
   if (cmd == "run") return CmdRun(*flags);
   if (cmd == "check-errors") return CmdCheckErrors(*flags);
   if (cmd == "verify") return CmdVerify(*flags);
+  if (cmd == "deps") return CmdDeps(*flags);
   if (cmd == "replay") return CmdReplay(*flags);
   if (cmd == "verify-ctl") return CmdVerifyCtl(*flags);
   if (cmd == "lint") return CmdLint(*flags);
