@@ -14,7 +14,7 @@
 #include "gallery/gallery.h"
 #include "ltl/ltl_parser.h"
 #include "runtime/interpreter.h"
-#include "verify/search_verifier.h"
+#include "verify/input_search_verifier.h"
 
 namespace {
 

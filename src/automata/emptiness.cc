@@ -1,8 +1,10 @@
 #include "automata/emptiness.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 
+#include "automata/search_strategy.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -166,124 +168,25 @@ StatusOr<std::optional<Lasso>> FindAcceptingLassoOnTheFly(
     const std::function<StatusOr<const std::vector<int>*>(int)>& succ,
     const std::function<bool(int)>& accepting,
     const std::function<bool()>& stop, NestedDfsStats* stats) {
-  WSV_SPAN("automata/emptiness");
-  WSV_TIMER("automata/emptiness_ns");
-  WSV_COUNT1("automata/emptiness_searches");
-
-  // CVWY colors. Invariants: cyan vertices are exactly the blue-DFS
-  // stack; blue vertices are fully explored and non-accepting-cycle-free
-  // so far; red vertices have been swept by some inner (red) DFS and
-  // never need re-sweeping — the red set persists across seeds, which is
-  // what makes the nested search linear.
-  enum : char { kWhite = 0, kCyan = 1, kBlue = 2, kRed = 3 };
-  std::vector<char> color;
-  // Position on the blue stack while cyan (-1 otherwise): turns the
-  // cycle-closing lookup at detection time into O(1).
-  std::vector<int> stack_pos;
-  auto ensure = [&](int v) {
-    if (static_cast<size_t>(v) >= color.size()) {
-      color.resize(static_cast<size_t>(v) + 1, kWhite);
-      stack_pos.resize(static_cast<size_t>(v) + 1, -1);
-    }
-  };
-
-  std::vector<int> blue_stack;
-  struct Frame {
-    int v;
-    const std::vector<int>* succs;
-    size_t child;
-  };
-  std::vector<Frame> blue;
-  std::vector<Frame> red;
-
-  uint64_t ops = 0;
-  auto cancelled = [&]() { return stop && (++ops & 63) == 0 && stop(); };
-
-  NestedDfsStats local;
-  NestedDfsStats& st = stats != nullptr ? *stats : local;
-
-  // The cycle was detected with the red DFS (frames in `red`, seed on
-  // top of `blue_stack`) reaching the cyan vertex `w`: assemble
-  //   prefix = blue stack (initial root .. seed s)
-  //   cycle  = s, red path minus its endpoints' duplicates, then the
-  //            blue-stack segment from w up to just below s.
-  auto assemble = [&](int w) {
-    Lasso lasso;
-    lasso.prefix = blue_stack;
-    const int top = static_cast<int>(blue_stack.size()) - 1;  // seed s
-    for (size_t i = 0; i < red.size(); ++i) lasso.cycle.push_back(red[i].v);
-    const int j = stack_pos[w];
-    for (int i = j; i < top; ++i) lasso.cycle.push_back(blue_stack[i]);
-    WSV_COUNT1("automata/lassos_found");
-    return lasso;
-  };
-
-  // Inner (red) DFS from the accepting seed on top of the blue stack.
-  // Returns the closing cyan vertex, -1 if no accepting cycle through
-  // the seed, or an error (cancellation / implicit-graph failure).
-  auto red_dfs = [&](int s) -> StatusOr<int> {
-    WSV_ASSIGN_OR_RETURN(const std::vector<int>* s_succs, succ(s));
-    red.assign(1, Frame{s, s_succs, 0});
-    while (!red.empty()) {
-      Frame& f = red.back();
-      if (f.child < f.succs->size()) {
-        int w = (*f.succs)[f.child++];
-        ensure(w);
-        if (color[w] == kCyan) return w;  // cycle back into the blue stack
-        if (color[w] == kRed) continue;
-        if (cancelled()) return Status::Cancelled("emptiness search cancelled");
-        color[w] = kRed;
-        WSV_ASSIGN_OR_RETURN(const std::vector<int>* w_succs, succ(w));
-        red.push_back(Frame{w, w_succs, 0});
-      } else {
-        red.pop_back();
-      }
-    }
-    return -1;
-  };
-
-  for (int root : initial) {
-    ensure(root);
-    if (color[root] != kWhite) continue;
-    color[root] = kCyan;
-    blue_stack.push_back(root);
-    stack_pos[root] = 0;
-    WSV_ASSIGN_OR_RETURN(const std::vector<int>* root_succs, succ(root));
-    blue.assign(1, Frame{root, root_succs, 0});
-    ++st.vertices_visited;
-    st.max_depth = std::max<uint64_t>(st.max_depth, blue_stack.size());
-
-    while (!blue.empty()) {
-      Frame& f = blue.back();
-      if (f.child < f.succs->size()) {
-        int w = (*f.succs)[f.child++];
-        ensure(w);
-        if (color[w] != kWhite) continue;
-        if (cancelled()) return Status::Cancelled("emptiness search cancelled");
-        color[w] = kCyan;
-        stack_pos[w] = static_cast<int>(blue_stack.size());
-        blue_stack.push_back(w);
-        WSV_ASSIGN_OR_RETURN(const std::vector<int>* w_succs, succ(w));
-        blue.push_back(Frame{w, w_succs, 0});
-        ++st.vertices_visited;
-        st.max_depth = std::max<uint64_t>(st.max_depth, blue_stack.size());
-      } else {
-        // Post-order of v: accepting vertices seed the inner search
-        // while still cyan (the seed itself closing the cycle is the
-        // w == s case).
-        const int v = f.v;
-        if (accepting(v)) {
-          WSV_ASSIGN_OR_RETURN(int w, red_dfs(v));
-          if (w != -1) return std::optional<Lasso>(assemble(w));
-        }
-        color[v] = accepting(v) ? kRed : kBlue;
-        stack_pos[v] = -1;
-        blue_stack.pop_back();
-        blue.pop_back();
-      }
-    }
+  // The CVWY implementation moved to automata/search_strategy.cc as the
+  // registered "dfs" strategy; this entry point is the fixed default
+  // policy over the same machinery.
+  SearchOptions options;  // strategy = "dfs"
+  WSV_ASSIGN_OR_RETURN(std::unique_ptr<SearchStrategy> strategy,
+                       MakeSearchStrategy(options));
+  SearchProblem problem;
+  problem.initial = initial;
+  problem.succ = succ;
+  problem.accepting = accepting;
+  problem.stop = stop;
+  SearchStats st;
+  WSV_ASSIGN_OR_RETURN(std::optional<Lasso> lasso,
+                       strategy->FindLasso(problem, &st));
+  if (stats != nullptr) {
+    stats->max_depth = st.max_depth;
+    stats->vertices_visited = st.vertices_visited;
   }
-  return std::optional<Lasso>(std::nullopt);
+  return std::optional<Lasso>(std::move(lasso));
 }
 
 }  // namespace wsv

@@ -27,6 +27,12 @@
 
 namespace wsv {
 
+/// How often cooperative cancellation is polled: every strategy that
+/// searches an implicit graph (automata/search_strategy.h) checks its
+/// `stop` hook once per this many vertex expansions. Shared so the
+/// cancellation-drain latency is uniform across strategies.
+inline constexpr uint64_t kCancellationPollInterval = 64;
+
 /// A witness for non-emptiness: `prefix` leads from an initial vertex to
 /// `cycle.front()`; `cycle` returns to its own front (the edge from
 /// cycle.back() to cycle.front() exists). prefix.back() == cycle.front().
@@ -56,19 +62,25 @@ struct NestedDfsStats {
 /// first discovery); the search asks for them strictly on demand:
 ///
 ///  * `initial` — the initial vertices, searched in order.
-///  * `succ(v)` — v's successor list. Called at most once per vertex
-///    per color (blue and red DFS each ask once); the returned pointer
-///    and the list contents must stay valid and unchanged until the
-///    search ends. Errors (e.g. cancellation from a lazily expanded
-///    graph) abort the search.
+///  * `succ(v)` — v's successor list. May be asked for a vertex more
+///    than once (callers should memoize); the returned pointer and the
+///    list contents must stay valid and unchanged until the search
+///    ends. Errors (e.g. cancellation from a lazily expanded graph)
+///    abort the search.
 ///  * `accepting(v)` — Büchi acceptance of v.
-///  * `stop` — optional cooperative cancellation, polled about every 64
-///    vertex expansions; returning true aborts with Status::Cancelled.
+///  * `stop` — optional cooperative cancellation, polled about every
+///    kCancellationPollInterval vertex expansions; returning true
+///    aborts with Status::Cancelled.
 ///
 /// Returns the first accepting lasso in DFS order, or nullopt if the
 /// (reachable part of the) language is empty. The lasso satisfies the
 /// Lasso contract above and its cycle passes through the accepting seed
 /// vertex (cycle.front()).
+///
+/// This is the compatibility entry point for the default policy: it
+/// delegates to the registered "dfs" strategy of
+/// automata/search_strategy.h, which is where the CVWY implementation
+/// (and the heuristic / randomized alternatives) now live.
 StatusOr<std::optional<Lasso>> FindAcceptingLassoOnTheFly(
     const std::vector<int>& initial,
     const std::function<StatusOr<const std::vector<int>*>(int)>& succ,

@@ -1,0 +1,157 @@
+// Pluggable accepting-lasso search strategies over implicit graphs.
+//
+// The on-the-fly verifier (verify/ltl_verifier.cc) searches the product
+// of a lazily expanded configuration graph with a Büchi automaton for an
+// accepting lasso. PR 5 hard-wired one algorithm — the CVWY nested DFS in
+// automata/emptiness.cc. This header splits the *policy* (which vertex to
+// expand next, when to give up and retry, which successors to bother
+// with) from the *mechanism* (the implicit-graph callbacks that intern
+// product states and expand the configuration graph on demand), in the
+// style of Fast Downward's pluggable search components: a SearchProblem
+// plays the role of the state space + EvaluationContext, an optional
+// `evaluate` hook is the evaluator (a null hook behaves like Fast
+// Downward's const_evaluator), and strategies are looked up by name in a
+// registry so new policies — including a future symbolic backend — plug
+// in without touching the verifier.
+//
+// Registered strategies:
+//
+//  * "dfs"      — the CVWY nested DFS, unchanged semantics: first lasso
+//                 in DFS order, linear time, the default and the oracle
+//                 every other strategy is differentially tested against.
+//  * "directed" — greedy best-first over `evaluate` (distance-to-
+//                 accepting precomputed on the Büchi automaton by
+//                 BuchiAutomaton::AcceptingDistance); each accepting
+//                 vertex settled seeds an inner cycle search. Vertices
+//                 the evaluator maps to kInfiniteDistance can never
+//                 reach an accepting vertex and are pruned soundly.
+//  * "restart"  — seeded random-restart CVWY: per-attempt randomized
+//                 successor order under a doubling visit budget, with a
+//                 final exhaustive attempt guaranteeing completeness.
+//                 Deterministic replay: same seed, same search.
+//
+// "portfolio" is a valid *selection* (SearchOptions::strategy) but not a
+// registered strategy: the parallel engine (verify/parallel.cc) resolves
+// it by racing "dfs" and "directed" legs with first-finisher-wins
+// cancellation; serial sweeps run its deterministic "dfs" leg.
+//
+// Every strategy is sound and complete for lasso *existence*: they
+// return a lasso iff the reachable product language is non-empty, and
+// every returned lasso satisfies the Lasso contract in emptiness.h (so
+// witness replay through verify/witness_check.h validates it). Which
+// lasso is returned may differ per strategy — the verifier confines
+// non-default strategies to phases where the verdict is lasso-choice-
+// invariant (see DESIGN.md §11).
+
+#ifndef WSV_AUTOMATA_SEARCH_STRATEGY_H_
+#define WSV_AUTOMATA_SEARCH_STRATEGY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/emptiness.h"
+#include "common/status.h"
+
+namespace wsv {
+
+/// Evaluator value for "can never reach an accepting vertex". Successors
+/// with this value are pruned by heuristic strategies (sound: no
+/// accepting lasso passes through them).
+inline constexpr int kInfiniteDistance = -1;
+
+/// Strategy selection and tuning, carried inside LtlVerifyOptions so the
+/// serial and parallel engines, the CLI, and the benches configure one
+/// knob. Fields beyond `strategy` are ignored by strategies that do not
+/// use them.
+struct SearchOptions {
+  /// Registered strategy name ("dfs", "directed", "restart") or the
+  /// engine-level "portfolio" selection. Unknown names fail at
+  /// MakeSearchStrategy time with the registered list in the message.
+  std::string strategy = "dfs";
+  /// Base RNG seed for "restart". Recorded in the options so a run is
+  /// replayed deterministically by re-verifying with the same seed.
+  uint64_t restart_seed = 20260809;
+  /// Blue-DFS visit budget of the first "restart" attempt; doubles per
+  /// restart. 0 means the first attempt is already exhaustive.
+  uint64_t restart_visit_budget = 64;
+  /// Randomized attempts before the final exhaustive one.
+  uint32_t max_restarts = 6;
+  /// Commuting-input successor pruning (verify layer): among successor
+  /// edges that differ only in input relations whose write-cones are
+  /// disjoint from every rule and from the property's cone
+  /// (analysis/depgraph.h), only one interleaving is explored. Off by
+  /// default; verdict-preserving (see DESIGN.md §11).
+  bool prune_commuting = false;
+};
+
+/// One emptiness query over an implicit graph. Contract extends
+/// FindAcceptingLassoOnTheFly's: `succ` must be memoizing (strategies may
+/// ask for a vertex's successors more than once — restarts re-walk the
+/// graph) and the returned pointers must stay valid until the search
+/// ends. `stop` and `evaluate` may be null.
+struct SearchProblem {
+  std::vector<int> initial;
+  std::function<StatusOr<const std::vector<int>*>(int)> succ;
+  std::function<bool(int)> accepting;
+  /// Cooperative cancellation, polled about every
+  /// kCancellationPollInterval expansions (emptiness.h).
+  std::function<bool()> stop;
+  /// Lower bound on the number of steps from a vertex to an accepting
+  /// vertex, or kInfiniteDistance when unreachable. Null: uninformed
+  /// (treated as the constant-0 evaluator).
+  std::function<int(int)> evaluate;
+};
+
+/// Work accounting for one strategy run (a superset of NestedDfsStats).
+struct SearchStats {
+  /// Deepest prefix the strategy tracked (blue stack / parent chain).
+  uint64_t max_depth = 0;
+  /// Vertex expansions, summed across restarts.
+  uint64_t vertices_visited = 0;
+  /// Randomized attempts that exhausted their budget ("restart" only).
+  uint64_t restarts = 0;
+  /// Calls into SearchProblem::evaluate.
+  uint64_t heuristic_evals = 0;
+};
+
+/// A pluggable accepting-lasso search. Implementations are stateless
+/// across FindLasso calls except for deterministic per-construction
+/// seeding; one instance per search run keeps replay exact.
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+  virtual const char* name() const = 0;
+  /// Searches `problem` for an accepting lasso. Same result contract as
+  /// FindAcceptingLassoOnTheFly (emptiness.h); `stats` may be null.
+  virtual StatusOr<std::optional<Lasso>> FindLasso(
+      const SearchProblem& problem, SearchStats* stats) = 0;
+};
+
+using SearchStrategyFactory =
+    std::function<std::unique_ptr<SearchStrategy>(const SearchOptions&)>;
+
+/// Registers a strategy under `name`, replacing any previous entry.
+/// Builtins ("dfs", "directed", "restart") are pre-registered.
+void RegisterSearchStrategy(const std::string& name,
+                            SearchStrategyFactory factory);
+
+/// Registered names, sorted (for --help and error messages).
+std::vector<std::string> RegisteredSearchStrategies();
+
+/// Instantiates the strategy `options.strategy` names. "portfolio" (an
+/// engine-level selection, not a strategy) resolves to its deterministic
+/// "dfs" leg; unknown names return InvalidArgument.
+StatusOr<std::unique_ptr<SearchStrategy>> MakeSearchStrategy(
+    const SearchOptions& options);
+
+/// True for selections the serial sweep must resolve to "dfs"
+/// ("portfolio" — the race lives in verify/parallel.cc).
+bool IsPortfolioSelection(const std::string& strategy);
+
+}  // namespace wsv
+
+#endif  // WSV_AUTOMATA_SEARCH_STRATEGY_H_

@@ -19,7 +19,7 @@
 
 #include "common/status.h"
 #include "relational/instance.h"
-#include "verify/search_verifier.h"
+#include "verify/input_search_verifier.h"
 #include "ws/service.h"
 
 namespace wsv {

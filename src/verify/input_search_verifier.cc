@@ -1,4 +1,4 @@
-#include "verify/search_verifier.h"
+#include "verify/input_search_verifier.h"
 
 #include "ctl/ctl_check.h"
 #include "ctl/ctl_star_check.h"

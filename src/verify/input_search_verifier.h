@@ -23,9 +23,16 @@
 // labels as Kripke states per candidate database, and the companion
 // bench exercises the CTL-satisfiability tableau (ctl/ctl_sat.h) that
 // the reduction targets.
+//
+// Naming: "search" here is the paper's *input-driven search* service
+// class (the user searching a category hierarchy), not graph search.
+// Accepting-lasso search strategies — the one search abstraction every
+// emptiness check goes through — live in automata/search_strategy.h;
+// this module's Kripke model checking rides on the same
+// automata/emptiness.h primitives through ctl/ctl_star_check.h.
 
-#ifndef WSV_VERIFY_SEARCH_VERIFIER_H_
-#define WSV_VERIFY_SEARCH_VERIFIER_H_
+#ifndef WSV_VERIFY_INPUT_SEARCH_VERIFIER_H_
+#define WSV_VERIFY_INPUT_SEARCH_VERIFIER_H_
 
 #include <string>
 #include <vector>
@@ -99,4 +106,4 @@ StatusOr<SearchVerifyResult> VerifyInputDrivenSearchOnDatabase(
 
 }  // namespace wsv
 
-#endif  // WSV_VERIFY_SEARCH_VERIFIER_H_
+#endif  // WSV_VERIFY_INPUT_SEARCH_VERIFIER_H_

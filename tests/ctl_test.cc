@@ -9,7 +9,7 @@
 #include "gallery/gallery.h"
 #include "ltl/ltl_parser.h"
 #include "verify/abstraction.h"
-#include "verify/search_verifier.h"
+#include "verify/input_search_verifier.h"
 #include "ws/builder.h"
 #include "ws/classify.h"
 

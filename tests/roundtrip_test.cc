@@ -7,7 +7,7 @@
 #include "fo/parser.h"
 #include "gallery/gallery.h"
 #include "ltl/ltl_parser.h"
-#include "verify/search_verifier.h"
+#include "verify/input_search_verifier.h"
 #include "ws/spec_parser.h"
 
 namespace wsv {

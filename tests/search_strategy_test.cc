@@ -1,0 +1,427 @@
+// Pluggable accepting-lasso search strategies (`ctest -L search`).
+//
+// The canonical CVWY "dfs" strategy is the oracle: every other strategy
+// ("directed", "restart", the engine-level "portfolio") and the eager
+// pipeline must agree with it on every verdict, pick the witness at the
+// same (lowest) valuation index, and produce only witnesses that survive
+// the standalone replay validator. Which *lasso* is returned may differ
+// per strategy — that freedom is exactly what the strategies exploit.
+//
+// Also here: deterministic replay of a recorded restart seed, soundness
+// of commuting-input successor pruning (verdicts identical with pruning
+// on and off, and the pruning provably fired), registry error paths, and
+// cancellation drain of the racing strategies under jobs=4 (the suite is
+// in the tsan label for that reason).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gallery/gallery.h"
+#include "ltl/ltl_parser.h"
+#include "obs/metrics.h"
+#include "verify/ltl_verifier.h"
+#include "verify/parallel.h"
+#include "verify/witness_check.h"
+#include "ws/spec_parser.h"
+
+namespace wsv {
+namespace {
+
+Value V(const char* s) { return Value::Intern(s); }
+
+struct EngineResult {
+  std::string engine;
+  StatusOr<LtlVerifyResult> result = Status::OK();
+};
+
+// Runs one (service, property, database) through the eager oracle, the
+// serial sweep under each registered strategy, and the parallel
+// portfolio race, then cross-checks all of them. Witness *runs* are not
+// compared across engines (strategies legitimately find different
+// lassos); verdict, completeness, witness valuation, and witness
+// validity are.
+void ExpectStrategiesAgree(const WebService& service,
+                           const TemporalProperty& property,
+                           const Instance& db, LtlVerifyOptions options,
+                           const std::string& what) {
+  std::vector<EngineResult> results;
+
+  LtlVerifyOptions eager = options;
+  eager.force_eager = true;
+  results.push_back(
+      {"eager", LtlVerifier(&service, eager).VerifyOnDatabase(property, db)});
+
+  for (const std::string& name : RegisteredSearchStrategies()) {
+    LtlVerifyOptions opt = options;
+    opt.search.strategy = name;
+    // Keep restart attempts short so the fuzz actually exercises the
+    // restart path, not just the final exhaustive attempt.
+    opt.search.restart_visit_budget = 8;
+    opt.search.max_restarts = 2;
+    results.push_back(
+        {name, LtlVerifier(&service, opt).VerifyOnDatabase(property, db)});
+  }
+
+  {
+    LtlVerifyOptions opt = options;
+    opt.search.strategy = "portfolio";
+    ParallelLtlVerifier verifier(&service, opt, /*jobs=*/2);
+    results.push_back({"portfolio", verifier.VerifyOnDatabase(property, db)});
+  }
+
+  const EngineResult& oracle = results.front();
+  ASSERT_TRUE(oracle.result.ok())
+      << what << ": " << oracle.result.status().ToString();
+  for (size_t i = 1; i < results.size(); ++i) {
+    const EngineResult& r = results[i];
+    ASSERT_TRUE(r.result.ok())
+        << what << " [" << r.engine << "]: " << r.result.status().ToString();
+    EXPECT_EQ(r.result->holds, oracle.result->holds)
+        << what << " [" << r.engine << "]";
+    EXPECT_EQ(r.result->complete_within_bounds,
+              oracle.result->complete_within_bounds)
+        << what << " [" << r.engine << "]";
+    if (oracle.result->holds || r.result->holds != oracle.result->holds) {
+      continue;
+    }
+    ASSERT_TRUE(r.result->counterexample.has_value())
+        << what << " [" << r.engine << "]";
+    ASSERT_TRUE(oracle.result->counterexample.has_value()) << what;
+    EXPECT_EQ(r.result->counterexample->valuation,
+              oracle.result->counterexample->valuation)
+        << what << " [" << r.engine << "]";
+    Status witness = ValidateWitness(service, property,
+                                     *r.result->counterexample);
+    EXPECT_TRUE(witness.ok())
+        << what << " [" << r.engine << "]: " << witness.ToString();
+  }
+}
+
+// Seeded random LTL formulas over the given atoms (no wall-clock APIs;
+// the same generator shape as the otf_test fuzz, so coverage composes).
+std::vector<std::string> SeededFormulas(uint32_t seed, int count,
+                                        const std::vector<const char*>& atoms) {
+  std::mt19937 rng(seed);
+  auto pick = [&rng](int n) {
+    return std::uniform_int_distribution<int>(0, n - 1)(rng);
+  };
+  // NOLINTNEXTLINE(misc-no-recursion)
+  auto gen = [&](auto&& self, int depth) -> std::string {
+    if (depth == 0 || pick(4) == 0) {
+      return atoms[static_cast<size_t>(pick(static_cast<int>(atoms.size())))];
+    }
+    switch (pick(6)) {
+      case 0:
+        return "!(" + self(self, depth - 1) + ")";
+      case 1:
+        return "G(" + self(self, depth - 1) + ")";
+      case 2:
+        return "F(" + self(self, depth - 1) + ")";
+      case 3:
+        return "X(" + self(self, depth - 1) + ")";
+      case 4:
+        return "(" + self(self, depth - 1) + " & " + self(self, depth - 1) +
+               ")";
+      default:
+        return "(" + self(self, depth - 1) + " | " + self(self, depth - 1) +
+               ")";
+    }
+  };
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(gen(gen, 3));
+  return out;
+}
+
+void FuzzService(const WebService& service, const Instance& db,
+                 LtlVerifyOptions options, uint32_t seed, int count,
+                 const std::vector<const char*>& atoms,
+                 const std::string& label) {
+  for (const std::string& formula : SeededFormulas(seed, count, atoms)) {
+    SCOPED_TRACE(label + ": " + formula);
+    auto p = ParseTemporalProperty(formula, &service.vocab());
+    ASSERT_TRUE(p.ok()) << formula << ": " << p.status().ToString();
+    ExpectStrategiesAgree(service, *p, db, options, label + ": " + formula);
+  }
+}
+
+// --- differential fuzz over three gallery services ---------------------
+
+TEST(StrategyFuzz, LoginRandomFormulasAgree) {
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw"), V("u0")};
+  FuzzService(*ws, LoginDatabase(), options, 20260809u, 20,
+              {"HP", "MP", "CP", "BYE", "logged_in",
+               "error(\"failed login\")"},
+              "login");
+}
+
+TEST(StrategyFuzz, PaperClearLoopRandomFormulasAgree) {
+  auto ws = BuildPaperClearLoopService();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw"), V("u0")};
+  FuzzService(*ws, LoginDatabase(), options, 20260810u, 10,
+              {"HP", "MP", "CP", "logged_in", "error(\"failed login\")"},
+              "clear-loop");
+}
+
+TEST(StrategyFuzz, CatalogSearchRandomFormulasAgree) {
+  auto ws = BuildInputDrivenSearchService(CatalogSearchSpec());
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  LtlVerifyOptions options;
+  options.require_input_bounded = false;
+  FuzzService(*ws, CatalogSearchDatabase(), options, 20260811u, 10,
+              {"Browse", "ERR", "new_sel", "I(\"products\")", "I(\"d1\")"},
+              "catalog");
+}
+
+// --- the paper's running example, targeted -----------------------------
+
+TEST(StrategyEcommerce, Property1AgreesAcrossStrategies) {
+  auto ws = BuildEcommerceService();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  Instance db = EcommerceSmallDatabase();
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw")};
+  options.require_input_bounded = false;
+  auto p = ParseTemporalProperty("G(!PIP) | F(PIP & F(CC))", &ws->vocab());
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ExpectStrategiesAgree(*ws, *p, db, options, "ecommerce property 1");
+}
+
+TEST(StrategyEcommerce, QuantifiedClosureAgreesAcrossStrategies) {
+  // Universal closure variables make faithfulness lasso-dependent, so
+  // the verifier pins the canonical DFS for the full-spec sweep no
+  // matter the selected strategy (DESIGN.md §11); this must come out as
+  // agreement on verdict *and* witness valuation.
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw"), V("u0")};
+  auto p = ParseTemporalProperty("forall m . G(!error(m))", &ws->vocab());
+  ASSERT_TRUE(p.ok());
+  ExpectStrategiesAgree(*ws, *p, LoginDatabase(), options,
+                        "login quantified");
+}
+
+// --- restart determinism ----------------------------------------------
+
+TEST(RestartStrategy, RecordedSeedReplaysIdentically) {
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  Instance db = LoginDatabase();
+  auto p = ParseTemporalProperty("G(!MP)", &ws->vocab());
+  ASSERT_TRUE(p.ok());
+
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw"), V("u0")};
+  options.search.strategy = "restart";
+  options.search.restart_seed = 424242;
+  options.search.restart_visit_budget = 2;  // force real restarts
+  options.search.max_restarts = 3;
+
+  obs::ResetMetrics();
+  auto r1 = LtlVerifier(&*ws, options).VerifyOnDatabase(*p, db);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_FALSE(r1->holds);
+  ASSERT_TRUE(r1->counterexample.has_value());
+  // The tiny budget must have exhausted at least one attempt, or the
+  // test is not exercising the restart path at all.
+  EXPECT_GT(obs::SnapshotMetrics().CounterValue("search/restarts"), 0u);
+
+  auto r2 = LtlVerifier(&*ws, options).VerifyOnDatabase(*p, db);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_TRUE(r2->counterexample.has_value());
+  EXPECT_EQ(r1->counterexample->ToString(), r2->counterexample->ToString());
+
+  // A different seed may find a different lasso, but never a different
+  // verdict, and its witness still replays.
+  options.search.restart_seed = 777;
+  auto r3 = LtlVerifier(&*ws, options).VerifyOnDatabase(*p, db);
+  ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+  EXPECT_FALSE(r3->holds);
+  ASSERT_TRUE(r3->counterexample.has_value());
+  Status witness = ValidateWitness(*ws, *p, *r3->counterexample);
+  EXPECT_TRUE(witness.ok()) << witness.ToString();
+}
+
+// --- directed heuristic telemetry --------------------------------------
+
+TEST(DirectedStrategy, HeuristicEvaluationsAreCounted) {
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  Instance db = LoginDatabase();
+  auto p = ParseTemporalProperty("G(!MP)", &ws->vocab());
+  ASSERT_TRUE(p.ok());
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw"), V("u0")};
+  options.search.strategy = "directed";
+  obs::ResetMetrics();
+  auto r = LtlVerifier(&*ws, options).VerifyOnDatabase(*p, db);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->holds);
+  obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  EXPECT_GT(snap.CounterValue("search/heuristic_evals"), 0u);
+  EXPECT_GT(snap.CounterValue("search/strategy_directed"), 0u);
+}
+
+// --- commuting-input successor pruning ---------------------------------
+
+// A service with an input relation (`noise`) that no rule reads and no
+// property mentions: every choice of noise tuple commutes with every
+// other, so pruning collapses the interleavings without changing any
+// verdict.
+constexpr char kNoisySpec[] = R"(
+service Noisy;
+
+database user(uname);
+state visited;
+input pick(label);
+input noise(label);
+
+page HP {
+  options pick(x) :- x = "go" | x = "stay";
+  options noise(x) :- x = "a" | x = "b" | x = "c";
+  state +visited :- pick("go");
+  target TP :- pick("go");
+  target HP :- pick("stay");
+}
+
+page TP {
+}
+
+home HP;
+error ERR;
+)";
+
+TEST(CommutingPruning, VerdictsIdenticalAndPruningFires) {
+  auto ws = ParseServiceSpec(kNoisySpec);
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  Instance db;
+  Status st = db.AddFact("user", {V("alice")});
+  ASSERT_TRUE(st.ok());
+
+  for (const char* formula : {"G(!TP)", "F(TP)", "G(!visited)", "G(HP)"}) {
+    SCOPED_TRACE(formula);
+    auto p = ParseTemporalProperty(formula, &ws->vocab());
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+
+    LtlVerifyOptions plain;
+    auto r_plain = LtlVerifier(&*ws, plain).VerifyOnDatabase(*p, db);
+    ASSERT_TRUE(r_plain.ok()) << r_plain.status().ToString();
+
+    LtlVerifyOptions pruned = plain;
+    pruned.search.prune_commuting = true;
+    obs::ResetMetrics();
+    auto r_pruned = LtlVerifier(&*ws, pruned).VerifyOnDatabase(*p, db);
+    ASSERT_TRUE(r_pruned.ok()) << r_pruned.status().ToString();
+    EXPECT_GT(obs::SnapshotMetrics().CounterValue("search/pruned_successors"),
+              0u);
+
+    EXPECT_EQ(r_pruned->holds, r_plain->holds);
+    EXPECT_EQ(r_pruned->complete_within_bounds,
+              r_plain->complete_within_bounds);
+    if (!r_pruned->holds) {
+      ASSERT_TRUE(r_pruned->counterexample.has_value());
+      Status witness = ValidateWitness(*ws, *p, *r_pruned->counterexample);
+      EXPECT_TRUE(witness.ok()) << witness.ToString();
+    }
+  }
+}
+
+TEST(CommutingPruning, ObservedInputsAreNeverPruned) {
+  // `pick` drives navigation, so it must stay visible: with only `pick`
+  // declared, pruning must be a no-op (no invisible inputs).
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  Instance db = LoginDatabase();
+  auto p = ParseTemporalProperty("G(!MP)", &ws->vocab());
+  ASSERT_TRUE(p.ok());
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw"), V("u0")};
+  options.search.prune_commuting = true;
+  obs::ResetMetrics();
+  auto r = LtlVerifier(&*ws, options).VerifyOnDatabase(*p, db);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->holds);
+  // Every login input is read by some rule, so nothing is prunable.
+  EXPECT_EQ(obs::SnapshotMetrics().CounterValue("search/pruned_successors"),
+            0u);
+}
+
+// --- registry ----------------------------------------------------------
+
+TEST(StrategyRegistry, BuiltinsRegisteredAndUnknownNamesRejected) {
+  std::vector<std::string> names = RegisteredSearchStrategies();
+  EXPECT_NE(std::find(names.begin(), names.end(), "dfs"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "directed"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "restart"), names.end());
+
+  SearchOptions bogus;
+  bogus.strategy = "simulated-annealing";
+  auto made = MakeSearchStrategy(bogus);
+  EXPECT_FALSE(made.ok());
+  EXPECT_EQ(made.status().code(), StatusCode::kInvalidArgument);
+
+  // "portfolio" is an engine-level selection: the factory resolves it to
+  // the deterministic dfs leg.
+  SearchOptions portfolio;
+  portfolio.strategy = "portfolio";
+  auto leg = MakeSearchStrategy(portfolio);
+  ASSERT_TRUE(leg.ok());
+  EXPECT_STREQ((*leg)->name(), "dfs");
+}
+
+// --- cancellation drain under jobs=4 (tsan) ----------------------------
+
+class StrategyCancellationTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StrategyCancellationTest, EarlyExitDrainsCleanly) {
+  // A quantified violated property at jobs=4: the sliced probe runs the
+  // selected strategy across racing chunks, the first marker cancels the
+  // rest, and the full-spec phase must still land on the serial witness.
+  // TSan (this suite carries the tsan label) checks the drain for races.
+  auto ws = BuildLoginService();
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  Instance db = LoginDatabase();
+  auto p = ParseTemporalProperty("forall m . G(!error(m))", &ws->vocab());
+  ASSERT_TRUE(p.ok());
+
+  LtlVerifyOptions options;
+  options.graph.constant_pool = {V("alice"), V("pw"), V("u0")};
+
+  std::string serial_cex;
+  {
+    auto r = LtlVerifier(&*ws, options).VerifyOnDatabase(*p, db);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_FALSE(r->holds);
+    serial_cex = r->counterexample->ToString();
+  }
+
+  options.search.strategy = GetParam();
+  options.search.restart_visit_budget = 4;
+  ParallelLtlVerifier verifier(&*ws, options, /*jobs=*/4);
+  auto r = verifier.VerifyOnDatabase(*p, db);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r->holds);
+  ASSERT_TRUE(r->counterexample.has_value());
+  EXPECT_EQ(r->counterexample->valuation.begin()->second,
+            V("failed login"));
+  Status witness = ValidateWitness(*ws, *p, *r->counterexample);
+  EXPECT_TRUE(witness.ok()) << witness.ToString();
+  (void)serial_cex;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyCancellationTest,
+                         ::testing::Values("directed", "restart",
+                                           "portfolio"));
+
+}  // namespace
+}  // namespace wsv
